@@ -1,0 +1,44 @@
+//! Criterion bench: ACS (Algorithm 1) versus exhaustive grid search on the
+//! Eq. 12 objective — the paper's implicit claim that closed-form alternate
+//! search is cheap enough to run at the coordinator every reconfiguration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fei_core::{AcsOptimizer, ConvergenceBound, EnergyObjective, GridSearch};
+use std::hint::black_box;
+
+fn objective(n: usize) -> EnergyObjective {
+    let bound = ConvergenceBound::new(1.0, 0.05, 1e-4).expect("valid bound");
+    EnergyObjective::new(bound, 0.5, 2.0, 0.1, n).expect("feasible objective")
+}
+
+fn bench_optimizers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer");
+    for n in [20usize, 100, 500] {
+        let o = objective(n);
+        group.bench_with_input(BenchmarkId::new("acs", n), &o, |b, o| {
+            let acs = AcsOptimizer::default();
+            b.iter(|| acs.solve(black_box(o), n as f64, 1.0).expect("solvable"));
+        });
+        group.bench_with_input(BenchmarkId::new("grid", n), &o, |b, o| {
+            let grid = GridSearch::default();
+            b.iter(|| grid.solve(black_box(o)).expect("solvable"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_closed_forms(c: &mut Criterion) {
+    let o = objective(20);
+    c.bench_function("closed_form/k_star", |b| {
+        b.iter(|| o.k_star(black_box(10.0)));
+    });
+    c.bench_function("closed_form/e_star_exact", |b| {
+        b.iter(|| o.e_star_exact(black_box(10.0)));
+    });
+    c.bench_function("closed_form/eval_eq12", |b| {
+        b.iter(|| o.eval(black_box(10.0), black_box(10.0)));
+    });
+}
+
+criterion_group!(benches, bench_optimizers, bench_closed_forms);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: FedAvg aggregation and model (de)serialization — the
+//! coordinator-side costs of step (4) / Eq. 2 per global round.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fei_fl::{aggregate, AggregationRule};
+use fei_net::codec::{decode_frame, encode_frame};
+use std::hint::black_box;
+
+fn model_sized_updates(k: usize) -> Vec<(Vec<f64>, usize)> {
+    let params = 784 * 10 + 10;
+    (0..k)
+        .map(|i| ((0..params).map(|j| (i * j) as f64 * 1e-6).collect(), 3_000))
+        .collect()
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregate");
+    for k in [1usize, 5, 10, 20] {
+        let updates = model_sized_updates(k);
+        group.bench_with_input(BenchmarkId::new("uniform", k), &updates, |b, u| {
+            b.iter(|| aggregate(black_box(u), AggregationRule::Uniform));
+        });
+        group.bench_with_input(BenchmarkId::new("weighted", k), &updates, |b, u| {
+            b.iter(|| aggregate(black_box(u), AggregationRule::WeightedBySamples));
+        });
+    }
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    // One model upload: 7 850 f64 parameters.
+    let payload: Vec<u8> = (0..7_850usize * 8).map(|i| i as u8).collect();
+    c.bench_function("codec/encode_model_frame", |b| {
+        b.iter(|| encode_frame(2, black_box(&payload)));
+    });
+    let wire = encode_frame(2, &payload);
+    c.bench_function("codec/decode_model_frame", |b| {
+        b.iter(|| decode_frame(black_box(&wire)).expect("valid frame"));
+    });
+}
+
+criterion_group!(benches, bench_aggregation, bench_codec);
+criterion_main!(benches);

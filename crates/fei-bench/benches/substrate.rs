@@ -1,0 +1,59 @@
+//! Criterion bench: simulation-substrate throughput — 1 kHz power-meter
+//! sampling (Fig. 3's measurement chain) and the discrete-event kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fei_power::{PowerMeter, PowerProfile, PowerState, PowerTimeline};
+use fei_sim::{DetRng, SimDuration, SimTime, Simulation};
+use std::hint::black_box;
+
+fn round_timeline(rounds: usize) -> PowerTimeline {
+    let mut tl = PowerTimeline::new();
+    for _ in 0..rounds {
+        tl.push(PowerState::Waiting, SimDuration::from_millis(20));
+        tl.push(PowerState::Downloading, SimDuration::from_millis(27));
+        tl.push(PowerState::Training, SimDuration::from_millis(600));
+        tl.push(PowerState::Uploading, SimDuration::from_millis(28));
+    }
+    tl
+}
+
+fn bench_meter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("power_meter_sampling");
+    for rounds in [2usize, 20, 100] {
+        let tl = round_timeline(rounds);
+        let samples = (tl.total_duration().as_secs_f64() * 1_000.0) as u64;
+        group.throughput(Throughput::Elements(samples));
+        group.bench_with_input(BenchmarkId::from_parameter(rounds), &tl, |b, tl| {
+            let meter = PowerMeter::km001c();
+            let profile = PowerProfile::raspberry_pi_4b();
+            b.iter(|| {
+                let mut rng = DetRng::new(7);
+                meter.sample(black_box(tl), &profile, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_kernel");
+    for events in [1_000usize, 10_000] {
+        group.throughput(Throughput::Elements(events as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(events), &events, |b, &n| {
+            b.iter(|| {
+                let mut sim = Simulation::new();
+                let mut rng = DetRng::new(1);
+                for i in 0..n {
+                    sim.schedule_at(SimTime::from_nanos(rng.next_below(1 << 40) + i as u64), i);
+                }
+                let mut count = 0usize;
+                sim.run(|_, _, _| count += 1);
+                black_box(count)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_meter, bench_event_queue);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Ablation: what happens to EE-FEI when data collection is NOT pre-loaded?
+//!
+//! The paper's formalism (Eqs. 3-4) includes the IoT network's per-sample
+//! upload energy `ρ·n_k`, but its prototype pre-loads every dataset, so the
+//! measured traces exclude collection entirely. This ablation quantifies the
+//! difference: with NB-IoT's 7.74 mW·s/byte and 785-byte samples, collection
+//! costs ~6 J *per sample* — three orders of magnitude above everything
+//! else — and completely reshapes the optimal schedule.
+//!
+//! Run: `cargo run --release -p fei-bench --bin ablation_collection`
+
+use fei_bench::{banner, fmt_joules, section};
+use fei_core::{AcsOptimizer, ConvergenceBound, EnergyObjective};
+use fei_testbed::{RaspberryPi, Testbed, TestbedConfig};
+
+fn main() {
+    banner("Ablation: pre-loaded data vs live NB-IoT collection");
+
+    let preloaded = Testbed::paper_prototype();
+    let live = Testbed::new(
+        TestbedConfig { preloaded_data: false, ..Default::default() },
+        RaspberryPi::paper_calibrated(),
+    );
+
+    section("per-round, per-server energy decomposition (E = 20)");
+    println!("{:>24} {:>14} {:>14}", "component", "pre-loaded", "live NB-IoT");
+    let pre_run = preloaded.run(1, 20, 1);
+    let live_run = live.run(1, 20, 1);
+    for (name, a, b) in [
+        ("data collection", pre_run.breakdown.collection_j, live_run.breakdown.collection_j),
+        ("waiting", pre_run.breakdown.waiting_j, live_run.breakdown.waiting_j),
+        ("model download", pre_run.breakdown.download_j, live_run.breakdown.download_j),
+        ("local training", pre_run.breakdown.training_j, live_run.breakdown.training_j),
+        ("model upload", pre_run.breakdown.upload_j, live_run.breakdown.upload_j),
+    ] {
+        println!("{name:>24} {:>14} {:>14}", fmt_joules(a), fmt_joules(b));
+    }
+    println!(
+        "{:>24} {:>14} {:>14}",
+        "TOTAL",
+        fmt_joules(pre_run.total_joules()),
+        fmt_joules(live_run.total_joules())
+    );
+
+    section("analytic B0/B1 and the re-optimized schedule");
+    let bound = ConvergenceBound::new(50.0, 0.05, 1e-4).expect("valid constants");
+    for (label, testbed) in [("pre-loaded", &preloaded), ("live NB-IoT", &live)] {
+        let model = testbed.energy_model();
+        let objective = EnergyObjective::new(bound, model.b0(), model.b1(), 0.1, 20)
+            .expect("feasible objective");
+        let plan = AcsOptimizer::default()
+            .solve(&objective, 20.0, 1.0)
+            .expect("solvable");
+        println!(
+            "{label:>12}: B0 = {:>10} /epoch, B1 = {:>10} /round -> K*={}, E*={}, T*={} ({})",
+            fmt_joules(model.b0()),
+            fmt_joules(model.b1()),
+            plan.k,
+            plan.e,
+            plan.t,
+            fmt_joules(plan.energy),
+        );
+    }
+    println!(
+        "\nmechanism: live collection makes every round's fixed cost enormous, so the\n\
+         optimizer crams maximal local work into minimal rounds (E* explodes, T* -> 1).\n\
+         The paper's measured optimum only applies to the pre-loaded regime."
+    );
+}

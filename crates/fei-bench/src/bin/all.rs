@@ -1,0 +1,61 @@
+//! Runs every table/figure/ablation binary in sequence — the one-command
+//! full reproduction.
+//!
+//! Run: `cargo run --release -p fei-bench --bin all`
+//! (build the bins first: `cargo build --release -p fei-bench --bins`)
+
+use std::process::Command;
+
+/// All reporting binaries, in the order EXPERIMENTS.md presents them.
+const BINS: [&str; 15] = [
+    "table1",
+    "table2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "headline",
+    "sensitivity",
+    "ablation_noniid",
+    "ablation_collection",
+    "ablation_eq17",
+    "ablation_scheduling",
+    "ablation_stragglers",
+    "ablation_model",
+    "ablation_async",
+];
+
+fn main() {
+    // Sibling binaries live next to this one.
+    let me = std::env::current_exe().expect("current executable path");
+    let dir = me.parent().expect("executable directory");
+
+    let mut failures = Vec::new();
+    for bin in BINS {
+        let path = dir.join(bin);
+        println!("\n################ {bin} ################\n");
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                failures.push(bin);
+            }
+            Err(e) => {
+                eprintln!(
+                    "could not launch {} ({e}); build the bins first with \
+                     `cargo build --release -p fei-bench --bins`",
+                    path.display()
+                );
+                failures.push(bin);
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!("\nall experiments regenerated successfully");
+    } else {
+        eprintln!("\nfailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Regenerates **Fig. 5**: total energy to train to the stringent accuracy
+//! target versus `K` (fixed `E = 40`) — the theoretical bound (Eq. 12 with
+//! calibrated constants) next to the "measured" testbed traces, with the
+//! optimal `K*` from each highlighted.
+//!
+//! The paper finds `K* = 1` under its IID split; the reproduction's curves
+//! must show the same monotone-from-one shape.
+//!
+//! Run: `cargo run --release -p fei-bench --bin fig5`
+
+use fei_bench::{banner, calibrate, estimate_loss_floor, fmt_joules, run_calibration_campaign, section};
+use fei_core::EnergyObjective;
+use fei_testbed::{FlExperiment, FlExperimentConfig, Testbed, STRINGENT_TARGET};
+
+const FIXED_E: usize = 40;
+const KS: [usize; 7] = [1, 2, 3, 5, 10, 15, 20];
+
+fn main() {
+    banner("Fig. 5: energy consumption vs K (theoretical bound vs measured traces)");
+
+    let exp = FlExperiment::prepare(FlExperimentConfig::paper_like());
+    let testbed = Testbed::paper_prototype();
+
+    section("calibrating the convergence bound from training runs");
+    let runs = run_calibration_campaign(&exp);
+    let f_star = estimate_loss_floor(&exp);
+    let cal = calibrate(&runs, f_star).expect("calibration campaign crosses the stringent target");
+    println!(
+        "A0={:.4}  A1={:.4}  A2={:.6}  F*={:.4}  epsilon={:.4}",
+        cal.bound.a0(),
+        cal.bound.a1(),
+        cal.bound.a2(),
+        cal.f_star,
+        cal.epsilon,
+    );
+
+    let model = testbed.energy_model();
+    let objective = EnergyObjective::new(
+        cal.bound,
+        model.b0(),
+        model.b1(),
+        cal.epsilon,
+        testbed.config().num_devices,
+    )
+    .expect("calibrated objective is feasible");
+
+    section(&format!("energy to {:.0}% accuracy, E = {FIXED_E}", STRINGENT_TARGET * 100.0));
+    println!(
+        "{:>4} {:>10} {:>14} {:>10} {:>14}",
+        "K", "T(bound)", "bound energy", "T(meas)", "measured"
+    );
+    let mut bound_curve = Vec::new();
+    let mut measured_curve = Vec::new();
+    for &k in &KS {
+        let bound_point = objective.eval_integer(k, FIXED_E);
+        let (_, t_measured) = exp.run_to_accuracy(k, FIXED_E, STRINGENT_TARGET, 200);
+        let measured = t_measured.map(|t| testbed.run(k, FIXED_E, t).total_joules());
+        println!(
+            "{k:>4} {:>10} {:>14} {:>10} {:>14}",
+            bound_point.map_or("-".into(), |(t, _)| t.to_string()),
+            bound_point.map_or("-".into(), |(_, e)| fmt_joules(e)),
+            t_measured.map_or("-".into(), |t| t.to_string()),
+            measured.map_or("-".into(), fmt_joules),
+        );
+        if let Some((_, e)) = bound_point {
+            bound_curve.push((k, e));
+        }
+        if let Some(e) = measured {
+            measured_curve.push((k, e));
+        }
+    }
+
+    section("optimal K*");
+    let k_star_bound = bound_curve
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite energies"))
+        .map(|&(k, _)| k);
+    let k_star_measured = measured_curve
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite energies"))
+        .map(|&(k, _)| k);
+    println!(
+        "K* from theoretical bound: {k_star_bound:?}   K* from measured traces: {k_star_measured:?}"
+    );
+    println!("paper: K* = 1 under the IID split (both its bound and its traces)");
+}

@@ -1,0 +1,100 @@
+//! Regenerates **Fig. 6**: total energy to the stringent accuracy target
+//! versus `E` (at the Fig.-5 optimum `K = 1`), theoretical bound next to
+//! measured traces, with `E*` from each — and the paper's headline number:
+//! the energy reduction of the optimized `E*` versus the `K = 1, E = 1`
+//! baseline (paper: **49.8 %**).
+//!
+//! Run: `cargo run --release -p fei-bench --bin fig6`
+
+use fei_bench::{banner, calibrate, estimate_loss_floor, fmt_joules, run_calibration_campaign, section};
+use fei_core::EnergyObjective;
+use fei_testbed::{FlExperiment, FlExperimentConfig, Testbed, STRINGENT_TARGET};
+
+const FIXED_K: usize = 1;
+const ES: [usize; 8] = [1, 2, 5, 10, 20, 40, 60, 100];
+
+fn main() {
+    banner("Fig. 6: energy consumption vs E (theoretical bound vs measured traces)");
+
+    let exp = FlExperiment::prepare(FlExperimentConfig::paper_like());
+    let testbed = Testbed::paper_prototype();
+
+    section("calibrating the convergence bound from training runs");
+    let runs = run_calibration_campaign(&exp);
+    let f_star = estimate_loss_floor(&exp);
+    let cal = calibrate(&runs, f_star).expect("calibration campaign crosses the stringent target");
+    println!(
+        "A0={:.4}  A1={:.4}  A2={:.6}  F*={:.4}  epsilon={:.4}",
+        cal.bound.a0(),
+        cal.bound.a1(),
+        cal.bound.a2(),
+        cal.f_star,
+        cal.epsilon,
+    );
+
+    let model = testbed.energy_model();
+    let objective = EnergyObjective::new(
+        cal.bound,
+        model.b0(),
+        model.b1(),
+        cal.epsilon,
+        testbed.config().num_devices,
+    )
+    .expect("calibrated objective is feasible");
+
+    section(&format!("energy to {:.0}% accuracy, K = {FIXED_K}", STRINGENT_TARGET * 100.0));
+    println!(
+        "{:>4} {:>10} {:>14} {:>10} {:>14}",
+        "E", "T(bound)", "bound energy", "T(meas)", "measured"
+    );
+    let mut bound_curve = Vec::new();
+    let mut measured_curve = Vec::new();
+    for &e in &ES {
+        let cap = if e <= 2 { 800 } else { 300 };
+        let bound_point = objective.eval_integer(FIXED_K, e);
+        let (_, t_measured) = exp.run_to_accuracy(FIXED_K, e, STRINGENT_TARGET, cap);
+        let measured = t_measured.map(|t| testbed.run(FIXED_K, e, t).total_joules());
+        println!(
+            "{e:>4} {:>10} {:>14} {:>10} {:>14}",
+            bound_point.map_or("-".into(), |(t, _)| t.to_string()),
+            bound_point.map_or("-".into(), |(_, en)| fmt_joules(en)),
+            t_measured.map_or("-".into(), |t| t.to_string()),
+            measured.map_or("-".into(), fmt_joules),
+        );
+        if let Some((_, en)) = bound_point {
+            bound_curve.push((e, en));
+        }
+        if let Some(en) = measured {
+            measured_curve.push((e, en));
+        }
+    }
+
+    section("optimal E* and the headline reduction");
+    let best = |curve: &[(usize, f64)]| {
+        curve
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite energies"))
+            .copied()
+    };
+    let bound_best = best(&bound_curve);
+    let measured_best = best(&measured_curve);
+    println!(
+        "E* from theoretical bound: {:?}   E* from measured traces: {:?}",
+        bound_best.map(|(e, _)| e),
+        measured_best.map(|(e, _)| e),
+    );
+
+    let baseline = measured_curve.iter().find(|&&(e, _)| e == 1).map(|&(_, en)| en);
+    match (baseline, measured_best) {
+        (Some(base), Some((e_star, best_energy))) => {
+            let saving = (1.0 - best_energy / base) * 100.0;
+            println!(
+                "measured: E* = {e_star} uses {} vs {} at K=1,E=1 -> {saving:.1}% energy reduction",
+                fmt_joules(best_energy),
+                fmt_joules(base),
+            );
+            println!("paper reports: 49.8% reduction vs K=1, E=1");
+        }
+        _ => println!("baseline K=1, E=1 did not reach the target within the round cap"),
+    }
+}

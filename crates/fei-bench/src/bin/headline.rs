@@ -1,0 +1,132 @@
+//! The end-to-end EE-FEI pipeline behind the paper's headline claim:
+//!
+//! 1. calibrate the energy coefficients from (simulated) Table-I timings;
+//! 2. calibrate the convergence bound from real FedAvg training runs;
+//! 3. run ACS (Algorithm 1) to pick `(K*, E*, T*)`;
+//! 4. validate on the testbed: measured energy at the plan versus the
+//!    `K = 1, E = 1` baseline.
+//!
+//! Paper: EE-FEI reduces energy consumption by **49.8 %**.
+//!
+//! Run: `cargo run --release -p fei-bench --bin headline`
+
+use fei_bench::{banner, calibrate, estimate_loss_floor, fmt_joules, run_calibration_campaign, section};
+use fei_core::{AcsOptimizer, EeFeiPlanner, GridSearch};
+use fei_testbed::{FlExperiment, FlExperimentConfig, Testbed, STRINGENT_TARGET};
+
+fn main() {
+    banner("EE-FEI headline: joint (K, E, T) optimization vs the K=1, E=1 baseline");
+
+    let exp = FlExperiment::prepare(FlExperimentConfig::paper_like());
+    let testbed = Testbed::paper_prototype();
+
+    section("step 1: energy model (Table-I calibration)");
+    let model = testbed.energy_model();
+    println!(
+        "c0 = {:.3e} J/(sample*epoch)   c1 = {:.3e} J/epoch   e_U = {}   n_k = {}",
+        model.compute().c0(),
+        model.compute().c1(),
+        fmt_joules(model.upload().e_u()),
+        model.n_k(),
+    );
+    println!("B0 = {:.4} J/epoch   B1 = {:.4} J/round", model.b0(), model.b1());
+
+    section("step 2: convergence bound (training-run calibration)");
+    let runs = run_calibration_campaign(&exp);
+    let f_star = estimate_loss_floor(&exp);
+    let cal = calibrate(&runs, f_star).expect("calibration campaign crosses the stringent target");
+    println!(
+        "A0={:.4}  A1={:.4}  A2={:.6}  epsilon={:.4}",
+        cal.bound.a0(),
+        cal.bound.a1(),
+        cal.bound.a2(),
+        cal.epsilon,
+    );
+
+    section("step 3: ACS joint optimization (Algorithm 1)");
+    let planner = EeFeiPlanner::new(model, cal.bound, cal.epsilon, testbed.config().num_devices)
+        .expect("calibrated system is feasible")
+        .with_optimizer(AcsOptimizer::default());
+    let plan = planner.plan().expect("baseline is feasible");
+    println!(
+        "ACS: K*={}  E*={}  T*={}  predicted energy {}  ({} iterations, continuous ({:.2}, {:.2}))",
+        plan.solution.k,
+        plan.solution.e,
+        plan.solution.t,
+        fmt_joules(plan.solution.energy),
+        plan.solution.iterations,
+        plan.solution.continuous_k,
+        plan.solution.continuous_e,
+    );
+    println!(
+        "baseline (K=1, E=1): T={}  predicted energy {}",
+        plan.baseline_t,
+        fmt_joules(plan.baseline_energy),
+    );
+    println!("predicted savings: {:.1}%", plan.savings_fraction * 100.0);
+
+    let grid = GridSearch::default().solve(&planner.objective()).expect("grid solvable");
+    println!(
+        "exhaustive grid check: K*={} E*={} energy {} after {} evaluations (ACS used {} iterations)",
+        grid.k,
+        grid.e,
+        fmt_joules(grid.energy),
+        grid.evaluated,
+        plan.solution.iterations,
+    );
+
+    section("step 4: testbed validation (measured energy)");
+    let measure = |k: usize, e: usize, cap: usize| -> Option<(usize, f64)> {
+        let (_, t) = exp.run_to_accuracy(k, e, STRINGENT_TARGET, cap);
+        t.map(|t| (t, testbed.run(k, e, t).total_joules()))
+    };
+    let baseline = measure(1, 1, 900);
+    let plan_measured = measure(plan.solution.k, plan.solution.e, 400);
+    match (plan_measured, baseline) {
+        (Some((tp, plan_energy)), Some((tb, base_energy))) => {
+            let saving = (1.0 - plan_energy / base_energy) * 100.0;
+            println!(
+                "measured: ACS plan (K={}, E={}) reached {:.0}% in T={} using {}",
+                plan.solution.k,
+                plan.solution.e,
+                STRINGENT_TARGET * 100.0,
+                tp,
+                fmt_joules(plan_energy),
+            );
+            println!(
+                "measured: baseline (K=1, E=1) needed T={} using {}",
+                tb,
+                fmt_joules(base_energy)
+            );
+            println!("measured savings of the bound-driven plan: {saving:.1}%");
+        }
+        _ => println!("a configuration failed to reach the target within its round cap"),
+    }
+
+    section("step 5: measured-curve optimum (the paper's black asterisk)");
+    // The paper picks its headline operating point off the measured energy
+    // curves (Figs. 5-6), tolerating the bound/trace gap it documents. Scan
+    // the same neighbourhood.
+    let mut best: Option<(usize, usize, usize, f64)> = None;
+    for k in [1usize, 2] {
+        for e in [5usize, 10, 20, 40] {
+            if let Some((t, energy)) = measure(k, e, 400) {
+                best = match best {
+                    Some(b) if b.3 <= energy => Some(b),
+                    _ => Some((k, e, t, energy)),
+                };
+            }
+        }
+    }
+    match (best, baseline) {
+        (Some((k, e, t, energy)), Some((_, base_energy))) => {
+            let saving = (1.0 - energy / base_energy) * 100.0;
+            println!(
+                "measured optimum: K={k}, E={e}, T={t} using {} -> {saving:.1}% reduction",
+                fmt_joules(energy)
+            );
+            println!("paper reports: 49.8% reduction vs K=1, E=1");
+        }
+        _ => println!("measured scan could not complete"),
+    }
+}

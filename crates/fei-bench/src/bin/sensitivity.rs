@@ -1,0 +1,54 @@
+//! Ablation: sensitivity of the optimal operating point to the system
+//! parameters the paper holds fixed.
+//!
+//! Sweeps (1) the fixed per-round cost `B₁`, (2) the gradient-variance
+//! constant `A₁` (the data-heterogeneity dial), (3) the accuracy target
+//! `ε`, and (4) the fleet size `N`, re-running ACS at every point.
+//!
+//! Run: `cargo run --release -p fei-bench --bin sensitivity`
+
+use fei_bench::{banner, fmt_joules, section};
+use fei_core::sensitivity::{SensitivityBase, SensitivityReport};
+use fei_core::{ConvergenceBound, RoundEnergyModel};
+use fei_testbed::Testbed;
+
+fn print_report(report: &SensitivityReport) {
+    section(&report.parameter);
+    println!(
+        "{:>12} {:>6} {:>6} {:>6} {:>14} {:>10}",
+        "value", "K*", "E*", "T*", "energy", "savings"
+    );
+    for p in &report.points {
+        println!(
+            "{:>12.4} {:>6} {:>6} {:>6} {:>14} {:>10}",
+            p.value,
+            p.k,
+            p.e,
+            p.t,
+            fmt_joules(p.energy),
+            p.savings.map_or("-".into(), |s| format!("{:.1}%", s * 100.0)),
+        );
+    }
+}
+
+fn main() {
+    banner("Sensitivity of (K*, E*, T*) to the system parameters");
+
+    // The pre-loaded prototype's energy model with a bound scaled so the
+    // optimal round budget stays interior (see EXPERIMENTS.md).
+    let energy: RoundEnergyModel = Testbed::paper_prototype().energy_model();
+    let bound = ConvergenceBound::new(50.0, 0.05, 1e-4).expect("valid constants");
+    let base = SensitivityBase { energy, bound, epsilon: 0.1, n: 20 };
+
+    print_report(&base.sweep_b1(&[0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0]));
+    println!("mechanism: pricier rounds -> batch more local epochs per round (E* rises)");
+
+    print_report(&base.sweep_a1(&[0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0]).expect("valid sweep"));
+    println!("mechanism: noisier/more heterogeneous gradients -> average more clients (K* rises)");
+
+    print_report(&base.sweep_epsilon(&[0.5, 0.3, 0.2, 0.1, 0.05, 0.02, 0.01]));
+    println!("mechanism: tighter targets -> more rounds -> more energy (monotone)");
+
+    print_report(&base.sweep_fleet(&[2, 5, 10, 20, 50, 100]));
+    println!("mechanism: a bigger fleet only widens the feasible set (energy non-increasing)");
+}

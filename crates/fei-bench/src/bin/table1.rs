@@ -1,0 +1,45 @@
+//! Regenerates **Table I**: duration of the local-training step (3) for the
+//! paper's `(E, n_k)` grid, measured on the simulated Raspberry Pi, next to
+//! the paper's published durations. Also reruns the §VI-B least-squares fit
+//! of the energy coefficients `c₀`, `c₁`.
+//!
+//! Run: `cargo run --release -p fei-bench --bin table1`
+
+use fei_bench::{banner, section};
+use fei_core::calibration::{fit_timing_model, paper_table1, TRAINING_POWER_WATTS};
+use fei_sim::DetRng;
+use fei_testbed::RaspberryPi;
+
+fn main() {
+    banner("Table I: time duration of step (3) under different training parameters");
+
+    let pi = RaspberryPi::paper_calibrated();
+    let mut rng = DetRng::new(0x7AB1);
+    let simulated = pi.measure_table1(&mut rng);
+    let paper = paper_table1();
+
+    section("durations (seconds)");
+    println!("{:>4} {:>6} {:>12} {:>12} {:>8}", "E", "n_k", "paper", "simulated", "diff%");
+    for (p, s) in paper.iter().zip(&simulated) {
+        let diff = (s.seconds - p.seconds) / p.seconds * 100.0;
+        println!(
+            "{:>4} {:>6} {:>12.4} {:>12.4} {:>7.1}%",
+            p.epochs, p.samples, p.seconds, s.seconds, diff
+        );
+    }
+
+    section("least-squares fit of Eq. (5) coefficients (x 5.553 W training power)");
+    for (label, rows) in [("paper Table I", &paper), ("simulated", &simulated)] {
+        let fit = fit_timing_model(rows).expect("table data is well-posed");
+        let model = fit
+            .to_computation_model(TRAINING_POWER_WATTS)
+            .expect("fit produces valid coefficients");
+        println!(
+            "{label:>14}: c0 = {:.3e} J/(sample*epoch)   c1 = {:.3e} J/epoch   (fit rmse {:.2} ms)",
+            model.c0(),
+            model.c1(),
+            fit.rmse_seconds * 1e3,
+        );
+    }
+    println!("{:>14}: c0 = 7.790e-5                  c1 = 3.340e-3   (published §VI-B)", "paper reports");
+}

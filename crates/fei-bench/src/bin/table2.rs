@@ -1,0 +1,39 @@
+//! Regenerates **Table II**: the simulation configuration — printed from the
+//! actual objects the benches train with, so the table cannot drift from
+//! the code.
+//!
+//! Run: `cargo run --release -p fei-bench --bin table2`
+
+use fei_bench::banner;
+use fei_ml::LogisticRegression;
+use fei_testbed::FlExperimentConfig;
+
+fn main() {
+    banner("Table II: simulation configuration");
+
+    let paper_cfg = FlExperimentConfig::default();
+    let tuned_cfg = FlExperimentConfig::paper_like();
+    let model = LogisticRegression::zeros(784, 10);
+
+    println!("{:<22} Multinomial Logistic Regression", "Model Type");
+    println!("{:<22} {}*1", "Input Size", model.dim());
+    println!("{:<22} {}*1", "Output Size", model.num_classes());
+    println!("{:<22} Softmax (stable log-sum-exp)", "Activation Function");
+    println!(
+        "{:<22} SGD, learning rate {} with decay rate {} (paper Table II)",
+        "Optimizer", paper_cfg.sgd.learning_rate, paper_cfg.sgd.decay_per_round
+    );
+    println!(
+        "{:<22} SGD, learning rate {} with decay rate {} (tuned campaign; see EXPERIMENTS.md)",
+        "", tuned_cfg.sgd.learning_rate, tuned_cfg.sgd.decay_per_round
+    );
+    println!("{:<22} full local batch", "Batch size");
+    println!("{:<22} {} parameters / {} bytes per upload", "Model payload", model.num_params(), model.payload_bytes());
+    println!(
+        "{:<22} {} edge servers, {} samples each at scale {}",
+        "Fleet",
+        tuned_cfg.num_devices,
+        (60_000.0 * tuned_cfg.scale) as usize / tuned_cfg.num_devices,
+        tuned_cfg.scale
+    );
+}

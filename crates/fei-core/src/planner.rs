@@ -1,0 +1,170 @@
+//! The high-level EE-FEI planning API.
+//!
+//! [`EeFeiPlanner`] composes the calibrated energy model and convergence
+//! bound into the Eq. 12 objective, runs ACS, and reports the optimized
+//! operating point next to the paper's `K = 1, E = 1` baseline — the
+//! comparison behind the 49.8 % headline.
+
+use serde::{Deserialize, Serialize};
+
+use crate::acs::{AcsOptimizer, AcsSolution};
+use crate::bound::ConvergenceBound;
+use crate::energy::RoundEnergyModel;
+use crate::error::CoreError;
+use crate::objective::EnergyObjective;
+
+/// An optimized EE-FEI operating point with its baseline comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EeFeiPlan {
+    /// The ACS solution (optimal `K`, `E`, `T`, energy).
+    pub solution: AcsSolution,
+    /// Round budget of the `K = 1, E = 1` baseline.
+    pub baseline_t: usize,
+    /// Energy of the `K = 1, E = 1` baseline, joules.
+    pub baseline_energy: f64,
+    /// Fraction of baseline energy saved, in `[0, 1)` — the paper reports
+    /// 0.498 for its prototype.
+    pub savings_fraction: f64,
+}
+
+/// Composes energy model + bound + target into a solvable plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EeFeiPlanner {
+    energy: RoundEnergyModel,
+    bound: ConvergenceBound,
+    epsilon: f64,
+    n: usize,
+    optimizer: AcsOptimizer,
+}
+
+impl EeFeiPlanner {
+    /// Creates a planner for a fleet of `n` edge servers targeting loss gap
+    /// `epsilon`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for a non-positive `epsilon`
+    /// or zero fleet, and [`CoreError::Infeasible`] when even `K = N, E = 1`
+    /// cannot reach the target.
+    pub fn new(
+        energy: RoundEnergyModel,
+        bound: ConvergenceBound,
+        epsilon: f64,
+        n: usize,
+    ) -> Result<Self, CoreError> {
+        // Validate by constructing the objective once.
+        let _ = EnergyObjective::new(bound, energy.b0(), energy.b1(), epsilon, n)?;
+        Ok(Self { energy, bound, epsilon, n, optimizer: AcsOptimizer::default() })
+    }
+
+    /// Replaces the ACS settings (residual `ξ`, iteration cap, refinement
+    /// radius).
+    pub fn with_optimizer(mut self, optimizer: AcsOptimizer) -> Self {
+        self.optimizer = optimizer;
+        self
+    }
+
+    /// The Eq. 12 objective this planner optimizes.
+    pub fn objective(&self) -> EnergyObjective {
+        EnergyObjective::new(self.bound, self.energy.b0(), self.energy.b1(), self.epsilon, self.n)
+            .expect("validated at construction")
+    }
+
+    /// The energy model in use.
+    pub fn energy_model(&self) -> &RoundEnergyModel {
+        &self.energy
+    }
+
+    /// Runs ACS and compares against the `K = 1, E = 1` baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Infeasible`] if the baseline `(1, 1)` is itself
+    /// infeasible (then there is nothing to compare against; the solution
+    /// alone can still be obtained via [`EeFeiPlanner::objective`] and
+    /// [`AcsOptimizer::solve`]).
+    pub fn plan(&self) -> Result<EeFeiPlan, CoreError> {
+        let objective = self.objective();
+        let solution = self.optimizer.solve(&objective, self.n as f64, 1.0)?;
+        let (baseline_t, baseline_energy) =
+            objective.eval_integer(1, 1).ok_or_else(|| CoreError::Infeasible {
+                detail: "baseline K = 1, E = 1 cannot reach the accuracy target".into(),
+            })?;
+        let savings_fraction = if baseline_energy > 0.0 {
+            (1.0 - solution.energy / baseline_energy).max(0.0)
+        } else {
+            0.0
+        };
+        Ok(EeFeiPlan { solution, baseline_t, baseline_energy, savings_fraction })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::energy::{ComputationModel, DataCollectionModel, UploadModel};
+
+    use super::*;
+
+    fn planner() -> EeFeiPlanner {
+        let energy = RoundEnergyModel::new(
+            DataCollectionModel::new(0.01).unwrap(),
+            ComputationModel::paper_fit(),
+            UploadModel::wifi_default(),
+            3_000,
+        )
+        .unwrap();
+        let bound = ConvergenceBound::new(1.0, 0.05, 1e-4).unwrap();
+        EeFeiPlanner::new(energy, bound, 0.1, 20).unwrap()
+    }
+
+    #[test]
+    fn plan_beats_baseline() {
+        let plan = planner().plan().unwrap();
+        assert!(plan.solution.energy <= plan.baseline_energy);
+        assert!((0.0..1.0).contains(&plan.savings_fraction));
+        let recomputed = 1.0 - plan.solution.energy / plan.baseline_energy;
+        assert!((plan.savings_fraction - recomputed).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimized_e_exceeds_one_when_rounds_are_expensive() {
+        // With a large fixed per-round cost B1, batching local work (E > 1)
+        // must win — the mechanism behind the paper's 49.8 %.
+        let plan = planner().plan().unwrap();
+        assert!(plan.solution.e > 1, "E* = {}", plan.solution.e);
+    }
+
+    #[test]
+    fn baseline_round_budget_matches_bound() {
+        let p = planner();
+        let plan = p.plan().unwrap();
+        let t = p.objective().bound().t_star_rounds(0.1, 1, 1).unwrap();
+        assert_eq!(plan.baseline_t, t);
+    }
+
+    #[test]
+    fn infeasible_baseline_is_an_error() {
+        // A1 = 1.5 > eps = 0.1 makes K = 1 infeasible while K = 20 works.
+        let energy = RoundEnergyModel::paper_default();
+        let bound = ConvergenceBound::new(1.0, 1.5, 1e-5).unwrap();
+        let planner = EeFeiPlanner::new(energy, bound, 0.1, 20).unwrap();
+        assert!(matches!(planner.plan(), Err(CoreError::Infeasible { .. })));
+    }
+
+    #[test]
+    fn with_optimizer_overrides_settings() {
+        let custom = AcsOptimizer { residual: 1e-3, max_iterations: 5, e_cap: 1_000 };
+        let plan = planner().with_optimizer(custom).plan().unwrap();
+        assert!(plan.solution.iterations <= 5);
+    }
+
+    #[test]
+    fn unreachable_target_rejected_at_construction() {
+        let energy = RoundEnergyModel::paper_default();
+        let bound = ConvergenceBound::new(1.0, 10.0, 1e-4).unwrap();
+        assert!(matches!(
+            EeFeiPlanner::new(energy, bound, 0.1, 20),
+            Err(CoreError::Infeasible { .. })
+        ));
+    }
+}

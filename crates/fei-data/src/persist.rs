@@ -1,0 +1,246 @@
+//! Binary persistence for datasets.
+//!
+//! The workspace deliberately carries no serde *format* crate, so datasets
+//! get a small self-describing binary layout (little-endian, checksummed via
+//! a length-and-sum trailer). Used to cache generated synthetic corpora
+//! between experiment runs and to ship datasets to other tools.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic   "FEID" (4 bytes)
+//! version u16
+//! dim, num_classes, len   u32 each
+//! features len*dim f64 (LE)
+//! labels   len u32 (LE)
+//! checksum u64: wrapping byte sum of everything before it
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::dataset::Dataset;
+
+const MAGIC: &[u8; 4] = b"FEID";
+const VERSION: u16 = 1;
+
+/// Errors from [`Dataset::from_bytes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// Buffer too short for the declared contents.
+    Truncated,
+    /// The magic prefix or version did not match.
+    BadHeader,
+    /// The checksum did not match the payload.
+    ChecksumMismatch,
+    /// Header fields describe an invalid dataset (zero dim, label overflow).
+    Malformed {
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Truncated => write!(f, "dataset buffer is truncated"),
+            PersistError::BadHeader => write!(f, "bad dataset magic or version"),
+            PersistError::ChecksumMismatch => write!(f, "dataset checksum mismatch"),
+            PersistError::Malformed { detail } => write!(f, "malformed dataset: {detail}"),
+        }
+    }
+}
+
+impl Error for PersistError {}
+
+fn checksum(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(0u64, |acc, &b| acc.wrapping_add(b as u64))
+}
+
+impl Dataset {
+    /// Serializes the dataset to the self-describing binary layout.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(18 + self.len() * (self.dim() * 8 + 4) + 8);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.dim() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.num_classes() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        for i in 0..self.len() {
+            for &x in self.sample(i) {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        for &l in self.labels() {
+            out.extend_from_slice(&(l as u32).to_le_bytes());
+        }
+        let sum = checksum(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Deserializes a dataset produced by [`Dataset::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PersistError`] on truncation, header mismatch, checksum
+    /// failure, or inconsistent header fields.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Dataset, PersistError> {
+        if bytes.len() < 18 + 8 {
+            return Err(PersistError::Truncated);
+        }
+        if &bytes[0..4] != MAGIC {
+            return Err(PersistError::BadHeader);
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version != VERSION {
+            return Err(PersistError::BadHeader);
+        }
+        let read_u32 =
+            |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes"));
+        let dim = read_u32(6) as usize;
+        let num_classes = read_u32(10) as usize;
+        let len = read_u32(14) as usize;
+        if dim == 0 || num_classes == 0 {
+            return Err(PersistError::Malformed { detail: "zero dim or classes".into() });
+        }
+
+        let features_bytes = len
+            .checked_mul(dim)
+            .and_then(|n| n.checked_mul(8))
+            .ok_or(PersistError::Truncated)?;
+        let total = 18 + features_bytes + len * 4 + 8;
+        if bytes.len() != total {
+            return Err(PersistError::Truncated);
+        }
+
+        let declared =
+            u64::from_le_bytes(bytes[total - 8..].try_into().expect("8 bytes"));
+        if declared != checksum(&bytes[..total - 8]) {
+            return Err(PersistError::ChecksumMismatch);
+        }
+
+        let mut features = Vec::with_capacity(len * dim);
+        let mut offset = 18;
+        for _ in 0..len * dim {
+            features.push(f64::from_le_bytes(
+                bytes[offset..offset + 8].try_into().expect("8 bytes"),
+            ));
+            offset += 8;
+        }
+        let mut labels = Vec::with_capacity(len);
+        for _ in 0..len {
+            let l = read_u32(offset) as usize;
+            if l >= num_classes {
+                return Err(PersistError::Malformed {
+                    detail: format!("label {l} >= {num_classes} classes"),
+                });
+            }
+            labels.push(l);
+            offset += 4;
+        }
+        Ok(Dataset::from_parts(dim, features, labels, num_classes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::synthetic::{SyntheticMnist, SyntheticMnistConfig};
+
+    use super::*;
+
+    fn sample() -> Dataset {
+        SyntheticMnist::new(SyntheticMnistConfig::default()).generate(25, 0)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let ds = sample();
+        let back = Dataset::from_bytes(&ds.to_bytes()).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn round_trip_tiny_dataset() {
+        let ds = Dataset::from_parts(1, vec![0.25, -1.5], vec![0, 2], 3);
+        assert_eq!(Dataset::from_bytes(&ds.to_bytes()).unwrap(), ds);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = sample().to_bytes();
+        assert_eq!(Dataset::from_bytes(&bytes[..10]), Err(PersistError::Truncated));
+        assert_eq!(
+            Dataset::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(PersistError::Truncated)
+        );
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut bytes = sample().to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert_eq!(Dataset::from_bytes(&bytes), Err(PersistError::ChecksumMismatch));
+    }
+
+    #[test]
+    fn bad_magic_and_version_detected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(Dataset::from_bytes(&bytes), Err(PersistError::BadHeader));
+        let mut bytes = sample().to_bytes();
+        bytes[4] = 99;
+        assert_eq!(Dataset::from_bytes(&bytes), Err(PersistError::BadHeader));
+    }
+
+    #[test]
+    fn bad_label_detected() {
+        // Hand-craft: valid container, label out of range. Build a 1-sample
+        // dataset then bump its label bytes past num_classes, fixing the
+        // checksum.
+        let ds = Dataset::from_parts(1, vec![1.0], vec![0], 2);
+        let mut bytes = ds.to_bytes();
+        let label_offset = 18 + 8;
+        bytes[label_offset] = 7; // label 7 >= 2 classes
+        let len = bytes.len();
+        let sum = super::checksum(&bytes[..len - 8]);
+        bytes[len - 8..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            Dataset::from_bytes(&bytes),
+            Err(PersistError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(!PersistError::Truncated.to_string().is_empty());
+        assert!(PersistError::Malformed { detail: "x".into() }.to_string().contains('x'));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        #[test]
+        fn arbitrary_datasets_round_trip(
+            dim in 1usize..8,
+            classes in 2usize..6,
+            rows in proptest::collection::vec(
+                (proptest::collection::vec(-1e6f64..1e6, 8), 0usize..6),
+                0..16,
+            ),
+        ) {
+            let mut ds = Dataset::empty(dim, classes);
+            for (features, label) in rows {
+                ds.push(&features[..dim], label % classes);
+            }
+            let back = Dataset::from_bytes(&ds.to_bytes()).unwrap();
+            prop_assert_eq!(ds, back);
+        }
+    }
+}

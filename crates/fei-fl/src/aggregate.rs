@@ -1,0 +1,173 @@
+//! Model aggregation (Eq. 2).
+
+use serde::{Deserialize, Serialize};
+
+/// How uploaded local models are combined into the next global model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum AggregationRule {
+    /// Unweighted mean `ω ← (1/|𝒦_t|) Σ ω_k` — the paper's Eq. 2, exact for
+    /// its uniform 3 000-samples-per-server split.
+    #[default]
+    Uniform,
+    /// Sample-count-weighted mean — the general FedAvg rule, needed for
+    /// non-IID/unequal splits.
+    WeightedBySamples,
+}
+
+/// Aggregates flat parameter vectors under `rule`. Each update is a
+/// `(parameters, sample_count)` pair.
+///
+/// # Panics
+///
+/// Panics if `updates` is empty, the parameter vectors have unequal lengths,
+/// or (for [`AggregationRule::WeightedBySamples`]) all sample counts are
+/// zero.
+///
+/// # Example
+///
+/// ```
+/// use fei_fl::{aggregate, AggregationRule};
+///
+/// let a = (vec![1.0, 2.0], 10);
+/// let b = (vec![3.0, 4.0], 30);
+/// assert_eq!(aggregate(&[a.clone(), b.clone()], AggregationRule::Uniform), vec![2.0, 3.0]);
+/// assert_eq!(
+///     aggregate(&[a, b], AggregationRule::WeightedBySamples),
+///     vec![2.5, 3.5]
+/// );
+/// ```
+pub fn aggregate(updates: &[(Vec<f64>, usize)], rule: AggregationRule) -> Vec<f64> {
+    assert!(!updates.is_empty(), "cannot aggregate zero updates");
+    let dim = updates[0].0.len();
+    assert!(
+        updates.iter().all(|(p, _)| p.len() == dim),
+        "all updates must have equal parameter counts"
+    );
+
+    let mut out = vec![0.0; dim];
+    match rule {
+        AggregationRule::Uniform => {
+            let w = 1.0 / updates.len() as f64;
+            for (params, _) in updates {
+                for (o, &p) in out.iter_mut().zip(params) {
+                    *o += w * p;
+                }
+            }
+        }
+        AggregationRule::WeightedBySamples => {
+            let total: usize = updates.iter().map(|(_, n)| n).sum();
+            assert!(total > 0, "weighted aggregation needs at least one sample");
+            for (params, n) in updates {
+                let w = *n as f64 / total as f64;
+                for (o, &p) in out.iter_mut().zip(params) {
+                    *o += w * p;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_update_is_identity() {
+        let u = vec![(vec![1.0, -2.0, 3.0], 5)];
+        assert_eq!(aggregate(&u, AggregationRule::Uniform), vec![1.0, -2.0, 3.0]);
+        assert_eq!(
+            aggregate(&u, AggregationRule::WeightedBySamples),
+            vec![1.0, -2.0, 3.0]
+        );
+    }
+
+    #[test]
+    fn uniform_ignores_sample_counts() {
+        let u = vec![(vec![0.0], 1), (vec![10.0], 1_000_000)];
+        assert_eq!(aggregate(&u, AggregationRule::Uniform), vec![5.0]);
+    }
+
+    #[test]
+    fn weighted_respects_sample_counts() {
+        let u = vec![(vec![0.0], 1), (vec![10.0], 3)];
+        assert_eq!(aggregate(&u, AggregationRule::WeightedBySamples), vec![7.5]);
+    }
+
+    #[test]
+    fn rules_agree_on_equal_counts() {
+        let u = vec![(vec![1.0, 4.0], 7), (vec![3.0, 8.0], 7)];
+        assert_eq!(
+            aggregate(&u, AggregationRule::Uniform),
+            aggregate(&u, AggregationRule::WeightedBySamples)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zero updates")]
+    fn rejects_empty() {
+        let _ = aggregate(&[], AggregationRule::Uniform);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal parameter counts")]
+    fn rejects_ragged() {
+        let _ = aggregate(
+            &[(vec![1.0], 1), (vec![1.0, 2.0], 1)],
+            AggregationRule::Uniform,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn weighted_rejects_all_zero_counts() {
+        let _ = aggregate(
+            &[(vec![1.0], 0), (vec![2.0], 0)],
+            AggregationRule::WeightedBySamples,
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        /// The aggregate always lies inside the element-wise envelope of the
+        /// updates (convex-combination property).
+        #[test]
+        fn aggregate_is_convex_combination(
+            updates in proptest::collection::vec(
+                (proptest::collection::vec(-100.0f64..100.0, 4), 1usize..100),
+                1..10,
+            ),
+        ) {
+            for rule in [AggregationRule::Uniform, AggregationRule::WeightedBySamples] {
+                let agg = aggregate(&updates, rule);
+                for j in 0..4 {
+                    let lo = updates.iter().map(|(p, _)| p[j]).fold(f64::INFINITY, f64::min);
+                    let hi = updates.iter().map(|(p, _)| p[j]).fold(f64::NEG_INFINITY, f64::max);
+                    prop_assert!(agg[j] >= lo - 1e-9 && agg[j] <= hi + 1e-9);
+                }
+            }
+        }
+
+        /// Uniform aggregation is permutation-invariant.
+        #[test]
+        fn uniform_is_permutation_invariant(
+            mut updates in proptest::collection::vec(
+                (proptest::collection::vec(-10.0f64..10.0, 3), 1usize..10),
+                2..8,
+            ),
+        ) {
+            let a = aggregate(&updates, AggregationRule::Uniform);
+            updates.reverse();
+            let b = aggregate(&updates, AggregationRule::Uniform);
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+}

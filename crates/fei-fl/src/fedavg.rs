@@ -1,0 +1,473 @@
+//! The in-process FedAvg engine.
+
+use fei_data::Dataset;
+use fei_ml::{Evaluation, LocalTrainer, LogisticRegression, Model, SgdConfig, TrainStats};
+use fei_sim::DetRng;
+use serde::{Deserialize, Serialize};
+
+use crate::aggregate::{aggregate, AggregationRule};
+use crate::history::TrainingHistory;
+use crate::selection::{ClientSelector, SelectionStrategy};
+
+/// Configuration of a FedAvg run — the knobs of the paper's §III-A loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FedAvgConfig {
+    /// `K`: edge servers selected per global round.
+    pub clients_per_round: usize,
+    /// `E`: local SGD epochs per selected server per round.
+    pub local_epochs: usize,
+    /// Local optimizer settings (Table II defaults).
+    pub sgd: SgdConfig,
+    /// How participants are chosen each round.
+    pub selection: SelectionStrategy,
+    /// How uploads are combined (Eq. 2 uniform by default).
+    pub aggregation: AggregationRule,
+    /// Evaluate the global model every this many rounds (1 = every round).
+    pub eval_every: usize,
+    /// Probability that a selected server fails to deliver its update this
+    /// round (crash, radio loss). The coordinator aggregates the survivors;
+    /// a round in which everyone drops leaves the global model unchanged.
+    pub dropout_prob: f64,
+    /// Seed for selection and dropout randomness.
+    pub seed: u64,
+}
+
+impl Default for FedAvgConfig {
+    fn default() -> Self {
+        Self {
+            clients_per_round: 1,
+            local_epochs: 1,
+            sgd: SgdConfig::paper_default(),
+            selection: SelectionStrategy::UniformRandom,
+            aggregation: AggregationRule::Uniform,
+            eval_every: 1,
+            dropout_prob: 0.0,
+            seed: 0x0FED,
+        }
+    }
+}
+
+/// When a [`FedAvg::run_until`] loop stops.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StopCondition {
+    /// Hard cap on global rounds.
+    pub max_rounds: usize,
+    /// Stop early once test accuracy reaches this level (checked on
+    /// evaluation rounds).
+    pub target_accuracy: Option<f64>,
+}
+
+impl StopCondition {
+    /// Runs exactly `rounds` rounds.
+    pub fn rounds(rounds: usize) -> Self {
+        Self { max_rounds: rounds, target_accuracy: None }
+    }
+
+    /// Runs until `accuracy` is reached, at most `max_rounds` rounds.
+    pub fn accuracy(accuracy: f64, max_rounds: usize) -> Self {
+        Self { max_rounds, target_accuracy: Some(accuracy) }
+    }
+}
+
+/// What happened in one global round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// 0-based round index `t`.
+    pub round: usize,
+    /// Selected edge servers `𝒦_t`, ascending.
+    pub selected: Vec<usize>,
+    /// The subset of `selected` that actually delivered an update (equal to
+    /// `selected` unless dropout is enabled), ascending.
+    pub responded: Vec<usize>,
+    /// Per-responding-server local training statistics, in `responded`
+    /// order.
+    pub local_stats: Vec<TrainStats>,
+    /// Loss of the *new* global model over all training data, when this was
+    /// an evaluation round.
+    pub global_train_loss: Option<f64>,
+    /// Test-set evaluation of the new global model, when evaluated.
+    pub test_eval: Option<Evaluation>,
+}
+
+/// In-process FedAvg over a fixed set of client datasets, generic over the
+/// trained [`Model`] (multinomial logistic regression by default).
+#[derive(Debug, Clone)]
+pub struct FedAvg<M: Model = LogisticRegression> {
+    config: FedAvgConfig,
+    clients: Vec<Dataset>,
+    test: Dataset,
+    global: M,
+    selector: ClientSelector,
+    trainer: LocalTrainer,
+    dropout_rng: DetRng,
+    round: usize,
+}
+
+impl FedAvg<LogisticRegression> {
+    /// Creates a run training the paper's model — multinomial logistic
+    /// regression starting at zero (`ω₀ = 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no clients, any client dataset is empty, shapes
+    /// are inconsistent, `clients_per_round` is 0 or exceeds the client
+    /// count, `local_epochs == 0`, or `eval_every == 0`.
+    pub fn new(config: FedAvgConfig, clients: Vec<Dataset>, test: Dataset) -> Self {
+        assert!(!clients.is_empty(), "need at least one client dataset");
+        let global = LogisticRegression::zeros(clients[0].dim(), clients[0].num_classes());
+        Self::with_model(config, clients, test, global)
+    }
+}
+
+impl<M: Model> FedAvg<M> {
+    /// Creates a run from per-client datasets, a test set, and an initial
+    /// global model `ω₀` of any [`Model`] type.
+    ///
+    /// # Panics
+    ///
+    /// Same validation as [`FedAvg::new`], plus a model/dataset shape check.
+    pub fn with_model(
+        config: FedAvgConfig,
+        clients: Vec<Dataset>,
+        test: Dataset,
+        global: M,
+    ) -> Self {
+        assert!(!clients.is_empty(), "need at least one client dataset");
+        assert!(
+            clients.iter().all(|c| !c.is_empty()),
+            "every client needs at least one sample"
+        );
+        let dim = clients[0].dim();
+        let classes = clients[0].num_classes();
+        assert!(
+            clients.iter().all(|c| c.dim() == dim && c.num_classes() == classes),
+            "client datasets must share a shape"
+        );
+        assert_eq!(test.dim(), dim, "test set dimension mismatch");
+        assert_eq!(test.num_classes(), classes, "test set class mismatch");
+        assert_eq!(global.dim(), dim, "model dimension mismatch");
+        assert_eq!(global.num_classes(), classes, "model class mismatch");
+        assert!(config.clients_per_round > 0, "K must be at least 1");
+        assert!(
+            config.clients_per_round <= clients.len(),
+            "K = {} exceeds N = {}",
+            config.clients_per_round,
+            clients.len()
+        );
+        assert!(config.local_epochs > 0, "E must be at least 1");
+        assert!(config.eval_every > 0, "eval_every must be at least 1");
+        assert!(
+            (0.0..1.0).contains(&config.dropout_prob),
+            "dropout probability must be in [0, 1)"
+        );
+
+        let selector = ClientSelector::new(config.selection, clients.len(), config.seed);
+        let trainer = LocalTrainer::new(config.sgd.clone());
+        let dropout_rng = DetRng::new(config.seed).fork(0xD80);
+        Self { config, clients, test, global, selector, trainer, dropout_rng, round: 0 }
+    }
+
+    /// The run's configuration.
+    pub fn config(&self) -> &FedAvgConfig {
+        &self.config
+    }
+
+    /// Number of edge servers `N`.
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// The current global model.
+    pub fn global_model(&self) -> &M {
+        &self.global
+    }
+
+    /// Rounds completed so far.
+    pub fn rounds_completed(&self) -> usize {
+        self.round
+    }
+
+    /// Loss of the current global model over the union of all client data
+    /// (the "global loss value" of Fig. 4).
+    pub fn global_train_loss(&self) -> f64 {
+        let total: usize = self.clients.iter().map(Dataset::len).sum();
+        let weighted: f64 = self
+            .clients
+            .iter()
+            .map(|c| self.global.loss(c) * c.len() as f64)
+            .sum();
+        weighted / total as f64
+    }
+
+    /// Test-set evaluation of the current global model.
+    pub fn evaluate(&self) -> Evaluation {
+        Evaluation::of(&self.global, &self.test)
+    }
+
+    /// Executes one global round (§III-A steps 2–4) and returns its record.
+    ///
+    /// With dropout enabled, each selected server independently fails to
+    /// respond with the configured probability; the coordinator aggregates
+    /// whoever answered. A fully dropped round leaves the model unchanged.
+    pub fn run_round(&mut self) -> RoundRecord {
+        let t = self.round;
+        let selected = self.selector.select(t, self.config.clients_per_round);
+        let responded: Vec<usize> = selected
+            .iter()
+            .copied()
+            .filter(|_| {
+                self.config.dropout_prob == 0.0
+                    || self.dropout_rng.next_f64() >= self.config.dropout_prob
+            })
+            .collect();
+
+        let mut updates = Vec::with_capacity(responded.len());
+        let mut local_stats = Vec::with_capacity(responded.len());
+        for &client in &responded {
+            let mut local = self.global.clone();
+            let stats =
+                self.trainer
+                    .train(&mut local, &self.clients[client], self.config.local_epochs, t);
+            updates.push((local.to_flat().to_vec(), self.clients[client].len()));
+            local_stats.push(stats);
+        }
+
+        if !updates.is_empty() {
+            let merged = aggregate(&updates, self.config.aggregation);
+            self.global.set_flat(&merged);
+        }
+        self.round += 1;
+
+        let evaluated = self.round.is_multiple_of(self.config.eval_every);
+        RoundRecord {
+            round: t,
+            selected,
+            responded,
+            local_stats,
+            global_train_loss: evaluated.then(|| self.global_train_loss()),
+            test_eval: evaluated.then(|| self.evaluate()),
+        }
+    }
+
+    /// Runs rounds until `stop` is satisfied, returning the full history.
+    pub fn run_until(&mut self, stop: StopCondition) -> TrainingHistory {
+        let mut history = TrainingHistory::new();
+        for _ in 0..stop.max_rounds {
+            let record = self.run_round();
+            let reached = match (stop.target_accuracy, &record.test_eval) {
+                (Some(target), Some(eval)) => eval.accuracy >= target,
+                _ => false,
+            };
+            history.push(record);
+            if reached {
+                break;
+            }
+        }
+        history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fei_data::{Partition, SyntheticMnist, SyntheticMnistConfig};
+    use fei_sim::DetRng;
+
+    use super::*;
+
+    fn setup(n_clients: usize, samples: usize) -> (Vec<Dataset>, Dataset) {
+        let gen = SyntheticMnist::new(SyntheticMnistConfig {
+            pixel_noise_std: 0.2,
+            label_flip_prob: 0.0,
+            ..Default::default()
+        });
+        let train = gen.generate(samples, 0);
+        let test = gen.generate(samples / 4, 1);
+        let parts = Partition::iid(train.len(), n_clients, &mut DetRng::new(7)).apply(&train);
+        (parts, test)
+    }
+
+    #[test]
+    fn round_selects_k_and_records_stats() {
+        let (clients, test) = setup(5, 100);
+        let config = FedAvgConfig { clients_per_round: 3, local_epochs: 2, ..Default::default() };
+        let mut fed = FedAvg::new(config, clients, test);
+        let rec = fed.run_round();
+        assert_eq!(rec.round, 0);
+        assert_eq!(rec.selected.len(), 3);
+        assert_eq!(rec.responded, rec.selected);
+        assert_eq!(rec.local_stats.len(), 3);
+        assert!(rec.local_stats.iter().all(|s| s.epochs_run == 2));
+        assert!(rec.test_eval.is_some());
+        assert_eq!(fed.rounds_completed(), 1);
+    }
+
+    #[test]
+    fn training_improves_loss_and_accuracy() {
+        let (clients, test) = setup(4, 400);
+        let config = FedAvgConfig {
+            clients_per_round: 4,
+            local_epochs: 5,
+            sgd: SgdConfig::new(0.3, 1.0, None),
+            ..Default::default()
+        };
+        let mut fed = FedAvg::new(config, clients, test);
+        let initial_loss = fed.global_train_loss();
+        let initial_acc = fed.evaluate().accuracy;
+        let history = fed.run_until(StopCondition::rounds(15));
+        assert_eq!(history.len(), 15);
+        let final_rec = history.last().unwrap();
+        assert!(final_rec.global_train_loss.unwrap() < initial_loss * 0.7);
+        assert!(final_rec.test_eval.unwrap().accuracy > initial_acc);
+    }
+
+    #[test]
+    fn k_equals_n_with_e1_matches_centralized_gradient_direction() {
+        // With K = N, E = 1, uniform aggregation on an exactly even split,
+        // FedAvg's first round equals one full-batch gradient step on the
+        // union (the mini-batch-SGD equivalence the paper cites).
+        let (clients, test) = setup(4, 400);
+        let union: Dataset = {
+            let mut u = Dataset::empty(clients[0].dim(), clients[0].num_classes());
+            for c in &clients {
+                for (x, y) in c.iter() {
+                    u.push(x, y);
+                }
+            }
+            u
+        };
+        let config = FedAvgConfig {
+            clients_per_round: 4,
+            local_epochs: 1,
+            sgd: SgdConfig::new(0.01, 1.0, None),
+            ..Default::default()
+        };
+        let mut fed = FedAvg::new(config, clients, test);
+        fed.run_round();
+
+        let mut central = LogisticRegression::zeros(union.dim(), union.num_classes());
+        let all: Vec<usize> = (0..union.len()).collect();
+        let (_, grad) = central.loss_and_gradient(&union, &all);
+        central.apply_gradient(&grad, 0.01);
+
+        let dist = fed.global_model().param_distance_sq(&central);
+        assert!(dist < 1e-12, "distance {dist}");
+    }
+
+    #[test]
+    fn runs_are_reproducible_per_seed() {
+        let (clients, test) = setup(6, 120);
+        let config = FedAvgConfig { clients_per_round: 2, local_epochs: 1, ..Default::default() };
+        let mut a = FedAvg::new(config.clone(), clients.clone(), test.clone());
+        let mut b = FedAvg::new(config, clients, test);
+        let ha = a.run_until(StopCondition::rounds(5));
+        let hb = b.run_until(StopCondition::rounds(5));
+        assert_eq!(ha.records(), hb.records());
+        assert_eq!(a.global_model(), b.global_model());
+    }
+
+    #[test]
+    fn early_stop_on_target_accuracy() {
+        let (clients, test) = setup(4, 400);
+        let config = FedAvgConfig {
+            clients_per_round: 4,
+            local_epochs: 5,
+            sgd: SgdConfig::new(0.3, 1.0, None),
+            ..Default::default()
+        };
+        let mut fed = FedAvg::new(config, clients, test);
+        let history = fed.run_until(StopCondition::accuracy(0.5, 500));
+        assert!(history.len() < 500, "should stop before the cap");
+        assert!(history.last().unwrap().test_eval.unwrap().accuracy >= 0.5);
+    }
+
+    #[test]
+    fn eval_every_skips_evaluations() {
+        let (clients, test) = setup(3, 60);
+        let config = FedAvgConfig {
+            clients_per_round: 1,
+            local_epochs: 1,
+            eval_every: 3,
+            ..Default::default()
+        };
+        let mut fed = FedAvg::new(config, clients, test);
+        let history = fed.run_until(StopCondition::rounds(6));
+        let evaluated: Vec<bool> =
+            history.records().iter().map(|r| r.test_eval.is_some()).collect();
+        assert_eq!(evaluated, vec![false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn dropout_shrinks_responders_but_training_continues() {
+        let (clients, test) = setup(6, 180);
+        let config = FedAvgConfig {
+            clients_per_round: 6,
+            local_epochs: 1,
+            dropout_prob: 0.4,
+            ..Default::default()
+        };
+        let mut fed = FedAvg::new(config, clients, test);
+        let mut dropped_any = false;
+        let initial_loss = fed.global_train_loss();
+        for _ in 0..10 {
+            let rec = fed.run_round();
+            assert!(rec.responded.iter().all(|c| rec.selected.contains(c)));
+            assert_eq!(rec.responded.len(), rec.local_stats.len());
+            dropped_any |= rec.responded.len() < rec.selected.len();
+        }
+        assert!(dropped_any, "40% dropout over 60 draws must drop someone");
+        assert!(fed.global_train_loss() < initial_loss, "training still progresses");
+    }
+
+    #[test]
+    fn fully_dropped_round_is_a_no_op() {
+        let (clients, test) = setup(2, 40);
+        let config = FedAvgConfig {
+            clients_per_round: 1,
+            local_epochs: 1,
+            dropout_prob: 0.999_999,
+            ..Default::default()
+        };
+        let mut fed = FedAvg::new(config, clients, test);
+        let before = fed.global_model().clone();
+        let rec = fed.run_round();
+        assert!(rec.responded.is_empty());
+        assert_eq!(fed.global_model(), &before);
+        assert_eq!(fed.rounds_completed(), 1);
+    }
+
+    #[test]
+    fn zero_dropout_is_the_default_and_identical() {
+        let (clients, test) = setup(4, 80);
+        let base = FedAvgConfig { clients_per_round: 2, local_epochs: 1, ..Default::default() };
+        let explicit = FedAvgConfig { dropout_prob: 0.0, ..base.clone() };
+        let mut a = FedAvg::new(base, clients.clone(), test.clone());
+        let mut b = FedAvg::new(explicit, clients, test);
+        for _ in 0..3 {
+            assert_eq!(a.run_round(), b.run_round());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout probability")]
+    fn rejects_certain_dropout() {
+        let (clients, test) = setup(2, 40);
+        let config = FedAvgConfig { dropout_prob: 1.0, ..Default::default() };
+        let _ = FedAvg::new(config, clients, test);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds N")]
+    fn rejects_k_above_n() {
+        let (clients, test) = setup(2, 40);
+        let config = FedAvgConfig { clients_per_round: 3, ..Default::default() };
+        let _ = FedAvg::new(config, clients, test);
+    }
+
+    #[test]
+    #[should_panic(expected = "E must be")]
+    fn rejects_zero_epochs() {
+        let (clients, test) = setup(2, 40);
+        let config = FedAvgConfig { local_epochs: 0, ..Default::default() };
+        let _ = FedAvg::new(config, clients, test);
+    }
+}

@@ -1,0 +1,51 @@
+//! FedAvg federated-learning runtime.
+//!
+//! Implements the four-step training loop of §III-A: the coordinator selects
+//! `K` of `N` edge servers, dispatches the global model, each selected server
+//! runs `E` local SGD epochs on its own data, uploads its model, and the
+//! coordinator averages the uploads (Eq. 2).
+//!
+//! Two execution engines share the same configuration and produce identical
+//! results for the same seed:
+//!
+//! * [`fedavg::FedAvg`] — in-process, single-threaded; used by experiments
+//!   that sweep many `(K, E)` combinations;
+//! * [`runtime::ThreadedFedAvg`] — one OS thread per edge server, with model
+//!   parameters serialized into byte frames (via `fei-net`) and moved over
+//!   crossbeam channels, exercising the communication code path a real
+//!   deployment would use.
+//!
+//! A third, barrier-free engine — [`asynchronous::AsyncFedAvg`] — merges
+//! staleness-discounted updates as they arrive on a virtual clock.
+//!
+//! # Example
+//!
+//! ```
+//! use fei_data::{Partition, SyntheticMnist, SyntheticMnistConfig};
+//! use fei_fl::{FedAvg, FedAvgConfig};
+//! use fei_sim::DetRng;
+//!
+//! let gen = SyntheticMnist::new(SyntheticMnistConfig::default());
+//! let train = gen.generate(200, 0);
+//! let test = gen.generate(50, 1);
+//! let parts = Partition::iid(train.len(), 4, &mut DetRng::new(1)).apply(&train);
+//!
+//! let config = FedAvgConfig { clients_per_round: 2, local_epochs: 3, ..Default::default() };
+//! let mut fed = FedAvg::new(config, parts, test);
+//! let record = fed.run_round();
+//! assert_eq!(record.selected.len(), 2);
+//! ```
+
+pub mod aggregate;
+pub mod asynchronous;
+pub mod fedavg;
+pub mod history;
+pub mod runtime;
+pub mod selection;
+
+pub use aggregate::{aggregate, AggregationRule};
+pub use asynchronous::{AsyncConfig, AsyncFedAvg, AsyncHistory, AsyncUpdateRecord};
+pub use fedavg::{FedAvg, FedAvgConfig, RoundRecord, StopCondition};
+pub use history::TrainingHistory;
+pub use runtime::ThreadedFedAvg;
+pub use selection::{ClientSelector, SelectionStrategy};

@@ -1,0 +1,459 @@
+//! Threaded FedAvg: one OS thread per edge server.
+//!
+//! Exercises the full communication path of a real deployment: the
+//! coordinator serializes the global model into a byte frame (`fei-net`
+//! codec), sends it over a channel to each selected worker, and workers ship
+//! their trained models back the same way. Given equal configuration and
+//! seed the results are bit-identical to [`crate::FedAvg`] — an invariant the
+//! integration tests pin down.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bytes::{Buf, BufMut, BytesMut};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use fei_data::Dataset;
+use fei_ml::{LocalTrainer, LogisticRegression, Model};
+use fei_net::codec::{decode_frame, encode_frame};
+use parking_lot::Mutex;
+
+use crate::aggregate::aggregate;
+use crate::fedavg::{FedAvgConfig, RoundRecord, StopCondition};
+use crate::history::TrainingHistory;
+use crate::selection::ClientSelector;
+
+/// Frame tag for coordinator → worker global-model dispatch.
+const MSG_GLOBAL: u8 = 1;
+/// Frame tag for worker → coordinator model upload.
+const MSG_UPDATE: u8 = 2;
+
+/// Bytes moved over the wire in both directions, tracked across workers.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Bytes of global-model frames received by workers.
+    pub bytes_down: u64,
+    /// Bytes of update frames sent by workers.
+    pub bytes_up: u64,
+    /// Number of local-training jobs executed.
+    pub jobs: u64,
+}
+
+enum ToWorker {
+    Train { round: u32, epochs: u32, frame: Vec<u8> },
+    Shutdown,
+}
+
+struct Update {
+    client: usize,
+    samples: usize,
+    params: Vec<f64>,
+    initial_loss: f64,
+    final_loss: f64,
+}
+
+fn encode_global(round: u32, epochs: u32, params: &[f64]) -> Vec<u8> {
+    let mut payload = BytesMut::with_capacity(8 + params.len() * 8);
+    payload.put_u32(round);
+    payload.put_u32(epochs);
+    for &p in params {
+        payload.put_f64_le(p);
+    }
+    encode_frame(MSG_GLOBAL, &payload).to_vec()
+}
+
+fn decode_global(frame: &[u8]) -> (u32, u32, Vec<f64>) {
+    let (frame, _) = decode_frame(frame).expect("coordinator frames are well-formed");
+    assert_eq!(frame.msg_type, MSG_GLOBAL, "expected a global-model frame");
+    let mut buf = &frame.payload[..];
+    let round = buf.get_u32();
+    let epochs = buf.get_u32();
+    let mut params = Vec::with_capacity(buf.remaining() / 8);
+    while buf.has_remaining() {
+        params.push(buf.get_f64_le());
+    }
+    (round, epochs, params)
+}
+
+fn encode_update(update: &Update) -> Vec<u8> {
+    let mut payload = BytesMut::with_capacity(24 + update.params.len() * 8);
+    payload.put_u32(update.client as u32);
+    payload.put_u64(update.samples as u64);
+    payload.put_f64_le(update.initial_loss);
+    payload.put_f64_le(update.final_loss);
+    for &p in &update.params {
+        payload.put_f64_le(p);
+    }
+    encode_frame(MSG_UPDATE, &payload).to_vec()
+}
+
+fn decode_update(frame: &[u8]) -> Update {
+    let (frame, _) = decode_frame(frame).expect("worker frames are well-formed");
+    assert_eq!(frame.msg_type, MSG_UPDATE, "expected an update frame");
+    let mut buf = &frame.payload[..];
+    let client = buf.get_u32() as usize;
+    let samples = buf.get_u64() as usize;
+    let initial_loss = buf.get_f64_le();
+    let final_loss = buf.get_f64_le();
+    let mut params = Vec::with_capacity(buf.remaining() / 8);
+    while buf.has_remaining() {
+        params.push(buf.get_f64_le());
+    }
+    Update { client, samples, params, initial_loss, final_loss }
+}
+
+/// FedAvg with edge servers running on dedicated threads, generic over the
+/// trained [`Model`] (multinomial logistic regression by default).
+pub struct ThreadedFedAvg<M: Model = LogisticRegression> {
+    config: FedAvgConfig,
+    test: Dataset,
+    global: M,
+    selector: ClientSelector,
+    round: usize,
+    dropout_rng: fei_sim::DetRng,
+    client_sizes: Vec<usize>,
+    to_workers: Vec<Sender<ToWorker>>,
+    from_workers: Receiver<Vec<u8>>,
+    handles: Vec<JoinHandle<()>>,
+    stats: Arc<Mutex<TransportStats>>,
+    /// Kept so `global_train_loss` can be computed coordinator-side; shared
+    /// immutably with worker threads.
+    client_data: Vec<Arc<Dataset>>,
+}
+
+impl ThreadedFedAvg<LogisticRegression> {
+    /// Spawns one worker thread per client dataset, training the paper's
+    /// zero-initialized multinomial logistic regression.
+    ///
+    /// # Panics
+    ///
+    /// Same validation as [`crate::FedAvg::new`].
+    pub fn new(config: FedAvgConfig, clients: Vec<Dataset>, test: Dataset) -> Self {
+        assert!(!clients.is_empty(), "need at least one client dataset");
+        let global = LogisticRegression::zeros(clients[0].dim(), clients[0].num_classes());
+        Self::with_model(config, clients, test, global)
+    }
+}
+
+impl<M: Model> ThreadedFedAvg<M> {
+    /// Spawns one worker thread per client dataset with an explicit initial
+    /// global model `ω₀`.
+    ///
+    /// # Panics
+    ///
+    /// Same validation as [`crate::FedAvg::with_model`].
+    pub fn with_model(config: FedAvgConfig, clients: Vec<Dataset>, test: Dataset, global: M) -> Self {
+        assert!(!clients.is_empty(), "need at least one client dataset");
+        assert!(
+            clients.iter().all(|c| !c.is_empty()),
+            "every client needs at least one sample"
+        );
+        let dim = clients[0].dim();
+        let classes = clients[0].num_classes();
+        assert!(
+            clients.iter().all(|c| c.dim() == dim && c.num_classes() == classes),
+            "client datasets must share a shape"
+        );
+        assert!(config.clients_per_round > 0, "K must be at least 1");
+        assert!(
+            config.clients_per_round <= clients.len(),
+            "K = {} exceeds N = {}",
+            config.clients_per_round,
+            clients.len()
+        );
+        assert!(config.local_epochs > 0, "E must be at least 1");
+        assert!(config.eval_every > 0, "eval_every must be at least 1");
+        assert!(
+            (0.0..1.0).contains(&config.dropout_prob),
+            "dropout probability must be in [0, 1)"
+        );
+
+        assert_eq!(global.dim(), dim, "model dimension mismatch");
+        assert_eq!(global.num_classes(), classes, "model class mismatch");
+        let selector = ClientSelector::new(config.selection, clients.len(), config.seed);
+        let stats = Arc::new(Mutex::new(TransportStats::default()));
+        let (result_tx, from_workers) = unbounded::<Vec<u8>>();
+
+        let client_sizes: Vec<usize> = clients.iter().map(Dataset::len).collect();
+        let client_data: Vec<Arc<Dataset>> = clients.into_iter().map(Arc::new).collect();
+        let mut to_workers = Vec::with_capacity(client_data.len());
+        let mut handles = Vec::with_capacity(client_data.len());
+
+        for (id, data) in client_data.iter().enumerate() {
+            let (tx, rx) = unbounded::<ToWorker>();
+            to_workers.push(tx);
+            let data = Arc::clone(data);
+            let result_tx = result_tx.clone();
+            let trainer = LocalTrainer::new(config.sgd.clone());
+            let stats = Arc::clone(&stats);
+            let template = global.clone();
+            handles.push(std::thread::spawn(move || {
+                worker_loop(id, template, &data, &trainer, &rx, &result_tx, &stats);
+            }));
+        }
+
+        let dropout_rng = fei_sim::DetRng::new(config.seed).fork(0xD80);
+        Self {
+            config,
+            test,
+            global,
+            selector,
+            round: 0,
+            dropout_rng,
+            client_sizes,
+            to_workers,
+            from_workers,
+            handles,
+            stats,
+            client_data,
+        }
+    }
+
+    /// The run's configuration.
+    pub fn config(&self) -> &FedAvgConfig {
+        &self.config
+    }
+
+    /// The current global model.
+    pub fn global_model(&self) -> &M {
+        &self.global
+    }
+
+    /// Cumulative transport statistics across all workers.
+    pub fn transport_stats(&self) -> TransportStats {
+        *self.stats.lock()
+    }
+
+    /// Loss of the current global model over all client data.
+    pub fn global_train_loss(&self) -> f64 {
+        let total: usize = self.client_sizes.iter().sum();
+        let weighted: f64 = self
+            .client_data
+            .iter()
+            .map(|c| self.global.loss(c) * c.len() as f64)
+            .sum();
+        weighted / total as f64
+    }
+
+    /// Executes one global round across the worker threads.
+    pub fn run_round(&mut self) -> RoundRecord {
+        let t = self.round;
+        let selected = self.selector.select(t, self.config.clients_per_round);
+        // Dropout is decided coordinator-side (matching the in-process
+        // engine's RNG stream) so both engines stay bit-identical.
+        let responded: Vec<usize> = selected
+            .iter()
+            .copied()
+            .filter(|_| {
+                self.config.dropout_prob == 0.0
+                    || self.dropout_rng.next_f64() >= self.config.dropout_prob
+            })
+            .collect();
+
+        let frame = encode_global(t as u32, self.config.local_epochs as u32, self.global.to_flat());
+        for &client in &responded {
+            self.to_workers[client]
+                .send(ToWorker::Train {
+                    round: t as u32,
+                    epochs: self.config.local_epochs as u32,
+                    frame: frame.clone(),
+                })
+                .expect("worker thread alive");
+        }
+
+        let mut updates: Vec<Update> = (0..responded.len())
+            .map(|_| decode_update(&self.from_workers.recv().expect("worker reply")))
+            .collect();
+        // Restore deterministic order: workers reply in arbitrary order.
+        updates.sort_by_key(|u| u.client);
+
+        if !updates.is_empty() {
+            let pairs: Vec<(Vec<f64>, usize)> =
+                updates.iter().map(|u| (u.params.clone(), u.samples)).collect();
+            let merged = aggregate(&pairs, self.config.aggregation);
+            self.global.set_flat(&merged);
+        }
+        self.round += 1;
+
+        let evaluated = self.round.is_multiple_of(self.config.eval_every);
+        RoundRecord {
+            round: t,
+            selected,
+            responded,
+            local_stats: updates
+                .iter()
+                .map(|u| fei_ml::TrainStats {
+                    epochs_run: self.config.local_epochs,
+                    gradient_steps: self.config.local_epochs,
+                    initial_loss: u.initial_loss,
+                    final_loss: u.final_loss,
+                    samples: u.samples,
+                })
+                .collect(),
+            global_train_loss: evaluated.then(|| self.global_train_loss()),
+            test_eval: evaluated.then(|| fei_ml::Evaluation::of(&self.global, &self.test)),
+        }
+    }
+
+    /// Runs rounds until `stop` is satisfied.
+    pub fn run_until(&mut self, stop: StopCondition) -> TrainingHistory {
+        let mut history = TrainingHistory::new();
+        for _ in 0..stop.max_rounds {
+            let record = self.run_round();
+            let reached = match (stop.target_accuracy, &record.test_eval) {
+                (Some(target), Some(eval)) => eval.accuracy >= target,
+                _ => false,
+            };
+            history.push(record);
+            if reached {
+                break;
+            }
+        }
+        history
+    }
+}
+
+impl<M: Model> Drop for ThreadedFedAvg<M> {
+    fn drop(&mut self) {
+        for tx in &self.to_workers {
+            let _ = tx.send(ToWorker::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop<M: Model>(
+    id: usize,
+    template: M,
+    data: &Dataset,
+    trainer: &LocalTrainer,
+    rx: &Receiver<ToWorker>,
+    result_tx: &Sender<Vec<u8>>,
+    stats: &Mutex<TransportStats>,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToWorker::Shutdown => break,
+            ToWorker::Train { round, epochs, frame } => {
+                let frame_len = frame.len();
+                let (wire_round, wire_epochs, params) = decode_global(&frame);
+                debug_assert_eq!(wire_round, round);
+                debug_assert_eq!(wire_epochs, epochs);
+                let mut model = template.clone();
+                model.set_flat(&params);
+                let train_stats = trainer.train(&mut model, data, epochs as usize, round as usize);
+                let update = Update {
+                    client: id,
+                    samples: data.len(),
+                    params: model.to_flat().to_vec(),
+                    initial_loss: train_stats.initial_loss,
+                    final_loss: train_stats.final_loss,
+                };
+                let reply = encode_update(&update);
+                {
+                    let mut s = stats.lock();
+                    s.bytes_down += frame_len as u64;
+                    s.bytes_up += reply.len() as u64;
+                    s.jobs += 1;
+                }
+                if result_tx.send(reply).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fei_data::{Partition, SyntheticMnist, SyntheticMnistConfig};
+    use fei_sim::DetRng;
+
+    use super::*;
+    use crate::fedavg::FedAvg;
+
+    fn setup(n_clients: usize, samples: usize) -> (Vec<Dataset>, Dataset) {
+        let gen = SyntheticMnist::new(SyntheticMnistConfig {
+            pixel_noise_std: 0.2,
+            label_flip_prob: 0.0,
+            ..Default::default()
+        });
+        let train = gen.generate(samples, 0);
+        let test = gen.generate(samples / 4, 1);
+        let parts = Partition::iid(train.len(), n_clients, &mut DetRng::new(7)).apply(&train);
+        (parts, test)
+    }
+
+    #[test]
+    fn threaded_matches_in_process_bit_for_bit() {
+        let (clients, test) = setup(5, 150);
+        let config = FedAvgConfig { clients_per_round: 3, local_epochs: 2, ..Default::default() };
+        let mut serial = FedAvg::new(config.clone(), clients.clone(), test.clone());
+        let mut threaded = ThreadedFedAvg::new(config, clients, test);
+        for _ in 0..4 {
+            let a = serial.run_round();
+            let b = threaded.run_round();
+            assert_eq!(a.selected, b.selected);
+            assert_eq!(a.test_eval, b.test_eval);
+        }
+        assert_eq!(serial.global_model(), threaded.global_model());
+    }
+
+    #[test]
+    fn transport_stats_accumulate() {
+        let (clients, test) = setup(4, 80);
+        let config = FedAvgConfig { clients_per_round: 2, local_epochs: 1, ..Default::default() };
+        let mut threaded = ThreadedFedAvg::new(config, clients, test);
+        assert_eq!(threaded.transport_stats(), TransportStats::default());
+        threaded.run_round();
+        threaded.run_round();
+        let stats = threaded.transport_stats();
+        assert_eq!(stats.jobs, 4);
+        // Each direction moved 4 model-sized frames (plus headers).
+        let model_bytes = (784 * 10 + 10) * 8;
+        assert!(stats.bytes_down >= 4 * model_bytes as u64);
+        assert!(stats.bytes_up >= 4 * model_bytes as u64);
+    }
+
+    #[test]
+    fn run_until_collects_history() {
+        let (clients, test) = setup(4, 80);
+        let config = FedAvgConfig { clients_per_round: 2, local_epochs: 1, ..Default::default() };
+        let mut threaded = ThreadedFedAvg::new(config, clients, test);
+        let history = threaded.run_until(StopCondition::rounds(3));
+        assert_eq!(history.len(), 3);
+        assert!(history.last().unwrap().test_eval.is_some());
+    }
+
+    #[test]
+    fn drop_shuts_workers_down() {
+        let (clients, test) = setup(3, 60);
+        let config = FedAvgConfig { clients_per_round: 1, local_epochs: 1, ..Default::default() };
+        let threaded = ThreadedFedAvg::new(config, clients, test);
+        drop(threaded); // must not hang or panic
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let params = vec![1.5, -2.5, 0.0];
+        let frame = encode_global(7, 3, &params);
+        let (round, epochs, back) = decode_global(&frame);
+        assert_eq!((round, epochs), (7, 3));
+        assert_eq!(back, params);
+
+        let update = Update {
+            client: 4,
+            samples: 123,
+            params: vec![9.0, -1.0],
+            initial_loss: 2.5,
+            final_loss: 1.25,
+        };
+        let decoded = decode_update(&encode_update(&update));
+        assert_eq!(decoded.client, 4);
+        assert_eq!(decoded.samples, 123);
+        assert_eq!(decoded.params, vec![9.0, -1.0]);
+        assert_eq!(decoded.initial_loss, 2.5);
+        assert_eq!(decoded.final_loss, 1.25);
+    }
+}

@@ -1,0 +1,32 @@
+//! Dense linear-algebra, statistics, and 1-D optimization kernels used across
+//! the EE-FEI workspace.
+//!
+//! The crate is intentionally self-contained (no external numeric
+//! dependencies): the paper's workloads — multinomial logistic regression on
+//! 784-dimensional inputs, least-squares calibration of energy coefficients,
+//! and scalar convex searches inside the ACS optimizer — only need small,
+//! predictable kernels, so we implement exactly those.
+//!
+//! # Example
+//!
+//! ```
+//! use fei_math::matrix::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::identity(2);
+//! assert_eq!(a.matmul(&b), a);
+//! ```
+
+pub mod convex;
+pub mod func;
+pub mod linalg;
+pub mod matrix;
+pub mod optimize;
+pub mod stats;
+
+pub use convex::{is_convex_on_grid, second_difference};
+pub use func::{argmax, log_sum_exp, sigmoid, softmax_in_place};
+pub use linalg::{solve_linear_system, LeastSquares, LinalgError};
+pub use matrix::Matrix;
+pub use optimize::{golden_section_min, minimize_over_integers, GoldenSectionResult};
+pub use stats::{linear_fit, mean, percentile, r_squared, rmse, std_dev, variance, LinearFit};

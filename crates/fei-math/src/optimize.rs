@@ -1,0 +1,214 @@
+//! One-dimensional minimization utilities.
+//!
+//! The ACS optimizer in `fei-core` alternates per-coordinate minimizations of
+//! the biconvex objective Eq. (12). Closed forms exist (Eqs. 15 and 17) but we
+//! also need numeric minimizers to *verify* them and to handle the integer
+//! rounding at the end of the search.
+
+/// Result of a golden-section search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GoldenSectionResult {
+    /// Abscissa of the (approximate) minimum.
+    pub x: f64,
+    /// Objective value at [`GoldenSectionResult::x`].
+    pub value: f64,
+    /// Number of objective evaluations performed.
+    pub evaluations: usize,
+}
+
+/// Golden-section search for the minimum of a unimodal `f` on `[lo, hi]`.
+///
+/// Terminates when the bracketing interval is shorter than `tol`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or `tol <= 0`.
+///
+/// # Example
+///
+/// ```
+/// use fei_math::optimize::golden_section_min;
+///
+/// let r = golden_section_min(|x| (x - 2.0).powi(2), 0.0, 10.0, 1e-9);
+/// assert!((r.x - 2.0).abs() < 1e-6);
+/// ```
+pub fn golden_section_min<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+) -> GoldenSectionResult {
+    assert!(lo <= hi, "invalid bracket: lo={lo} > hi={hi}");
+    assert!(tol > 0.0, "tolerance must be positive");
+    const INV_PHI: f64 = 0.618_033_988_749_894_8;
+
+    let mut a = lo;
+    let mut b = hi;
+    let mut evaluations = 0;
+    let mut x1 = b - INV_PHI * (b - a);
+    let mut x2 = a + INV_PHI * (b - a);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    evaluations += 2;
+
+    while (b - a) > tol {
+        if f1 <= f2 {
+            b = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = b - INV_PHI * (b - a);
+            f1 = f(x1);
+        } else {
+            a = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = a + INV_PHI * (b - a);
+            f2 = f(x2);
+        }
+        evaluations += 1;
+        // Guard against non-finite objectives collapsing the bracket.
+        if !(f1.is_finite() || f2.is_finite()) {
+            break;
+        }
+    }
+
+    let x = 0.5 * (a + b);
+    let value = f(x);
+    evaluations += 1;
+    GoldenSectionResult { x, value, evaluations }
+}
+
+/// Minimizes `f` over the integers in `[lo, hi]` by exhaustive evaluation.
+///
+/// Intended for the final integer-rounding step of the ACS search, where the
+/// feasible range of `K` (at most `N = 20` edge servers) or of `E` is small.
+/// Non-finite objective values are treated as infeasible and skipped.
+///
+/// Returns `(argmin, min)` or `None` if the range is empty or every value is
+/// non-finite.
+///
+/// # Example
+///
+/// ```
+/// use fei_math::optimize::minimize_over_integers;
+///
+/// let (x, v) = minimize_over_integers(|k| ((k as f64) - 3.4).powi(2), 1, 10).unwrap();
+/// assert_eq!(x, 3);
+/// assert!((v - 0.16).abs() < 1e-12);
+/// ```
+pub fn minimize_over_integers<F: FnMut(u64) -> f64>(
+    mut f: F,
+    lo: u64,
+    hi: u64,
+) -> Option<(u64, f64)> {
+    let mut best: Option<(u64, f64)> = None;
+    for k in lo..=hi {
+        let v = f(k);
+        if !v.is_finite() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if bv <= v => {}
+            _ => best = Some((k, v)),
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_section_finds_parabola_minimum() {
+        let r = golden_section_min(|x| (x - 5.0).powi(2) + 1.0, -10.0, 20.0, 1e-10);
+        assert!((r.x - 5.0).abs() < 1e-6);
+        assert!((r.value - 1.0).abs() < 1e-10);
+        assert!(r.evaluations > 2);
+    }
+
+    #[test]
+    fn golden_section_respects_bracket_edges() {
+        // Monotone decreasing on the bracket: minimum at the right edge.
+        let r = golden_section_min(|x| -x, 0.0, 1.0, 1e-9);
+        assert!((r.x - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn golden_section_handles_degenerate_bracket() {
+        let r = golden_section_min(|x| x * x, 3.0, 3.0, 1e-9);
+        assert_eq!(r.x, 3.0);
+        assert_eq!(r.value, 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bracket")]
+    fn golden_section_rejects_reversed_bracket() {
+        let _ = golden_section_min(|x| x, 1.0, 0.0, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn golden_section_rejects_bad_tol() {
+        let _ = golden_section_min(|x| x, 0.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn integer_minimizer_exhaustive() {
+        let (x, _) = minimize_over_integers(|k| (k as f64 - 7.6).abs(), 0, 20).unwrap();
+        assert_eq!(x, 8);
+    }
+
+    #[test]
+    fn integer_minimizer_skips_non_finite() {
+        let (x, v) = minimize_over_integers(
+            |k| if k < 3 { f64::INFINITY } else { k as f64 },
+            0,
+            5,
+        )
+        .unwrap();
+        assert_eq!(x, 3);
+        assert_eq!(v, 3.0);
+    }
+
+    #[test]
+    fn integer_minimizer_empty_or_all_infeasible() {
+        assert_eq!(minimize_over_integers(|_| f64::NAN, 0, 5), None);
+        assert_eq!(minimize_over_integers(|k| k as f64, 5, 4), None);
+    }
+
+    #[test]
+    fn integer_minimizer_prefers_first_on_ties() {
+        let (x, _) = minimize_over_integers(|_| 1.0, 2, 9).unwrap();
+        assert_eq!(x, 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Golden section must locate the vertex of any parabola bracketed by
+        /// the search interval.
+        #[test]
+        fn golden_section_locates_parabola_vertex(
+            center in -50.0f64..50.0,
+            scale in 0.1f64..10.0,
+        ) {
+            let r = golden_section_min(|x| scale * (x - center).powi(2), -100.0, 100.0, 1e-9);
+            prop_assert!((r.x - center).abs() < 1e-5, "found {} expected {}", r.x, center);
+        }
+
+        /// The integer minimizer agrees with a direct scan.
+        #[test]
+        fn integer_minimizer_agrees_with_scan(offset in 0.0f64..20.0) {
+            let f = |k: u64| (k as f64 - offset).powi(2);
+            let (x, v) = minimize_over_integers(f, 0, 20).unwrap();
+            for k in 0..=20u64 {
+                prop_assert!(v <= f(k) + 1e-12, "k={k} beats argmin {x}");
+            }
+        }
+    }
+}

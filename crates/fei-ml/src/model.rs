@@ -1,0 +1,455 @@
+//! The multinomial logistic-regression model.
+
+use fei_data::Dataset;
+use fei_math::func::{argmax, log_sum_exp, softmax_in_place};
+use fei_math::matrix::{dot, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Multinomial logistic regression: `logits = W x + b`, class probabilities
+/// via softmax.
+///
+/// Parameters are a `num_classes × dim` weight matrix plus a bias vector.
+/// [`LogisticRegression::to_flat`] / [`LogisticRegression::from_flat`]
+/// expose the parameters as one flat vector — the unit of exchange for
+/// FedAvg aggregation and network transfer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    dim: usize,
+    num_classes: usize,
+    /// Flat row-major `num_classes × dim` weights followed by `num_classes`
+    /// biases.
+    params: Vec<f64>,
+}
+
+impl LogisticRegression {
+    /// Creates a zero-initialized model (the paper's starting point `ω₀`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `num_classes < 2`.
+    pub fn zeros(dim: usize, num_classes: usize) -> Self {
+        assert!(dim > 0, "dimension must be non-zero");
+        assert!(num_classes >= 2, "need at least two classes");
+        Self { dim, num_classes, params: vec![0.0; num_classes * dim + num_classes] }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Total number of parameters (weights + biases).
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Size in bytes of the flat `f64` parameter block (the model-upload
+    /// payload of step (3) in the paper).
+    pub fn payload_bytes(&self) -> usize {
+        self.params.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Borrows the flat parameter vector.
+    pub fn to_flat(&self) -> &[f64] {
+        &self.params
+    }
+
+    /// Replaces the parameters from a flat vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length does not match [`LogisticRegression::num_params`].
+    pub fn set_flat(&mut self, flat: &[f64]) {
+        assert_eq!(flat.len(), self.params.len(), "flat parameter length mismatch");
+        self.params.copy_from_slice(flat);
+    }
+
+    /// Builds a model of the given shape from a flat parameter vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length does not match the shape.
+    pub fn from_flat(dim: usize, num_classes: usize, flat: Vec<f64>) -> Self {
+        let mut m = Self::zeros(dim, num_classes);
+        m.set_flat(&flat);
+        m
+    }
+
+    /// Weight row for `class` (length `dim`).
+    fn weights_row(&self, class: usize) -> &[f64] {
+        &self.params[class * self.dim..(class + 1) * self.dim]
+    }
+
+    /// Bias for `class`.
+    fn bias(&self, class: usize) -> f64 {
+        self.params[self.num_classes * self.dim + class]
+    }
+
+    /// Raw logits `W x + b` for one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn logits(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim, "input has wrong dimension");
+        (0..self.num_classes)
+            .map(|c| dot(self.weights_row(c), x) + self.bias(c))
+            .collect()
+    }
+
+    /// Class probabilities for one sample.
+    pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        let mut logits = self.logits(x);
+        softmax_in_place(&mut logits);
+        logits
+    }
+
+    /// Most likely class for one sample.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        argmax(&self.logits(x))
+    }
+
+    /// Mean cross-entropy loss over a dataset (the local loss `F_k`, Eq. 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or its shape mismatches the model.
+    pub fn loss(&self, data: &Dataset) -> f64 {
+        assert!(!data.is_empty(), "loss over empty dataset");
+        self.check_shape(data);
+        let mut total = 0.0;
+        for (x, y) in data.iter() {
+            let logits = self.logits(x);
+            total += log_sum_exp(&logits) - logits[y];
+        }
+        total / data.len() as f64
+    }
+
+    /// Mean cross-entropy loss and its gradient over `indices` of `data`
+    /// (full batch when `indices` covers the dataset).
+    ///
+    /// The gradient is returned flat, in the same layout as
+    /// [`LogisticRegression::to_flat`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or out of bounds, or shapes mismatch.
+    pub fn loss_and_gradient(&self, data: &Dataset, indices: &[usize]) -> (f64, Vec<f64>) {
+        assert!(!indices.is_empty(), "gradient over empty batch");
+        self.check_shape(data);
+        let mut grad = vec![0.0; self.params.len()];
+        let mut total_loss = 0.0;
+        let bias_base = self.num_classes * self.dim;
+        for &i in indices {
+            let x = data.sample(i);
+            let y = data.label(i);
+            let logits = self.logits(x);
+            total_loss += log_sum_exp(&logits) - logits[y];
+            let mut probs = logits;
+            softmax_in_place(&mut probs);
+            for (c, &p) in probs.iter().enumerate() {
+                let err = p - f64::from(u8::from(c == y));
+                if err == 0.0 {
+                    continue;
+                }
+                let row = &mut grad[c * self.dim..(c + 1) * self.dim];
+                for (g, &xi) in row.iter_mut().zip(x) {
+                    *g += err * xi;
+                }
+                grad[bias_base + c] += err;
+            }
+        }
+        let inv_n = 1.0 / indices.len() as f64;
+        for g in &mut grad {
+            *g *= inv_n;
+        }
+        (total_loss * inv_n, grad)
+    }
+
+    /// Applies `params -= step * gradient` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient length mismatches.
+    pub fn apply_gradient(&mut self, gradient: &[f64], step: f64) {
+        assert_eq!(gradient.len(), self.params.len(), "gradient length mismatch");
+        for (p, &g) in self.params.iter_mut().zip(gradient) {
+            *p -= step * g;
+        }
+    }
+
+    /// Applies L2 weight decay in place: `W -= step * decay * W` over the
+    /// weight block (biases are left untouched, per convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step * decay` is negative or not finite.
+    pub fn apply_weight_decay(&mut self, step: f64, decay: f64) {
+        let shrink = step * decay;
+        assert!(shrink.is_finite() && shrink >= 0.0, "decay step must be non-negative");
+        let weight_len = self.num_classes * self.dim;
+        for w in &mut self.params[..weight_len] {
+            *w -= shrink * *w;
+        }
+    }
+
+    /// Squared L2 distance between this model's parameters and another's
+    /// (`||ω − ω'||²`, the quantity in the convergence bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn param_distance_sq(&self, other: &LogisticRegression) -> f64 {
+        assert_eq!(
+            (self.dim, self.num_classes),
+            (other.dim, other.num_classes),
+            "model shapes differ"
+        );
+        self.params
+            .iter()
+            .zip(&other.params)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    /// The weights as a `num_classes × dim` matrix (copy).
+    pub fn weights_matrix(&self) -> Matrix {
+        Matrix::from_vec(
+            self.num_classes,
+            self.dim,
+            self.params[..self.num_classes * self.dim].to_vec(),
+        )
+    }
+
+    fn check_shape(&self, data: &Dataset) {
+        assert_eq!(data.dim(), self.dim, "dataset dimension mismatch");
+        assert_eq!(data.num_classes(), self.num_classes, "class count mismatch");
+    }
+}
+
+impl crate::traits::Model for LogisticRegression {
+    fn dim(&self) -> usize {
+        LogisticRegression::dim(self)
+    }
+
+    fn num_classes(&self) -> usize {
+        LogisticRegression::num_classes(self)
+    }
+
+    fn num_params(&self) -> usize {
+        LogisticRegression::num_params(self)
+    }
+
+    fn to_flat(&self) -> &[f64] {
+        LogisticRegression::to_flat(self)
+    }
+
+    fn set_flat(&mut self, flat: &[f64]) {
+        LogisticRegression::set_flat(self, flat);
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        LogisticRegression::predict(self, x)
+    }
+
+    fn loss(&self, data: &Dataset) -> f64 {
+        LogisticRegression::loss(self, data)
+    }
+
+    fn loss_and_gradient(&self, data: &Dataset, indices: &[usize]) -> (f64, Vec<f64>) {
+        LogisticRegression::loss_and_gradient(self, data, indices)
+    }
+
+    fn apply_gradient(&mut self, gradient: &[f64], step: f64) {
+        LogisticRegression::apply_gradient(self, gradient, step);
+    }
+
+    fn apply_weight_decay(&mut self, step: f64, decay: f64) {
+        LogisticRegression::apply_weight_decay(self, step, decay);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_like_dataset() -> Dataset {
+        // Two linearly separable clusters in 2-D.
+        Dataset::from_parts(
+            2,
+            vec![
+                0.0, 0.0, //
+                0.2, 0.1, //
+                1.0, 1.0, //
+                0.9, 0.8,
+            ],
+            vec![0, 0, 1, 1],
+            2,
+        )
+    }
+
+    #[test]
+    fn zero_model_is_uniform() {
+        let m = LogisticRegression::zeros(3, 4);
+        let p = m.predict_proba(&[1.0, 2.0, 3.0]);
+        for &pi in &p {
+            assert!((pi - 0.25).abs() < 1e-12);
+        }
+        assert_eq!(m.num_params(), 3 * 4 + 4);
+        assert_eq!(m.payload_bytes(), (3 * 4 + 4) * 8);
+    }
+
+    #[test]
+    fn zero_model_loss_is_log_c() {
+        let m = LogisticRegression::zeros(2, 2);
+        let loss = m.loss(&xor_like_dataset());
+        assert!((loss - (2.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_round_trip() {
+        let mut m = LogisticRegression::zeros(2, 2);
+        m.set_flat(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let copy = LogisticRegression::from_flat(2, 2, m.to_flat().to_vec());
+        assert_eq!(m, copy);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn set_flat_rejects_bad_length() {
+        LogisticRegression::zeros(2, 2).set_flat(&[0.0]);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let data = xor_like_dataset();
+        let mut m = LogisticRegression::zeros(2, 2);
+        m.set_flat(&[0.3, -0.2, 0.1, 0.4, 0.05, -0.1]);
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let (_, grad) = m.loss_and_gradient(&data, &indices);
+
+        let eps = 1e-6;
+        let mut flat = m.to_flat().to_vec();
+        for j in 0..flat.len() {
+            let orig = flat[j];
+            flat[j] = orig + eps;
+            let up = LogisticRegression::from_flat(2, 2, flat.clone()).loss(&data);
+            flat[j] = orig - eps;
+            let down = LogisticRegression::from_flat(2, 2, flat.clone()).loss(&data);
+            flat[j] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - grad[j]).abs() < 1e-6,
+                "param {j}: numeric {numeric} vs analytic {}",
+                grad[j]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_step_decreases_loss() {
+        let data = xor_like_dataset();
+        let mut m = LogisticRegression::zeros(2, 2);
+        let indices: Vec<usize> = (0..data.len()).collect();
+        for _ in 0..50 {
+            let (loss_before, grad) = m.loss_and_gradient(&data, &indices);
+            m.apply_gradient(&grad, 0.5);
+            let loss_after = m.loss(&data);
+            assert!(loss_after <= loss_before + 1e-12);
+        }
+        // Separable data: the trained model classifies everything correctly.
+        for (x, y) in data.iter() {
+            assert_eq!(m.predict(x), y);
+        }
+    }
+
+    #[test]
+    fn minibatch_gradient_averages_subsets() {
+        let data = xor_like_dataset();
+        let mut m = LogisticRegression::zeros(2, 2);
+        m.set_flat(&[0.1, 0.2, -0.1, 0.0, 0.3, -0.3]);
+        let (_, g_full) = m.loss_and_gradient(&data, &[0, 1, 2, 3]);
+        let (_, g_a) = m.loss_and_gradient(&data, &[0, 1]);
+        let (_, g_b) = m.loss_and_gradient(&data, &[2, 3]);
+        for j in 0..g_full.len() {
+            assert!((g_full[j] - 0.5 * (g_a[j] + g_b[j])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_not_biases() {
+        let mut m = LogisticRegression::from_flat(1, 2, vec![2.0, -4.0, 1.0, 3.0]);
+        m.apply_weight_decay(0.5, 0.1);
+        // Weights shrink by factor (1 - 0.05); biases untouched.
+        assert_eq!(m.to_flat(), &[1.9, -3.8, 1.0, 3.0]);
+        m.apply_weight_decay(1.0, 0.0);
+        assert_eq!(m.to_flat(), &[1.9, -3.8, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn param_distance_is_squared_l2() {
+        let a = LogisticRegression::from_flat(1, 2, vec![0.0, 0.0, 0.0, 0.0]);
+        let b = LogisticRegression::from_flat(1, 2, vec![1.0, 2.0, 0.0, 2.0]);
+        assert_eq!(a.param_distance_sq(&b), 9.0);
+    }
+
+    #[test]
+    fn weights_matrix_shape() {
+        let m = LogisticRegression::zeros(3, 2);
+        let w = m.weights_matrix();
+        assert_eq!((w.rows(), w.cols()), (2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn loss_rejects_mismatched_dataset() {
+        let data = xor_like_dataset();
+        let m = LogisticRegression::zeros(3, 2);
+        let _ = m.loss(&data);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        /// Probabilities always form a distribution, whatever the parameters.
+        #[test]
+        fn predict_proba_is_distribution(
+            params in proptest::collection::vec(-5.0f64..5.0, 8),
+            x in proptest::collection::vec(-5.0f64..5.0, 3),
+        ) {
+            // 2 classes x 3 dims + 2 biases = 8 parameters.
+            let m = LogisticRegression::from_flat(3, 2, params);
+            let p = m.predict_proba(&x);
+            prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+
+        /// A gradient step with a small enough rate never increases the loss
+        /// on the batch it was computed from (descent direction property).
+        #[test]
+        fn small_gradient_step_descends(
+            params in proptest::collection::vec(-1.0f64..1.0, 8),
+        ) {
+            let data = Dataset::from_parts(
+                3,
+                vec![0.1, 0.9, 0.3, 0.8, 0.2, 0.7],
+                vec![0, 1],
+                2,
+            );
+            let mut m = LogisticRegression::from_flat(3, 2, params);
+            let (before, grad) = m.loss_and_gradient(&data, &[0, 1]);
+            m.apply_gradient(&grad, 1e-3);
+            prop_assert!(m.loss(&data) <= before + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! SGD configuration matching the paper's Table II.
+
+use serde::{Deserialize, Serialize};
+
+/// Stochastic-gradient-descent hyper-parameters.
+///
+/// The paper trains with learning rate 0.01, a fixed multiplicative decay of
+/// 0.99 applied per *global* round, and full-batch gradients
+/// (`batch_size = None`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SgdConfig {
+    /// Initial learning rate `γ`.
+    pub learning_rate: f64,
+    /// Multiplicative decay applied once per global coordination round.
+    pub decay_per_round: f64,
+    /// Mini-batch size; `None` uses the full local dataset each step, as in
+    /// the paper's prototype.
+    pub batch_size: Option<usize>,
+    /// L2 weight-decay coefficient applied to the weights (not biases) at
+    /// every step; `0.0` (the paper's setting) disables it.
+    pub weight_decay: f64,
+}
+
+impl SgdConfig {
+    /// The paper's configuration: lr 0.01, decay 0.99, full batch, no
+    /// weight decay.
+    pub fn paper_default() -> Self {
+        Self { learning_rate: 0.01, decay_per_round: 0.99, batch_size: None, weight_decay: 0.0 }
+    }
+
+    /// Creates a config with explicit values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learning_rate <= 0`, `decay_per_round` is outside `(0, 1]`,
+    /// or `batch_size == Some(0)`.
+    pub fn new(learning_rate: f64, decay_per_round: f64, batch_size: Option<usize>) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        assert!(
+            decay_per_round > 0.0 && decay_per_round <= 1.0,
+            "decay must be in (0, 1]"
+        );
+        assert!(batch_size != Some(0), "batch size must be non-zero");
+        Self { learning_rate, decay_per_round, batch_size, weight_decay: 0.0 }
+    }
+
+    /// Returns a copy with the given L2 weight-decay coefficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight_decay` is negative or not finite.
+    pub fn with_weight_decay(mut self, weight_decay: f64) -> Self {
+        assert!(
+            weight_decay.is_finite() && weight_decay >= 0.0,
+            "weight decay must be finite and non-negative"
+        );
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// Learning rate in effect during global round `round` (0-based):
+    /// `lr · decay^round`.
+    pub fn lr_for_round(&self, round: usize) -> f64 {
+        self.learning_rate * self.decay_per_round.powi(round as i32)
+    }
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table2() {
+        let c = SgdConfig::paper_default();
+        assert_eq!(c.learning_rate, 0.01);
+        assert_eq!(c.decay_per_round, 0.99);
+        assert_eq!(c.batch_size, None);
+        assert_eq!(SgdConfig::default(), c);
+    }
+
+    #[test]
+    fn weight_decay_builder() {
+        let c = SgdConfig::paper_default().with_weight_decay(1e-4);
+        assert_eq!(c.weight_decay, 1e-4);
+        assert_eq!(SgdConfig::paper_default().weight_decay, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight decay")]
+    fn rejects_negative_weight_decay() {
+        let _ = SgdConfig::paper_default().with_weight_decay(-1.0);
+    }
+
+    #[test]
+    fn decay_schedule() {
+        let c = SgdConfig::paper_default();
+        assert_eq!(c.lr_for_round(0), 0.01);
+        assert!((c.lr_for_round(1) - 0.0099).abs() < 1e-12);
+        assert!((c.lr_for_round(100) - 0.01 * 0.99f64.powi(100)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn decay_of_one_is_constant() {
+        let c = SgdConfig::new(0.1, 1.0, Some(32));
+        assert_eq!(c.lr_for_round(50), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_lr() {
+        let _ = SgdConfig::new(0.0, 0.99, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay")]
+    fn rejects_bad_decay() {
+        let _ = SgdConfig::new(0.01, 1.5, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn rejects_zero_batch() {
+        let _ = SgdConfig::new(0.01, 0.99, Some(0));
+    }
+}

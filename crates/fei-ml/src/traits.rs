@@ -1,0 +1,109 @@
+//! The [`Model`] abstraction: anything FedAvg can train.
+//!
+//! The paper evaluates multinomial logistic regression, but its framework is
+//! model-agnostic — FedAvg only needs flat parameters to average and a
+//! gradient oracle to descend. This trait captures exactly that surface, so
+//! the runtime in `fei-fl` trains [`crate::LogisticRegression`] and
+//! [`crate::Mlp`] (and any future model) through one code path.
+
+use fei_data::Dataset;
+
+/// A trainable classification model with flat-vector parameters.
+///
+/// The flat representation is the unit of FedAvg aggregation (Eq. 2) and of
+/// network transfer, so implementations must keep it stable: `set_flat(
+/// to_flat() )` is the identity, and two models of the same architecture
+/// have equal [`Model::num_params`].
+pub trait Model: Clone + Send + 'static {
+    /// Input feature dimension.
+    fn dim(&self) -> usize;
+
+    /// Number of output classes.
+    fn num_classes(&self) -> usize;
+
+    /// Total number of parameters.
+    fn num_params(&self) -> usize;
+
+    /// Borrows the flat parameter vector.
+    fn to_flat(&self) -> &[f64];
+
+    /// Replaces the parameters from a flat vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len() != self.num_params()`.
+    fn set_flat(&mut self, flat: &[f64]);
+
+    /// Most likely class for one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    fn predict(&self, x: &[f64]) -> usize;
+
+    /// Mean loss over a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or shapes mismatch.
+    fn loss(&self, data: &Dataset) -> f64;
+
+    /// Mean loss and flat gradient over the given sample indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or out of bounds, or shapes mismatch.
+    fn loss_and_gradient(&self, data: &Dataset, indices: &[usize]) -> (f64, Vec<f64>);
+
+    /// Applies `params -= step * gradient`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on gradient length mismatch.
+    fn apply_gradient(&mut self, gradient: &[f64], step: f64);
+
+    /// Applies L2 weight decay to the weight parameters (implementations
+    /// decide which parameters count as weights vs biases).
+    fn apply_weight_decay(&mut self, step: f64, decay: f64);
+
+    /// Size in bytes of the flat `f64` parameter block — the model-upload
+    /// payload of the paper's step (3).
+    fn payload_bytes(&self) -> usize {
+        self.num_params() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LogisticRegression;
+
+    // Generic helpers compile against the trait — the real test is that the
+    // trait surface is sufficient for a FedAvg-style loop.
+    fn one_sgd_step<M: Model>(model: &mut M, data: &Dataset, lr: f64) -> f64 {
+        let all: Vec<usize> = (0..data.len()).collect();
+        let (loss, grad) = model.loss_and_gradient(data, &all);
+        model.apply_gradient(&grad, lr);
+        loss
+    }
+
+    #[test]
+    fn logistic_regression_satisfies_the_trait() {
+        let data = Dataset::from_parts(2, vec![0.0, 0.0, 1.0, 1.0], vec![0, 1], 2);
+        let mut model = LogisticRegression::zeros(2, 2);
+        let before = one_sgd_step(&mut model, &data, 0.5);
+        let after = Model::loss(&model, &data);
+        assert!(after < before);
+        assert_eq!(Model::num_params(&model), 6);
+        assert_eq!(Model::payload_bytes(&model), 48);
+    }
+
+    #[test]
+    fn flat_round_trip_through_the_trait() {
+        let mut a = LogisticRegression::zeros(2, 2);
+        let mut b = LogisticRegression::zeros(2, 2);
+        Model::set_flat(&mut a, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        Model::set_flat(&mut b, Model::to_flat(&a));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,264 @@
+//! Framed binary codec for FL messages.
+//!
+//! The threaded FedAvg runtime in `fei-fl` ships model parameters between
+//! edge servers and the coordinator as byte frames — the same serialization
+//! work a real deployment would do, so its cost shows up in benches. A frame
+//! is:
+//!
+//! ```text
+//! magic  (2 bytes, 0xFE 0x1A)
+//! type   (1 byte, caller-defined tag)
+//! length (4 bytes, big-endian payload length)
+//! payload（length bytes)
+//! checksum (4 bytes, big-endian; byte sum of payload)
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Frame magic bytes.
+const MAGIC: [u8; 2] = [0xFE, 0x1A];
+/// Fixed overhead: magic + type + length + checksum.
+pub const FRAME_OVERHEAD: usize = 2 + 1 + 4 + 4;
+
+/// A decoded frame: a type tag and the payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Caller-defined message type tag.
+    pub msg_type: u8,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+/// Errors from [`decode_frame`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes than a complete frame.
+    Truncated {
+        /// Bytes needed for the shortest complete interpretation.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// The magic prefix did not match.
+    BadMagic,
+    /// The checksum did not match the payload.
+    ChecksumMismatch,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, available } => {
+                write!(f, "truncated frame: need {needed} bytes, have {available}")
+            }
+            CodecError::BadMagic => write!(f, "bad frame magic"),
+            CodecError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+fn checksum(payload: &[u8]) -> u32 {
+    payload.iter().fold(0u32, |acc, &b| acc.wrapping_add(b as u32))
+}
+
+/// Encodes a frame.
+///
+/// # Example
+///
+/// ```
+/// use fei_net::{encode_frame, decode_frame};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let wire = encode_frame(7, b"hello");
+/// let (frame, consumed) = decode_frame(&wire)?;
+/// assert_eq!(frame.msg_type, 7);
+/// assert_eq!(&frame.payload[..], b"hello");
+/// assert_eq!(consumed, wire.len());
+/// # Ok(())
+/// # }
+/// ```
+pub fn encode_frame(msg_type: u8, payload: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(FRAME_OVERHEAD + payload.len());
+    buf.put_slice(&MAGIC);
+    buf.put_u8(msg_type);
+    buf.put_u32(payload.len() as u32);
+    buf.put_slice(payload);
+    buf.put_u32(checksum(payload));
+    buf.freeze()
+}
+
+/// Decodes one frame from the start of `bytes`, returning the frame and the
+/// number of bytes consumed.
+///
+/// # Errors
+///
+/// Returns [`CodecError::Truncated`] when `bytes` does not yet hold a whole
+/// frame (streaming callers should read more and retry),
+/// [`CodecError::BadMagic`] on a corrupt prefix, and
+/// [`CodecError::ChecksumMismatch`] on payload corruption.
+pub fn decode_frame(bytes: &[u8]) -> Result<(Frame, usize), CodecError> {
+    if bytes.len() < 7 {
+        return Err(CodecError::Truncated { needed: FRAME_OVERHEAD, available: bytes.len() });
+    }
+    if bytes[0..2] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let msg_type = bytes[2];
+    let mut len_bytes = &bytes[3..7];
+    let len = len_bytes.get_u32() as usize;
+    let total = FRAME_OVERHEAD + len;
+    if bytes.len() < total {
+        return Err(CodecError::Truncated { needed: total, available: bytes.len() });
+    }
+    let payload = &bytes[7..7 + len];
+    let mut csum_bytes = &bytes[7 + len..total];
+    let declared = csum_bytes.get_u32();
+    if declared != checksum(payload) {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    Ok((Frame { msg_type, payload: Bytes::copy_from_slice(payload) }, total))
+}
+
+/// Serializes a slice of `f64` (model parameters) to little-endian bytes.
+pub fn encode_f64s(values: &[f64]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(values.len() * 8);
+    for &v in values {
+        buf.put_f64_le(v);
+    }
+    buf.freeze()
+}
+
+/// Deserializes little-endian `f64` bytes produced by [`encode_f64s`].
+///
+/// # Errors
+///
+/// Returns [`CodecError::Truncated`] if the length is not a multiple of 8.
+pub fn decode_f64s(bytes: &[u8]) -> Result<Vec<f64>, CodecError> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(CodecError::Truncated {
+            needed: bytes.len().div_ceil(8) * 8,
+            available: bytes.len(),
+        });
+    }
+    let mut cursor = bytes;
+    let mut out = Vec::with_capacity(bytes.len() / 8);
+    while cursor.has_remaining() {
+        out.push(cursor.get_f64_le());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_empty_payload() {
+        let wire = encode_frame(0, b"");
+        let (frame, consumed) = decode_frame(&wire).unwrap();
+        assert_eq!(frame.msg_type, 0);
+        assert!(frame.payload.is_empty());
+        assert_eq!(consumed, FRAME_OVERHEAD);
+    }
+
+    #[test]
+    fn round_trip_with_trailing_garbage() {
+        let mut wire = encode_frame(3, b"abc").to_vec();
+        wire.extend_from_slice(b"garbage");
+        let (frame, consumed) = decode_frame(&wire).unwrap();
+        assert_eq!(&frame.payload[..], b"abc");
+        assert_eq!(consumed, FRAME_OVERHEAD + 3);
+    }
+
+    #[test]
+    fn truncated_header_reports_needed() {
+        let err = decode_frame(&[0xFE]).unwrap_err();
+        assert!(matches!(err, CodecError::Truncated { available: 1, .. }));
+    }
+
+    #[test]
+    fn truncated_payload_reports_needed() {
+        let wire = encode_frame(1, b"hello world");
+        let err = decode_frame(&wire[..wire.len() - 3]).unwrap_err();
+        match err {
+            CodecError::Truncated { needed, available } => {
+                assert_eq!(needed, wire.len());
+                assert_eq!(available, wire.len() - 3);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut wire = encode_frame(1, b"x").to_vec();
+        wire[0] = 0x00;
+        assert_eq!(decode_frame(&wire).unwrap_err(), CodecError::BadMagic);
+    }
+
+    #[test]
+    fn corrupted_payload_detected() {
+        let mut wire = encode_frame(1, b"xyz").to_vec();
+        wire[8] ^= 0xFF;
+        assert_eq!(decode_frame(&wire).unwrap_err(), CodecError::ChecksumMismatch);
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let values = vec![0.0, -1.5, std::f64::consts::PI, f64::MAX, f64::MIN_POSITIVE];
+        let bytes = encode_f64s(&values);
+        assert_eq!(decode_f64s(&bytes).unwrap(), values);
+    }
+
+    #[test]
+    fn f64_rejects_ragged_length() {
+        assert!(matches!(
+            decode_f64s(&[0u8; 9]),
+            Err(CodecError::Truncated { needed: 16, available: 9 })
+        ));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(!CodecError::BadMagic.to_string().is_empty());
+        assert!(CodecError::Truncated { needed: 5, available: 2 }
+            .to_string()
+            .contains('5'));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        #[test]
+        fn any_payload_round_trips(
+            msg_type in any::<u8>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..512),
+        ) {
+            let wire = encode_frame(msg_type, &payload);
+            let (frame, consumed) = decode_frame(&wire).unwrap();
+            prop_assert_eq!(frame.msg_type, msg_type);
+            prop_assert_eq!(&frame.payload[..], &payload[..]);
+            prop_assert_eq!(consumed, wire.len());
+        }
+
+        #[test]
+        fn any_f64_slice_round_trips(values in proptest::collection::vec(any::<f64>(), 0..128)) {
+            let bytes = encode_f64s(&values);
+            let back = decode_f64s(&bytes).unwrap();
+            prop_assert_eq!(back.len(), values.len());
+            for (a, b) in values.iter().zip(&back) {
+                prop_assert!(a.to_bits() == b.to_bits());
+            }
+        }
+    }
+}

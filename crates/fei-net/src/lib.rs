@@ -1,0 +1,26 @@
+//! Network substrate for the EE-FEI testbed.
+//!
+//! The paper's prototype connects 20 Raspberry Pi edge servers to a laptop
+//! coordinator through a TP-Link WiFi router, while IoT devices feed samples
+//! to edge servers over NB-IoT-like uplinks. This crate models exactly the
+//! quantities those links contribute to the paper's energy accounting:
+//!
+//! * [`link::Link`] — point-to-point bandwidth/latency/energy; presets for
+//!   the WiFi up/down links and the NB-IoT sample uplink;
+//! * [`medium::SharedMedium`] — the router's shared airtime when `K` edge
+//!   servers upload their models simultaneously;
+//! * [`lossy::LossyLink`] — unlicensed-band collision loss with fixed
+//!   per-attempt success probability (the §IV-A argument that expected
+//!   per-sample upload energy stays constant);
+//! * [`codec`] — a framed binary codec for shipping model parameters between
+//!   edge servers and the coordinator in the threaded FL runtime.
+
+pub mod codec;
+pub mod link;
+pub mod lossy;
+pub mod medium;
+
+pub use codec::{decode_frame, encode_frame, CodecError, Frame};
+pub use link::Link;
+pub use lossy::{LossyLink, TransferOutcome};
+pub use medium::SharedMedium;

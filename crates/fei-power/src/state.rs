@@ -1,0 +1,143 @@
+//! Device power states and plateau powers.
+
+use serde::{Deserialize, Serialize};
+
+/// The four power states of an edge server during a global round, in the
+/// order the paper observes them (Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PowerState {
+    /// Step (1): waiting for the coordinator/IoT data; idle draw.
+    Waiting,
+    /// Step (2): receiving the global model and loading it.
+    Downloading,
+    /// Step (3): running `E` local SGD epochs.
+    Training,
+    /// Step (4): uploading the local model to the coordinator.
+    Uploading,
+}
+
+impl PowerState {
+    /// All states in round order.
+    pub const ALL: [PowerState; 4] = [
+        PowerState::Waiting,
+        PowerState::Downloading,
+        PowerState::Training,
+        PowerState::Uploading,
+    ];
+}
+
+/// A device's mean power draw in each state, in watts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerProfile {
+    /// Idle / waiting power.
+    pub waiting_w: f64,
+    /// Model-download power.
+    pub downloading_w: f64,
+    /// Local-training power.
+    pub training_w: f64,
+    /// Model-upload power.
+    pub uploading_w: f64,
+}
+
+impl PowerProfile {
+    /// The Raspberry Pi 4B plateaus measured by the paper's prototype
+    /// (§VI-B): 3.600, 4.286, 5.553, and 5.015 W.
+    pub fn raspberry_pi_4b() -> Self {
+        Self { waiting_w: 3.600, downloading_w: 4.286, training_w: 5.553, uploading_w: 5.015 }
+    }
+
+    /// Creates a profile from explicit plateau powers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any power is negative or not finite.
+    pub fn new(waiting_w: f64, downloading_w: f64, training_w: f64, uploading_w: f64) -> Self {
+        for (name, p) in [
+            ("waiting", waiting_w),
+            ("downloading", downloading_w),
+            ("training", training_w),
+            ("uploading", uploading_w),
+        ] {
+            assert!(p.is_finite() && p >= 0.0, "{name} power must be finite and non-negative");
+        }
+        Self { waiting_w, downloading_w, training_w, uploading_w }
+    }
+
+    /// Power draw in `state`, in watts.
+    pub fn power(&self, state: PowerState) -> f64 {
+        match state {
+            PowerState::Waiting => self.waiting_w,
+            PowerState::Downloading => self.downloading_w,
+            PowerState::Training => self.training_w,
+            PowerState::Uploading => self.uploading_w,
+        }
+    }
+
+    /// Power above idle in `state` — the *marginal* cost of doing work
+    /// instead of waiting, used when attributing energy to FL steps.
+    pub fn power_above_idle(&self, state: PowerState) -> f64 {
+        (self.power(state) - self.waiting_w).max(0.0)
+    }
+}
+
+impl Default for PowerProfile {
+    fn default() -> Self {
+        Self::raspberry_pi_4b()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pi_profile_matches_paper_plateaus() {
+        let p = PowerProfile::raspberry_pi_4b();
+        assert_eq!(p.power(PowerState::Waiting), 3.600);
+        assert_eq!(p.power(PowerState::Downloading), 4.286);
+        assert_eq!(p.power(PowerState::Training), 5.553);
+        assert_eq!(p.power(PowerState::Uploading), 5.015);
+        assert_eq!(PowerProfile::default(), p);
+    }
+
+    #[test]
+    fn plateau_ordering_matches_fig3() {
+        // Fig. 3: waiting < downloading < uploading < training.
+        let p = PowerProfile::raspberry_pi_4b();
+        assert!(p.waiting_w < p.downloading_w);
+        assert!(p.downloading_w < p.uploading_w);
+        assert!(p.uploading_w < p.training_w);
+    }
+
+    #[test]
+    fn marginal_power_is_relative_to_idle() {
+        let p = PowerProfile::raspberry_pi_4b();
+        assert!((p.power_above_idle(PowerState::Training) - 1.953).abs() < 1e-12);
+        assert_eq!(p.power_above_idle(PowerState::Waiting), 0.0);
+    }
+
+    #[test]
+    fn marginal_power_clamps_below_idle() {
+        let p = PowerProfile::new(5.0, 1.0, 5.0, 5.0);
+        assert_eq!(p.power_above_idle(PowerState::Downloading), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "training power")]
+    fn rejects_negative_power() {
+        let _ = PowerProfile::new(1.0, 1.0, -2.0, 1.0);
+    }
+
+    #[test]
+    fn all_lists_states_in_round_order() {
+        assert_eq!(
+            PowerState::ALL,
+            [
+                PowerState::Waiting,
+                PowerState::Downloading,
+                PowerState::Training,
+                PowerState::Uploading
+            ]
+        );
+    }
+}

@@ -1,0 +1,288 @@
+//! Deterministic random numbers for simulation.
+//!
+//! A SplitMix64 generator: tiny, fast, and with a well-understood output
+//! distribution. Every stochastic element of the testbed (sensor noise,
+//! client selection, synthetic-data generation) draws from a [`DetRng`]
+//! seeded from the experiment configuration, so every figure in
+//! EXPERIMENTS.md regenerates bit-identically.
+
+/// Deterministic SplitMix64 random number generator.
+///
+/// # Example
+///
+/// ```
+/// use fei_sim::DetRng;
+///
+/// let mut a = DetRng::new(42);
+/// let mut b = DetRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetRng {
+    state: u64,
+    /// Cached second output of the Box–Muller transform.
+    spare_gaussian: Option<f64>,
+}
+
+impl DetRng {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed, spare_gaussian: None }
+    }
+
+    /// Derives an independent child generator; children with different
+    /// `stream` ids produce decorrelated streams even from the same parent.
+    pub fn fork(&self, stream: u64) -> DetRng {
+        // Mix the stream id through one SplitMix64 round so consecutive ids
+        // land far apart in the parent's state space.
+        let mut z = self.state ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        DetRng::new(z ^ (z >> 31))
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high-quality bits -> [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is not finite.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid range [{lo}, {hi})");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)` via rejection-free Lemire reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "next_below(0) is meaningless");
+        // Widening-multiply reduction; slight modulo bias is < 2^-53 for the
+        // small ranges (tens of clients) used in this workspace.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Standard normal draw (Box–Muller, cached pair).
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(g) = self.spare_gaussian.take() {
+            return g;
+        }
+        // Avoid ln(0) by nudging u1 away from zero.
+        let u1 = self.next_f64().max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_gaussian = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative.
+    pub fn gaussian_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+        mean + std_dev * self.gaussian()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices out of `0..n`, in random order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} of {n}");
+        let mut all: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut all);
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn fork_streams_are_decorrelated_and_deterministic() {
+        let parent = DetRng::new(99);
+        let mut c0 = parent.fork(0);
+        let mut c1 = parent.fork(1);
+        let mut c0_again = parent.fork(0);
+        assert_ne!(c0.next_u64(), c1.next_u64());
+        let mut c0_fresh = parent.fork(0);
+        assert_eq!(c0_fresh.next_u64(), c0_again.next_u64());
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = DetRng::new(3);
+        for _ in 0..1_000 {
+            let x = rng.uniform(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval_with_plausible_mean() {
+        let mut rng = DetRng::new(11);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn next_below_is_bounded_and_covers() {
+        let mut rng = DetRng::new(5);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let x = rng.next_below(7) as usize;
+            assert!(x < 7);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    #[should_panic(expected = "meaningless")]
+    fn next_below_zero_panics() {
+        let _ = DetRng::new(1).next_below(0);
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = DetRng::new(21);
+        let n = 40_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_with_scales_and_shifts() {
+        let mut rng = DetRng::new(31);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.gaussian_with(10.0, 0.5)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gaussian_with_zero_std_is_constant() {
+        let mut rng = DetRng::new(31);
+        assert_eq!(rng.gaussian_with(4.0, 0.0), 4.0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = DetRng::new(8);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_bounded() {
+        let mut rng = DetRng::new(9);
+        let sample = rng.sample_indices(20, 8);
+        assert_eq!(sample.len(), 8);
+        let mut sorted = sample.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+        assert!(sample.iter().all(|&i| i < 20));
+    }
+
+    #[test]
+    fn sample_all_is_permutation() {
+        let mut rng = DetRng::new(10);
+        let mut sample = rng.sample_indices(5, 5);
+        sample.sort_unstable();
+        assert_eq!(sample, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn oversampling_panics() {
+        let _ = DetRng::new(1).sample_indices(3, 4);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        #[test]
+        fn sample_indices_always_distinct(seed in any::<u64>(), n in 1usize..64, frac in 0.0f64..1.0) {
+            let k = ((n as f64) * frac) as usize;
+            let mut rng = DetRng::new(seed);
+            let s = rng.sample_indices(n, k);
+            let mut d = s.clone();
+            d.sort_unstable();
+            d.dedup();
+            prop_assert_eq!(d.len(), s.len());
+        }
+
+        #[test]
+        fn next_below_bounded(seed in any::<u64>(), n in 1u64..1000) {
+            let mut rng = DetRng::new(seed);
+            for _ in 0..64 {
+                prop_assert!(rng.next_below(n) < n);
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Exploring the paper's IID caveat: how data heterogeneity changes the
+//! energy-optimal federation.
+//!
+//! The paper concludes `K* = 1` *because* its prototype's data is IID
+//! ("the gradients calculated using datasets at different edge servers
+//! should show similar statistic features"). This example dials
+//! heterogeneity with a Dirichlet split and watches two things move:
+//!
+//! 1. the measured rounds-to-target `T` at small `K` (heterogeneity punishes
+//!    single-client rounds);
+//! 2. the calibrated gradient-variance constant `A₁`, which is exactly the
+//!    term that pushes the closed-form `K*` (Eq. 15) above 1.
+//!
+//! Run: `cargo run --release --example noniid_exploration`
+
+use ee_fei::core::calibration::fit_bound_constants;
+use ee_fei::prelude::*;
+use ee_fei::testbed::experiment::gap_observations;
+
+const TARGET: f64 = 0.90;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("{:>16} {:>8} {:>8} {:>8} {:>12} {:>8}", "split", "T(K=1)", "T(K=5)", "T(K=20)", "fitted A1", "K*(Eq15)");
+
+    for (label, partition) in [
+        ("IID", PartitionStrategy::Iid),
+        ("Dirichlet(1.0)", PartitionStrategy::Dirichlet { alpha: 1.0 }),
+        ("Dirichlet(0.3)", PartitionStrategy::Dirichlet { alpha: 0.3 }),
+        ("Dirichlet(0.1)", PartitionStrategy::Dirichlet { alpha: 0.1 }),
+    ] {
+        let exp = FlExperiment::prepare(FlExperimentConfig {
+            partition,
+            ..FlExperimentConfig::paper_like()
+        });
+
+        // Measured rounds to the target at three fleet fractions.
+        let (_, t1) = exp.run_to_accuracy(1, 8, TARGET, 400);
+        let (_, t5) = exp.run_to_accuracy(5, 8, TARGET, 300);
+        let (_, t20) = exp.run_to_accuracy(20, 8, TARGET, 200);
+
+        // Fixed-length runs for calibration (early-stopped histories bias
+        // the regression toward the large-gap transient).
+        let h1 = exp.run_rounds(1, 8, 120);
+        let h5 = exp.run_rounds(5, 8, 100);
+        let h20 = exp.run_rounds(20, 8, 80);
+        let h1e = exp.run_rounds(1, 1, 200);
+
+        // Calibrate the bound on these three runs to expose A1.
+        let union = exp.training_union();
+        let mut reference = LogisticRegression::zeros(union.dim(), union.num_classes());
+        LocalTrainer::new(SgdConfig::new(0.02, 1.0, None)).train(&mut reference, &union, 600, 0);
+        let f_star = reference.loss(&union) - 0.01;
+
+        let mut obs = Vec::new();
+        for (k, e, h) in [(1usize, 8usize, &h1), (5, 8, &h5), (20, 8, &h20), (1, 1, &h1e)] {
+            obs.extend(gap_observations(h, e, k, f_star, 2));
+        }
+        let (a1_str, k_star_str) = match fit_bound_constants(&obs) {
+            Ok(bound) => {
+                // Closed-form K* (Eq. 15) at E = 8 for a representative
+                // epsilon: the gap observed when the IID run hits the target.
+                let epsilon = 0.6;
+                let energy = RoundEnergyModel::paper_default();
+                let objective = EnergyObjective::new(
+                    bound,
+                    energy.b0(),
+                    energy.b1(),
+                    epsilon,
+                    20,
+                );
+                let k_star = objective
+                    .ok()
+                    .and_then(|o| o.k_star(8.0))
+                    .map_or("-".to_string(), |k| format!("{k:.2}"));
+                (format!("{:.3}", bound.a1()), k_star)
+            }
+            Err(_) => ("-".into(), "-".into()),
+        };
+
+        let fmt = |t: Option<usize>| t.map_or("-".to_string(), |t| t.to_string());
+        println!(
+            "{label:>16} {:>8} {:>8} {:>8} {a1_str:>12} {k_star_str:>8}",
+            fmt(t1),
+            fmt(t5),
+            fmt(t20),
+        );
+    }
+
+    println!(
+        "\nreading: as alpha falls (more skew), T(K=1) deteriorates fastest and the\n\
+         fitted A1 grows — through Eq. 15 (K* = 2A1/(eps - A2(E-1))) exactly the\n\
+         mechanism that lifts the optimal K above the paper's IID answer of 1."
+    );
+    Ok(())
+}

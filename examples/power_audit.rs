@@ -1,0 +1,58 @@
+//! Power-trace audit: reproduce the paper's Fig.-3 measurement chain.
+//!
+//! Builds a ground-truth power timeline for an edge server over three
+//! global rounds, samples it with the simulated 1 kHz USB meter, recovers
+//! the per-step mean powers, and verifies the metered energy integral
+//! against the exact one.
+//!
+//! Run: `cargo run --release --example power_audit`
+
+use ee_fei::power::per_state_mean_power;
+use ee_fei::prelude::*;
+use ee_fei::testbed::Testbed;
+
+fn main() {
+    let testbed = Testbed::paper_prototype();
+    let (timeline, trace) = testbed.fig3_trace(40, 3);
+
+    println!(
+        "timeline: {} segments over {:.3} s",
+        timeline.segments().len(),
+        timeline.total_duration().as_secs_f64()
+    );
+    for seg in timeline.segments().iter().take(4) {
+        println!(
+            "  {:<12} {:>8.4} s @ {:.3} W",
+            format!("{:?}", seg.state),
+            seg.duration.as_secs_f64(),
+            testbed.pi().profile().power(seg.state)
+        );
+    }
+
+    println!("\nmeter: {} samples at 1 kHz", trace.len());
+    let means = per_state_mean_power(&trace, &timeline);
+    println!("per-step mean power recovered from the noisy trace:");
+    for state in PowerState::ALL {
+        if let Some(mean) = means.get(&state) {
+            println!(
+                "  {:<12} measured {mean:.3} W (plateau {:.3} W)",
+                format!("{state:?}"),
+                testbed.pi().profile().power(state)
+            );
+        }
+    }
+
+    let exact = timeline.energy_joules(testbed.pi().profile());
+    let metered = trace.energy_joules();
+    println!(
+        "\nenergy: exact {exact:.3} J, metered {metered:.3} J ({:+.2}% error)",
+        (metered - exact) / exact * 100.0
+    );
+
+    // Energy attribution per step, the quantity EE-FEI optimizes.
+    println!("\nexact energy attribution:");
+    for state in PowerState::ALL {
+        let joules = timeline.energy_in_state_joules(testbed.pi().profile(), state);
+        println!("  {:<12} {joules:8.3} J", format!("{state:?}"));
+    }
+}

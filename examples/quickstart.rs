@@ -1,0 +1,51 @@
+//! Quickstart: plan an energy-optimal federated training run.
+//!
+//! Builds the paper's energy model, a convergence bound, and asks the EE-FEI
+//! planner for the `(K*, E*, T*)` that minimizes total energy at a target
+//! accuracy — then sanity-checks the plan against brute force.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use ee_fei::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Energy model: how many joules each step of a round costs.
+    //    `paper_default` uses the paper's Table-I fit (c0 = 7.79e-5,
+    //    c1 = 3.34e-3), NB-IoT data collection, and a WiFi model upload,
+    //    with 3 000 samples per edge server.
+    let energy = RoundEnergyModel::paper_default();
+    println!(
+        "energy model: B0 = {:.3} J/epoch, B1 = {:.3} J/round",
+        energy.b0(),
+        energy.b1()
+    );
+
+    // 2. Convergence bound: how fast FedAvg closes the loss gap
+    //    (Eq. 10's constants; fit your own from training runs with
+    //    `fei_core::calibration::fit_bound_constants`).
+    let bound = ConvergenceBound::new(1.0, 0.05, 1e-4)?;
+
+    // 3. Plan: minimize ê(K, E) = T*(K,E) · K · (B0·E + B1) over a fleet of
+    //    20 edge servers, for a target loss gap of 0.1.
+    let planner = EeFeiPlanner::new(energy, bound, 0.1, 20)?;
+    let plan = planner.plan()?;
+
+    println!(
+        "EE-FEI plan: select K = {} servers, run E = {} local epochs, T = {} rounds",
+        plan.solution.k, plan.solution.e, plan.solution.t
+    );
+    println!(
+        "predicted energy: {:.1} J vs {:.1} J for the naive K=1, E=1 schedule",
+        plan.solution.energy, plan.baseline_energy
+    );
+    println!("predicted savings: {:.1}%", plan.savings_fraction * 100.0);
+
+    // 4. Trust, but verify: exhaustive grid search must agree.
+    let grid = GridSearch::default().solve(&planner.objective())?;
+    assert_eq!((grid.k, grid.e), (plan.solution.k, plan.solution.e));
+    println!(
+        "grid search agrees after {} evaluations (ACS needed {} iterations)",
+        grid.evaluated, plan.solution.iterations
+    );
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! # EE-FEI: Energy-efficient Federated Edge Intelligence
+//!
+//! A Rust reproduction of *"Towards Energy-efficient Federated Edge
+//! Intelligence for IoT Networks"* (Wang et al., ICDCS 2021): joint
+//! optimization of the number of participating edge servers `K`, local
+//! training epochs `E`, and global rounds `T` to minimize the total energy
+//! of a federated-learning IoT system — plus every substrate the paper's
+//! evaluation depends on (FedAvg runtime, logistic-regression trainer,
+//! synthetic MNIST, a simulated 20-Raspberry-Pi testbed with 1 kHz power
+//! meters, and WiFi/NB-IoT network models).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`core`] | energy models, convergence bound, ACS optimizer, planner |
+//! | [`fl`] | FedAvg (in-process and threaded) |
+//! | [`ml`] | multinomial logistic regression + SGD |
+//! | [`data`] | synthetic MNIST, federated partitioning, IoT streams |
+//! | [`testbed`] | the simulated hardware prototype |
+//! | [`power`] | power states, timelines, meter simulation |
+//! | [`net`] | links, shared media, message codec |
+//! | [`sim`] | discrete-event kernel, deterministic RNG |
+//! | [`math`] | matrices, least squares, 1-D optimizers |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ee_fei::core::{ConvergenceBound, EeFeiPlanner, RoundEnergyModel};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // An energy model calibrated like the paper's prototype…
+//! let energy = RoundEnergyModel::paper_default();
+//! // …a convergence bound, an accuracy target, and a fleet of 20:
+//! let bound = ConvergenceBound::new(1.0, 0.05, 1e-4)?;
+//! let planner = EeFeiPlanner::new(energy, bound, 0.1, 20)?;
+//! let plan = planner.plan()?;
+//! println!(
+//!     "run K={}, E={}, T={} to save {:.1}% energy",
+//!     plan.solution.k, plan.solution.e, plan.solution.t,
+//!     plan.savings_fraction * 100.0
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+/// The paper's contribution: energy models, bound, ACS, planner.
+pub use fei_core as core;
+/// Datasets, partitioning, IoT sample streams.
+pub use fei_data as data;
+/// FedAvg runtimes.
+pub use fei_fl as fl;
+/// Linear algebra and optimization kernels.
+pub use fei_math as math;
+/// Multinomial logistic regression and SGD.
+pub use fei_ml as ml;
+/// Network links, shared media, codec.
+pub use fei_net as net;
+/// Power states, timelines, meters.
+pub use fei_power as power;
+/// Discrete-event simulation kernel.
+pub use fei_sim as sim;
+/// The simulated hardware prototype.
+pub use fei_testbed as testbed;
+
+/// Commonly used items, importable in one line.
+pub mod prelude {
+    pub use fei_core::{
+        AcsOptimizer, ComputationModel, ConvergenceBound, DataCollectionModel, EeFeiPlan,
+        EeFeiPlanner, EnergyObjective, GridSearch, RoundEnergyModel, UploadModel,
+    };
+    pub use fei_data::{Dataset, IotStream, Partition, SyntheticMnist, SyntheticMnistConfig};
+    pub use fei_fl::{
+        aggregate, AggregationRule, AsyncConfig, AsyncFedAvg, AsyncHistory, FedAvg, FedAvgConfig,
+        StopCondition, ThreadedFedAvg, TrainingHistory,
+    };
+    pub use fei_ml::{accuracy, Evaluation, LocalTrainer, LogisticRegression, Mlp, Model, SgdConfig};
+    pub use fei_power::{PowerMeter, PowerProfile, PowerState, PowerTimeline};
+    pub use fei_sim::{DetRng, SimDuration, SimTime};
+    pub use fei_testbed::{FlExperiment, FlExperimentConfig, PartitionStrategy, RaspberryPi, Testbed, TestbedConfig};
+}

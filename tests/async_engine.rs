@@ -1,0 +1,96 @@
+//! Integration: the asynchronous engine against the synchronous baseline on
+//! shared data, plus its interaction with the wider stack.
+
+use ee_fei::prelude::*;
+
+fn federation() -> (Vec<Dataset>, Dataset) {
+    let gen = SyntheticMnist::new(SyntheticMnistConfig {
+        pixel_noise_std: 0.3,
+        label_flip_prob: 0.02,
+        ..Default::default()
+    });
+    let train = gen.generate(300, 0);
+    let test = gen.generate(150, 1);
+    let clients = Partition::iid(train.len(), 5, &mut DetRng::new(21)).apply(&train);
+    (clients, test)
+}
+
+#[test]
+fn async_and_sync_reach_comparable_accuracy() {
+    let (clients, test) = federation();
+    let sgd = SgdConfig::new(0.05, 1.0, None);
+
+    let sync_config = FedAvgConfig {
+        clients_per_round: 5,
+        local_epochs: 4,
+        sgd: sgd.clone(),
+        ..Default::default()
+    };
+    let mut sync = FedAvg::new(sync_config, clients.clone(), test.clone());
+    let sync_history = sync.run_until(StopCondition::rounds(30));
+    let sync_acc = sync_history.accuracy_curve().last().unwrap().1;
+
+    let async_config = AsyncConfig {
+        local_epochs: 4,
+        sgd,
+        mixing_rate: 0.5,
+        staleness_exponent: 0.5,
+        job_seconds: vec![1.0; 5],
+        eval_every: 1,
+    };
+    let mut asynchronous = AsyncFedAvg::new(async_config, clients, test);
+    // 150 merges = the same 30 "waves" of 5 clients.
+    let async_history = asynchronous.run(150, None);
+    let async_acc = async_history
+        .records()
+        .last()
+        .and_then(|r| r.test_eval)
+        .expect("evaluated")
+        .accuracy;
+
+    assert!(sync_acc > 0.8, "sync accuracy {sync_acc}");
+    assert!(
+        async_acc > sync_acc - 0.1,
+        "async ({async_acc}) should be comparable to sync ({sync_acc})"
+    );
+}
+
+#[test]
+fn async_works_with_an_mlp() {
+    let (clients, test) = federation();
+    let config = AsyncConfig {
+        sgd: SgdConfig::new(0.1, 1.0, None),
+        ..AsyncConfig::uniform(5, 1.0, 4)
+    };
+    let template = Mlp::new(clients[0].dim(), 12, clients[0].num_classes(), 8);
+    let mut run = AsyncFedAvg::with_model(config, clients, test, template);
+    let history = run.run(120, None);
+    let final_acc = history
+        .records()
+        .last()
+        .and_then(|r| r.test_eval)
+        .expect("evaluated")
+        .accuracy;
+    assert!(final_acc > 0.5, "MLP async accuracy {final_acc}");
+}
+
+#[test]
+fn async_heterogeneous_fleet_keeps_wall_clock_bounded() {
+    let (clients, test) = federation();
+    // One device 20x slower than the rest.
+    let config = AsyncConfig {
+        sgd: SgdConfig::new(0.05, 1.0, None),
+        job_seconds: vec![1.0, 1.0, 1.0, 1.0, 20.0],
+        ..AsyncConfig::uniform(5, 1.0, 4)
+    };
+    let mut run = AsyncFedAvg::new(config, clients, test);
+    let history = run.run(100, None);
+    // 100 merges come overwhelmingly from the 4 fast devices: 25 waves.
+    let last = history.records().last().unwrap().at;
+    assert!(
+        last.as_secs_f64() < 30.0,
+        "barrier-free run should not be hostage to the slow device: {last}"
+    );
+    let counts = history.updates_per_client(5);
+    assert!(counts[4] <= 2, "slow device delivered {counts:?}");
+}

@@ -1,0 +1,121 @@
+//! End-to-end integration: data generation → federated training →
+//! calibration → joint optimization, across every crate in the workspace.
+
+use ee_fei::core::calibration::fit_bound_constants;
+use ee_fei::prelude::*;
+use ee_fei::testbed::experiment::gap_observations;
+
+/// A miniature campaign that trains in seconds even in debug mode.
+fn mini_experiment() -> FlExperiment {
+    FlExperiment::prepare(FlExperimentConfig {
+        num_devices: 4,
+        scale: 0.005,
+        test_scale: 0.02,
+        data: SyntheticMnistConfig {
+            pixel_noise_std: 0.3,
+            label_flip_prob: 0.02,
+            ..Default::default()
+        },
+        sgd: SgdConfig::new(0.05, 0.999, None),
+        eval_every: 1,
+        partition: PartitionStrategy::Iid,
+        seed: 7,
+    })
+}
+
+#[test]
+fn federated_training_reaches_a_useful_model() {
+    let exp = mini_experiment();
+    let (history, t) = exp.run_to_accuracy(4, 5, 0.85, 120);
+    let t = t.expect("4 clients x 5 epochs should reach 85% within 120 rounds");
+    assert!(t <= 120);
+    // The run stops as soon as the accuracy target is hit, so just require
+    // a clear loss improvement up to that point.
+    let losses = history.loss_curve();
+    let first = losses.first().expect("has evaluations").1;
+    let last = losses.last().expect("has evaluations").1;
+    assert!(last < first * 0.9, "loss barely moved: {first} -> {last}");
+    let final_acc = history.accuracy_curve().last().expect("has evaluations").1;
+    assert!(final_acc >= 0.85);
+}
+
+#[test]
+fn calibrated_bound_feeds_a_feasible_planner() {
+    let exp = mini_experiment();
+
+    // Probe three configurations.
+    let probes = [(1usize, 1usize, 60usize), (2, 4, 40), (4, 8, 30)];
+    let runs: Vec<(usize, usize, TrainingHistory)> = probes
+        .iter()
+        .map(|&(k, e, rounds)| (k, e, exp.run_rounds(k, e, rounds)))
+        .collect();
+
+    // Loss floor from a centralized fit.
+    let union = exp.training_union();
+    let mut reference = LogisticRegression::zeros(union.dim(), union.num_classes());
+    LocalTrainer::new(SgdConfig::new(0.05, 1.0, None)).train(&mut reference, &union, 300, 0);
+    let f_star = reference.loss(&union) - 0.01;
+
+    let mut observations = Vec::new();
+    for (k, e, h) in &runs {
+        observations.extend(gap_observations(h, *e, *k, f_star, 2));
+    }
+    assert!(observations.len() > 30, "only {} observations", observations.len());
+    let bound = fit_bound_constants(&observations).expect("regression is well-posed");
+    assert!(bound.a0() > 0.0);
+
+    // Epsilon: the largest gap observed at the end of any probe run still
+    // reachable — guarantees feasibility of the planning problem.
+    let epsilon = runs
+        .iter()
+        .filter_map(|(_, _, h)| h.loss_curve().last().map(|&(_, l)| l - f_star))
+        .fold(f64::NEG_INFINITY, f64::max)
+        * 1.5;
+    assert!(epsilon > 0.0);
+
+    let energy = RoundEnergyModel::paper_default();
+    let planner = EeFeiPlanner::new(energy, bound, epsilon, 4).expect("feasible planner");
+    let plan = planner.plan().expect("baseline feasible");
+    assert!(plan.solution.energy <= plan.baseline_energy);
+    assert!(plan.solution.k >= 1 && plan.solution.k <= 4);
+
+    // ACS's integer refinement seeds every K's continuous optimum, so its
+    // answer matches exhaustive search exactly.
+    let grid = GridSearch::default().solve(&planner.objective()).expect("grid solvable");
+    assert_eq!((grid.k, grid.e), (plan.solution.k, plan.solution.e));
+    assert!((grid.energy - plan.solution.energy).abs() < 1e-9);
+}
+
+#[test]
+fn paper_defaults_compose_into_a_plan() {
+    // The out-of-the-box path from the README: paper constants end to end.
+    let energy = RoundEnergyModel::paper_default();
+    let bound = ConvergenceBound::new(1.0, 0.05, 1e-4).expect("valid constants");
+    let planner = EeFeiPlanner::new(energy, bound, 0.1, 20).expect("feasible");
+    let plan = planner.plan().expect("solvable");
+    assert!(plan.savings_fraction > 0.0, "optimization should beat K=1, E=1");
+    assert!(plan.solution.t >= 1);
+    // The round budget honours the convergence constraint.
+    let gap = bound.gap(plan.solution.t as f64, plan.solution.e as f64, plan.solution.k as f64);
+    assert!(gap <= 0.1 + 1e-9, "bound violated: gap {gap}");
+}
+
+#[test]
+fn accuracy_targets_translate_monotonically() {
+    // Tighter accuracy -> more rounds and more energy, through the whole
+    // bound -> T* -> ê chain.
+    let energy = RoundEnergyModel::paper_default();
+    let bound = ConvergenceBound::new(1.0, 0.05, 1e-4).expect("valid constants");
+    let mut last_energy = 0.0;
+    for epsilon in [0.4, 0.2, 0.1, 0.06] {
+        let plan = EeFeiPlanner::new(energy, bound, epsilon, 20)
+            .expect("feasible")
+            .plan()
+            .expect("solvable");
+        assert!(
+            plan.solution.energy >= last_energy,
+            "tightening eps to {epsilon} reduced energy"
+        );
+        last_energy = plan.solution.energy;
+    }
+}

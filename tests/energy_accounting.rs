@@ -1,0 +1,87 @@
+//! Cross-crate energy accounting: the analytic Eq. 4/5 models, the testbed's
+//! timeline integration, and the sampled meter traces must all agree.
+
+use ee_fei::prelude::*;
+use ee_fei::testbed::Testbed;
+
+#[test]
+fn testbed_training_energy_matches_analytic_model() {
+    let testbed = Testbed::paper_prototype();
+    let model = testbed.energy_model();
+    let (k, e, t) = (4, 10, 6);
+    let run = testbed.run(k, e, t);
+
+    // Analytic step-(3) energy: K * T * (c0*E*n + c1*E).
+    let analytic = k as f64 * t as f64 * model.compute().energy_joules(e, model.n_k());
+    let measured = run.breakdown.training_j;
+    let rel = (measured - analytic).abs() / analytic;
+    assert!(
+        rel < 0.05,
+        "training energy off by {:.1}%: measured {measured}, analytic {analytic}",
+        rel * 100.0
+    );
+}
+
+#[test]
+fn testbed_upload_energy_matches_shared_medium_model() {
+    let testbed = Testbed::paper_prototype();
+    let (k, e, t) = (5, 1, 4);
+    let run = testbed.run(k, e, t);
+    // Five concurrent uploads stretch each other's airtime 5x.
+    let per_upload = testbed.upload_duration(k).as_secs_f64() * 5.015;
+    let expected = per_upload * (k * t) as f64;
+    assert!(
+        (run.breakdown.upload_j - expected).abs() / expected < 1e-6,
+        "upload {} vs expected {expected}",
+        run.breakdown.upload_j
+    );
+}
+
+#[test]
+fn metered_trace_integrates_to_timeline_energy() {
+    let testbed = Testbed::paper_prototype();
+    let (timeline, trace) = testbed.fig3_trace(20, 2);
+    let exact = timeline.energy_joules(testbed.pi().profile());
+    let metered = trace.energy_joules();
+    assert!(
+        (metered - exact).abs() / exact < 0.03,
+        "meter error too large: {metered} vs {exact}"
+    );
+}
+
+#[test]
+fn system_energy_formula_matches_summed_steps() {
+    // ê(E, K, T) = T·K·(B0·E + B1) must equal the sum of per-step energies.
+    let model = RoundEnergyModel::paper_default();
+    for (e, k, t) in [(1usize, 1usize, 1usize), (10, 5, 3), (40, 20, 7)] {
+        let direct = model.system_energy_joules(e, k, t);
+        let summed = (k * t) as f64
+            * (model.data().energy_joules(model.n_k())
+                + model.compute().energy_joules(e, model.n_k())
+                + model.upload().e_u());
+        assert!(
+            (direct - summed).abs() < 1e-9 * direct.max(1.0),
+            "(E={e}, K={k}, T={t}): {direct} vs {summed}"
+        );
+    }
+}
+
+#[test]
+fn energy_grows_in_every_knob() {
+    let testbed = Testbed::paper_prototype();
+    let base = testbed.run(2, 5, 3).total_joules();
+    assert!(testbed.run(4, 5, 3).total_joules() > base);
+    assert!(testbed.run(2, 10, 3).total_joules() > base);
+    assert!(testbed.run(2, 5, 6).total_joules() > base);
+}
+
+#[test]
+fn wall_clock_scales_with_training_time() {
+    let testbed = Testbed::paper_prototype();
+    let short = testbed.run(1, 1, 2);
+    let long = testbed.run(1, 100, 2);
+    assert!(long.wall_clock > short.wall_clock);
+    // Mean power during heavy training approaches the training plateau.
+    assert!(long.mean_power_watts() > 5.0, "mean power {}", long.mean_power_watts());
+    assert!(long.mean_power_watts() < 5.553 + 0.1);
+}

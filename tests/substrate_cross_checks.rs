@@ -1,0 +1,98 @@
+//! Cross-crate consistency checks between the substrates: the lossy-link
+//! expectation vs the IoT stream constant, battery accounting against
+//! testbed energies, and Proposition 2 on a real training run.
+
+use ee_fei::data::stream::NB_IOT_JOULES_PER_BYTE;
+use ee_fei::net::LossyLink;
+use ee_fei::power::BatteryFleet;
+use ee_fei::prelude::*;
+use ee_fei::net::Link;
+
+#[test]
+fn lossless_nb_iot_link_matches_stream_constant() {
+    // Two independent paths to the same Eq. 4 quantity: the IoT stream's
+    // per-sample energy and the NB-IoT link's transfer energy.
+    let stream = IotStream::with_defaults(1);
+    let via_stream = stream.rho_joules(NB_IOT_JOULES_PER_BYTE);
+    let via_link = Link::nb_iot().transfer_energy_joules(stream.bytes_per_sample());
+    assert!(
+        (via_stream - via_link).abs() < 1e-12,
+        "stream {via_stream} vs link {via_link}"
+    );
+}
+
+#[test]
+fn collision_loss_inflates_expected_energy_by_inverse_p() {
+    // §IV-A: fixed success probability keeps expected per-sample energy a
+    // constant — exactly rho / p.
+    let stream = IotStream::with_defaults(1);
+    let clean = stream.rho_joules(NB_IOT_JOULES_PER_BYTE);
+    for p in [1.0, 0.5, 0.25] {
+        let lossy = LossyLink::new(Link::nb_iot(), p);
+        let expected = lossy.expected_transfer_energy_joules(stream.bytes_per_sample());
+        assert!(
+            (expected - clean / p).abs() < 1e-9,
+            "p={p}: {expected} vs {}",
+            clean / p
+        );
+    }
+}
+
+#[test]
+fn battery_ledger_tracks_testbed_consumption() {
+    // Charging each round's testbed energy to a battery fleet reproduces
+    // the experiment's total.
+    let testbed = Testbed::paper_prototype();
+    let (k, e) = (4, 10);
+    let rounds = 6;
+    let total = testbed.run(k, e, rounds).total_joules();
+
+    let mut fleet = BatteryFleet::uniform(20, 1e6);
+    let per_round = testbed.run(k, e, 1).total_joules();
+    for round in 0..rounds {
+        for device in 0..k {
+            // Any k devices; homogeneous fleet.
+            fleet.consume((round + device) % 20, per_round / k as f64);
+        }
+    }
+    // Jitter differs between the single-round and multi-round runs; totals
+    // agree within the jitter budget.
+    let rel = (fleet.total_consumed() - total).abs() / total;
+    assert!(rel < 0.05, "ledger {} vs run {total}", fleet.total_consumed());
+}
+
+#[test]
+fn proposition2_holds_on_a_real_training_run() {
+    // On a (noisy but essentially monotone) run, the running average of the
+    // loss dominates the final loss — the inequality Proposition 2 needs.
+    let exp = FlExperiment::prepare(FlExperimentConfig {
+        num_devices: 4,
+        scale: 0.005,
+        test_scale: 0.02,
+        sgd: SgdConfig::new(0.05, 0.999, None),
+        ..FlExperimentConfig::paper_like()
+    });
+    let history = exp.run_rounds(4, 5, 40);
+    let mean = history.mean_loss().expect("evaluated rounds");
+    let last = history.final_loss().expect("evaluated rounds");
+    assert!(mean >= last, "Prop. 2 violated: mean {mean} < final {last}");
+    // FedAvg on IID data with decaying lr is near-monotone; allow tiny
+    // stochastic upticks.
+    assert!(history.is_loss_monotone(0.05));
+}
+
+#[test]
+fn speed_factors_and_batteries_compose() {
+    // A slow device both stretches wall clock and (through longer training
+    // airtime) drains more energy per round — visible in a ledger fed by
+    // per-device timelines.
+    let mut speeds = vec![1.0; 20];
+    speeds[7] = 0.5;
+    let testbed = Testbed::paper_prototype().with_speed_factors(speeds);
+    let (run, straggle) = testbed.run_synchronous(20, 20, 2);
+    assert!(straggle > 0.0);
+    assert!(run.total_joules() > 0.0);
+    let uniform = Testbed::paper_prototype();
+    let (u_run, _) = uniform.run_synchronous(20, 20, 2);
+    assert!(run.total_joules() > u_run.total_joules());
+}
