@@ -41,8 +41,8 @@ fn main() {
     let pi = testbed.pi().clone();
     let job_overhead =
         testbed.download_duration().as_secs_f64() + testbed.upload_duration(1).as_secs_f64();
-    let per_job_energy = testbed.energy_model().b0() / 3_000.0 * n_k as f64 * E as f64
-        + testbed.energy_model().b1();
+    let per_job_energy =
+        testbed.energy_model().b0() / 3_000.0 * n_k as f64 * E as f64 + testbed.energy_model().b1();
 
     println!(
         "fleet: N={N}, E={E}, n_k={n_k}; one local job = {:.3}s compute + {:.3}s I/O, {:.3} J",
@@ -59,8 +59,15 @@ fn main() {
     for spread in [0.0, 0.4, 0.8] {
         // Speed factors uniform in [1-spread, 1+spread].
         let mut srng = DetRng::new(0x57A6);
-        let speeds: Vec<f64> =
-            (0..N).map(|_| if spread == 0.0 { 1.0 } else { srng.uniform(1.0 - spread, 1.0 + spread) }).collect();
+        let speeds: Vec<f64> = (0..N)
+            .map(|_| {
+                if spread == 0.0 {
+                    1.0
+                } else {
+                    srng.uniform(1.0 - spread, 1.0 + spread)
+                }
+            })
+            .collect();
 
         // --- synchronous: rounds to target, timed with barriers ---
         let config = FedAvgConfig {
@@ -106,12 +113,13 @@ fn main() {
         let mut asynchronous = AsyncFedAvg::new(async_config, clients.clone(), test.clone());
         let async_history = asynchronous.run(4_000, Some(TARGET));
         let async_u = async_history.updates_to_accuracy(TARGET);
-        let async_time = async_history.time_to_accuracy(TARGET).map(|t| t.as_secs_f64());
+        let async_time = async_history
+            .time_to_accuracy(TARGET)
+            .map(|t| t.as_secs_f64());
         let async_energy = async_u.map(|u| u as f64 * per_job_energy);
 
-        let fmt_opt = |v: Option<f64>, unit: &str| {
-            v.map_or("-".to_string(), |v| format!("{v:.1}{unit}"))
-        };
+        let fmt_opt =
+            |v: Option<f64>, unit: &str| v.map_or("-".to_string(), |v| format!("{v:.1}{unit}"));
         println!(
             "{spread:>8.1} {:>10} {:>12} {:>12} {:>10} {:>12} {:>12}",
             sync_t.map_or("-".into(), |t| t.to_string()),

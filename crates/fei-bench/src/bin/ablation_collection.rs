@@ -18,20 +18,46 @@ fn main() {
 
     let preloaded = Testbed::paper_prototype();
     let live = Testbed::new(
-        TestbedConfig { preloaded_data: false, ..Default::default() },
+        TestbedConfig {
+            preloaded_data: false,
+            ..Default::default()
+        },
         RaspberryPi::paper_calibrated(),
     );
 
     section("per-round, per-server energy decomposition (E = 20)");
-    println!("{:>24} {:>14} {:>14}", "component", "pre-loaded", "live NB-IoT");
+    println!(
+        "{:>24} {:>14} {:>14}",
+        "component", "pre-loaded", "live NB-IoT"
+    );
     let pre_run = preloaded.run(1, 20, 1);
     let live_run = live.run(1, 20, 1);
     for (name, a, b) in [
-        ("data collection", pre_run.breakdown.collection_j, live_run.breakdown.collection_j),
-        ("waiting", pre_run.breakdown.waiting_j, live_run.breakdown.waiting_j),
-        ("model download", pre_run.breakdown.download_j, live_run.breakdown.download_j),
-        ("local training", pre_run.breakdown.training_j, live_run.breakdown.training_j),
-        ("model upload", pre_run.breakdown.upload_j, live_run.breakdown.upload_j),
+        (
+            "data collection",
+            pre_run.breakdown.collection_j,
+            live_run.breakdown.collection_j,
+        ),
+        (
+            "waiting",
+            pre_run.breakdown.waiting_j,
+            live_run.breakdown.waiting_j,
+        ),
+        (
+            "model download",
+            pre_run.breakdown.download_j,
+            live_run.breakdown.download_j,
+        ),
+        (
+            "local training",
+            pre_run.breakdown.training_j,
+            live_run.breakdown.training_j,
+        ),
+        (
+            "model upload",
+            pre_run.breakdown.upload_j,
+            live_run.breakdown.upload_j,
+        ),
     ] {
         println!("{name:>24} {:>14} {:>14}", fmt_joules(a), fmt_joules(b));
     }

@@ -24,8 +24,7 @@ fn main() {
     );
     let mut worst_penalty: f64 = 0.0;
     for (b0, b1) in [(0.5, 2.0), (0.05, 2.0), (0.5, 20.0)] {
-        let objective =
-            EnergyObjective::new(bound, b0, b1, 0.1, 20).expect("feasible objective");
+        let objective = EnergyObjective::new(bound, b0, b1, 0.1, 20).expect("feasible objective");
         println!("-- B0 = {b0}, B1 = {b1}");
         for k in [1.0f64, 5.0, 10.0, 20.0] {
             let paper = objective.e_star_paper(k).expect("A2, B1 > 0");
@@ -33,8 +32,7 @@ fn main() {
             let e_hi = objective.e_max(k) - 1e-6;
             let numeric = golden_section_min(|e| objective.eval(k, e), 1.0, e_hi, 1e-10).x;
             // How much energy the printed formula wastes vs the exact root.
-            let penalty =
-                (objective.eval(k, paper) / objective.eval(k, exact) - 1.0) * 100.0;
+            let penalty = (objective.eval(k, paper) / objective.eval(k, exact) - 1.0) * 100.0;
             let exact_err = (exact - numeric).abs() / numeric * 100.0;
             worst_penalty = worst_penalty.max(penalty);
             println!(

@@ -47,7 +47,10 @@ fn main() {
     let model_energy = testbed.energy_model();
     let lr_params = (784 * 10 + 10) as f64;
 
-    section(&format!("training to {:.0}% (K = {K}, E = {E})", TARGET * 100.0));
+    section(&format!(
+        "training to {:.0}% (K = {K}, E = {E})",
+        TARGET * 100.0
+    ));
     println!(
         "{:>22} {:>10} {:>10} {:>10} {:>14}",
         "model", "params", "T(target)", "final acc", "energy"
@@ -59,7 +62,11 @@ fn main() {
 
     let report = |label: &str, params: usize, history: fei_fl::TrainingHistory| {
         let t = history.rounds_to_accuracy(TARGET);
-        let final_acc = history.accuracy_curve().last().map(|&(_, a)| a).unwrap_or(0.0);
+        let final_acc = history
+            .accuracy_curve()
+            .last()
+            .map(|&(_, a)| a)
+            .unwrap_or(0.0);
         // Scale the calibrated LR compute/upload energy by parameter count —
         // the linear-in-work assumption of Eq. 5 applied across models.
         let scale = params as f64 / lr_params;

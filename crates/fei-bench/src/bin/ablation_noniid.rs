@@ -24,7 +24,10 @@ fn measure(label: &str, partition: PartitionStrategy) -> Option<(usize, f64)> {
         ..FlExperimentConfig::paper_like()
     });
     let testbed = Testbed::paper_prototype();
-    section(&format!("{label}: energy to {:.0}% accuracy, E = {FIXED_E}", TARGET * 100.0));
+    section(&format!(
+        "{label}: energy to {:.0}% accuracy, E = {FIXED_E}",
+        TARGET * 100.0
+    ));
     println!("{:>4} {:>10} {:>14}", "K", "T(meas)", "measured");
     let mut best: Option<(usize, f64)> = None;
     for &k in &KS {
@@ -55,7 +58,9 @@ fn main() {
     );
     let shards = measure(
         "pathological 2-shard split",
-        PartitionStrategy::LabelShards { shards_per_client: 2 },
+        PartitionStrategy::LabelShards {
+            shards_per_client: 2,
+        },
     );
 
     section("optimal K* per split");

@@ -44,7 +44,9 @@ fn select(policy: Policy, round: usize, fleet: &BatteryFleet, rng: &mut DetRng) 
             if alive.len() < K {
                 return Vec::new();
             }
-            (0..K).map(|i| alive[(round * K + i) % alive.len()]).collect()
+            (0..K)
+                .map(|i| alive[(round * K + i) % alive.len()])
+                .collect()
         }
         Policy::TopKBattery => {
             let picks = fleet.top_k_by_remaining(K);

@@ -20,14 +20,18 @@ const ROUNDS: usize = 10;
 /// Builds a fleet whose speed factors are uniform in `[1 - spread, 1 + spread]`.
 fn mixed_fleet(spread: f64, seed: u64) -> Testbed {
     let mut rng = DetRng::new(seed);
-    let speeds: Vec<f64> = (0..20).map(|_| rng.uniform(1.0 - spread, 1.0 + spread)).collect();
+    let speeds: Vec<f64> = (0..20)
+        .map(|_| rng.uniform(1.0 - spread, 1.0 + spread))
+        .collect();
     Testbed::paper_prototype().with_speed_factors(speeds)
 }
 
 fn main() {
     banner("Ablation: straggler waste in heterogeneous fleets");
 
-    section(&format!("straggler energy per {ROUNDS} rounds (E = {E}), by speed spread"));
+    section(&format!(
+        "straggler energy per {ROUNDS} rounds (E = {E}), by speed spread"
+    ));
     println!(
         "{:>8} {:>6} {:>14} {:>16} {:>12} {:>14}",
         "spread", "K", "total", "straggler wait", "waste %", "wall clock"

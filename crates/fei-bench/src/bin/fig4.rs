@@ -41,7 +41,11 @@ fn print_curves(histories: &[(String, TrainingHistory)]) {
     for &t in &CURVE_POINTS {
         print!("{t:>6}");
         for (_, h) in histories {
-            match h.accuracy_curve().iter().find(|&&(round, _)| round + 1 == t) {
+            match h
+                .accuracy_curve()
+                .iter()
+                .find(|&&(round, _)| round + 1 == t)
+            {
                 Some(&(_, acc)) => print!(" {acc:>12.4}"),
                 None => print!(" {:>12}", "-"),
             }
@@ -51,7 +55,9 @@ fn print_curves(histories: &[(String, TrainingHistory)]) {
 }
 
 fn panel_ab(exp: &FlExperiment) {
-    section(&format!("panels (a)/(b): fixed E = 40, varying K; targets {EASY_TARGET} / {STRINGENT_TARGET}"));
+    section(&format!(
+        "panels (a)/(b): fixed E = 40, varying K; targets {EASY_TARGET} / {STRINGENT_TARGET}"
+    ));
     let ks = [1usize, 5, 10, 20];
     let mut histories = Vec::new();
     for &k in &ks {
@@ -65,8 +71,10 @@ fn panel_ab(exp: &FlExperiment) {
     for (label, h) in &histories {
         println!(
             "{label:>6} {:>14} {:>14}",
-            h.rounds_to_accuracy(EASY_TARGET).map_or("-".into(), |t| t.to_string()),
-            h.rounds_to_accuracy(STRINGENT_TARGET).map_or("-".into(), |t| t.to_string()),
+            h.rounds_to_accuracy(EASY_TARGET)
+                .map_or("-".into(), |t| t.to_string()),
+            h.rounds_to_accuracy(STRINGENT_TARGET)
+                .map_or("-".into(), |t| t.to_string()),
         );
     }
     println!(
@@ -76,7 +84,9 @@ fn panel_ab(exp: &FlExperiment) {
 }
 
 fn panel_cd(exp: &FlExperiment) {
-    section(&format!("panels (c)/(d): fixed K = 10, varying E; target {STRINGENT_TARGET}"));
+    section(&format!(
+        "panels (c)/(d): fixed K = 10, varying E; target {STRINGENT_TARGET}"
+    ));
     let es = [1usize, 5, 20, 40, 100];
     let mut histories = Vec::new();
     for &e in &es {

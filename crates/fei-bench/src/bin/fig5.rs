@@ -8,7 +8,9 @@
 //!
 //! Run: `cargo run --release -p fei-bench --bin fig5`
 
-use fei_bench::{banner, calibrate, estimate_loss_floor, fmt_joules, run_calibration_campaign, section};
+use fei_bench::{
+    banner, calibrate, estimate_loss_floor, fmt_joules, run_calibration_campaign, section,
+};
 use fei_core::EnergyObjective;
 use fei_testbed::{FlExperiment, FlExperimentConfig, Testbed, STRINGENT_TARGET};
 
@@ -44,7 +46,10 @@ fn main() {
     )
     .expect("calibrated objective is feasible");
 
-    section(&format!("energy to {:.0}% accuracy, E = {FIXED_E}", STRINGENT_TARGET * 100.0));
+    section(&format!(
+        "energy to {:.0}% accuracy, E = {FIXED_E}",
+        STRINGENT_TARGET * 100.0
+    ));
     println!(
         "{:>4} {:>10} {:>14} {:>10} {:>14}",
         "K", "T(bound)", "bound energy", "T(meas)", "measured"

@@ -6,7 +6,9 @@
 //!
 //! Run: `cargo run --release -p fei-bench --bin fig6`
 
-use fei_bench::{banner, calibrate, estimate_loss_floor, fmt_joules, run_calibration_campaign, section};
+use fei_bench::{
+    banner, calibrate, estimate_loss_floor, fmt_joules, run_calibration_campaign, section,
+};
 use fei_core::EnergyObjective;
 use fei_testbed::{FlExperiment, FlExperimentConfig, Testbed, STRINGENT_TARGET};
 
@@ -42,7 +44,10 @@ fn main() {
     )
     .expect("calibrated objective is feasible");
 
-    section(&format!("energy to {:.0}% accuracy, K = {FIXED_K}", STRINGENT_TARGET * 100.0));
+    section(&format!(
+        "energy to {:.0}% accuracy, K = {FIXED_K}",
+        STRINGENT_TARGET * 100.0
+    ));
     println!(
         "{:>4} {:>10} {:>14} {:>10} {:>14}",
         "E", "T(bound)", "bound energy", "T(meas)", "measured"
@@ -84,7 +89,10 @@ fn main() {
         measured_best.map(|(e, _)| e),
     );
 
-    let baseline = measured_curve.iter().find(|&&(e, _)| e == 1).map(|&(_, en)| en);
+    let baseline = measured_curve
+        .iter()
+        .find(|&&(e, _)| e == 1)
+        .map(|&(_, en)| en);
     match (baseline, measured_best) {
         (Some(base), Some((e_star, best_energy))) => {
             let saving = (1.0 - best_energy / base) * 100.0;

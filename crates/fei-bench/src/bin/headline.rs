@@ -10,7 +10,9 @@
 //!
 //! Run: `cargo run --release -p fei-bench --bin headline`
 
-use fei_bench::{banner, calibrate, estimate_loss_floor, fmt_joules, run_calibration_campaign, section};
+use fei_bench::{
+    banner, calibrate, estimate_loss_floor, fmt_joules, run_calibration_campaign, section,
+};
 use fei_core::{AcsOptimizer, EeFeiPlanner, GridSearch};
 use fei_testbed::{FlExperiment, FlExperimentConfig, Testbed, STRINGENT_TARGET};
 
@@ -29,7 +31,11 @@ fn main() {
         fmt_joules(model.upload().e_u()),
         model.n_k(),
     );
-    println!("B0 = {:.4} J/epoch   B1 = {:.4} J/round", model.b0(), model.b1());
+    println!(
+        "B0 = {:.4} J/epoch   B1 = {:.4} J/round",
+        model.b0(),
+        model.b1()
+    );
 
     section("step 2: convergence bound (training-run calibration)");
     let runs = run_calibration_campaign(&exp);
@@ -65,7 +71,9 @@ fn main() {
     );
     println!("predicted savings: {:.1}%", plan.savings_fraction * 100.0);
 
-    let grid = GridSearch::default().solve(&planner.objective()).expect("grid solvable");
+    let grid = GridSearch::default()
+        .solve(&planner.objective())
+        .expect("grid solvable");
     println!(
         "exhaustive grid check: K*={} E*={} energy {} after {} evaluations (ACS used {} iterations)",
         grid.k,

@@ -26,7 +26,8 @@ fn print_report(report: &SensitivityReport) {
             p.e,
             p.t,
             fmt_joules(p.energy),
-            p.savings.map_or("-".into(), |s| format!("{:.1}%", s * 100.0)),
+            p.savings
+                .map_or("-".into(), |s| format!("{:.1}%", s * 100.0)),
         );
     }
 }
@@ -38,12 +39,21 @@ fn main() {
     // optimal round budget stays interior (see EXPERIMENTS.md).
     let energy: RoundEnergyModel = Testbed::paper_prototype().energy_model();
     let bound = ConvergenceBound::new(50.0, 0.05, 1e-4).expect("valid constants");
-    let base = SensitivityBase { energy, bound, epsilon: 0.1, n: 20 };
+    let base = SensitivityBase {
+        energy,
+        bound,
+        epsilon: 0.1,
+        n: 20,
+    };
 
     print_report(&base.sweep_b1(&[0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0]));
     println!("mechanism: pricier rounds -> batch more local epochs per round (E* rises)");
 
-    print_report(&base.sweep_a1(&[0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0]).expect("valid sweep"));
+    print_report(
+        &base
+            .sweep_a1(&[0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0])
+            .expect("valid sweep"),
+    );
     println!("mechanism: noisier/more heterogeneous gradients -> average more clients (K* rises)");
 
     print_report(&base.sweep_epsilon(&[0.5, 0.3, 0.2, 0.1, 0.05, 0.02, 0.01]));

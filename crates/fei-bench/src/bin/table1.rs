@@ -19,7 +19,10 @@ fn main() {
     let paper = paper_table1();
 
     section("durations (seconds)");
-    println!("{:>4} {:>6} {:>12} {:>12} {:>8}", "E", "n_k", "paper", "simulated", "diff%");
+    println!(
+        "{:>4} {:>6} {:>12} {:>12} {:>8}",
+        "E", "n_k", "paper", "simulated", "diff%"
+    );
     for (p, s) in paper.iter().zip(&simulated) {
         let diff = (s.seconds - p.seconds) / p.seconds * 100.0;
         println!(
@@ -41,5 +44,8 @@ fn main() {
             fit.rmse_seconds * 1e3,
         );
     }
-    println!("{:>14}: c0 = 7.790e-5                  c1 = 3.340e-3   (published §VI-B)", "paper reports");
+    println!(
+        "{:>14}: c0 = 7.790e-5                  c1 = 3.340e-3   (published §VI-B)",
+        "paper reports"
+    );
 }

@@ -28,7 +28,12 @@ fn main() {
         "", tuned_cfg.sgd.learning_rate, tuned_cfg.sgd.decay_per_round
     );
     println!("{:<22} full local batch", "Batch size");
-    println!("{:<22} {} parameters / {} bytes per upload", "Model payload", model.num_params(), model.payload_bytes());
+    println!(
+        "{:<22} {} parameters / {} bytes per upload",
+        "Model payload",
+        model.num_params(),
+        model.payload_bytes()
+    );
     println!(
         "{:<22} {} edge servers, {} samples each at scale {}",
         "Fleet",

@@ -40,15 +40,25 @@ pub struct CalibrationRun {
 /// spread the design matrix across all three bound terms — `1/(TE)`, `1/K`,
 /// and `E−1` — and run for a *fixed* number of rounds (no early stop) so the
 /// fit sees the full gap decay of every combination.
-pub const CALIBRATION_COMBOS: [(usize, usize, usize); 6] =
-    [(1, 1, 400), (1, 20, 80), (5, 5, 100), (10, 1, 400), (10, 40, 50), (20, 10, 60)];
+pub const CALIBRATION_COMBOS: [(usize, usize, usize); 6] = [
+    (1, 1, 400),
+    (1, 20, 80),
+    (5, 5, 100),
+    (10, 1, 400),
+    (10, 40, 50),
+    (20, 10, 60),
+];
 
 /// Executes the calibration campaign: trains every combo in
 /// [`CALIBRATION_COMBOS`] for its fixed round budget.
 pub fn run_calibration_campaign(exp: &FlExperiment) -> Vec<CalibrationRun> {
     CALIBRATION_COMBOS
         .iter()
-        .map(|&(k, e, rounds)| CalibrationRun { k, e, history: exp.run_rounds(k, e, rounds) })
+        .map(|&(k, e, rounds)| CalibrationRun {
+            k,
+            e,
+            history: exp.run_rounds(k, e, rounds),
+        })
         .collect()
 }
 
@@ -96,8 +106,11 @@ pub fn calibrate(runs: &[CalibrationRun], f_star: f64) -> Result<Calibration, Co
     let mut crossing_gaps = Vec::new();
     for run in runs {
         if let Some(t) = run.history.rounds_to_accuracy(STRINGENT_TARGET) {
-            if let Some(&(_, loss)) =
-                run.history.loss_curve().iter().find(|&&(round, _)| round + 1 == t)
+            if let Some(&(_, loss)) = run
+                .history
+                .loss_curve()
+                .iter()
+                .find(|&&(round, _)| round + 1 == t)
             {
                 crossing_gaps.push(loss - f_star);
             }
@@ -109,7 +122,11 @@ pub fn calibrate(runs: &[CalibrationRun], f_star: f64) -> Result<Calibration, Co
         });
     }
     let epsilon = crossing_gaps.iter().sum::<f64>() / crossing_gaps.len() as f64;
-    Ok(Calibration { bound, f_star, epsilon })
+    Ok(Calibration {
+        bound,
+        f_star,
+        epsilon,
+    })
 }
 
 /// Prints a banner for a table/figure report.
@@ -126,7 +143,10 @@ pub fn section(title: &str) {
 /// Renders a crude ASCII sparkline of `values` scaled into `height` rows —
 /// enough to see the Fig. 3 power plateaus in a terminal.
 pub fn sparkline(values: &[f64], width: usize) -> String {
-    const GLYPHS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    const GLYPHS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
     if values.is_empty() || width == 0 {
         return String::new();
     }
@@ -194,13 +214,14 @@ mod tests {
             ..FlExperimentConfig::paper_like()
         };
         let exp = FlExperiment::prepare(cfg);
-        let runs: Vec<CalibrationRun> = [(1usize, 1usize), (2, 5), (4, 10), (1, 10), (2, 1), (4, 1)]
-            .iter()
-            .map(|&(k, e)| {
-                let (history, _) = exp.run_to_accuracy(k, e, STRINGENT_TARGET, 150);
-                CalibrationRun { k, e, history }
-            })
-            .collect();
+        let runs: Vec<CalibrationRun> =
+            [(1usize, 1usize), (2, 5), (4, 10), (1, 10), (2, 1), (4, 1)]
+                .iter()
+                .map(|&(k, e)| {
+                    let (history, _) = exp.run_to_accuracy(k, e, STRINGENT_TARGET, 150);
+                    CalibrationRun { k, e, history }
+                })
+                .collect();
         let f_star = estimate_loss_floor(&exp);
         match calibrate(&runs, f_star) {
             Ok(cal) => {

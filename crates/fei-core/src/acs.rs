@@ -61,7 +61,11 @@ pub struct AcsOptimizer {
 
 impl Default for AcsOptimizer {
     fn default() -> Self {
-        Self { residual: 1e-9, max_iterations: 100, e_cap: 10_000 }
+        Self {
+            residual: 1e-9,
+            max_iterations: 100,
+            e_cap: 10_000,
+        }
     }
 }
 
@@ -119,7 +123,11 @@ impl AcsOptimizer {
             }
 
             let new_energy = objective.eval(k, e);
-            trajectory.push(AcsIterate { k, e, energy: new_energy });
+            trajectory.push(AcsIterate {
+                k,
+                e,
+                energy: new_energy,
+            });
             let delta = (energy - new_energy).abs();
             energy = new_energy;
             if delta <= self.residual {
@@ -164,7 +172,10 @@ impl AcsOptimizer {
     ) -> Result<(usize, usize, usize, f64), CoreError> {
         let n = objective.n();
         let mut seeds = vec![
-            (k.round().clamp(1.0, n as f64) as usize, e.round().max(1.0) as usize),
+            (
+                k.round().clamp(1.0, n as f64) as usize,
+                e.round().max(1.0) as usize,
+            ),
             (1, 1),
             (n, 1),
         ];
@@ -190,7 +201,11 @@ impl AcsOptimizer {
                 // E-sweep at fixed K.
                 let e_hi = {
                     let em = objective.e_max(kk as f64);
-                    if em.is_finite() { (em.ceil() as usize).min(self.e_cap) } else { self.e_cap }
+                    if em.is_finite() {
+                        (em.ceil() as usize).min(self.e_cap)
+                    } else {
+                        self.e_cap
+                    }
                 };
                 if let Some((e_new, _)) = fei_math::optimize::minimize_over_integers(
                     |ecand| match objective.eval_integer(kk, ecand as usize) {
@@ -315,7 +330,12 @@ mod tests {
     fn a2_zero_runs_e_to_the_one_round_point() {
         let bound = ConvergenceBound::new(1.0, 0.05, 0.0).unwrap();
         let o = EnergyObjective::new(bound, 1e-9, 10.0, 0.1, 20).unwrap();
-        let s = AcsOptimizer { e_cap: 500, ..Default::default() }.solve(&o, 5.0, 5.0).unwrap();
+        let s = AcsOptimizer {
+            e_cap: 500,
+            ..Default::default()
+        }
+        .solve(&o, 5.0, 5.0)
+        .unwrap();
         // Without a drift term extra epochs are almost free, and each
         // reduces T* — until the integer budget bottoms out at T = 1. With
         // K* = 1, T*(1, E) = 20/E, so the integer optimum is E = 20, T = 1.

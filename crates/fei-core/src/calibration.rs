@@ -56,7 +56,10 @@ impl TimingFit {
     ///
     /// Returns [`CoreError::InvalidParameter`] if the resulting coefficients
     /// are invalid (negative fit on degenerate data).
-    pub fn to_computation_model(&self, training_power_watts: f64) -> Result<ComputationModel, CoreError> {
+    pub fn to_computation_model(
+        &self,
+        training_power_watts: f64,
+    ) -> Result<ComputationModel, CoreError> {
         ComputationModel::new(
             self.seconds_per_sample_epoch * training_power_watts,
             self.seconds_per_epoch * training_power_watts,
@@ -120,7 +123,10 @@ pub struct GapObservation {
 pub fn fit_bound_constants(observations: &[GapObservation]) -> Result<ConvergenceBound, CoreError> {
     if observations.len() < 3 {
         return Err(CoreError::CalibrationFailed {
-            detail: format!("need at least 3 gap observations, got {}", observations.len()),
+            detail: format!(
+                "need at least 3 gap observations, got {}",
+                observations.len()
+            ),
         });
     }
     let design_rows: Vec<Vec<f64>> = observations
@@ -168,7 +174,11 @@ pub fn paper_table1() -> Vec<TimingRow> {
         (40, 2000, 1.1451),
     ];
     data.iter()
-        .map(|&(epochs, samples, seconds)| TimingRow { epochs, samples, seconds })
+        .map(|&(epochs, samples, seconds)| TimingRow {
+            epochs,
+            samples,
+            seconds,
+        })
         .collect()
 }
 
@@ -188,9 +198,19 @@ mod tests {
         let fit = fit_timing_model(&paper_table1()).unwrap();
         let model = fit.to_computation_model(TRAINING_POWER_WATTS).unwrap();
         let c0_err = (model.c0() - 7.79e-5).abs() / 7.79e-5;
-        assert!(c0_err < 0.10, "c0 = {} ({}% off)", model.c0(), c0_err * 100.0);
+        assert!(
+            c0_err < 0.10,
+            "c0 = {} ({}% off)",
+            model.c0(),
+            c0_err * 100.0
+        );
         let c1_err = (model.c1() - 3.34e-3).abs() / 3.34e-3;
-        assert!(c1_err < 0.35, "c1 = {} ({}% off)", model.c1(), c1_err * 100.0);
+        assert!(
+            c1_err < 0.35,
+            "c1 = {} ({}% off)",
+            model.c1(),
+            c1_err * 100.0
+        );
     }
 
     #[test]
@@ -232,7 +252,11 @@ mod tests {
 
     #[test]
     fn timing_fit_rejects_insufficient_data() {
-        let r = TimingRow { epochs: 1, samples: 1, seconds: 1.0 };
+        let r = TimingRow {
+            epochs: 1,
+            samples: 1,
+            seconds: 1.0,
+        };
         assert!(matches!(
             fit_timing_model(&[r]),
             Err(CoreError::CalibrationFailed { .. })
@@ -243,8 +267,16 @@ mod tests {
     fn timing_fit_rejects_degenerate_design() {
         // Two proportional rows: rank-1 design.
         let rows = [
-            TimingRow { epochs: 10, samples: 100, seconds: 0.1 },
-            TimingRow { epochs: 20, samples: 100, seconds: 0.2 },
+            TimingRow {
+                epochs: 10,
+                samples: 100,
+                seconds: 0.1,
+            },
+            TimingRow {
+                epochs: 20,
+                samples: 100,
+                seconds: 0.2,
+            },
         ];
         assert!(matches!(
             fit_timing_model(&rows),
@@ -263,9 +295,7 @@ mod tests {
                         rounds: t,
                         epochs: e,
                         clients: k,
-                        gap: a0 / (t as f64 * e as f64)
-                            + a1 / k as f64
-                            + a2 * (e as f64 - 1.0),
+                        gap: a0 / (t as f64 * e as f64) + a1 / k as f64 + a2 * (e as f64 - 1.0),
                     });
                 }
             }
@@ -298,7 +328,12 @@ mod tests {
 
     #[test]
     fn bound_fit_rejects_insufficient_observations() {
-        let o = GapObservation { rounds: 1, epochs: 1, clients: 1, gap: 0.1 };
+        let o = GapObservation {
+            rounds: 1,
+            epochs: 1,
+            clients: 1,
+            gap: 0.1,
+        };
         assert!(matches!(
             fit_bound_constants(&[o, o]),
             Err(CoreError::CalibrationFailed { .. })
@@ -335,7 +370,9 @@ mod tests {
         let rows = paper_table1();
         assert_eq!(rows.len(), 12);
         assert!(rows.iter().all(|r| [10, 20, 40].contains(&r.epochs)));
-        assert!(rows.iter().all(|r| [100, 500, 1000, 2000].contains(&r.samples)));
+        assert!(rows
+            .iter()
+            .all(|r| [100, 500, 1000, 2000].contains(&r.samples)));
         // Durations increase with n_k within each E block.
         for block in rows.chunks(4) {
             for pair in block.windows(2) {

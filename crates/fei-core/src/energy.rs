@@ -30,7 +30,9 @@ impl DataCollectionModel {
 
     /// NB-IoT default: 7.74 mJ per byte × 785-byte samples.
     pub fn nb_iot_default() -> Self {
-        Self { rho: 7.74e-3 * 785.0 }
+        Self {
+            rho: 7.74e-3 * 785.0,
+        }
     }
 
     /// Per-sample energy `ρ`, joules.
@@ -64,7 +66,10 @@ impl ComputationModel {
         require_non_negative("c0", c0)?;
         require_non_negative("c1", c1)?;
         if c0 == 0.0 && c1 == 0.0 {
-            return Err(CoreError::invalid("c0/c1", "at least one coefficient must be positive"));
+            return Err(CoreError::invalid(
+                "c0/c1",
+                "at least one coefficient must be positive",
+            ));
         }
         Ok(Self { c0, c1 })
     }
@@ -72,7 +77,10 @@ impl ComputationModel {
     /// The paper's least-squares fit over Table I: `c₀ = 7.79 × 10⁻⁵`,
     /// `c₁ = 3.34 × 10⁻³` (§VI-B).
     pub fn paper_fit() -> Self {
-        Self { c0: 7.79e-5, c1: 3.34e-3 }
+        Self {
+            c0: 7.79e-5,
+            c1: 3.34e-3,
+        }
     }
 
     /// Energy per sample per epoch `c₀`, joules.
@@ -121,7 +129,9 @@ impl UploadModel {
     pub fn wifi_default() -> Self {
         let payload_bytes = (784 * 10 + 10) * 8;
         let seconds = 0.002 + payload_bytes as f64 * 8.0 / 20e6;
-        Self { e_u: 5.015 * seconds }
+        Self {
+            e_u: 5.015 * seconds,
+        }
     }
 
     /// Joules per upload.
@@ -155,7 +165,12 @@ impl RoundEnergyModel {
         if n_k == 0 {
             return Err(CoreError::invalid("n_k", "local dataset must be non-empty"));
         }
-        Ok(Self { data, compute, upload, n_k })
+        Ok(Self {
+            data,
+            compute,
+            upload,
+            n_k,
+        })
     }
 
     /// The prototype's defaults: NB-IoT collection, the paper's Table-I fit,

@@ -47,7 +47,10 @@ impl Error for CoreError {}
 impl CoreError {
     /// Shorthand for an [`CoreError::InvalidParameter`].
     pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
-        CoreError::InvalidParameter { name, reason: reason.into() }
+        CoreError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
     }
 }
 
@@ -56,7 +59,10 @@ pub(crate) fn require_positive(name: &'static str, value: f64) -> Result<(), Cor
     if value.is_finite() && value > 0.0 {
         Ok(())
     } else {
-        Err(CoreError::invalid(name, format!("must be finite and positive, got {value}")))
+        Err(CoreError::invalid(
+            name,
+            format!("must be finite and positive, got {value}"),
+        ))
     }
 }
 
@@ -65,7 +71,10 @@ pub(crate) fn require_non_negative(name: &'static str, value: f64) -> Result<(),
     if value.is_finite() && value >= 0.0 {
         Ok(())
     } else {
-        Err(CoreError::invalid(name, format!("must be finite and non-negative, got {value}")))
+        Err(CoreError::invalid(
+            name,
+            format!("must be finite and non-negative, got {value}"),
+        ))
     }
 }
 
@@ -77,9 +86,13 @@ mod tests {
     fn display_messages_are_informative() {
         let e = CoreError::invalid("epsilon", "must be positive");
         assert!(e.to_string().contains("epsilon"));
-        let e = CoreError::Infeasible { detail: "A1 too large".into() };
+        let e = CoreError::Infeasible {
+            detail: "A1 too large".into(),
+        };
         assert!(e.to_string().contains("A1 too large"));
-        let e = CoreError::CalibrationFailed { detail: "singular".into() };
+        let e = CoreError::CalibrationFailed {
+            detail: "singular".into(),
+        };
         assert!(e.to_string().contains("singular"));
     }
 

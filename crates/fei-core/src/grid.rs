@@ -59,7 +59,13 @@ impl GridSearch {
             for e in 1..=e_hi {
                 evaluated += 1;
                 if let Some((t, energy)) = objective.eval_integer(k, e) {
-                    let candidate = GridSolution { k, e, t, energy, evaluated: 0 };
+                    let candidate = GridSolution {
+                        k,
+                        e,
+                        t,
+                        energy,
+                        evaluated: 0,
+                    };
                     best = match best {
                         Some(b) if b.energy <= energy => Some(b),
                         _ => Some(candidate),
@@ -71,7 +77,9 @@ impl GridSearch {
             b.evaluated = evaluated;
             b
         })
-        .ok_or_else(|| CoreError::Infeasible { detail: "no feasible grid point".into() })
+        .ok_or_else(|| CoreError::Infeasible {
+            detail: "no feasible grid point".into(),
+        })
     }
 }
 

@@ -1,0 +1,181 @@
+//! Energy ledger separating useful spend from waste.
+//!
+//! The paper's objective minimizes total system energy, implicitly assuming
+//! every joule advances the model. Under faults that assumption breaks:
+//! abandoned rounds burn collection, training, and upload energy for zero
+//! model progress, and lossy uplinks burn energy on retransmissions. The
+//! [`EnergyLedger`] makes that split explicit so fault campaigns can report
+//! *useful* energy-to-accuracy next to raw totals.
+
+use serde::{Deserialize, Serialize};
+
+/// What a charged joule bought.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EnergyUse {
+    /// Spend from a committed round — it moved the global model.
+    Useful,
+    /// Spend from a failed or abandoned round — no model progress.
+    Wasted,
+    /// Spend on upload retransmissions (lost or corrupted frames).
+    Retransmit,
+}
+
+/// One charge against the ledger.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LedgerEntry {
+    /// Global round the charge belongs to.
+    pub round: usize,
+    /// Classification of the spend.
+    pub usage: EnergyUse,
+    /// Amount, joules.
+    pub joules: f64,
+    /// What the energy was spent on (e.g. `"training"`, `"upload"`).
+    pub label: &'static str,
+}
+
+/// An append-only account of where a campaign's energy went.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    entries: Vec<LedgerEntry>,
+    useful_j: f64,
+    wasted_j: f64,
+    retransmit_j: f64,
+}
+
+impl EnergyLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `joules` of `usage` energy to `round`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a negative or non-finite charge — the ledger only ever
+    /// accumulates physically spent energy.
+    pub fn charge(&mut self, round: usize, usage: EnergyUse, joules: f64, label: &'static str) {
+        assert!(
+            joules.is_finite() && joules >= 0.0,
+            "energy charge must be finite and non-negative, got {joules}"
+        );
+        match usage {
+            EnergyUse::Useful => self.useful_j += joules,
+            EnergyUse::Wasted => self.wasted_j += joules,
+            EnergyUse::Retransmit => self.retransmit_j += joules,
+        }
+        self.entries.push(LedgerEntry {
+            round,
+            usage,
+            joules,
+            label,
+        });
+    }
+
+    /// All charges, in the order they were made.
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+
+    /// Joules that advanced the model.
+    pub fn useful_joules(&self) -> f64 {
+        self.useful_j
+    }
+
+    /// Joules burned by failed or abandoned rounds.
+    pub fn wasted_joules(&self) -> f64 {
+        self.wasted_j
+    }
+
+    /// Joules burned re-sending lost or corrupted frames.
+    pub fn retransmit_joules(&self) -> f64 {
+        self.retransmit_j
+    }
+
+    /// Everything spent, joules.
+    pub fn total_joules(&self) -> f64 {
+        self.useful_j + self.wasted_j + self.retransmit_j
+    }
+
+    /// Fraction of total energy that bought no model progress (waste plus
+    /// retransmissions). Zero on an empty ledger.
+    pub fn overhead_fraction(&self) -> f64 {
+        let total = self.total_joules();
+        if total == 0.0 {
+            0.0
+        } else {
+            (self.wasted_j + self.retransmit_j) / total
+        }
+    }
+
+    /// Total charged to one round across all classifications.
+    pub fn round_joules(&self, round: usize) -> f64 {
+        self.entries
+            .iter()
+            .filter(|e| e.round == round)
+            .map(|e| e.joules)
+            .sum()
+    }
+
+    /// Folds another ledger's charges into this one.
+    pub fn absorb(&mut self, other: &EnergyLedger) {
+        self.entries.extend(other.entries.iter().cloned());
+        self.useful_j += other.useful_j;
+        self.wasted_j += other.wasted_j;
+        self.retransmit_j += other.retransmit_j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_split_by_usage() {
+        let mut ledger = EnergyLedger::new();
+        ledger.charge(0, EnergyUse::Useful, 10.0, "training");
+        ledger.charge(0, EnergyUse::Retransmit, 2.0, "upload");
+        ledger.charge(1, EnergyUse::Wasted, 5.0, "abandoned round");
+        assert_eq!(ledger.useful_joules(), 10.0);
+        assert_eq!(ledger.wasted_joules(), 5.0);
+        assert_eq!(ledger.retransmit_joules(), 2.0);
+        assert_eq!(ledger.total_joules(), 17.0);
+        assert!((ledger.overhead_fraction() - 7.0 / 17.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_round_accounting() {
+        let mut ledger = EnergyLedger::new();
+        ledger.charge(3, EnergyUse::Useful, 1.0, "a");
+        ledger.charge(3, EnergyUse::Wasted, 2.0, "b");
+        ledger.charge(4, EnergyUse::Useful, 4.0, "c");
+        assert_eq!(ledger.round_joules(3), 3.0);
+        assert_eq!(ledger.round_joules(4), 4.0);
+        assert_eq!(ledger.round_joules(5), 0.0);
+    }
+
+    #[test]
+    fn empty_ledger_has_zero_overhead() {
+        assert_eq!(EnergyLedger::new().overhead_fraction(), 0.0);
+        assert_eq!(EnergyLedger::new().total_joules(), 0.0);
+    }
+
+    #[test]
+    fn absorb_merges_everything() {
+        let mut a = EnergyLedger::new();
+        a.charge(0, EnergyUse::Useful, 1.0, "x");
+        let mut b = EnergyLedger::new();
+        b.charge(1, EnergyUse::Wasted, 2.0, "y");
+        b.charge(1, EnergyUse::Retransmit, 0.5, "z");
+        a.absorb(&b);
+        assert_eq!(a.entries().len(), 3);
+        assert_eq!(a.total_joules(), 3.5);
+        assert_eq!(a.wasted_joules(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative_charge() {
+        EnergyLedger::new().charge(0, EnergyUse::Useful, -1.0, "bad");
+    }
+}

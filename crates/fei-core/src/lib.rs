@@ -44,6 +44,7 @@ pub mod calibration;
 pub mod energy;
 pub mod error;
 pub mod grid;
+pub mod ledger;
 pub mod objective;
 pub mod planner;
 pub mod sensitivity;
@@ -54,6 +55,7 @@ pub use calibration::{fit_bound_constants, fit_timing_model, TimingFit};
 pub use energy::{ComputationModel, DataCollectionModel, RoundEnergyModel, UploadModel};
 pub use error::CoreError;
 pub use grid::GridSearch;
+pub use ledger::{EnergyLedger, EnergyUse, LedgerEntry};
 pub use objective::EnergyObjective;
 pub use planner::{EeFeiPlan, EeFeiPlanner};
 pub use sensitivity::{SensitivityBase, SensitivityPoint, SensitivityReport};

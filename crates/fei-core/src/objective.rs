@@ -74,7 +74,13 @@ impl EnergyObjective {
                 ),
             });
         }
-        Ok(Self { bound, b0, b1, epsilon, n })
+        Ok(Self {
+            bound,
+            b0,
+            b1,
+            epsilon,
+            n,
+        })
     }
 
     /// The convergence bound in use.
@@ -369,18 +375,21 @@ mod proptests {
 
     fn arb_objective() -> impl Strategy<Value = EnergyObjective> {
         (
-            0.1f64..10.0,   // a0
-            0.001f64..0.5,  // a1
-            1e-5f64..1e-3,  // a2
-            0.01f64..5.0,   // b0
-            0.01f64..10.0,  // b1
-            0.05f64..0.5,   // epsilon
-            2usize..30,     // n
+            0.1f64..10.0,  // a0
+            0.001f64..0.5, // a1
+            1e-5f64..1e-3, // a2
+            0.01f64..5.0,  // b0
+            0.01f64..10.0, // b1
+            0.05f64..0.5,  // epsilon
+            2usize..30,    // n
         )
-            .prop_filter_map("objective must be feasible", |(a0, a1, a2, b0, b1, eps, n)| {
-                let bound = ConvergenceBound::new(a0, a1, a2).ok()?;
-                EnergyObjective::new(bound, b0, b1, eps, n).ok()
-            })
+            .prop_filter_map(
+                "objective must be feasible",
+                |(a0, a1, a2, b0, b1, eps, n)| {
+                    let bound = ConvergenceBound::new(a0, a1, a2).ok()?;
+                    EnergyObjective::new(bound, b0, b1, eps, n).ok()
+                },
+            )
     }
 
     proptest! {

@@ -54,7 +54,13 @@ impl EeFeiPlanner {
     ) -> Result<Self, CoreError> {
         // Validate by constructing the objective once.
         let _ = EnergyObjective::new(bound, energy.b0(), energy.b1(), epsilon, n)?;
-        Ok(Self { energy, bound, epsilon, n, optimizer: AcsOptimizer::default() })
+        Ok(Self {
+            energy,
+            bound,
+            epsilon,
+            n,
+            optimizer: AcsOptimizer::default(),
+        })
     }
 
     /// Replaces the ACS settings (residual `ξ`, iteration cap, refinement
@@ -66,13 +72,56 @@ impl EeFeiPlanner {
 
     /// The Eq. 12 objective this planner optimizes.
     pub fn objective(&self) -> EnergyObjective {
-        EnergyObjective::new(self.bound, self.energy.b0(), self.energy.b1(), self.epsilon, self.n)
-            .expect("validated at construction")
+        EnergyObjective::new(
+            self.bound,
+            self.energy.b0(),
+            self.energy.b1(),
+            self.epsilon,
+            self.n,
+        )
+        .expect("validated at construction")
     }
 
     /// The energy model in use.
     pub fn energy_model(&self) -> &RoundEnergyModel {
         &self.energy
+    }
+
+    /// Planned fleet size `N`.
+    pub fn fleet_size(&self) -> usize {
+        self.n
+    }
+
+    /// Re-plans `(K*, E*)` for a fleet that shrank to `surviving_n` devices
+    /// — the graceful-degradation path when crashes take edge servers out
+    /// mid-campaign. The energy model, bound, and target are unchanged;
+    /// only the fleet ceiling moves, so `K*` is re-optimized against the
+    /// survivors.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] when `surviving_n` is zero or grew
+    /// beyond the planned fleet, and [`CoreError::Infeasible`] when the
+    /// survivors cannot reach the accuracy target at all.
+    pub fn replan_for_fleet(&self, surviving_n: usize) -> Result<EeFeiPlan, CoreError> {
+        if surviving_n == 0 {
+            return Err(CoreError::invalid(
+                "surviving_n",
+                "no devices survive; nothing to plan for",
+            ));
+        }
+        if surviving_n > self.n {
+            return Err(CoreError::invalid(
+                "surviving_n",
+                format!(
+                    "surviving fleet {surviving_n} exceeds planned fleet {}",
+                    self.n
+                ),
+            ));
+        }
+        Self::new(self.energy, self.bound, self.epsilon, surviving_n)?
+            .with_optimizer(self.optimizer)
+            .plan()
     }
 
     /// Runs ACS and compares against the `K = 1, E = 1` baseline.
@@ -87,15 +136,22 @@ impl EeFeiPlanner {
         let objective = self.objective();
         let solution = self.optimizer.solve(&objective, self.n as f64, 1.0)?;
         let (baseline_t, baseline_energy) =
-            objective.eval_integer(1, 1).ok_or_else(|| CoreError::Infeasible {
-                detail: "baseline K = 1, E = 1 cannot reach the accuracy target".into(),
-            })?;
+            objective
+                .eval_integer(1, 1)
+                .ok_or_else(|| CoreError::Infeasible {
+                    detail: "baseline K = 1, E = 1 cannot reach the accuracy target".into(),
+                })?;
         let savings_fraction = if baseline_energy > 0.0 {
             (1.0 - solution.energy / baseline_energy).max(0.0)
         } else {
             0.0
         };
-        Ok(EeFeiPlan { solution, baseline_t, baseline_energy, savings_fraction })
+        Ok(EeFeiPlan {
+            solution,
+            baseline_t,
+            baseline_energy,
+            savings_fraction,
+        })
     }
 }
 
@@ -153,9 +209,48 @@ mod tests {
 
     #[test]
     fn with_optimizer_overrides_settings() {
-        let custom = AcsOptimizer { residual: 1e-3, max_iterations: 5, e_cap: 1_000 };
+        let custom = AcsOptimizer {
+            residual: 1e-3,
+            max_iterations: 5,
+            e_cap: 1_000,
+        };
         let plan = planner().with_optimizer(custom).plan().unwrap();
         assert!(plan.solution.iterations <= 5);
+    }
+
+    #[test]
+    fn replan_for_smaller_fleet_caps_k() {
+        let p = planner();
+        let degraded = p.replan_for_fleet(5).unwrap();
+        assert!(degraded.solution.k <= 5, "K* = {}", degraded.solution.k);
+        // Same-size replan reproduces the original plan exactly.
+        assert_eq!(p.replan_for_fleet(20).unwrap(), p.plan().unwrap());
+    }
+
+    #[test]
+    fn replan_rejects_empty_or_grown_fleet() {
+        let p = planner();
+        assert!(matches!(
+            p.replan_for_fleet(0),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            p.replan_for_fleet(21),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn replan_infeasible_when_survivors_cannot_reach_target() {
+        // A1 = 1.5: K = 1 infeasible, larger K feasible — shrinking to a
+        // single survivor makes the target unreachable.
+        let energy = RoundEnergyModel::paper_default();
+        let bound = ConvergenceBound::new(1.0, 1.5, 1e-5).unwrap();
+        let planner = EeFeiPlanner::new(energy, bound, 0.2, 20).unwrap();
+        assert!(matches!(
+            planner.replan_for_fleet(1),
+            Err(CoreError::Infeasible { .. })
+        ));
     }
 
     #[test]

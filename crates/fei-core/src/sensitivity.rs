@@ -57,9 +57,19 @@ pub struct SensitivityBase {
 }
 
 impl SensitivityBase {
-    fn solve(&self, b0: f64, b1: f64, bound: ConvergenceBound, epsilon: f64, n: usize, value: f64) -> Option<SensitivityPoint> {
+    fn solve(
+        &self,
+        b0: f64,
+        b1: f64,
+        bound: ConvergenceBound,
+        epsilon: f64,
+        n: usize,
+        value: f64,
+    ) -> Option<SensitivityPoint> {
         let objective = EnergyObjective::new(bound, b0, b1, epsilon, n).ok()?;
-        let solution = AcsOptimizer::default().solve(&objective, n as f64, 1.0).ok()?;
+        let solution = AcsOptimizer::default()
+            .solve(&objective, n as f64, 1.0)
+            .ok()?;
         let savings = objective
             .eval_integer(1, 1)
             .map(|(_, baseline)| 1.0 - solution.energy / baseline);
@@ -80,10 +90,20 @@ impl SensitivityBase {
         let points = multipliers
             .iter()
             .filter_map(|&m| {
-                self.solve(self.energy.b0(), self.energy.b1() * m, self.bound, self.epsilon, self.n, m)
+                self.solve(
+                    self.energy.b0(),
+                    self.energy.b1() * m,
+                    self.bound,
+                    self.epsilon,
+                    self.n,
+                    m,
+                )
             })
             .collect();
-        SensitivityReport { parameter: "B1 multiplier (per-round fixed cost)".into(), points }
+        SensitivityReport {
+            parameter: "B1 multiplier (per-round fixed cost)".into(),
+            points,
+        }
     }
 
     /// Sweeps the gradient-variance constant `A₁` through `multipliers` —
@@ -97,14 +117,23 @@ impl SensitivityBase {
     pub fn sweep_a1(&self, multipliers: &[f64]) -> Result<SensitivityReport, CoreError> {
         let mut points = Vec::new();
         for &m in multipliers {
-            let bound = ConvergenceBound::new(self.bound.a0(), self.bound.a1() * m, self.bound.a2())?;
-            if let Some(p) =
-                self.solve(self.energy.b0(), self.energy.b1(), bound, self.epsilon, self.n, m)
-            {
+            let bound =
+                ConvergenceBound::new(self.bound.a0(), self.bound.a1() * m, self.bound.a2())?;
+            if let Some(p) = self.solve(
+                self.energy.b0(),
+                self.energy.b1(),
+                bound,
+                self.epsilon,
+                self.n,
+                m,
+            ) {
                 points.push(p);
             }
         }
-        Ok(SensitivityReport { parameter: "A1 multiplier (gradient variance)".into(), points })
+        Ok(SensitivityReport {
+            parameter: "A1 multiplier (gradient variance)".into(),
+            points,
+        })
     }
 
     /// Sweeps the accuracy target `ε` through the given absolute values.
@@ -112,10 +141,20 @@ impl SensitivityBase {
         let points = epsilons
             .iter()
             .filter_map(|&eps| {
-                self.solve(self.energy.b0(), self.energy.b1(), self.bound, eps, self.n, eps)
+                self.solve(
+                    self.energy.b0(),
+                    self.energy.b1(),
+                    self.bound,
+                    eps,
+                    self.n,
+                    eps,
+                )
             })
             .collect();
-        SensitivityReport { parameter: "epsilon (accuracy target)".into(), points }
+        SensitivityReport {
+            parameter: "epsilon (accuracy target)".into(),
+            points,
+        }
     }
 
     /// Sweeps the fleet size `N`.
@@ -123,10 +162,20 @@ impl SensitivityBase {
         let points = sizes
             .iter()
             .filter_map(|&n| {
-                self.solve(self.energy.b0(), self.energy.b1(), self.bound, self.epsilon, n, n as f64)
+                self.solve(
+                    self.energy.b0(),
+                    self.energy.b1(),
+                    self.bound,
+                    self.epsilon,
+                    n,
+                    n as f64,
+                )
             })
             .collect();
-        SensitivityReport { parameter: "N (fleet size)".into(), points }
+        SensitivityReport {
+            parameter: "N (fleet size)".into(),
+            points,
+        }
     }
 }
 
@@ -174,7 +223,10 @@ mod tests {
             ks.windows(2).all(|w| w[0] <= w[1]),
             "K* should be non-decreasing in A1: {ks:?}"
         );
-        assert!(ks.last().unwrap() > ks.first().unwrap(), "A1 shift must move K*: {ks:?}");
+        assert!(
+            ks.last().unwrap() > ks.first().unwrap(),
+            "A1 shift must move K*: {ks:?}"
+        );
     }
 
     #[test]
@@ -201,7 +253,10 @@ mod tests {
         assert_eq!(report.points.len(), 3);
         // Larger fleets can only help (weakly) — the optimum is never worse.
         let energies: Vec<f64> = report.points.iter().map(|p| p.energy).collect();
-        assert!(energies.windows(2).all(|w| w[1] <= w[0] + 1e-9), "{energies:?}");
+        assert!(
+            energies.windows(2).all(|w| w[1] <= w[0] + 1e-9),
+            "{energies:?}"
+        );
     }
 
     #[test]

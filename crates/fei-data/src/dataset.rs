@@ -42,13 +42,26 @@ impl Dataset {
     ) -> Self {
         assert!(dim > 0, "dimension must be non-zero");
         assert!(num_classes > 0, "need at least one class");
-        assert_eq!(features.len() % dim, 0, "feature buffer must be a multiple of dim");
-        assert_eq!(features.len() / dim, labels.len(), "labels must match sample count");
+        assert_eq!(
+            features.len() % dim,
+            0,
+            "feature buffer must be a multiple of dim"
+        );
+        assert_eq!(
+            features.len() / dim,
+            labels.len(),
+            "labels must match sample count"
+        );
         assert!(
             labels.iter().all(|&l| l < num_classes),
             "labels must be < num_classes"
         );
-        Self { dim, num_classes, features, labels }
+        Self {
+            dim,
+            num_classes,
+            features,
+            labels,
+        }
     }
 
     /// Creates an empty dataset with the given shape, to be `push`ed into.

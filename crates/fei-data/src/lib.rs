@@ -22,7 +22,7 @@ pub mod stream;
 pub mod synthetic;
 
 pub use dataset::Dataset;
-pub use persist::PersistError;
 pub use partition::Partition;
+pub use persist::PersistError;
 pub use stream::IotStream;
 pub use synthetic::{SyntheticMnist, SyntheticMnistConfig};

@@ -76,7 +76,11 @@ impl Partition {
             let client = pos / shards_per_client;
             let start = shard * shard_len;
             // The last shard absorbs the remainder.
-            let end = if shard == num_shards - 1 { dataset.len() } else { start + shard_len };
+            let end = if shard == num_shards - 1 {
+                dataset.len()
+            } else {
+                start + shard_len
+            };
             assignments[client].extend_from_slice(&by_label[start..end]);
         }
         Self { assignments }
@@ -96,12 +100,7 @@ impl Partition {
     ///
     /// Panics if `num_clients == 0`, `alpha <= 0`, or the dataset has fewer
     /// samples than clients.
-    pub fn dirichlet(
-        dataset: &Dataset,
-        num_clients: usize,
-        alpha: f64,
-        rng: &mut DetRng,
-    ) -> Self {
+    pub fn dirichlet(dataset: &Dataset, num_clients: usize, alpha: f64, rng: &mut DetRng) -> Self {
         assert!(num_clients > 0, "need at least one client");
         assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
         assert!(
@@ -148,7 +147,9 @@ impl Partition {
             let largest = (0..num_clients)
                 .max_by_key(|&c| assignments[c].len())
                 .expect("non-empty fleet");
-            let moved = assignments[largest].pop().expect("largest client has samples");
+            let moved = assignments[largest]
+                .pop()
+                .expect("largest client has samples");
             assignments[empty].push(moved);
         }
         Self { assignments }
@@ -170,7 +171,10 @@ impl Partition {
 
     /// Materializes one [`Dataset`] per client.
     pub fn apply(&self, dataset: &Dataset) -> Vec<Dataset> {
-        self.assignments.iter().map(|idx| dataset.subset(idx)).collect()
+        self.assignments
+            .iter()
+            .map(|idx| dataset.subset(idx))
+            .collect()
     }
 
     /// Total number of assigned samples across all clients.
@@ -216,8 +220,7 @@ mod tests {
         let p = Partition::iid(100, 7, &mut rng);
         assert_eq!(p.num_clients(), 7);
         assert_eq!(p.total_assigned(), 100);
-        let mut all: Vec<usize> =
-            (0..7).flat_map(|c| p.client_indices(c).to_vec()).collect();
+        let mut all: Vec<usize> = (0..7).flat_map(|c| p.client_indices(c).to_vec()).collect();
         all.sort_unstable();
         assert_eq!(all, (0..100).collect::<Vec<_>>());
     }
@@ -248,8 +251,7 @@ mod tests {
         let mut rng = DetRng::new(3);
         let p = Partition::by_label_shards(&ds, 10, 2, &mut rng);
         assert_eq!(p.total_assigned(), 400);
-        let mut all: Vec<usize> =
-            (0..10).flat_map(|c| p.client_indices(c).to_vec()).collect();
+        let mut all: Vec<usize> = (0..10).flat_map(|c| p.client_indices(c).to_vec()).collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 400);
@@ -268,7 +270,10 @@ mod tests {
             .map(|d| d.class_histogram().iter().filter(|&&c| c > 0).count() as f64)
             .sum::<f64>()
             / 10.0;
-        assert!(avg_classes < 6.0, "average classes per client {avg_classes}");
+        assert!(
+            avg_classes < 6.0,
+            "average classes per client {avg_classes}"
+        );
     }
 
     #[test]

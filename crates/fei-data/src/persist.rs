@@ -54,7 +54,9 @@ impl fmt::Display for PersistError {
 impl Error for PersistError {}
 
 fn checksum(bytes: &[u8]) -> u64 {
-    bytes.iter().fold(0u64, |acc, &b| acc.wrapping_add(b as u64))
+    bytes
+        .iter()
+        .fold(0u64, |acc, &b| acc.wrapping_add(b as u64))
 }
 
 impl Dataset {
@@ -96,13 +98,14 @@ impl Dataset {
         if version != VERSION {
             return Err(PersistError::BadHeader);
         }
-        let read_u32 =
-            |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes"));
+        let read_u32 = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes"));
         let dim = read_u32(6) as usize;
         let num_classes = read_u32(10) as usize;
         let len = read_u32(14) as usize;
         if dim == 0 || num_classes == 0 {
-            return Err(PersistError::Malformed { detail: "zero dim or classes".into() });
+            return Err(PersistError::Malformed {
+                detail: "zero dim or classes".into(),
+            });
         }
 
         let features_bytes = len
@@ -114,8 +117,7 @@ impl Dataset {
             return Err(PersistError::Truncated);
         }
 
-        let declared =
-            u64::from_le_bytes(bytes[total - 8..].try_into().expect("8 bytes"));
+        let declared = u64::from_le_bytes(bytes[total - 8..].try_into().expect("8 bytes"));
         if declared != checksum(&bytes[..total - 8]) {
             return Err(PersistError::ChecksumMismatch);
         }
@@ -169,7 +171,10 @@ mod tests {
     #[test]
     fn truncation_detected() {
         let bytes = sample().to_bytes();
-        assert_eq!(Dataset::from_bytes(&bytes[..10]), Err(PersistError::Truncated));
+        assert_eq!(
+            Dataset::from_bytes(&bytes[..10]),
+            Err(PersistError::Truncated)
+        );
         assert_eq!(
             Dataset::from_bytes(&bytes[..bytes.len() - 1]),
             Err(PersistError::Truncated)
@@ -181,7 +186,10 @@ mod tests {
         let mut bytes = sample().to_bytes();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
-        assert_eq!(Dataset::from_bytes(&bytes), Err(PersistError::ChecksumMismatch));
+        assert_eq!(
+            Dataset::from_bytes(&bytes),
+            Err(PersistError::ChecksumMismatch)
+        );
     }
 
     #[test]
@@ -215,7 +223,9 @@ mod tests {
     #[test]
     fn errors_display() {
         assert!(!PersistError::Truncated.to_string().is_empty());
-        assert!(PersistError::Malformed { detail: "x".into() }.to_string().contains('x'));
+        assert!(PersistError::Malformed { detail: "x".into() }
+            .to_string()
+            .contains('x'));
     }
 }
 

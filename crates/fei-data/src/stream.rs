@@ -44,7 +44,11 @@ impl IotStream {
     pub fn new(samples_per_round: usize, bytes_per_sample: usize, device_count: usize) -> Self {
         assert!(bytes_per_sample > 0, "samples must have non-zero size");
         assert!(device_count > 0, "need at least one IoT device");
-        Self { samples_per_round, bytes_per_sample, device_count }
+        Self {
+            samples_per_round,
+            bytes_per_sample,
+            device_count,
+        }
     }
 
     /// Stream with the paper's defaults: 785-byte samples from 10 devices.

@@ -82,12 +82,18 @@ impl SyntheticMnist {
     /// Panics if `pixel_noise_std < 0`, `label_flip_prob` is outside
     /// `[0, 1]`, or `blobs_per_class == 0`.
     pub fn new(config: SyntheticMnistConfig) -> Self {
-        assert!(config.pixel_noise_std >= 0.0, "noise std must be non-negative");
+        assert!(
+            config.pixel_noise_std >= 0.0,
+            "noise std must be non-negative"
+        );
         assert!(
             (0.0..=1.0).contains(&config.label_flip_prob),
             "label flip probability must be in [0, 1]"
         );
-        assert!(config.blobs_per_class > 0, "need at least one blob per class");
+        assert!(
+            config.blobs_per_class > 0,
+            "need at least one blob per class"
+        );
         let mut proto_rng = DetRng::new(config.seed).fork(0xD161);
         let prototypes = (0..NUM_CLASSES)
             .map(|_| Self::make_prototype(&mut proto_rng, config.blobs_per_class))
@@ -120,8 +126,7 @@ impl SyntheticMnist {
             let true_class = rng.next_below(NUM_CLASSES as u64) as usize;
             let proto = &self.prototypes[true_class];
             for (p, &base) in pixels.iter_mut().zip(proto) {
-                *p = (base + rng.gaussian_with(0.0, self.config.pixel_noise_std))
-                    .clamp(0.0, 1.0);
+                *p = (base + rng.gaussian_with(0.0, self.config.pixel_noise_std)).clamp(0.0, 1.0);
             }
             let label = if rng.next_f64() < self.config.label_flip_prob {
                 // Uniform among the other classes.
@@ -210,8 +215,14 @@ mod tests {
 
     #[test]
     fn different_seeds_give_different_prototypes() {
-        let a = SyntheticMnist::new(SyntheticMnistConfig { seed: 1, ..Default::default() });
-        let b = SyntheticMnist::new(SyntheticMnistConfig { seed: 2, ..Default::default() });
+        let a = SyntheticMnist::new(SyntheticMnistConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        let b = SyntheticMnist::new(SyntheticMnistConfig {
+            seed: 2,
+            ..Default::default()
+        });
         assert_ne!(a.prototype(0), b.prototype(0));
     }
 
@@ -233,7 +244,10 @@ mod tests {
     fn labels_cover_all_classes() {
         let ds = small_gen().generate(2_000, 0);
         let hist = ds.class_histogram();
-        assert!(hist.iter().all(|&c| c > 100), "unbalanced histogram {hist:?}");
+        assert!(
+            hist.iter().all(|&c| c > 100),
+            "unbalanced histogram {hist:?}"
+        );
     }
 
     #[test]

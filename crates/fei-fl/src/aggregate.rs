@@ -75,7 +75,10 @@ mod tests {
     #[test]
     fn single_update_is_identity() {
         let u = vec![(vec![1.0, -2.0, 3.0], 5)];
-        assert_eq!(aggregate(&u, AggregationRule::Uniform), vec![1.0, -2.0, 3.0]);
+        assert_eq!(
+            aggregate(&u, AggregationRule::Uniform),
+            vec![1.0, -2.0, 3.0]
+        );
         assert_eq!(
             aggregate(&u, AggregationRule::WeightedBySamples),
             vec![1.0, -2.0, 3.0]

@@ -156,13 +156,23 @@ impl<M: Model> AsyncFedAvg<M> {
     /// from the client count or containing non-positive values,
     /// `mixing_rate` outside `(0, 1]`, a negative `staleness_exponent`, or
     /// zero `local_epochs`/`eval_every`.
-    pub fn with_model(config: AsyncConfig, clients: Vec<Dataset>, test: Dataset, global: M) -> Self {
+    pub fn with_model(
+        config: AsyncConfig,
+        clients: Vec<Dataset>,
+        test: Dataset,
+        global: M,
+    ) -> Self {
         assert!(!clients.is_empty(), "need at least one client dataset");
-        assert!(clients.iter().all(|c| !c.is_empty()), "every client needs data");
+        assert!(
+            clients.iter().all(|c| !c.is_empty()),
+            "every client needs data"
+        );
         let dim = clients[0].dim();
         let classes = clients[0].num_classes();
         assert!(
-            clients.iter().all(|c| c.dim() == dim && c.num_classes() == classes),
+            clients
+                .iter()
+                .all(|c| c.dim() == dim && c.num_classes() == classes),
             "client datasets must share a shape"
         );
         assert_eq!(test.dim(), dim, "test set dimension mismatch");
@@ -180,11 +190,20 @@ impl<M: Model> AsyncFedAvg<M> {
             config.mixing_rate > 0.0 && config.mixing_rate <= 1.0,
             "mixing rate must be in (0, 1]"
         );
-        assert!(config.staleness_exponent >= 0.0, "staleness exponent must be non-negative");
+        assert!(
+            config.staleness_exponent >= 0.0,
+            "staleness exponent must be non-negative"
+        );
         assert!(config.local_epochs > 0, "E must be at least 1");
         assert!(config.eval_every > 0, "eval_every must be at least 1");
         let trainer = LocalTrainer::new(config.sgd.clone());
-        Self { config, clients, test, global, trainer }
+        Self {
+            config,
+            clients,
+            test,
+            global,
+            trainer,
+        }
     }
 
     /// The run's configuration.
@@ -215,7 +234,9 @@ impl<M: Model> AsyncFedAvg<M> {
         let mut history = AsyncHistory::default();
         let mut version = 0usize;
         while history.len() < max_updates {
-            let Some((now, client)) = sim.step() else { break };
+            let Some((now, client)) = sim.step() else {
+                break;
+            };
             // The client finished a job it started against snapshot_version.
             let mut local = snapshots[client].clone();
             // Deterministic per-client round id: its own snapshot version.
@@ -318,7 +339,11 @@ mod tests {
         let (clients, test) = setup(5, 100);
         let mut run = AsyncFedAvg::new(fast_config(5), clients, test);
         let history = run.run(60, None);
-        assert!(history.max_staleness() <= 5, "staleness {}", history.max_staleness());
+        assert!(
+            history.max_staleness() <= 5,
+            "staleness {}",
+            history.max_staleness()
+        );
         // The very first delivery has staleness 0.
         assert_eq!(history.records()[0].staleness, 0);
     }
@@ -360,7 +385,10 @@ mod tests {
         let mut run = AsyncFedAvg::new(config, clients, test);
         let history = run.run(60, None);
         let counts = history.updates_per_client(3);
-        assert!(counts[2] < counts[0] / 3, "slow client contributed {counts:?}");
+        assert!(
+            counts[2] < counts[0] / 3,
+            "slow client contributed {counts:?}"
+        );
         // Yet the fleet keeps merging at full speed: virtual time for 60
         // updates stays near 30 waves of the fast pair.
         let last = history.records().last().unwrap().at;

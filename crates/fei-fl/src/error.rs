@@ -1,0 +1,54 @@
+//! Typed errors for fault-tolerant federated rounds.
+
+use std::fmt;
+
+/// Why a federated round (or run) could not proceed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlError {
+    /// The live fleet is smaller than the configured quorum, so no round can
+    /// commit until devices restart. Callers should re-plan for the
+    /// surviving fleet or abort the run.
+    FleetBelowQuorum {
+        /// Round at which the shortfall was detected.
+        round: usize,
+        /// Devices currently up.
+        alive: usize,
+        /// Minimum updates required to commit a round.
+        required: usize,
+    },
+}
+
+impl fmt::Display for FlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::FleetBelowQuorum {
+                round,
+                alive,
+                required,
+            } => write!(
+                f,
+                "round {round}: live fleet of {alive} device(s) is below the quorum of {required}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_shortfall() {
+        let err = FlError::FleetBelowQuorum {
+            round: 7,
+            alive: 2,
+            required: 5,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("round 7"));
+        assert!(msg.contains('2'));
+        assert!(msg.contains('5'));
+    }
+}

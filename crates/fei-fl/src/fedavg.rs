@@ -6,6 +6,8 @@ use fei_sim::DetRng;
 use serde::{Deserialize, Serialize};
 
 use crate::aggregate::{aggregate, AggregationRule};
+use crate::error::FlError;
+use crate::fault::{FaultInjector, RetryPolicy};
 use crate::history::TrainingHistory;
 use crate::selection::{ClientSelector, SelectionStrategy};
 
@@ -28,8 +30,107 @@ pub struct FedAvgConfig {
     /// round (crash, radio loss). The coordinator aggregates the survivors;
     /// a round in which everyone drops leaves the global model unchanged.
     pub dropout_prob: f64,
+    /// Coordinator-side tolerance knobs: over-selection, quorum, deadline,
+    /// and upload retry policy.
+    pub tolerance: ToleranceConfig,
     /// Seed for selection and dropout randomness.
     pub seed: u64,
+}
+
+/// Coordinator-side fault-tolerance settings for each global round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ToleranceConfig {
+    /// Over-selection margin `m`: the coordinator selects `K + m` servers
+    /// and aggregates the first `K` arrivals, hedging against dropouts.
+    pub over_select: usize,
+    /// Minimum delivered updates required to commit a round. `None` commits
+    /// on any non-empty arrival set (the classic FedAvg behavior).
+    pub quorum: Option<usize>,
+    /// Per-round deadline in virtual seconds; arrivals after it are
+    /// discarded. `None` waits for every delivered update.
+    pub deadline_s: Option<f64>,
+    /// Nominal (fault-free) duration of one device round, virtual seconds.
+    /// Straggle factors and retry backoff scale and add to this.
+    pub nominal_round_s: f64,
+    /// Bounded exponential-backoff retry applied to lost or corrupted
+    /// uploads.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ToleranceConfig {
+    fn default() -> Self {
+        Self {
+            over_select: 0,
+            quorum: None,
+            deadline_s: None,
+            nominal_round_s: 1.0,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+impl ToleranceConfig {
+    /// The effective quorum: the configured minimum, or 1.
+    pub fn effective_quorum(&self) -> usize {
+        self.quorum.unwrap_or(1).max(1)
+    }
+}
+
+/// How a round concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoundOutcome {
+    /// Every selected server's update was aggregated.
+    Full,
+    /// A quorum-satisfying subset was aggregated.
+    Partial,
+    /// Quorum was missed; the global model is unchanged and the round's
+    /// energy is wasted.
+    Abandoned,
+}
+
+impl RoundOutcome {
+    /// Classifies a round from its delivered-update count.
+    pub fn of(committed: usize, selected: usize, quorum: usize) -> Self {
+        if committed < quorum {
+            Self::Abandoned
+        } else if committed == selected {
+            Self::Full
+        } else {
+            Self::Partial
+        }
+    }
+
+    /// Whether the round updated the global model.
+    pub fn committed(&self) -> bool {
+        !matches!(self, Self::Abandoned)
+    }
+}
+
+/// Per-round fault bookkeeping (all zero on a clean round).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RoundFaultStats {
+    /// Selected servers that were down (crashed, not yet restarted).
+    pub crashed: usize,
+    /// Selected servers that ran slow this round.
+    pub stragglers: usize,
+    /// Failed upload attempts that were retried.
+    pub upload_retries: usize,
+    /// Uploads abandoned after exhausting their retry budget.
+    pub abandoned_uploads: usize,
+    /// Upload attempts that arrived corrupted (checksum failure).
+    pub corrupted_frames: usize,
+    /// Delivered updates discarded for missing the round deadline.
+    pub deadline_misses: usize,
+    /// Worker threads that died or timed out mid-round (threaded engine
+    /// only; counted as dropouts, never a hang).
+    pub worker_losses: usize,
+}
+
+impl RoundFaultStats {
+    /// Whether anything went wrong this round.
+    pub fn any(&self) -> bool {
+        *self != Self::default()
+    }
 }
 
 impl Default for FedAvgConfig {
@@ -42,6 +143,7 @@ impl Default for FedAvgConfig {
             aggregation: AggregationRule::Uniform,
             eval_every: 1,
             dropout_prob: 0.0,
+            tolerance: ToleranceConfig::default(),
             seed: 0x0FED,
         }
     }
@@ -60,12 +162,18 @@ pub struct StopCondition {
 impl StopCondition {
     /// Runs exactly `rounds` rounds.
     pub fn rounds(rounds: usize) -> Self {
-        Self { max_rounds: rounds, target_accuracy: None }
+        Self {
+            max_rounds: rounds,
+            target_accuracy: None,
+        }
     }
 
     /// Runs until `accuracy` is reached, at most `max_rounds` rounds.
     pub fn accuracy(accuracy: f64, max_rounds: usize) -> Self {
-        Self { max_rounds, target_accuracy: Some(accuracy) }
+        Self {
+            max_rounds,
+            target_accuracy: Some(accuracy),
+        }
     }
 }
 
@@ -87,6 +195,10 @@ pub struct RoundRecord {
     pub global_train_loss: Option<f64>,
     /// Test-set evaluation of the new global model, when evaluated.
     pub test_eval: Option<Evaluation>,
+    /// Whether the round committed fully, partially, or not at all.
+    pub outcome: RoundOutcome,
+    /// Fault bookkeeping (all zero on a clean round).
+    pub faults: RoundFaultStats,
 }
 
 /// In-process FedAvg over a fixed set of client datasets, generic over the
@@ -100,6 +212,7 @@ pub struct FedAvg<M: Model = LogisticRegression> {
     selector: ClientSelector,
     trainer: LocalTrainer,
     dropout_rng: DetRng,
+    injector: Option<FaultInjector>,
     round: usize,
 }
 
@@ -140,7 +253,9 @@ impl<M: Model> FedAvg<M> {
         let dim = clients[0].dim();
         let classes = clients[0].num_classes();
         assert!(
-            clients.iter().all(|c| c.dim() == dim && c.num_classes() == classes),
+            clients
+                .iter()
+                .all(|c| c.dim() == dim && c.num_classes() == classes),
             "client datasets must share a shape"
         );
         assert_eq!(test.dim(), dim, "test set dimension mismatch");
@@ -164,7 +279,64 @@ impl<M: Model> FedAvg<M> {
         let selector = ClientSelector::new(config.selection, clients.len(), config.seed);
         let trainer = LocalTrainer::new(config.sgd.clone());
         let dropout_rng = DetRng::new(config.seed).fork(0xD80);
-        Self { config, clients, test, global, selector, trainer, dropout_rng, round: 0 }
+        Self {
+            config,
+            clients,
+            test,
+            global,
+            selector,
+            trainer,
+            dropout_rng,
+            injector: None,
+            round: 0,
+        }
+    }
+
+    /// Attaches a seeded fault injector: crashes, stragglers, and lossy or
+    /// corrupting uplinks now perturb every round, and the coordinator
+    /// responds with over-selection, deadlines, retry, and quorum from
+    /// [`FedAvgConfig::tolerance`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dropout_prob` is also set — the injector subsumes it,
+    /// and mixing the two RNG streams would break reproducibility.
+    pub fn with_faults(mut self, injector: FaultInjector) -> Self {
+        assert_eq!(
+            self.config.dropout_prob, 0.0,
+            "use either dropout_prob or a fault injector, not both"
+        );
+        self.injector = Some(injector);
+        self
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Changes `(K, E)` in place, keeping the global model, round counter,
+    /// and RNG streams — the live re-planning hook. When crashes shrink the
+    /// fleet, the coordinator re-runs ACS against the survivors and applies
+    /// the fresh `(K*, E*)` here without restarting training.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or exceeds the fleet, or `e` is 0.
+    pub fn set_participation(&mut self, k: usize, e: usize) {
+        assert!(k >= 1 && k <= self.clients.len(), "K = {k} out of range");
+        assert!(e >= 1, "E must be at least 1");
+        self.config.clients_per_round = k;
+        self.config.local_epochs = e;
+    }
+
+    /// Devices that are up at the current round (everyone, without an
+    /// injector). Useful for re-planning `(K*, E*)` when the fleet shrinks.
+    pub fn live_fleet(&self) -> Vec<usize> {
+        match &self.injector {
+            Some(inj) => inj.live_fleet(self.clients.len(), self.round),
+            None => (0..self.clients.len()).collect(),
+        }
     }
 
     /// The run's configuration.
@@ -209,30 +381,130 @@ impl<M: Model> FedAvg<M> {
     /// With dropout enabled, each selected server independently fails to
     /// respond with the configured probability; the coordinator aggregates
     /// whoever answered. A fully dropped round leaves the model unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the round fails outright (see [`FedAvg::try_run_round`]);
+    /// impossible without a fault injector.
     pub fn run_round(&mut self) -> RoundRecord {
+        self.try_run_round().expect("federated round failed")
+    }
+
+    /// Executes one global round, reporting fleet exhaustion as a typed
+    /// error instead of panicking.
+    ///
+    /// Without a fault injector this never fails. With one, the round plays
+    /// out under the injected fault schedule and the coordinator's
+    /// [`ToleranceConfig`]: `K + m` servers are selected, crashed servers
+    /// and abandoned uploads drop out, late arrivals miss the deadline, the
+    /// first `K` surviving arrivals are aggregated if they meet the quorum,
+    /// and a quorum miss leaves the model unchanged
+    /// ([`RoundOutcome::Abandoned`]).
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::FleetBelowQuorum`] when fewer devices are up than the
+    /// quorum requires — no round can commit until restarts (if any)
+    /// replenish the fleet, so the caller should re-plan or abort. The
+    /// round counter is not advanced.
+    pub fn try_run_round(&mut self) -> Result<RoundRecord, FlError> {
         let t = self.round;
-        let selected = self.selector.select(t, self.config.clients_per_round);
-        let responded: Vec<usize> = selected
-            .iter()
-            .copied()
-            .filter(|_| {
-                self.config.dropout_prob == 0.0
-                    || self.dropout_rng.next_f64() >= self.config.dropout_prob
-            })
-            .collect();
+        match self.injector.as_ref().filter(|i| i.is_enabled()).cloned() {
+            None => {
+                let selected = self.selector.select(t, self.config.clients_per_round);
+                let responded: Vec<usize> = selected
+                    .iter()
+                    .copied()
+                    .filter(|_| {
+                        self.config.dropout_prob == 0.0
+                            || self.dropout_rng.next_f64() >= self.config.dropout_prob
+                    })
+                    .collect();
+                Ok(self.complete_round(t, selected, responded, RoundFaultStats::default()))
+            }
+            Some(injector) => {
+                let tol = self.config.tolerance.clone();
+                let k = self.config.clients_per_round;
+                let n = self.clients.len();
+                let quorum = tol.effective_quorum();
+
+                let alive = injector.live_fleet(n, t).len();
+                if alive < quorum {
+                    return Err(FlError::FleetBelowQuorum {
+                        round: t,
+                        alive,
+                        required: quorum,
+                    });
+                }
+
+                // Over-select K + m as a dropout hedge.
+                let want = (k + tol.over_select).min(n);
+                let selected = self.selector.select(t, want);
+
+                let mut faults = RoundFaultStats::default();
+                let mut arrivals: Vec<(f64, usize)> = Vec::with_capacity(selected.len());
+                for &device in &selected {
+                    if injector.is_down(device, t) {
+                        faults.crashed += 1;
+                        continue;
+                    }
+                    let factor = injector.straggle_factor(device, t);
+                    if factor > 1.0 {
+                        faults.stragglers += 1;
+                    }
+                    let upload = injector.upload_outcome(device, t, &tol.retry);
+                    faults.corrupted_frames += upload.corrupted;
+                    faults.upload_retries += upload.attempts - 1;
+                    if !upload.delivered {
+                        faults.abandoned_uploads += 1;
+                        continue;
+                    }
+                    let arrival = tol.nominal_round_s * factor + upload.backoff_s;
+                    if tol.deadline_s.is_some_and(|d| arrival > d) {
+                        faults.deadline_misses += 1;
+                        continue;
+                    }
+                    arrivals.push((arrival, device));
+                }
+
+                // First K arrivals win; ties break by device id.
+                arrivals.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                let mut responded: Vec<usize> =
+                    arrivals.iter().take(k).map(|&(_, device)| device).collect();
+                responded.sort_unstable();
+
+                Ok(self.complete_round(t, selected, responded, faults))
+            }
+        }
+    }
+
+    /// Trains the responders, aggregates if quorum is met, advances the
+    /// round, and assembles the record.
+    fn complete_round(
+        &mut self,
+        t: usize,
+        selected: Vec<usize>,
+        responded: Vec<usize>,
+        faults: RoundFaultStats,
+    ) -> RoundRecord {
+        let quorum = self.config.tolerance.effective_quorum();
+        let outcome = RoundOutcome::of(responded.len(), selected.len(), quorum);
 
         let mut updates = Vec::with_capacity(responded.len());
         let mut local_stats = Vec::with_capacity(responded.len());
         for &client in &responded {
             let mut local = self.global.clone();
-            let stats =
-                self.trainer
-                    .train(&mut local, &self.clients[client], self.config.local_epochs, t);
+            let stats = self.trainer.train(
+                &mut local,
+                &self.clients[client],
+                self.config.local_epochs,
+                t,
+            );
             updates.push((local.to_flat().to_vec(), self.clients[client].len()));
             local_stats.push(stats);
         }
 
-        if !updates.is_empty() {
+        if outcome.committed() && !updates.is_empty() {
             let merged = aggregate(&updates, self.config.aggregation);
             self.global.set_flat(&merged);
         }
@@ -246,15 +518,36 @@ impl<M: Model> FedAvg<M> {
             local_stats,
             global_train_loss: evaluated.then(|| self.global_train_loss()),
             test_eval: evaluated.then(|| self.evaluate()),
+            outcome,
+            faults,
         }
     }
 
     /// Runs rounds until `stop` is satisfied, returning the full history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a round fails outright (see [`FedAvg::try_run_until`]);
+    /// impossible without a fault injector.
     pub fn run_until(&mut self, stop: StopCondition) -> TrainingHistory {
+        self.try_run_until(stop).expect("federated round failed")
+    }
+
+    /// Runs rounds until `stop` is satisfied. An unreachable accuracy
+    /// target terminates at `max_rounds` and is recorded on the history
+    /// ([`TrainingHistory::missed_target`]) rather than looping forever.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FlError::FleetBelowQuorum`] from a failed round; the
+    /// rounds completed up to that point are lost, matching the semantics
+    /// of an aborted run.
+    pub fn try_run_until(&mut self, stop: StopCondition) -> Result<TrainingHistory, FlError> {
         let mut history = TrainingHistory::new();
+        let mut reached = false;
         for _ in 0..stop.max_rounds {
-            let record = self.run_round();
-            let reached = match (stop.target_accuracy, &record.test_eval) {
+            let record = self.try_run_round()?;
+            reached = match (stop.target_accuracy, &record.test_eval) {
                 (Some(target), Some(eval)) => eval.accuracy >= target,
                 _ => false,
             };
@@ -263,7 +556,10 @@ impl<M: Model> FedAvg<M> {
                 break;
             }
         }
-        history
+        if let (Some(target), false) = (stop.target_accuracy, reached) {
+            history.record_missed_target(target);
+        }
+        Ok(history)
     }
 }
 
@@ -289,7 +585,11 @@ mod tests {
     #[test]
     fn round_selects_k_and_records_stats() {
         let (clients, test) = setup(5, 100);
-        let config = FedAvgConfig { clients_per_round: 3, local_epochs: 2, ..Default::default() };
+        let config = FedAvgConfig {
+            clients_per_round: 3,
+            local_epochs: 2,
+            ..Default::default()
+        };
         let mut fed = FedAvg::new(config, clients, test);
         let rec = fed.run_round();
         assert_eq!(rec.round, 0);
@@ -356,7 +656,11 @@ mod tests {
     #[test]
     fn runs_are_reproducible_per_seed() {
         let (clients, test) = setup(6, 120);
-        let config = FedAvgConfig { clients_per_round: 2, local_epochs: 1, ..Default::default() };
+        let config = FedAvgConfig {
+            clients_per_round: 2,
+            local_epochs: 1,
+            ..Default::default()
+        };
         let mut a = FedAvg::new(config.clone(), clients.clone(), test.clone());
         let mut b = FedAvg::new(config, clients, test);
         let ha = a.run_until(StopCondition::rounds(5));
@@ -391,8 +695,11 @@ mod tests {
         };
         let mut fed = FedAvg::new(config, clients, test);
         let history = fed.run_until(StopCondition::rounds(6));
-        let evaluated: Vec<bool> =
-            history.records().iter().map(|r| r.test_eval.is_some()).collect();
+        let evaluated: Vec<bool> = history
+            .records()
+            .iter()
+            .map(|r| r.test_eval.is_some())
+            .collect();
         assert_eq!(evaluated, vec![false, false, true, false, false, true]);
     }
 
@@ -415,7 +722,10 @@ mod tests {
             dropped_any |= rec.responded.len() < rec.selected.len();
         }
         assert!(dropped_any, "40% dropout over 60 draws must drop someone");
-        assert!(fed.global_train_loss() < initial_loss, "training still progresses");
+        assert!(
+            fed.global_train_loss() < initial_loss,
+            "training still progresses"
+        );
     }
 
     #[test]
@@ -438,8 +748,15 @@ mod tests {
     #[test]
     fn zero_dropout_is_the_default_and_identical() {
         let (clients, test) = setup(4, 80);
-        let base = FedAvgConfig { clients_per_round: 2, local_epochs: 1, ..Default::default() };
-        let explicit = FedAvgConfig { dropout_prob: 0.0, ..base.clone() };
+        let base = FedAvgConfig {
+            clients_per_round: 2,
+            local_epochs: 1,
+            ..Default::default()
+        };
+        let explicit = FedAvgConfig {
+            dropout_prob: 0.0,
+            ..base.clone()
+        };
         let mut a = FedAvg::new(base, clients.clone(), test.clone());
         let mut b = FedAvg::new(explicit, clients, test);
         for _ in 0..3 {
@@ -451,7 +768,10 @@ mod tests {
     #[should_panic(expected = "dropout probability")]
     fn rejects_certain_dropout() {
         let (clients, test) = setup(2, 40);
-        let config = FedAvgConfig { dropout_prob: 1.0, ..Default::default() };
+        let config = FedAvgConfig {
+            dropout_prob: 1.0,
+            ..Default::default()
+        };
         let _ = FedAvg::new(config, clients, test);
     }
 
@@ -459,7 +779,10 @@ mod tests {
     #[should_panic(expected = "exceeds N")]
     fn rejects_k_above_n() {
         let (clients, test) = setup(2, 40);
-        let config = FedAvgConfig { clients_per_round: 3, ..Default::default() };
+        let config = FedAvgConfig {
+            clients_per_round: 3,
+            ..Default::default()
+        };
         let _ = FedAvg::new(config, clients, test);
     }
 
@@ -467,7 +790,10 @@ mod tests {
     #[should_panic(expected = "E must be")]
     fn rejects_zero_epochs() {
         let (clients, test) = setup(2, 40);
-        let config = FedAvgConfig { local_epochs: 0, ..Default::default() };
+        let config = FedAvgConfig {
+            local_epochs: 0,
+            ..Default::default()
+        };
         let _ = FedAvg::new(config, clients, test);
     }
 }

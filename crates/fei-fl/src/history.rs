@@ -8,6 +8,9 @@ use crate::fedavg::RoundRecord;
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct TrainingHistory {
     records: Vec<RoundRecord>,
+    /// Accuracy target the run was asked to reach but did not before its
+    /// round cap expired.
+    missed_target: Option<f64>,
 }
 
 impl TrainingHistory {
@@ -39,6 +42,41 @@ impl TrainingHistory {
     /// The last record, if any.
     pub fn last(&self) -> Option<&RoundRecord> {
         self.records.last()
+    }
+
+    /// Marks this run as having missed `target` accuracy within its round
+    /// cap. Set by `run_until` when the stop condition's target was never
+    /// reached.
+    pub fn record_missed_target(&mut self, target: f64) {
+        self.missed_target = Some(target);
+    }
+
+    /// The accuracy target this run failed to reach, if any. `None` means
+    /// the run either had no target or reached it.
+    pub fn missed_target(&self) -> Option<f64> {
+        self.missed_target
+    }
+
+    /// Best test accuracy observed across evaluation rounds.
+    pub fn best_accuracy(&self) -> Option<f64> {
+        self.accuracy_curve()
+            .into_iter()
+            .map(|(_, a)| a)
+            .max_by(f64::total_cmp)
+    }
+
+    /// Rounds that committed an aggregate (fully or partially).
+    pub fn committed_rounds(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.outcome.committed())
+            .count()
+    }
+
+    /// Rounds abandoned for missing quorum — training time and energy spent
+    /// for no model progress.
+    pub fn abandoned_rounds(&self) -> usize {
+        self.records.len() - self.committed_rounds()
     }
 
     /// The first round (1-based count of rounds run) at which test accuracy
@@ -117,7 +155,10 @@ impl TrainingHistory {
 
 impl FromIterator<RoundRecord> for TrainingHistory {
     fn from_iter<I: IntoIterator<Item = RoundRecord>>(iter: I) -> Self {
-        Self { records: iter.into_iter().collect() }
+        Self {
+            records: iter.into_iter().collect(),
+            missed_target: None,
+        }
     }
 }
 
@@ -146,7 +187,12 @@ mod tests {
                 samples: 10,
             }],
             global_train_loss: loss,
-            test_eval: acc.map(|a| Evaluation { loss: loss.unwrap_or(1.0), accuracy: a }),
+            test_eval: acc.map(|a| Evaluation {
+                loss: loss.unwrap_or(1.0),
+                accuracy: a,
+            }),
+            outcome: crate::fedavg::RoundOutcome::Full,
+            faults: crate::fedavg::RoundFaultStats::default(),
         }
     }
 
@@ -181,8 +227,9 @@ mod tests {
 
     #[test]
     fn epoch_accounting() {
-        let h: TrainingHistory =
-            vec![record(0, None, None), record(1, None, None)].into_iter().collect();
+        let h: TrainingHistory = vec![record(0, None, None), record(1, None, None)]
+            .into_iter()
+            .collect();
         assert_eq!(h.total_local_epochs(), 4);
         assert_eq!(h.total_gradient_steps(), 4);
     }
@@ -205,8 +252,9 @@ mod tests {
 
     #[test]
     fn monotonicity_respects_tolerance() {
-        let h: TrainingHistory =
-            vec![record(0, None, Some(1.0)), record(1, None, Some(1.05))].into_iter().collect();
+        let h: TrainingHistory = vec![record(0, None, Some(1.0)), record(1, None, Some(1.05))]
+            .into_iter()
+            .collect();
         assert!(!h.is_loss_monotone(0.0));
         assert!(h.is_loss_monotone(0.1));
     }

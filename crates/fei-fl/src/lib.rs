@@ -38,6 +38,8 @@
 
 pub mod aggregate;
 pub mod asynchronous;
+pub mod error;
+pub mod fault;
 pub mod fedavg;
 pub mod history;
 pub mod runtime;
@@ -45,7 +47,12 @@ pub mod selection;
 
 pub use aggregate::{aggregate, AggregationRule};
 pub use asynchronous::{AsyncConfig, AsyncFedAvg, AsyncHistory, AsyncUpdateRecord};
-pub use fedavg::{FedAvg, FedAvgConfig, RoundRecord, StopCondition};
+pub use error::FlError;
+pub use fault::{FaultInjector, FaultSpec, RetryPolicy, UploadOutcome};
+pub use fedavg::{
+    FedAvg, FedAvgConfig, RoundFaultStats, RoundOutcome, RoundRecord, StopCondition,
+    ToleranceConfig,
+};
 pub use history::TrainingHistory;
 pub use runtime::ThreadedFedAvg;
 pub use selection::{ClientSelector, SelectionStrategy};

@@ -7,8 +7,10 @@
 //! seed the results are bit-identical to [`crate::FedAvg`] — an invariant the
 //! integration tests pin down.
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use bytes::{Buf, BufMut, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -18,9 +20,16 @@ use fei_net::codec::{decode_frame, encode_frame};
 use parking_lot::Mutex;
 
 use crate::aggregate::aggregate;
-use crate::fedavg::{FedAvgConfig, RoundRecord, StopCondition};
+use crate::error::FlError;
+use crate::fault::FaultInjector;
+use crate::fedavg::{FedAvgConfig, RoundFaultStats, RoundOutcome, RoundRecord, StopCondition};
 use crate::history::TrainingHistory;
 use crate::selection::ClientSelector;
+
+/// Wall-clock safety net for a worker reply. Fault schedules are virtual —
+/// this only fires when a worker thread genuinely died or wedged, in which
+/// case the round proceeds without it instead of hanging.
+const DEFAULT_WORKER_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Frame tag for coordinator → worker global-model dispatch.
 const MSG_GLOBAL: u8 = 1;
@@ -34,16 +43,27 @@ pub struct TransportStats {
     pub bytes_down: u64,
     /// Bytes of update frames sent by workers.
     pub bytes_up: u64,
+    /// Bytes retransmitted on the uplink: every lost or corrupted upload
+    /// attempt resends the full update frame.
+    pub bytes_retransmitted: u64,
     /// Number of local-training jobs executed.
     pub jobs: u64,
 }
 
 enum ToWorker {
-    Train { round: u32, epochs: u32, frame: Vec<u8> },
+    Train {
+        round: u32,
+        epochs: u32,
+        frame: Vec<u8>,
+    },
+    /// Test/chaos hook: the worker panics on receipt, simulating a process
+    /// crash mid-deployment.
+    Poison,
     Shutdown,
 }
 
 struct Update {
+    round: u32,
     client: usize,
     samples: usize,
     params: Vec<f64>,
@@ -75,7 +95,8 @@ fn decode_global(frame: &[u8]) -> (u32, u32, Vec<f64>) {
 }
 
 fn encode_update(update: &Update) -> Vec<u8> {
-    let mut payload = BytesMut::with_capacity(24 + update.params.len() * 8);
+    let mut payload = BytesMut::with_capacity(28 + update.params.len() * 8);
+    payload.put_u32(update.round);
     payload.put_u32(update.client as u32);
     payload.put_u64(update.samples as u64);
     payload.put_f64_le(update.initial_loss);
@@ -90,6 +111,7 @@ fn decode_update(frame: &[u8]) -> Update {
     let (frame, _) = decode_frame(frame).expect("worker frames are well-formed");
     assert_eq!(frame.msg_type, MSG_UPDATE, "expected an update frame");
     let mut buf = &frame.payload[..];
+    let round = buf.get_u32();
     let client = buf.get_u32() as usize;
     let samples = buf.get_u64() as usize;
     let initial_loss = buf.get_f64_le();
@@ -98,7 +120,14 @@ fn decode_update(frame: &[u8]) -> Update {
     while buf.has_remaining() {
         params.push(buf.get_f64_le());
     }
-    Update { client, samples, params, initial_loss, final_loss }
+    Update {
+        round,
+        client,
+        samples,
+        params,
+        initial_loss,
+        final_loss,
+    }
 }
 
 /// FedAvg with edge servers running on dedicated threads, generic over the
@@ -115,6 +144,8 @@ pub struct ThreadedFedAvg<M: Model = LogisticRegression> {
     from_workers: Receiver<Vec<u8>>,
     handles: Vec<JoinHandle<()>>,
     stats: Arc<Mutex<TransportStats>>,
+    injector: Option<FaultInjector>,
+    worker_timeout: Duration,
     /// Kept so `global_train_loss` can be computed coordinator-side; shared
     /// immutably with worker threads.
     client_data: Vec<Arc<Dataset>>,
@@ -141,7 +172,12 @@ impl<M: Model> ThreadedFedAvg<M> {
     /// # Panics
     ///
     /// Same validation as [`crate::FedAvg::with_model`].
-    pub fn with_model(config: FedAvgConfig, clients: Vec<Dataset>, test: Dataset, global: M) -> Self {
+    pub fn with_model(
+        config: FedAvgConfig,
+        clients: Vec<Dataset>,
+        test: Dataset,
+        global: M,
+    ) -> Self {
         assert!(!clients.is_empty(), "need at least one client dataset");
         assert!(
             clients.iter().all(|c| !c.is_empty()),
@@ -150,7 +186,9 @@ impl<M: Model> ThreadedFedAvg<M> {
         let dim = clients[0].dim();
         let classes = clients[0].num_classes();
         assert!(
-            clients.iter().all(|c| c.dim() == dim && c.num_classes() == classes),
+            clients
+                .iter()
+                .all(|c| c.dim() == dim && c.num_classes() == classes),
             "client datasets must share a shape"
         );
         assert!(config.clients_per_round > 0, "K must be at least 1");
@@ -204,8 +242,48 @@ impl<M: Model> ThreadedFedAvg<M> {
             from_workers,
             handles,
             stats,
+            injector: None,
+            worker_timeout: DEFAULT_WORKER_TIMEOUT,
             client_data,
         }
+    }
+
+    /// Attaches a seeded fault injector; see [`crate::FedAvg::with_faults`].
+    /// Fault decisions are made coordinator-side from the same pure
+    /// schedule, so both engines stay bit-identical under the same seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dropout_prob` is also set.
+    pub fn with_faults(mut self, injector: FaultInjector) -> Self {
+        assert_eq!(
+            self.config.dropout_prob, 0.0,
+            "use either dropout_prob or a fault injector, not both"
+        );
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Overrides the wall-clock reply timeout used to detect dead workers.
+    pub fn with_worker_timeout(mut self, timeout: Duration) -> Self {
+        self.worker_timeout = timeout;
+        self
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Chaos hook: makes `client`'s worker thread panic on its next message,
+    /// simulating a process crash. Subsequent rounds count the dead worker
+    /// as a dropout — they never hang on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is out of range.
+    pub fn inject_worker_panic(&self, client: usize) {
+        let _ = self.to_workers[client].send(ToWorker::Poison);
     }
 
     /// The run's configuration.
@@ -216,6 +294,11 @@ impl<M: Model> ThreadedFedAvg<M> {
     /// The current global model.
     pub fn global_model(&self) -> &M {
         &self.global
+    }
+
+    /// Rounds completed so far.
+    pub fn rounds_completed(&self) -> usize {
+        self.round
     }
 
     /// Cumulative transport statistics across all workers.
@@ -235,53 +318,184 @@ impl<M: Model> ThreadedFedAvg<M> {
     }
 
     /// Executes one global round across the worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the round fails outright (see
+    /// [`ThreadedFedAvg::try_run_round`]); impossible without a fault
+    /// injector.
     pub fn run_round(&mut self) -> RoundRecord {
-        let t = self.round;
-        let selected = self.selector.select(t, self.config.clients_per_round);
-        // Dropout is decided coordinator-side (matching the in-process
-        // engine's RNG stream) so both engines stay bit-identical.
-        let responded: Vec<usize> = selected
-            .iter()
-            .copied()
-            .filter(|_| {
-                self.config.dropout_prob == 0.0
-                    || self.dropout_rng.next_f64() >= self.config.dropout_prob
-            })
-            .collect();
+        self.try_run_round().expect("federated round failed")
+    }
 
-        let frame = encode_global(t as u32, self.config.local_epochs as u32, self.global.to_flat());
-        for &client in &responded {
-            self.to_workers[client]
+    /// Executes one global round, reporting fleet exhaustion as a typed
+    /// error. Mirrors [`crate::FedAvg::try_run_round`] decision-for-decision
+    /// so both engines produce bit-identical records under the same seeds.
+    ///
+    /// The coordinator survives worker failures: a send to a dead worker or
+    /// a missing reply (panic, wedge) counts the worker as a dropout
+    /// ([`RoundFaultStats::worker_losses`]) after a wall-clock timeout —
+    /// the round always terminates.
+    ///
+    /// # Errors
+    ///
+    /// [`FlError::FleetBelowQuorum`] when fewer devices are up than the
+    /// quorum requires. The round counter is not advanced.
+    pub fn try_run_round(&mut self) -> Result<RoundRecord, FlError> {
+        let t = self.round;
+        let mut faults = RoundFaultStats::default();
+
+        // Decide the round plan coordinator-side (matching the in-process
+        // engine's decisions) so both engines stay bit-identical.
+        let (selected, planned) = match self.injector.as_ref().filter(|i| i.is_enabled()).cloned() {
+            None => {
+                let selected = self.selector.select(t, self.config.clients_per_round);
+                let planned: Vec<usize> = selected
+                    .iter()
+                    .copied()
+                    .filter(|_| {
+                        self.config.dropout_prob == 0.0
+                            || self.dropout_rng.next_f64() >= self.config.dropout_prob
+                    })
+                    .collect();
+                (selected, planned)
+            }
+            Some(injector) => {
+                let tol = self.config.tolerance.clone();
+                let k = self.config.clients_per_round;
+                let n = self.client_sizes.len();
+                let quorum = tol.effective_quorum();
+
+                let alive = injector.live_fleet(n, t).len();
+                if alive < quorum {
+                    return Err(FlError::FleetBelowQuorum {
+                        round: t,
+                        alive,
+                        required: quorum,
+                    });
+                }
+
+                let want = (k + tol.over_select).min(n);
+                let selected = self.selector.select(t, want);
+
+                let mut arrivals: Vec<(f64, usize)> = Vec::with_capacity(selected.len());
+                for &device in &selected {
+                    if injector.is_down(device, t) {
+                        faults.crashed += 1;
+                        continue;
+                    }
+                    let factor = injector.straggle_factor(device, t);
+                    if factor > 1.0 {
+                        faults.stragglers += 1;
+                    }
+                    let upload = injector.upload_outcome(device, t, &tol.retry);
+                    faults.corrupted_frames += upload.corrupted;
+                    faults.upload_retries += upload.attempts - 1;
+                    if !upload.delivered {
+                        faults.abandoned_uploads += 1;
+                        continue;
+                    }
+                    let arrival = tol.nominal_round_s * factor + upload.backoff_s;
+                    if tol.deadline_s.is_some_and(|d| arrival > d) {
+                        faults.deadline_misses += 1;
+                        continue;
+                    }
+                    arrivals.push((arrival, device));
+                }
+
+                arrivals.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                let mut planned: Vec<usize> =
+                    arrivals.iter().take(k).map(|&(_, device)| device).collect();
+                planned.sort_unstable();
+                (selected, planned)
+            }
+        };
+
+        // Dispatch. A send failure means the worker's thread is gone (e.g.
+        // it panicked): count it as a dropout rather than crashing the run.
+        let frame = encode_global(
+            t as u32,
+            self.config.local_epochs as u32,
+            self.global.to_flat(),
+        );
+        let mut pending = BTreeSet::new();
+        for &client in &planned {
+            let sent = self.to_workers[client]
                 .send(ToWorker::Train {
                     round: t as u32,
                     epochs: self.config.local_epochs as u32,
                     frame: frame.clone(),
                 })
-                .expect("worker thread alive");
+                .is_ok();
+            if sent {
+                pending.insert(client);
+            } else {
+                faults.worker_losses += 1;
+            }
         }
 
-        let mut updates: Vec<Update> = (0..responded.len())
-            .map(|_| decode_update(&self.from_workers.recv().expect("worker reply")))
-            .collect();
+        // Collect replies. The wall-clock timeout is a liveness safety net:
+        // a worker that dies mid-job stops the wait, and its absence is a
+        // dropout — the round never hangs and never poisons shared state.
+        let mut updates: Vec<(Update, usize)> = Vec::with_capacity(pending.len());
+        while !pending.is_empty() {
+            match self.from_workers.recv_timeout(self.worker_timeout) {
+                Ok(reply) => {
+                    let frame_len = reply.len();
+                    let update = decode_update(&reply);
+                    // Discard stale frames from rounds a dead worker missed.
+                    if update.round == t as u32 && pending.remove(&update.client) {
+                        updates.push((update, frame_len));
+                    }
+                }
+                Err(_) => {
+                    faults.worker_losses += pending.len();
+                    pending.clear();
+                }
+            }
+        }
         // Restore deterministic order: workers reply in arbitrary order.
-        updates.sort_by_key(|u| u.client);
+        updates.sort_by_key(|(u, _)| u.client);
+        let responded: Vec<usize> = updates.iter().map(|(u, _)| u.client).collect();
 
-        if !updates.is_empty() {
-            let pairs: Vec<(Vec<f64>, usize)> =
-                updates.iter().map(|u| (u.params.clone(), u.samples)).collect();
+        // Charge uplink retransmissions decided by the fault schedule: each
+        // failed attempt resent the full update frame.
+        if let Some(injector) = &self.injector {
+            if injector.is_enabled() {
+                let retry = &self.config.tolerance.retry;
+                let resent: u64 = updates
+                    .iter()
+                    .map(|(u, len)| {
+                        let attempts = injector.upload_outcome(u.client, t, retry).attempts;
+                        (attempts as u64 - 1) * *len as u64
+                    })
+                    .sum();
+                if resent > 0 {
+                    self.stats.lock().bytes_retransmitted += resent;
+                }
+            }
+        }
+
+        let quorum = self.config.tolerance.effective_quorum();
+        let outcome = RoundOutcome::of(responded.len(), selected.len(), quorum);
+        if outcome.committed() && !updates.is_empty() {
+            let pairs: Vec<(Vec<f64>, usize)> = updates
+                .iter()
+                .map(|(u, _)| (u.params.clone(), u.samples))
+                .collect();
             let merged = aggregate(&pairs, self.config.aggregation);
             self.global.set_flat(&merged);
         }
         self.round += 1;
 
         let evaluated = self.round.is_multiple_of(self.config.eval_every);
-        RoundRecord {
+        Ok(RoundRecord {
             round: t,
             selected,
             responded,
             local_stats: updates
                 .iter()
-                .map(|u| fei_ml::TrainStats {
+                .map(|(u, _)| fei_ml::TrainStats {
                     epochs_run: self.config.local_epochs,
                     gradient_steps: self.config.local_epochs,
                     initial_loss: u.initial_loss,
@@ -291,15 +505,33 @@ impl<M: Model> ThreadedFedAvg<M> {
                 .collect(),
             global_train_loss: evaluated.then(|| self.global_train_loss()),
             test_eval: evaluated.then(|| fei_ml::Evaluation::of(&self.global, &self.test)),
-        }
+            outcome,
+            faults,
+        })
     }
 
     /// Runs rounds until `stop` is satisfied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a round fails outright; impossible without a fault
+    /// injector.
     pub fn run_until(&mut self, stop: StopCondition) -> TrainingHistory {
+        self.try_run_until(stop).expect("federated round failed")
+    }
+
+    /// Runs rounds until `stop` is satisfied, with the same missed-target
+    /// recording and error semantics as [`crate::FedAvg::try_run_until`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FlError::FleetBelowQuorum`] from a failed round.
+    pub fn try_run_until(&mut self, stop: StopCondition) -> Result<TrainingHistory, FlError> {
         let mut history = TrainingHistory::new();
+        let mut reached = false;
         for _ in 0..stop.max_rounds {
-            let record = self.run_round();
-            let reached = match (stop.target_accuracy, &record.test_eval) {
+            let record = self.try_run_round()?;
+            reached = match (stop.target_accuracy, &record.test_eval) {
                 (Some(target), Some(eval)) => eval.accuracy >= target,
                 _ => false,
             };
@@ -308,7 +540,10 @@ impl<M: Model> ThreadedFedAvg<M> {
                 break;
             }
         }
-        history
+        if let (Some(target), false) = (stop.target_accuracy, reached) {
+            history.record_missed_target(target);
+        }
+        Ok(history)
     }
 }
 
@@ -335,7 +570,12 @@ fn worker_loop<M: Model>(
     while let Ok(msg) = rx.recv() {
         match msg {
             ToWorker::Shutdown => break,
-            ToWorker::Train { round, epochs, frame } => {
+            ToWorker::Poison => panic!("injected worker panic (client {id})"),
+            ToWorker::Train {
+                round,
+                epochs,
+                frame,
+            } => {
                 let frame_len = frame.len();
                 let (wire_round, wire_epochs, params) = decode_global(&frame);
                 debug_assert_eq!(wire_round, round);
@@ -344,6 +584,7 @@ fn worker_loop<M: Model>(
                 model.set_flat(&params);
                 let train_stats = trainer.train(&mut model, data, epochs as usize, round as usize);
                 let update = Update {
+                    round,
                     client: id,
                     samples: data.len(),
                     params: model.to_flat().to_vec(),
@@ -388,7 +629,11 @@ mod tests {
     #[test]
     fn threaded_matches_in_process_bit_for_bit() {
         let (clients, test) = setup(5, 150);
-        let config = FedAvgConfig { clients_per_round: 3, local_epochs: 2, ..Default::default() };
+        let config = FedAvgConfig {
+            clients_per_round: 3,
+            local_epochs: 2,
+            ..Default::default()
+        };
         let mut serial = FedAvg::new(config.clone(), clients.clone(), test.clone());
         let mut threaded = ThreadedFedAvg::new(config, clients, test);
         for _ in 0..4 {
@@ -403,7 +648,11 @@ mod tests {
     #[test]
     fn transport_stats_accumulate() {
         let (clients, test) = setup(4, 80);
-        let config = FedAvgConfig { clients_per_round: 2, local_epochs: 1, ..Default::default() };
+        let config = FedAvgConfig {
+            clients_per_round: 2,
+            local_epochs: 1,
+            ..Default::default()
+        };
         let mut threaded = ThreadedFedAvg::new(config, clients, test);
         assert_eq!(threaded.transport_stats(), TransportStats::default());
         threaded.run_round();
@@ -419,7 +668,11 @@ mod tests {
     #[test]
     fn run_until_collects_history() {
         let (clients, test) = setup(4, 80);
-        let config = FedAvgConfig { clients_per_round: 2, local_epochs: 1, ..Default::default() };
+        let config = FedAvgConfig {
+            clients_per_round: 2,
+            local_epochs: 1,
+            ..Default::default()
+        };
         let mut threaded = ThreadedFedAvg::new(config, clients, test);
         let history = threaded.run_until(StopCondition::rounds(3));
         assert_eq!(history.len(), 3);
@@ -429,7 +682,11 @@ mod tests {
     #[test]
     fn drop_shuts_workers_down() {
         let (clients, test) = setup(3, 60);
-        let config = FedAvgConfig { clients_per_round: 1, local_epochs: 1, ..Default::default() };
+        let config = FedAvgConfig {
+            clients_per_round: 1,
+            local_epochs: 1,
+            ..Default::default()
+        };
         let threaded = ThreadedFedAvg::new(config, clients, test);
         drop(threaded); // must not hang or panic
     }
@@ -443,6 +700,7 @@ mod tests {
         assert_eq!(back, params);
 
         let update = Update {
+            round: 7,
             client: 4,
             samples: 123,
             params: vec![9.0, -1.0],
@@ -450,6 +708,7 @@ mod tests {
             final_loss: 1.25,
         };
         let decoded = decode_update(&encode_update(&update));
+        assert_eq!(decoded.round, 7);
         assert_eq!(decoded.client, 4);
         assert_eq!(decoded.samples, 123);
         assert_eq!(decoded.params, vec![9.0, -1.0]);

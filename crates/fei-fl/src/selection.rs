@@ -34,7 +34,11 @@ impl ClientSelector {
     /// Panics if `num_clients == 0`.
     pub fn new(strategy: SelectionStrategy, num_clients: usize, seed: u64) -> Self {
         assert!(num_clients > 0, "need at least one client");
-        Self { strategy, num_clients, rng: DetRng::new(seed).fork(0x5E1E) }
+        Self {
+            strategy,
+            num_clients,
+            rng: DetRng::new(seed).fork(0x5E1E),
+        }
     }
 
     /// The population size.
@@ -57,9 +61,9 @@ impl ClientSelector {
         );
         let mut chosen = match self.strategy {
             SelectionStrategy::UniformRandom => self.rng.sample_indices(self.num_clients, k),
-            SelectionStrategy::RoundRobin => (0..k)
-                .map(|i| (round * k + i) % self.num_clients)
-                .collect(),
+            SelectionStrategy::RoundRobin => {
+                (0..k).map(|i| (round * k + i) % self.num_clients).collect()
+            }
         };
         chosen.sort_unstable();
         chosen.dedup();

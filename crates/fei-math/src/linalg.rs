@@ -62,7 +62,9 @@ impl Error for LinalgError {}
 pub fn solve_linear_system(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
     let n = a.rows();
     if a.cols() != n {
-        return Err(LinalgError::ShapeMismatch { expected: format!("square matrix, got {}x{}", n, a.cols()) });
+        return Err(LinalgError::ShapeMismatch {
+            expected: format!("square matrix, got {}x{}", n, a.cols()),
+        });
     }
     if b.len() != n {
         return Err(LinalgError::ShapeMismatch {
@@ -183,7 +185,10 @@ impl LeastSquares {
             .zip(targets)
             .map(|(p, t)| (p - t) * (p - t))
             .sum();
-        Ok(Self { coefficients, residual_sum_sq })
+        Ok(Self {
+            coefficients,
+            residual_sum_sq,
+        })
     }
 
     /// Ridge (Tikhonov-regularized) least squares: minimizes
@@ -223,7 +228,10 @@ impl LeastSquares {
             .zip(targets)
             .map(|(p, t)| (p - t) * (p - t))
             .sum();
-        Ok(Self { coefficients, residual_sum_sq })
+        Ok(Self {
+            coefficients,
+            residual_sum_sq,
+        })
     }
 
     /// The fitted coefficient vector `beta`.
@@ -265,7 +273,10 @@ mod tests {
     #[test]
     fn detects_singular_matrix() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
-        assert_eq!(solve_linear_system(&a, &[1.0, 2.0]), Err(LinalgError::SingularMatrix));
+        assert_eq!(
+            solve_linear_system(&a, &[1.0, 2.0]),
+            Err(LinalgError::SingularMatrix)
+        );
     }
 
     #[test]
@@ -361,7 +372,9 @@ mod tests {
     #[test]
     fn errors_display_nonempty() {
         assert!(!LinalgError::SingularMatrix.to_string().is_empty());
-        let e = LinalgError::ShapeMismatch { expected: "x".into() };
+        let e = LinalgError::ShapeMismatch {
+            expected: "x".into(),
+        };
         assert!(e.to_string().contains('x'));
     }
 }

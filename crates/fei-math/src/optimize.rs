@@ -75,7 +75,11 @@ pub fn golden_section_min<F: FnMut(f64) -> f64>(
     let x = 0.5 * (a + b);
     let value = f(x);
     evaluations += 1;
-    GoldenSectionResult { x, value, evaluations }
+    GoldenSectionResult {
+        x,
+        value,
+        evaluations,
+    }
 }
 
 /// Minimizes `f` over the integers in `[lo, hi]` by exhaustive evaluation.
@@ -161,12 +165,8 @@ mod tests {
 
     #[test]
     fn integer_minimizer_skips_non_finite() {
-        let (x, v) = minimize_over_integers(
-            |k| if k < 3 { f64::INFINITY } else { k as f64 },
-            0,
-            5,
-        )
-        .unwrap();
+        let (x, v) =
+            minimize_over_integers(|k| if k < 3 { f64::INFINITY } else { k as f64 }, 0, 5).unwrap();
         assert_eq!(x, 3);
         assert_eq!(v, 3.0);
     }

@@ -42,7 +42,10 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
     assert!(!xs.is_empty(), "percentile of empty slice");
     assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile requires orderable values"));
+    sorted.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("percentile requires orderable values")
+    });
     let rank = p / 100.0 * (sorted.len() as f64 - 1.0);
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -79,7 +82,11 @@ pub fn rmse(predicted: &[f64], actual: &[f64]) -> f64 {
 ///
 /// Panics if the slices are empty or of different lengths.
 pub fn r_squared(predicted: &[f64], actual: &[f64]) -> f64 {
-    assert_eq!(predicted.len(), actual.len(), "r_squared requires equal lengths");
+    assert_eq!(
+        predicted.len(),
+        actual.len(),
+        "r_squared requires equal lengths"
+    );
     assert!(!predicted.is_empty(), "r_squared of empty slices");
     let m = mean(actual);
     let ss_tot: f64 = actual.iter().map(|a| (a - m) * (a - m)).sum();
@@ -144,7 +151,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
     let predicted: Vec<f64> = xs.iter().map(|&x| slope * x + intercept).collect();
-    LinearFit { slope, intercept, r_squared: r_squared(&predicted, ys) }
+    LinearFit {
+        slope,
+        intercept,
+        r_squared: r_squared(&predicted, ys),
+    }
 }
 
 #[cfg(test)]

@@ -23,10 +23,7 @@ use crate::traits::Model;
 /// ```
 pub fn accuracy<M: Model>(model: &M, data: &Dataset) -> f64 {
     assert!(!data.is_empty(), "accuracy over empty dataset");
-    let correct = data
-        .iter()
-        .filter(|(x, y)| model.predict(x) == *y)
-        .count();
+    let correct = data.iter().filter(|(x, y)| model.predict(x) == *y).count();
     correct as f64 / data.len() as f64
 }
 
@@ -47,7 +44,10 @@ impl Evaluation {
     ///
     /// Panics if `data` is empty or shapes mismatch.
     pub fn of<M: Model>(model: &M, data: &Dataset) -> Self {
-        Self { loss: model.loss(data), accuracy: accuracy(model, data) }
+        Self {
+            loss: model.loss(data),
+            accuracy: accuracy(model, data),
+        }
     }
 }
 

@@ -50,7 +50,12 @@ impl Mlp {
             params.push(rng.gaussian_with(0.0, w2_scale));
         }
         params.extend(std::iter::repeat_n(0.0, num_classes));
-        Self { dim, hidden, num_classes, params }
+        Self {
+            dim,
+            hidden,
+            num_classes,
+            params,
+        }
     }
 
     /// Hidden-layer width.
@@ -80,9 +85,7 @@ impl Mlp {
     fn forward(&self, x: &[f64]) -> (Vec<f64>, Vec<f64>) {
         assert_eq!(x.len(), self.dim, "input has wrong dimension");
         let h: Vec<f64> = (0..self.hidden)
-            .map(|j| {
-                (dot(&self.w1()[j * self.dim..(j + 1) * self.dim], x) + self.b1()[j]).tanh()
-            })
+            .map(|j| (dot(&self.w1()[j * self.dim..(j + 1) * self.dim], x) + self.b1()[j]).tanh())
             .collect();
         let logits: Vec<f64> = (0..self.num_classes)
             .map(|c| dot(&self.w2()[c * self.hidden..(c + 1) * self.hidden], &h) + self.b2()[c])
@@ -114,7 +117,11 @@ impl Model for Mlp {
     }
 
     fn set_flat(&mut self, flat: &[f64]) {
-        assert_eq!(flat.len(), self.params.len(), "flat parameter length mismatch");
+        assert_eq!(
+            flat.len(),
+            self.params.len(),
+            "flat parameter length mismatch"
+        );
         self.params.copy_from_slice(flat);
     }
 
@@ -188,7 +195,11 @@ impl Model for Mlp {
     }
 
     fn apply_gradient(&mut self, gradient: &[f64], step: f64) {
-        assert_eq!(gradient.len(), self.params.len(), "gradient length mismatch");
+        assert_eq!(
+            gradient.len(),
+            self.params.len(),
+            "gradient length mismatch"
+        );
         for (p, &g) in self.params.iter_mut().zip(gradient) {
             *p -= step * g;
         }
@@ -196,7 +207,10 @@ impl Model for Mlp {
 
     fn apply_weight_decay(&mut self, step: f64, decay: f64) {
         let shrink = step * decay;
-        assert!(shrink.is_finite() && shrink >= 0.0, "decay step must be non-negative");
+        assert!(
+            shrink.is_finite() && shrink >= 0.0,
+            "decay step must be non-negative"
+        );
         // Decay W1 and W2, leave b1/b2 alone.
         let w1_len = self.hidden * self.dim;
         let w2_start = w1_len + self.hidden;
@@ -302,7 +316,10 @@ mod tests {
             lr.apply_gradient(&grad, 0.5);
         }
         let lr_correct = data.iter().filter(|(x, y)| lr.predict(x) == *y).count();
-        assert!(lr_correct < 4, "LR should not solve XOR, got {lr_correct}/4");
+        assert!(
+            lr_correct < 4,
+            "LR should not solve XOR, got {lr_correct}/4"
+        );
     }
 
     #[test]

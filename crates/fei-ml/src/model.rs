@@ -30,7 +30,11 @@ impl LogisticRegression {
     pub fn zeros(dim: usize, num_classes: usize) -> Self {
         assert!(dim > 0, "dimension must be non-zero");
         assert!(num_classes >= 2, "need at least two classes");
-        Self { dim, num_classes, params: vec![0.0; num_classes * dim + num_classes] }
+        Self {
+            dim,
+            num_classes,
+            params: vec![0.0; num_classes * dim + num_classes],
+        }
     }
 
     /// Feature dimension.
@@ -65,7 +69,11 @@ impl LogisticRegression {
     ///
     /// Panics if the length does not match [`LogisticRegression::num_params`].
     pub fn set_flat(&mut self, flat: &[f64]) {
-        assert_eq!(flat.len(), self.params.len(), "flat parameter length mismatch");
+        assert_eq!(
+            flat.len(),
+            self.params.len(),
+            "flat parameter length mismatch"
+        );
         self.params.copy_from_slice(flat);
     }
 
@@ -177,7 +185,11 @@ impl LogisticRegression {
     ///
     /// Panics if the gradient length mismatches.
     pub fn apply_gradient(&mut self, gradient: &[f64], step: f64) {
-        assert_eq!(gradient.len(), self.params.len(), "gradient length mismatch");
+        assert_eq!(
+            gradient.len(),
+            self.params.len(),
+            "gradient length mismatch"
+        );
         for (p, &g) in self.params.iter_mut().zip(gradient) {
             *p -= step * g;
         }
@@ -191,7 +203,10 @@ impl LogisticRegression {
     /// Panics if `step * decay` is negative or not finite.
     pub fn apply_weight_decay(&mut self, step: f64, decay: f64) {
         let shrink = step * decay;
-        assert!(shrink.is_finite() && shrink >= 0.0, "decay step must be non-negative");
+        assert!(
+            shrink.is_finite() && shrink >= 0.0,
+            "decay step must be non-negative"
+        );
         let weight_len = self.num_classes * self.dim;
         for w in &mut self.params[..weight_len] {
             *w -= shrink * *w;

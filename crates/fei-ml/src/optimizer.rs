@@ -25,7 +25,12 @@ impl SgdConfig {
     /// The paper's configuration: lr 0.01, decay 0.99, full batch, no
     /// weight decay.
     pub fn paper_default() -> Self {
-        Self { learning_rate: 0.01, decay_per_round: 0.99, batch_size: None, weight_decay: 0.0 }
+        Self {
+            learning_rate: 0.01,
+            decay_per_round: 0.99,
+            batch_size: None,
+            weight_decay: 0.0,
+        }
     }
 
     /// Creates a config with explicit values.
@@ -41,7 +46,12 @@ impl SgdConfig {
             "decay must be in (0, 1]"
         );
         assert!(batch_size != Some(0), "batch size must be non-zero");
-        Self { learning_rate, decay_per_round, batch_size, weight_decay: 0.0 }
+        Self {
+            learning_rate,
+            decay_per_round,
+            batch_size,
+            weight_decay: 0.0,
+        }
     }
 
     /// Returns a copy with the given L2 weight-decay coefficient.

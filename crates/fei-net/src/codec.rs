@@ -63,7 +63,9 @@ impl fmt::Display for CodecError {
 impl Error for CodecError {}
 
 fn checksum(payload: &[u8]) -> u32 {
-    payload.iter().fold(0u32, |acc, &b| acc.wrapping_add(b as u32))
+    payload
+        .iter()
+        .fold(0u32, |acc, &b| acc.wrapping_add(b as u32))
 }
 
 /// Encodes a frame.
@@ -103,7 +105,10 @@ pub fn encode_frame(msg_type: u8, payload: &[u8]) -> Bytes {
 /// [`CodecError::ChecksumMismatch`] on payload corruption.
 pub fn decode_frame(bytes: &[u8]) -> Result<(Frame, usize), CodecError> {
     if bytes.len() < 7 {
-        return Err(CodecError::Truncated { needed: FRAME_OVERHEAD, available: bytes.len() });
+        return Err(CodecError::Truncated {
+            needed: FRAME_OVERHEAD,
+            available: bytes.len(),
+        });
     }
     if bytes[0..2] != MAGIC {
         return Err(CodecError::BadMagic);
@@ -113,7 +118,10 @@ pub fn decode_frame(bytes: &[u8]) -> Result<(Frame, usize), CodecError> {
     let len = len_bytes.get_u32() as usize;
     let total = FRAME_OVERHEAD + len;
     if bytes.len() < total {
-        return Err(CodecError::Truncated { needed: total, available: bytes.len() });
+        return Err(CodecError::Truncated {
+            needed: total,
+            available: bytes.len(),
+        });
     }
     let payload = &bytes[7..7 + len];
     let mut csum_bytes = &bytes[7 + len..total];
@@ -121,7 +129,13 @@ pub fn decode_frame(bytes: &[u8]) -> Result<(Frame, usize), CodecError> {
     if declared != checksum(payload) {
         return Err(CodecError::ChecksumMismatch);
     }
-    Ok((Frame { msg_type, payload: Bytes::copy_from_slice(payload) }, total))
+    Ok((
+        Frame {
+            msg_type,
+            payload: Bytes::copy_from_slice(payload),
+        },
+        total,
+    ))
 }
 
 /// Serializes a slice of `f64` (model parameters) to little-endian bytes.
@@ -205,7 +219,10 @@ mod tests {
     fn corrupted_payload_detected() {
         let mut wire = encode_frame(1, b"xyz").to_vec();
         wire[8] ^= 0xFF;
-        assert_eq!(decode_frame(&wire).unwrap_err(), CodecError::ChecksumMismatch);
+        assert_eq!(
+            decode_frame(&wire).unwrap_err(),
+            CodecError::ChecksumMismatch
+        );
     }
 
     #[test]
@@ -219,16 +236,22 @@ mod tests {
     fn f64_rejects_ragged_length() {
         assert!(matches!(
             decode_f64s(&[0u8; 9]),
-            Err(CodecError::Truncated { needed: 16, available: 9 })
+            Err(CodecError::Truncated {
+                needed: 16,
+                available: 9
+            })
         ));
     }
 
     #[test]
     fn errors_display() {
         assert!(!CodecError::BadMagic.to_string().is_empty());
-        assert!(CodecError::Truncated { needed: 5, available: 2 }
-            .to_string()
-            .contains('5'));
+        assert!(CodecError::Truncated {
+            needed: 5,
+            available: 2
+        }
+        .to_string()
+        .contains('5'));
     }
 }
 
@@ -249,6 +272,18 @@ mod proptests {
             prop_assert_eq!(frame.msg_type, msg_type);
             prop_assert_eq!(&frame.payload[..], &payload[..]);
             prop_assert_eq!(consumed, wire.len());
+        }
+
+        #[test]
+        fn single_bit_flip_in_payload_is_detected(
+            payload in proptest::collection::vec(any::<u8>(), 1..256),
+            byte_sel in any::<u16>(),
+            bit in 0usize..8,
+        ) {
+            let mut wire = encode_frame(5, &payload).to_vec();
+            let idx = 7 + byte_sel as usize % payload.len();
+            wire[idx] ^= 1 << bit;
+            prop_assert_eq!(decode_frame(&wire).unwrap_err(), CodecError::ChecksumMismatch);
         }
 
         #[test]

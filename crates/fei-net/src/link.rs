@@ -55,7 +55,12 @@ impl Link {
             joules_per_byte.is_finite() && joules_per_byte >= 0.0,
             "per-byte energy must be non-negative"
         );
-        Self { bandwidth_bps, latency, tx_power_watts, joules_per_byte }
+        Self {
+            bandwidth_bps,
+            latency,
+            tx_power_watts,
+            joules_per_byte,
+        }
     }
 
     /// Edge-server → coordinator WiFi uplink.
@@ -123,8 +128,14 @@ impl Link {
     ///
     /// Panics if `factor <= 0` or is not finite.
     pub fn with_bandwidth_scaled(&self, factor: f64) -> Link {
-        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
-        Link { bandwidth_bps: self.bandwidth_bps * factor, ..self.clone() }
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive"
+        );
+        Link {
+            bandwidth_bps: self.bandwidth_bps * factor,
+            ..self.clone()
+        }
     }
 }
 

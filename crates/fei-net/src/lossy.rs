@@ -34,7 +34,11 @@ impl LossyLink {
             success_probability > 0.0 && success_probability <= 1.0,
             "success probability must be in (0, 1]"
         );
-        Self { link, success_probability, max_attempts: 0 }
+        Self {
+            link,
+            success_probability,
+            max_attempts: 0,
+        }
     }
 
     /// Limits the number of attempts per transfer (`0` = unlimited).
@@ -181,13 +185,71 @@ mod tests {
     fn capped_transfers_can_fail() {
         let l = lossy(0.05).with_max_attempts(2);
         let mut rng = DetRng::new(7);
-        let outcomes: Vec<TransferOutcome> =
-            (0..200).map(|_| l.simulate_transfer(10, &mut rng)).collect();
+        let outcomes: Vec<TransferOutcome> = (0..200)
+            .map(|_| l.simulate_transfer(10, &mut rng))
+            .collect();
         assert!(outcomes.iter().any(|o| !o.delivered), "some must fail");
         assert!(outcomes.iter().all(|o| o.attempts <= 2));
         // Energy is charged for failed attempts too.
-        let failed = outcomes.iter().find(|o| !o.delivered).expect("some failure");
+        let failed = outcomes
+            .iter()
+            .find(|o| !o.delivered)
+            .expect("some failure");
         assert!(failed.energy_joules > 0.0);
+    }
+
+    #[test]
+    fn truncated_expectation_matches_closed_form() {
+        // E[min(G, m)] = (1 - q^m) / p for Geometric(p) attempts capped at m.
+        for &(p, m) in &[(0.1, 3usize), (0.3, 5), (0.5, 2), (0.9, 10), (0.05, 20)] {
+            let q: f64 = 1.0 - p;
+            let closed = (1.0 - q.powi(m as i32)) / p;
+            let computed = lossy(p).with_max_attempts(m).expected_attempts();
+            assert!(
+                (computed - closed).abs() < 1e-9,
+                "p = {p}, m = {m}: {computed} vs closed form {closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn delivered_fraction_matches_truncated_geometric() {
+        // P(delivered) = 1 - q^m; check the simulation against it.
+        let (p, m) = (0.3, 3usize);
+        let l = lossy(p).with_max_attempts(m);
+        let mut rng = DetRng::new(11);
+        let n = 20_000;
+        let delivered = (0..n)
+            .filter(|_| l.simulate_transfer(10, &mut rng).delivered)
+            .count();
+        let expected = 1.0 - (1.0 - p).powi(m as i32);
+        let fraction = delivered as f64 / n as f64;
+        assert!(
+            (fraction - expected).abs() < 0.01,
+            "delivered fraction {fraction} vs 1 - q^m = {expected}"
+        );
+    }
+
+    #[test]
+    fn abandonment_spends_exactly_the_cap() {
+        let l = lossy(0.2).with_max_attempts(4);
+        let per_attempt = l.link().transfer_energy_joules(10);
+        let mut rng = DetRng::new(13);
+        let abandoned: Vec<TransferOutcome> = (0..500)
+            .map(|_| l.simulate_transfer(10, &mut rng))
+            .filter(|o| !o.delivered)
+            .collect();
+        assert!(
+            !abandoned.is_empty(),
+            "20% success over 4 attempts must abandon some"
+        );
+        for o in &abandoned {
+            assert_eq!(
+                o.attempts, 4,
+                "abandonment only after the full retry budget"
+            );
+            assert!((o.energy_joules - 4.0 * per_attempt).abs() < 1e-12);
+        }
     }
 
     #[test]
@@ -204,6 +266,19 @@ mod proptests {
     use super::*;
 
     proptest! {
+        /// The truncated expectation is sane for any cap: at least one
+        /// attempt, never beyond the cap or the unlimited mean `1/p`.
+        #[test]
+        fn truncated_expectation_is_well_bounded(
+            p in 0.05f64..1.0,
+            m in 1usize..40,
+        ) {
+            let e = LossyLink::new(Link::nb_iot(), p).with_max_attempts(m).expected_attempts();
+            prop_assert!(e >= 1.0 - 1e-12);
+            prop_assert!(e <= m as f64 + 1e-12);
+            prop_assert!(e <= 1.0 / p + 1e-9);
+        }
+
         /// Simulated mean energy converges to the analytic expectation for
         /// unlimited retries.
         #[test]

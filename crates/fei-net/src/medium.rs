@@ -41,8 +41,7 @@ impl SharedMedium {
     pub fn concurrent_transfer_duration(&self, bytes: usize, concurrent: usize) -> SimDuration {
         assert!(concurrent > 0, "need at least one transmitter");
         let solo_serialization = (bytes as f64 * 8.0) / self.link.bandwidth_bps();
-        self.link.latency()
-            + SimDuration::from_secs_f64(solo_serialization * concurrent as f64)
+        self.link.latency() + SimDuration::from_secs_f64(solo_serialization * concurrent as f64)
     }
 
     /// Transmit-side energy of **one** participant in a `concurrent`-way

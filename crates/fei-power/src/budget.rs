@@ -28,7 +28,10 @@ impl BatteryFleet {
             capacity_j.is_finite() && capacity_j > 0.0,
             "capacity must be positive and finite"
         );
-        Self { capacity_j: vec![capacity_j; devices], consumed_j: vec![0.0; devices] }
+        Self {
+            capacity_j: vec![capacity_j; devices],
+            consumed_j: vec![0.0; devices],
+        }
     }
 
     /// Creates a fleet with per-device capacities.
@@ -43,7 +46,10 @@ impl BatteryFleet {
             "capacities must be positive and finite"
         );
         let n = capacities.len();
-        Self { capacity_j: capacities, consumed_j: vec![0.0; n] }
+        Self {
+            capacity_j: capacities,
+            consumed_j: vec![0.0; n],
+        }
     }
 
     /// Number of devices.
@@ -64,7 +70,10 @@ impl BatteryFleet {
     /// finite.
     pub fn consume(&mut self, device: usize, joules: f64) {
         assert!(device < self.len(), "device {device} out of range");
-        assert!(joules.is_finite() && joules >= 0.0, "consumption must be non-negative");
+        assert!(
+            joules.is_finite() && joules >= 0.0,
+            "consumption must be non-negative"
+        );
         self.consumed_j[device] += joules;
     }
 

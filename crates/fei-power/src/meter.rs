@@ -50,12 +50,20 @@ impl PowerMeter {
             sample_rate_hz.is_finite() && sample_rate_hz > 0.0,
             "sample rate must be positive"
         );
-        assert!(noise_std_w.is_finite() && noise_std_w >= 0.0, "noise must be non-negative");
+        assert!(
+            noise_std_w.is_finite() && noise_std_w >= 0.0,
+            "noise must be non-negative"
+        );
         assert!(
             spike_amplitude_w.is_finite() && spike_amplitude_w >= 0.0,
             "spike amplitude must be non-negative"
         );
-        Self { sample_rate_hz, noise_std_w, spike_amplitude_w, spike_duration }
+        Self {
+            sample_rate_hz,
+            noise_std_w,
+            spike_amplitude_w,
+            spike_duration,
+        }
     }
 
     /// Sampling rate in hertz.
@@ -128,7 +136,10 @@ impl PowerTrace {
     ///
     /// Panics if `period` is zero.
     pub fn from_samples(period: SimDuration, samples: Vec<f64>) -> Self {
-        assert!(period > SimDuration::ZERO, "sampling period must be non-zero");
+        assert!(
+            period > SimDuration::ZERO,
+            "sampling period must be non-zero"
+        );
         Self { period, samples }
     }
 
@@ -239,10 +250,16 @@ mod tests {
         let meter = PowerMeter::new(1_000.0, 0.0, 2.0, SimDuration::from_millis(8));
         let trace = meter.sample(&tl, &PowerProfile::default(), &mut DetRng::new(3));
         // The download plateau is 4.286 W; the spike peaks well above it.
-        let spike_window_peak = trace.samples()[200..216].iter().copied().fold(0.0, f64::max);
+        let spike_window_peak = trace.samples()[200..216]
+            .iter()
+            .copied()
+            .fold(0.0, f64::max);
         assert!(spike_window_peak > 5.0, "peak {spike_window_peak}");
         // Steady-state training shows no spike.
-        let training_peak = trace.samples()[400..600].iter().copied().fold(0.0, f64::max);
+        let training_peak = trace.samples()[400..600]
+            .iter()
+            .copied()
+            .fold(0.0, f64::max);
         assert!((training_peak - 5.553).abs() < 1e-9);
     }
 

@@ -43,7 +43,12 @@ impl PowerProfile {
     /// The Raspberry Pi 4B plateaus measured by the paper's prototype
     /// (§VI-B): 3.600, 4.286, 5.553, and 5.015 W.
     pub fn raspberry_pi_4b() -> Self {
-        Self { waiting_w: 3.600, downloading_w: 4.286, training_w: 5.553, uploading_w: 5.015 }
+        Self {
+            waiting_w: 3.600,
+            downloading_w: 4.286,
+            training_w: 5.553,
+            uploading_w: 5.015,
+        }
     }
 
     /// Creates a profile from explicit plateau powers.
@@ -58,9 +63,17 @@ impl PowerProfile {
             ("training", training_w),
             ("uploading", uploading_w),
         ] {
-            assert!(p.is_finite() && p >= 0.0, "{name} power must be finite and non-negative");
+            assert!(
+                p.is_finite() && p >= 0.0,
+                "{name} power must be finite and non-negative"
+            );
         }
-        Self { waiting_w, downloading_w, training_w, uploading_w }
+        Self {
+            waiting_w,
+            downloading_w,
+            training_w,
+            uploading_w,
+        }
     }
 
     /// Power draw in `state`, in watts.

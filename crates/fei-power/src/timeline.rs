@@ -50,7 +50,9 @@ pub struct PowerTimeline {
 impl PowerTimeline {
     /// Creates an empty timeline starting at `t = 0`.
     pub fn new() -> Self {
-        Self { segments: Vec::new() }
+        Self {
+            segments: Vec::new(),
+        }
     }
 
     /// Appends a segment of `state` lasting `duration`. Zero-length segments
@@ -66,7 +68,11 @@ impl PowerTimeline {
             }
         }
         let start = self.end();
-        self.segments.push(Segment { start, duration, state });
+        self.segments.push(Segment {
+            start,
+            duration,
+            state,
+        });
     }
 
     /// The segments, in order.
@@ -158,9 +164,18 @@ mod tests {
     fn state_lookup_half_open() {
         let tl = round_timeline();
         assert_eq!(tl.state_at(SimTime::ZERO), Some(PowerState::Waiting));
-        assert_eq!(tl.state_at(SimTime::from_millis(499)), Some(PowerState::Waiting));
-        assert_eq!(tl.state_at(SimTime::from_millis(500)), Some(PowerState::Downloading));
-        assert_eq!(tl.state_at(SimTime::from_millis(1_999)), Some(PowerState::Uploading));
+        assert_eq!(
+            tl.state_at(SimTime::from_millis(499)),
+            Some(PowerState::Waiting)
+        );
+        assert_eq!(
+            tl.state_at(SimTime::from_millis(500)),
+            Some(PowerState::Downloading)
+        );
+        assert_eq!(
+            tl.state_at(SimTime::from_millis(1_999)),
+            Some(PowerState::Uploading)
+        );
         assert_eq!(tl.state_at(SimTime::from_millis(2_000)), None);
     }
 
@@ -195,7 +210,10 @@ mod tests {
     fn time_in_state_accumulates_across_rounds() {
         let mut tl = round_timeline();
         tl.extend_with(&round_timeline());
-        assert_eq!(tl.time_in_state(PowerState::Training), SimDuration::from_millis(2_400));
+        assert_eq!(
+            tl.time_in_state(PowerState::Training),
+            SimDuration::from_millis(2_400)
+        );
         assert_eq!(tl.total_duration(), SimDuration::from_millis(4_000));
     }
 

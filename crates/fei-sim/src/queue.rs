@@ -61,7 +61,10 @@ impl<Ev> Ord for Entry<Ev> {
 impl<Ev> EventQueue<Ev> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     /// Schedules `event` at `time`.

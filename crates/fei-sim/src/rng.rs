@@ -27,7 +27,10 @@ pub struct DetRng {
 impl DetRng {
     /// Creates a generator from a seed. Equal seeds yield equal streams.
     pub fn new(seed: u64) -> Self {
-        Self { state: seed, spare_gaussian: None }
+        Self {
+            state: seed,
+            spare_gaussian: None,
+        }
     }
 
     /// Derives an independent child generator; children with different
@@ -62,7 +65,10 @@ impl DetRng {
     ///
     /// Panics if `lo > hi` or either bound is not finite.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid range [{lo}, {hi})"
+        );
         lo + (hi - lo) * self.next_f64()
     }
 

@@ -39,7 +39,11 @@ impl<Ev> Scheduler<'_, Ev> {
     ///
     /// Panics if `at` is in the simulated past.
     pub fn schedule_at(&mut self, at: SimTime, event: Ev) {
-        assert!(at >= self.now, "cannot schedule into the past ({at} < {now})", now = self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {now})",
+            now = self.now
+        );
         self.queue.push(at, event);
     }
 }
@@ -47,7 +51,10 @@ impl<Ev> Scheduler<'_, Ev> {
 impl<Ev> Simulation<Ev> {
     /// Creates an empty simulation at time zero.
     pub fn new() -> Self {
-        Self { queue: EventQueue::new(), now: SimTime::ZERO }
+        Self {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+        }
     }
 
     /// The current simulated time (the timestamp of the last delivered event).
@@ -66,7 +73,11 @@ impl<Ev> Simulation<Ev> {
     ///
     /// Panics if `at` is before the current simulated time.
     pub fn schedule_at(&mut self, at: SimTime, event: Ev) {
-        assert!(at >= self.now, "cannot schedule into the past ({at} < {now})", now = self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {now})",
+            now = self.now
+        );
         self.queue.push(at, event);
     }
 
@@ -92,7 +103,10 @@ impl<Ev> Simulation<Ev> {
     {
         while let Some((time, event)) = self.queue.pop() {
             self.now = time;
-            let mut scheduler = Scheduler { queue: &mut self.queue, now: time };
+            let mut scheduler = Scheduler {
+                queue: &mut self.queue,
+                now: time,
+            };
             handler(time, event, &mut scheduler);
         }
         self.now
@@ -112,7 +126,10 @@ impl<Ev> Simulation<Ev> {
             }
             let (time, event) = self.queue.pop().expect("peeked event must pop");
             self.now = time;
-            let mut scheduler = Scheduler { queue: &mut self.queue, now: time };
+            let mut scheduler = Scheduler {
+                queue: &mut self.queue,
+                now: time,
+            };
             handler(time, event, &mut scheduler);
             delivered += 1;
         }

@@ -11,11 +11,15 @@ use std::ops::{Add, AddAssign, Sub};
 use serde::{Deserialize, Serialize};
 
 /// A point in simulated time, measured in nanoseconds since simulation start.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -48,7 +52,10 @@ impl SimTime {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "time must be finite and non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "time must be finite and non-negative"
+        );
         SimTime((secs * 1e9).round() as u64)
     }
 
@@ -68,7 +75,10 @@ impl SimTime {
     ///
     /// Panics if `earlier` is after `self`.
     pub fn duration_since(self, earlier: SimTime) -> SimDuration {
-        assert!(earlier <= self, "duration_since: {earlier:?} is after {self:?}");
+        assert!(
+            earlier <= self,
+            "duration_since: {earlier:?} is after {self:?}"
+        );
         SimDuration(self.0 - earlier.0)
     }
 
@@ -108,7 +118,10 @@ impl SimDuration {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration must be finite and non-negative"
+        );
         SimDuration((secs * 1e9).round() as u64)
     }
 
@@ -129,7 +142,10 @@ impl SimDuration {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(factor.is_finite() && factor >= 0.0, "factor must be finite and non-negative");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "factor must be finite and non-negative"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 }
@@ -169,7 +185,11 @@ impl Sub for SimDuration {
     ///
     /// Panics on underflow.
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_sub(rhs.0).expect("duration subtraction underflow"))
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("duration subtraction underflow"),
+        )
     }
 }
 
@@ -207,7 +227,10 @@ mod tests {
     fn arithmetic() {
         let t = SimTime::from_millis(10) + SimDuration::from_millis(5);
         assert_eq!(t, SimTime::from_millis(15));
-        assert_eq!(t.duration_since(SimTime::from_millis(10)), SimDuration::from_millis(5));
+        assert_eq!(
+            t.duration_since(SimTime::from_millis(10)),
+            SimDuration::from_millis(5)
+        );
         let mut u = SimTime::ZERO;
         u += SimDuration::from_secs(2);
         assert_eq!(u, SimTime::from_secs(2));
@@ -218,7 +241,10 @@ mod tests {
         let early = SimTime::from_millis(1);
         let late = SimTime::from_millis(9);
         assert_eq!(early.saturating_duration_since(late), SimDuration::ZERO);
-        assert_eq!(late.saturating_duration_since(early), SimDuration::from_millis(8));
+        assert_eq!(
+            late.saturating_duration_since(early),
+            SimDuration::from_millis(8)
+        );
     }
 
     #[test]
@@ -229,7 +255,10 @@ mod tests {
 
     #[test]
     fn duration_scaling() {
-        assert_eq!(SimDuration::from_secs(2).mul_f64(1.5), SimDuration::from_secs(3));
+        assert_eq!(
+            SimDuration::from_secs(2).mul_f64(1.5),
+            SimDuration::from_secs(3)
+        );
         assert_eq!(SimDuration::from_secs(2).mul_f64(0.0), SimDuration::ZERO);
     }
 

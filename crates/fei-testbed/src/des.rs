@@ -88,10 +88,10 @@ impl Testbed {
                         })
                         .collect();
                     for (slot, &dur) in train.iter().enumerate() {
-                        sim.schedule_at(now + waiting + download + dur, Event::TrainDone {
-                            slot,
-                            round,
-                        });
+                        sim.schedule_at(
+                            now + waiting + download + dur,
+                            Event::TrainDone { slot, round },
+                        );
                     }
                     state = Some(RoundState {
                         devices,
@@ -133,15 +133,12 @@ impl Testbed {
                             tl.energy_in_state_joules(&profile, PowerState::Training);
                         breakdown.upload_j +=
                             tl.energy_in_state_joules(&profile, PowerState::Uploading);
-                        straggler_wait_j +=
-                            profile.waiting_w * idle_after_training.as_secs_f64();
+                        straggler_wait_j += profile.waiting_w * idle_after_training.as_secs_f64();
                     }
                     if !self.config().preloaded_data {
                         breakdown.collection_j += k as f64
-                            * fei_data::IotStream::with_defaults(
-                                self.config().samples_per_device,
-                            )
-                            .upload_energy_joules(fei_data::stream::NB_IOT_JOULES_PER_BYTE);
+                            * fei_data::IotStream::with_defaults(self.config().samples_per_device)
+                                .upload_energy_joules(fei_data::stream::NB_IOT_JOULES_PER_BYTE);
                     }
                     wall_clock += now.duration_since(st.started_at);
                     if round + 1 < rounds {
@@ -152,7 +149,13 @@ impl Testbed {
         }
 
         (
-            ExperimentRun { k, e: epochs, rounds, breakdown, wall_clock },
+            ExperimentRun {
+                k,
+                e: epochs,
+                rounds,
+                breakdown,
+                wall_clock,
+            },
             straggler_wait_j,
         )
     }
@@ -195,7 +198,10 @@ mod tests {
     #[test]
     fn des_accounts_collection_when_not_preloaded() {
         let tb = Testbed::new(
-            TestbedConfig { preloaded_data: false, ..Default::default() },
+            TestbedConfig {
+                preloaded_data: false,
+                ..Default::default()
+            },
             RaspberryPi::paper_calibrated(),
         );
         let (des, _) = tb.run_des(2, 1, 3);

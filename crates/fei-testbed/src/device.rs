@@ -33,7 +33,11 @@ impl RaspberryPi {
     pub fn paper_calibrated() -> Self {
         let timing = fit_timing_model(&paper_table1())
             .expect("the paper's Table I is a well-posed regression");
-        Self { profile: PowerProfile::raspberry_pi_4b(), timing, timing_jitter_frac: 0.015 }
+        Self {
+            profile: PowerProfile::raspberry_pi_4b(),
+            timing,
+            timing_jitter_frac: 0.015,
+        }
     }
 
     /// Creates a Pi with explicit characteristics.
@@ -46,7 +50,11 @@ impl RaspberryPi {
             timing_jitter_frac.is_finite() && timing_jitter_frac >= 0.0,
             "jitter must be finite and non-negative"
         );
-        Self { profile, timing, timing_jitter_frac }
+        Self {
+            profile,
+            timing,
+            timing_jitter_frac,
+        }
     }
 
     /// The device's power plateaus.
@@ -87,7 +95,9 @@ impl RaspberryPi {
                 rows.push(TimingRow {
                     epochs,
                     samples,
-                    seconds: self.measure_training_duration(epochs, samples, rng).as_secs_f64(),
+                    seconds: self
+                        .measure_training_duration(epochs, samples, rng)
+                        .as_secs_f64(),
                 });
             }
         }
@@ -142,10 +152,16 @@ mod tests {
         let base = pi.training_duration(20, 1000).as_secs_f64();
         let n = 200;
         let mean: f64 = (0..n)
-            .map(|_| pi.measure_training_duration(20, 1000, &mut rng).as_secs_f64())
+            .map(|_| {
+                pi.measure_training_duration(20, 1000, &mut rng)
+                    .as_secs_f64()
+            })
             .sum::<f64>()
             / n as f64;
-        assert!((mean - base).abs() / base < 0.01, "mean {mean} vs law {base}");
+        assert!(
+            (mean - base).abs() / base < 0.01,
+            "mean {mean} vs law {base}"
+        );
     }
 
     #[test]

@@ -106,7 +106,12 @@ mod tests {
             responded: vec![0],
             local_stats: vec![],
             global_train_loss: loss,
-            test_eval: loss.map(|l| Evaluation { loss: l, accuracy: 0.5 }),
+            test_eval: loss.map(|l| Evaluation {
+                loss: l,
+                accuracy: 0.5,
+            }),
+            outcome: fei_fl::RoundOutcome::Full,
+            faults: fei_fl::RoundFaultStats::default(),
         }
     }
 
@@ -129,11 +134,17 @@ mod tests {
             k: 1,
             e: 1,
             rounds: 1,
-            breakdown: EnergyBreakdown { training_j: 10.0, ..Default::default() },
+            breakdown: EnergyBreakdown {
+                training_j: 10.0,
+                ..Default::default()
+            },
             wall_clock: SimDuration::from_secs(2),
         };
         assert_eq!(run.mean_power_watts(), 5.0);
-        let zero = ExperimentRun { wall_clock: SimDuration::ZERO, ..run };
+        let zero = ExperimentRun {
+            wall_clock: SimDuration::ZERO,
+            ..run
+        };
         assert_eq!(zero.mean_power_watts(), 0.0);
     }
 

@@ -94,7 +94,10 @@ impl FlExperimentConfig {
             num_devices: 20,
             scale: 0.05,
             test_scale: 0.2,
-            data: SyntheticMnistConfig { pixel_noise_std: 0.5, ..Default::default() },
+            data: SyntheticMnistConfig {
+                pixel_noise_std: 0.5,
+                ..Default::default()
+            },
             sgd: SgdConfig::new(0.005, 0.998, None),
             eval_every: 1,
             partition: PartitionStrategy::Iid,
@@ -148,7 +151,11 @@ impl FlExperiment {
             ),
         };
         let clients = partition.apply(&train);
-        Self { config, clients, test }
+        Self {
+            config,
+            clients,
+            test,
+        }
     }
 
     /// The campaign configuration.
@@ -195,6 +202,28 @@ impl FlExperiment {
             ..Default::default()
         };
         FedAvg::new(config, self.clients.clone(), self.test.clone())
+    }
+
+    /// Builds a fault-injected FedAvg engine for `(K, E)`: the injector
+    /// perturbs every round and the coordinator responds with `tolerance`
+    /// (over-selection, deadline, retry, quorum).
+    pub fn faulty_engine(
+        &self,
+        k: usize,
+        e: usize,
+        tolerance: fei_fl::ToleranceConfig,
+        injector: fei_fl::FaultInjector,
+    ) -> FedAvg {
+        let config = FedAvgConfig {
+            clients_per_round: k,
+            local_epochs: e,
+            sgd: self.config.sgd.clone(),
+            eval_every: self.config.eval_every,
+            seed: self.config.seed ^ ((k as u64) << 32) ^ e as u64,
+            tolerance,
+            ..Default::default()
+        };
+        FedAvg::new(config, self.clients.clone(), self.test.clone()).with_faults(injector)
     }
 
     /// Runs `(K, E)` for a fixed number of rounds.
@@ -296,13 +325,18 @@ mod tests {
         assert_eq!(counts.iter().sum::<usize>(), 600);
         let max = *counts.iter().max().unwrap();
         let min = *counts.iter().min().unwrap();
-        assert!(max > min, "Dirichlet(0.1) should produce uneven devices: {counts:?}");
+        assert!(
+            max > min,
+            "Dirichlet(0.1) should produce uneven devices: {counts:?}"
+        );
     }
 
     #[test]
     fn label_shards_partition_trains() {
         let mut cfg = small_config();
-        cfg.partition = PartitionStrategy::LabelShards { shards_per_client: 2 };
+        cfg.partition = PartitionStrategy::LabelShards {
+            shards_per_client: 2,
+        };
         let exp = FlExperiment::prepare(cfg);
         let h = exp.run_rounds(5, 2, 3);
         assert_eq!(h.len(), 3);
@@ -315,7 +349,9 @@ mod tests {
         let mut iid_cfg = small_config();
         iid_cfg.sgd = SgdConfig::new(0.05, 1.0, None);
         let mut skew_cfg = iid_cfg.clone();
-        skew_cfg.partition = PartitionStrategy::LabelShards { shards_per_client: 1 };
+        skew_cfg.partition = PartitionStrategy::LabelShards {
+            shards_per_client: 1,
+        };
         let iid = FlExperiment::prepare(iid_cfg);
         let skewed = FlExperiment::prepare(skew_cfg);
         let (_, t_iid) = iid.run_to_accuracy(1, 5, 0.6, 300);

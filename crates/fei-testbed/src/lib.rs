@@ -18,10 +18,12 @@
 pub mod des;
 pub mod device;
 pub mod experiment;
+pub mod faults;
 pub mod fl;
 pub mod testbed;
 
 pub use device::RaspberryPi;
 pub use experiment::{EnergyBreakdown, ExperimentRun};
+pub use faults::{FaultCampaign, FaultCampaignReport, ReplanEvent};
 pub use fl::{FlExperiment, FlExperimentConfig, PartitionStrategy, EASY_TARGET, STRINGENT_TARGET};
 pub use testbed::{Testbed, TestbedConfig};

@@ -103,7 +103,11 @@ impl Testbed {
     /// Panics if the length differs from the fleet size or any factor is
     /// not positive and finite.
     pub fn with_speed_factors(mut self, factors: Vec<f64>) -> Self {
-        assert_eq!(factors.len(), self.config.num_devices, "one factor per device");
+        assert_eq!(
+            factors.len(),
+            self.config.num_devices,
+            "one factor per device"
+        );
         assert!(
             factors.iter().all(|f| f.is_finite() && *f > 0.0),
             "speed factors must be positive and finite"
@@ -134,7 +138,8 @@ impl Testbed {
 
     /// Duration of the model download (step 2) for one device.
     pub fn download_duration(&self) -> SimDuration {
-        self.downlink.transfer_duration(self.config.model_payload_bytes)
+        self.downlink
+            .transfer_duration(self.config.model_payload_bytes)
     }
 
     /// Duration of the model upload (step 4) when `k` devices upload
@@ -170,7 +175,9 @@ impl Testbed {
         } else {
             let span = waiting
                 + self.download_duration()
-                + self.pi.training_duration(epochs, self.config.samples_per_device)
+                + self
+                    .pi
+                    .training_duration(epochs, self.config.samples_per_device)
                 + self.upload_duration(k_concurrent);
             tl.push(PowerState::Waiting, span);
         }
@@ -206,8 +213,7 @@ impl Testbed {
                 breakdown.waiting_j += tl.energy_in_state_joules(&profile, PowerState::Waiting);
                 breakdown.download_j +=
                     tl.energy_in_state_joules(&profile, PowerState::Downloading);
-                breakdown.training_j +=
-                    tl.energy_in_state_joules(&profile, PowerState::Training);
+                breakdown.training_j += tl.energy_in_state_joules(&profile, PowerState::Training);
                 breakdown.upload_j += tl.energy_in_state_joules(&profile, PowerState::Uploading);
             }
             // IoT data collection (Eq. 4) for each selected server — absent
@@ -218,7 +224,13 @@ impl Testbed {
             }
             wall_clock += round_span;
         }
-        ExperimentRun { k, e: epochs, rounds, breakdown, wall_clock }
+        ExperimentRun {
+            k,
+            e: epochs,
+            rounds,
+            breakdown,
+            wall_clock,
+        }
     }
 
     /// Builds a Fig.-3-style artifact: one device's ground-truth timeline
@@ -250,7 +262,9 @@ impl Testbed {
             self.iot.rho_joules(NB_IOT_JOULES_PER_BYTE)
         };
         let data = DataCollectionModel::new(rho).expect("rho is valid");
-        let e_u = self.uplink.concurrent_transfer_energy_joules(self.config.model_payload_bytes, 1);
+        let e_u = self
+            .uplink
+            .concurrent_transfer_energy_joules(self.config.model_payload_bytes, 1);
         let upload = UploadModel::new(e_u).expect("upload energy is valid");
         RoundEnergyModel::new(data, compute, upload, self.config.samples_per_device)
             .expect("testbed parameters are valid")
@@ -318,7 +332,13 @@ impl Testbed {
             wall_clock += round_span;
         }
         (
-            ExperimentRun { k, e: epochs, rounds, breakdown, wall_clock },
+            ExperimentRun {
+                k,
+                e: epochs,
+                rounds,
+                breakdown,
+                wall_clock,
+            },
             straggler_wait_j,
         )
     }
@@ -375,7 +395,11 @@ mod tests {
         let base = tb.run(5, 10, 10).breakdown.total_joules();
         let double_t = tb.run(5, 10, 20).breakdown.total_joules();
         let double_k = tb.run(10, 10, 10).breakdown.total_joules();
-        assert!((double_t / base - 2.0).abs() < 0.05, "T scaling: {}", double_t / base);
+        assert!(
+            (double_t / base - 2.0).abs() < 0.05,
+            "T scaling: {}",
+            double_t / base
+        );
         // Doubling K doubles per-round energy except the upload-contention
         // stretch, which grows superlinearly.
         assert!(double_k / base > 1.9, "K scaling: {}", double_k / base);
@@ -391,7 +415,10 @@ mod tests {
 
     #[test]
     fn collection_energy_matches_eq4_when_not_preloaded() {
-        let config = TestbedConfig { preloaded_data: false, ..Default::default() };
+        let config = TestbedConfig {
+            preloaded_data: false,
+            ..Default::default()
+        };
         let tb = Testbed::new(config, RaspberryPi::paper_calibrated());
         let run = tb.run(3, 1, 7);
         let expected = 3.0 * 7.0 * 3_000.0 * 785.0 * NB_IOT_JOULES_PER_BYTE;
@@ -403,7 +430,10 @@ mod tests {
 
     #[test]
     fn idle_fleet_accounting_is_optional() {
-        let config = TestbedConfig { include_idle_of_unselected: true, ..Default::default() };
+        let config = TestbedConfig {
+            include_idle_of_unselected: true,
+            ..Default::default()
+        };
         let with_idle = Testbed::new(config, RaspberryPi::paper_calibrated());
         let without_idle = Testbed::paper_prototype();
         let a = with_idle.run(1, 10, 5).breakdown.total_joules();
@@ -427,14 +457,21 @@ mod tests {
     fn energy_model_matches_paper_constants() {
         let tb = Testbed::paper_prototype();
         let m = tb.energy_model();
-        assert!((m.compute().c0() - 7.79e-5).abs() / 7.79e-5 < 0.15, "c0 {}", m.compute().c0());
+        assert!(
+            (m.compute().c0() - 7.79e-5).abs() / 7.79e-5 < 0.15,
+            "c0 {}",
+            m.compute().c0()
+        );
         assert_eq!(m.n_k(), 3_000);
         assert!(m.b0() > 0.0 && m.b1() > 0.0);
         // Pre-loaded prototype: no collection term in B1.
         assert_eq!(m.data().rho(), 0.0);
         // Full EE-FEI deployment: NB-IoT collection dominates B1.
         let full = Testbed::new(
-            TestbedConfig { preloaded_data: false, ..Default::default() },
+            TestbedConfig {
+                preloaded_data: false,
+                ..Default::default()
+            },
             RaspberryPi::paper_calibrated(),
         );
         assert!(full.energy_model().b1() > 1_000.0);
@@ -471,7 +508,10 @@ mod tests {
         // K = 20 guarantees the slow device participates every round.
         let (u_run, u_straggle) = uniform.run_synchronous(20, 20, 3);
         let (m_run, m_straggle) = mixed.run_synchronous(20, 20, 3);
-        assert!(m_straggle > u_straggle * 10.0, "{m_straggle} vs {u_straggle}");
+        assert!(
+            m_straggle > u_straggle * 10.0,
+            "{m_straggle} vs {u_straggle}"
+        );
         assert!(m_run.wall_clock > u_run.wall_clock);
         assert!(m_run.total_joules() > u_run.total_joules());
     }

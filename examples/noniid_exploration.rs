@@ -20,13 +20,25 @@ use ee_fei::testbed::experiment::gap_observations;
 const TARGET: f64 = 0.90;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("{:>16} {:>8} {:>8} {:>8} {:>12} {:>8}", "split", "T(K=1)", "T(K=5)", "T(K=20)", "fitted A1", "K*(Eq15)");
+    println!(
+        "{:>16} {:>8} {:>8} {:>8} {:>12} {:>8}",
+        "split", "T(K=1)", "T(K=5)", "T(K=20)", "fitted A1", "K*(Eq15)"
+    );
 
     for (label, partition) in [
         ("IID", PartitionStrategy::Iid),
-        ("Dirichlet(1.0)", PartitionStrategy::Dirichlet { alpha: 1.0 }),
-        ("Dirichlet(0.3)", PartitionStrategy::Dirichlet { alpha: 0.3 }),
-        ("Dirichlet(0.1)", PartitionStrategy::Dirichlet { alpha: 0.1 }),
+        (
+            "Dirichlet(1.0)",
+            PartitionStrategy::Dirichlet { alpha: 1.0 },
+        ),
+        (
+            "Dirichlet(0.3)",
+            PartitionStrategy::Dirichlet { alpha: 0.3 },
+        ),
+        (
+            "Dirichlet(0.1)",
+            PartitionStrategy::Dirichlet { alpha: 0.1 },
+        ),
     ] {
         let exp = FlExperiment::prepare(FlExperimentConfig {
             partition,
@@ -52,7 +64,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let f_star = reference.loss(&union) - 0.01;
 
         let mut obs = Vec::new();
-        for (k, e, h) in [(1usize, 8usize, &h1), (5, 8, &h5), (20, 8, &h20), (1, 1, &h1e)] {
+        for (k, e, h) in [
+            (1usize, 8usize, &h1),
+            (5, 8, &h5),
+            (20, 8, &h20),
+            (1, 1, &h1e),
+        ] {
             obs.extend(gap_observations(h, e, k, f_star, 2));
         }
         let (a1_str, k_star_str) = match fit_bound_constants(&obs) {
@@ -61,13 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 // epsilon: the gap observed when the IID run hits the target.
                 let epsilon = 0.6;
                 let energy = RoundEnergyModel::paper_default();
-                let objective = EnergyObjective::new(
-                    bound,
-                    energy.b0(),
-                    energy.b1(),
-                    epsilon,
-                    20,
-                );
+                let objective = EnergyObjective::new(bound, energy.b0(), energy.b1(), epsilon, 20);
                 let k_star = objective
                     .ok()
                     .and_then(|o| o.k_star(8.0))

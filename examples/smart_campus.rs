@@ -35,7 +35,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- 1. probe runs ------------------------------------------------
     println!("\nprobing convergence with 4 configurations…");
-    let probes = [(1usize, 1usize, 300usize), (1, 10, 80), (5, 5, 80), (10, 20, 40)];
+    let probes = [
+        (1usize, 1usize, 300usize),
+        (1, 10, 80),
+        (5, 5, 80),
+        (10, 20, 40),
+    ];
     let runs: Vec<(usize, usize, TrainingHistory)> = probes
         .iter()
         .map(|&(k, e, rounds)| {
@@ -74,7 +79,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .filter_map(|(_, _, h)| {
             let t = h.rounds_to_accuracy(0.92)?;
-            h.loss_curve().iter().find(|&&(r, _)| r + 1 == t).map(|&(_, l)| l - f_star)
+            h.loss_curve()
+                .iter()
+                .find(|&&(r, _)| r + 1 == t)
+                .map(|&(_, l)| l - f_star)
         })
         .reduce(f64::max)
         .unwrap_or(0.5);
@@ -82,7 +90,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- 3. optimize ----------------------------------------------------
     let testbed = Testbed::new(
-        TestbedConfig { num_devices: 10, ..Default::default() },
+        TestbedConfig {
+            num_devices: 10,
+            ..Default::default()
+        },
         RaspberryPi::paper_calibrated(),
     );
     let planner = EeFeiPlanner::new(testbed.energy_model(), bound, epsilon, 10)?;

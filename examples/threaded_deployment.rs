@@ -36,7 +36,10 @@ fn main() {
     assert_eq!(serial.global_model(), threaded.global_model());
     println!("models are bit-identical across engines ✓");
 
-    let eval = serial_history.last().and_then(|r| r.test_eval).expect("evaluated");
+    let eval = serial_history
+        .last()
+        .and_then(|r| r.test_eval)
+        .expect("evaluated");
     println!(
         "after 10 rounds: test accuracy {:.3}, loss {:.3}",
         eval.accuracy, eval.loss

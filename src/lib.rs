@@ -67,15 +67,22 @@ pub use fei_testbed as testbed;
 pub mod prelude {
     pub use fei_core::{
         AcsOptimizer, ComputationModel, ConvergenceBound, DataCollectionModel, EeFeiPlan,
-        EeFeiPlanner, EnergyObjective, GridSearch, RoundEnergyModel, UploadModel,
+        EeFeiPlanner, EnergyLedger, EnergyObjective, EnergyUse, GridSearch, RoundEnergyModel,
+        UploadModel,
     };
     pub use fei_data::{Dataset, IotStream, Partition, SyntheticMnist, SyntheticMnistConfig};
     pub use fei_fl::{
-        aggregate, AggregationRule, AsyncConfig, AsyncFedAvg, AsyncHistory, FedAvg, FedAvgConfig,
-        StopCondition, ThreadedFedAvg, TrainingHistory,
+        aggregate, AggregationRule, AsyncConfig, AsyncFedAvg, AsyncHistory, FaultInjector,
+        FaultSpec, FedAvg, FedAvgConfig, FlError, RetryPolicy, RoundFaultStats, RoundOutcome,
+        StopCondition, ThreadedFedAvg, ToleranceConfig, TrainingHistory,
     };
-    pub use fei_ml::{accuracy, Evaluation, LocalTrainer, LogisticRegression, Mlp, Model, SgdConfig};
+    pub use fei_ml::{
+        accuracy, Evaluation, LocalTrainer, LogisticRegression, Mlp, Model, SgdConfig,
+    };
     pub use fei_power::{PowerMeter, PowerProfile, PowerState, PowerTimeline};
     pub use fei_sim::{DetRng, SimDuration, SimTime};
-    pub use fei_testbed::{FlExperiment, FlExperimentConfig, PartitionStrategy, RaspberryPi, Testbed, TestbedConfig};
+    pub use fei_testbed::{
+        FaultCampaign, FlExperiment, FlExperimentConfig, PartitionStrategy, RaspberryPi, Testbed,
+        TestbedConfig,
+    };
 }

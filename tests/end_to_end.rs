@@ -60,7 +60,11 @@ fn calibrated_bound_feeds_a_feasible_planner() {
     for (k, e, h) in &runs {
         observations.extend(gap_observations(h, *e, *k, f_star, 2));
     }
-    assert!(observations.len() > 30, "only {} observations", observations.len());
+    assert!(
+        observations.len() > 30,
+        "only {} observations",
+        observations.len()
+    );
     let bound = fit_bound_constants(&observations).expect("regression is well-posed");
     assert!(bound.a0() > 0.0);
 
@@ -81,7 +85,9 @@ fn calibrated_bound_feeds_a_feasible_planner() {
 
     // ACS's integer refinement seeds every K's continuous optimum, so its
     // answer matches exhaustive search exactly.
-    let grid = GridSearch::default().solve(&planner.objective()).expect("grid solvable");
+    let grid = GridSearch::default()
+        .solve(&planner.objective())
+        .expect("grid solvable");
     assert_eq!((grid.k, grid.e), (plan.solution.k, plan.solution.e));
     assert!((grid.energy - plan.solution.energy).abs() < 1e-9);
 }
@@ -93,10 +99,17 @@ fn paper_defaults_compose_into_a_plan() {
     let bound = ConvergenceBound::new(1.0, 0.05, 1e-4).expect("valid constants");
     let planner = EeFeiPlanner::new(energy, bound, 0.1, 20).expect("feasible");
     let plan = planner.plan().expect("solvable");
-    assert!(plan.savings_fraction > 0.0, "optimization should beat K=1, E=1");
+    assert!(
+        plan.savings_fraction > 0.0,
+        "optimization should beat K=1, E=1"
+    );
     assert!(plan.solution.t >= 1);
     // The round budget honours the convergence constraint.
-    let gap = bound.gap(plan.solution.t as f64, plan.solution.e as f64, plan.solution.k as f64);
+    let gap = bound.gap(
+        plan.solution.t as f64,
+        plan.solution.e as f64,
+        plan.solution.k as f64,
+    );
     assert!(gap <= 0.1 + 1e-9, "bound violated: gap {gap}");
 }
 

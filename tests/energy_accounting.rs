@@ -82,6 +82,10 @@ fn wall_clock_scales_with_training_time() {
     let long = testbed.run(1, 100, 2);
     assert!(long.wall_clock > short.wall_clock);
     // Mean power during heavy training approaches the training plateau.
-    assert!(long.mean_power_watts() > 5.0, "mean power {}", long.mean_power_watts());
+    assert!(
+        long.mean_power_watts() > 5.0,
+        "mean power {}",
+        long.mean_power_watts()
+    );
     assert!(long.mean_power_watts() < 5.553 + 0.1);
 }

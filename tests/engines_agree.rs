@@ -29,8 +29,14 @@ fn threaded_and_serial_runs_are_bit_identical() {
     for round in 0..6 {
         let a = serial.run_round();
         let b = threaded.run_round();
-        assert_eq!(a.selected, b.selected, "round {round}: different selections");
-        assert_eq!(a.test_eval, b.test_eval, "round {round}: different evaluations");
+        assert_eq!(
+            a.selected, b.selected,
+            "round {round}: different selections"
+        );
+        assert_eq!(
+            a.test_eval, b.test_eval,
+            "round {round}: different evaluations"
+        );
         assert_eq!(
             a.global_train_loss, b.global_train_loss,
             "round {round}: different train losses"
@@ -100,8 +106,12 @@ fn engines_agree_when_training_an_mlp() {
         ..Default::default()
     };
     let template = Mlp::new(clients[0].dim(), 16, clients[0].num_classes(), 42);
-    let mut serial =
-        FedAvg::with_model(config.clone(), clients.clone(), test.clone(), template.clone());
+    let mut serial = FedAvg::with_model(
+        config.clone(),
+        clients.clone(),
+        test.clone(),
+        template.clone(),
+    );
     let mut threaded = ThreadedFedAvg::with_model(config, clients, test, template);
     let mut last_eval = None;
     for _ in 0..5 {
@@ -110,7 +120,10 @@ fn engines_agree_when_training_an_mlp() {
         assert_eq!(a.test_eval, b.test_eval);
         last_eval = a.test_eval;
     }
-    assert_eq!(serial.global_model().to_flat(), threaded.global_model().to_flat());
+    assert_eq!(
+        serial.global_model().to_flat(),
+        threaded.global_model().to_flat()
+    );
     // And it actually learns something beyond the 10-class prior.
     assert!(last_eval.expect("evaluated").accuracy > 0.3);
 }
@@ -118,7 +131,11 @@ fn engines_agree_when_training_an_mlp() {
 #[test]
 fn transport_volume_matches_model_size() {
     let (clients, test) = federation(13);
-    let config = FedAvgConfig { clients_per_round: 2, local_epochs: 1, ..Default::default() };
+    let config = FedAvgConfig {
+        clients_per_round: 2,
+        local_epochs: 1,
+        ..Default::default()
+    };
     let mut threaded = ThreadedFedAvg::new(config, clients, test);
     let rounds = 5;
     for _ in 0..rounds {

@@ -39,7 +39,10 @@ fn more_clients_never_need_more_rounds() {
     let exp = experiment();
     let (_, t_small) = exp.run_to_accuracy(1, 8, TARGET, 300);
     let (_, t_large) = exp.run_to_accuracy(6, 8, TARGET, 300);
-    let (t_small, t_large) = (t_small.expect("K=1 converges"), t_large.expect("K=6 converges"));
+    let (t_small, t_large) = (
+        t_small.expect("K=1 converges"),
+        t_large.expect("K=6 converges"),
+    );
     assert!(
         t_large <= t_small,
         "K=6 took {t_large} rounds, K=1 took {t_small}"
@@ -51,7 +54,11 @@ fn energy_versus_e_has_an_interior_optimum() {
     // Fig. 6: energy falls from E=1 then rises again — an optimal E exists.
     let exp = experiment();
     let testbed = Testbed::new(
-        TestbedConfig { num_devices: 6, samples_per_device: 80, ..Default::default() },
+        TestbedConfig {
+            num_devices: 6,
+            samples_per_device: 80,
+            ..Default::default()
+        },
         RaspberryPi::paper_calibrated(),
     );
     let energy_at = |e: usize, cap: usize| -> f64 {
@@ -63,7 +70,10 @@ fn energy_versus_e_has_an_interior_optimum() {
     let e_mid = energy_at(8, 200);
     let e_big = energy_at(600, 40);
     assert!(e_mid < e1, "E=8 ({e_mid} J) should beat E=1 ({e1} J)");
-    assert!(e_mid < e_big, "E=8 ({e_mid} J) should beat E=600 ({e_big} J)");
+    assert!(
+        e_mid < e_big,
+        "E=8 ({e_mid} J) should beat E=600 ({e_big} J)"
+    );
 }
 
 #[test]
@@ -71,7 +81,11 @@ fn k_star_is_one_under_iid_data() {
     // Fig. 5's conclusion: with IID shards, one uploader is energy-optimal.
     let exp = experiment();
     let testbed = Testbed::new(
-        TestbedConfig { num_devices: 6, samples_per_device: 80, ..Default::default() },
+        TestbedConfig {
+            num_devices: 6,
+            samples_per_device: 80,
+            ..Default::default()
+        },
         RaspberryPi::paper_calibrated(),
     );
     let energy_at = |k: usize| -> f64 {
@@ -82,7 +96,10 @@ fn k_star_is_one_under_iid_data() {
     let e1 = energy_at(1);
     let e3 = energy_at(3);
     let e6 = energy_at(6);
-    assert!(e1 <= e3 && e1 <= e6, "K=1 ({e1} J) vs K=3 ({e3} J), K=6 ({e6} J)");
+    assert!(
+        e1 <= e3 && e1 <= e6,
+        "K=1 ({e1} J) vs K=3 ({e3} J), K=6 ({e6} J)"
+    );
 }
 
 #[test]

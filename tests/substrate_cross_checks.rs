@@ -3,10 +3,10 @@
 //! testbed energies, and Proposition 2 on a real training run.
 
 use ee_fei::data::stream::NB_IOT_JOULES_PER_BYTE;
+use ee_fei::net::Link;
 use ee_fei::net::LossyLink;
 use ee_fei::power::BatteryFleet;
 use ee_fei::prelude::*;
-use ee_fei::net::Link;
 
 #[test]
 fn lossless_nb_iot_link_matches_stream_constant() {
@@ -58,7 +58,11 @@ fn battery_ledger_tracks_testbed_consumption() {
     // Jitter differs between the single-round and multi-round runs; totals
     // agree within the jitter budget.
     let rel = (fleet.total_consumed() - total).abs() / total;
-    assert!(rel < 0.05, "ledger {} vs run {total}", fleet.total_consumed());
+    assert!(
+        rel < 0.05,
+        "ledger {} vs run {total}",
+        fleet.total_consumed()
+    );
 }
 
 #[test]

@@ -1,0 +1,250 @@
+//! Offline mini `criterion`.
+//!
+//! A thin wall-clock benchmark harness exposing the subset of the criterion
+//! API this workspace's benches use: `Criterion`, `benchmark_group` /
+//! `bench_with_input` / `bench_function`, `Bencher::iter`, `BenchmarkId`,
+//! `Throughput::Elements`, and the `criterion_group!` / `criterion_main!`
+//! macros. No statistics, plots, or baselines — each benchmark is timed
+//! with a short calibration pass followed by a fixed measurement batch and
+//! the mean per-iteration time is printed.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can `use criterion::black_box` if they prefer.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times one routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: find an iteration count that takes roughly 50 ms.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                std_black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= Duration::from_millis(10) || n >= 1 << 20 {
+                let per_iter = took.as_secs_f64() / n as f64;
+                let target = (0.05 / per_iter.max(1e-9)).clamp(1.0, 1e7) as u64;
+                let start = Instant::now();
+                for _ in 0..target {
+                    std_black_box(routine());
+                }
+                self.iters = target;
+                self.elapsed = start.elapsed();
+                return;
+            }
+            n = n.saturating_mul(4);
+        }
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 {
+            println!("{name:<40} (not measured)");
+            return;
+        }
+        let per_iter = self.elapsed.as_secs_f64() / self.iters as f64;
+        let time = format_seconds(per_iter);
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / per_iter;
+                println!("{name:<40} {time:>12}/iter  {rate:>14.0} elem/s");
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / per_iter;
+                println!("{name:<40} {time:>12}/iter  {rate:>14.0} B/s");
+            }
+            None => println!("{name:<40} {time:>12}/iter"),
+        }
+    }
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used for subsequent benchmarks in this group.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.name), self.throughput);
+        self
+    }
+
+    /// Benchmarks a routine with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkIdOrName>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.into().0), self.throughput);
+        self
+    }
+
+    /// Ends the group (prints a separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Accepts either a `&str` name or a [`BenchmarkId`].
+pub struct BenchmarkIdOrName(String);
+
+impl From<&str> for BenchmarkIdOrName {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkIdOrName {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchmarkIdOrName {
+    fn from(id: BenchmarkId) -> Self {
+        Self(id.name)
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        println!("group: {name}");
+        BenchmarkGroup {
+            name,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone routine.
+    pub fn bench_function<F>(&mut self, name: impl Into<BenchmarkIdOrName>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&name.into().0, None);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.iters > 0);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("acs", 40).name, "acs/40");
+        assert_eq!(BenchmarkId::from_parameter(7).name, "7");
+    }
+}

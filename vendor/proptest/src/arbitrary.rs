@@ -1,0 +1,87 @@
+//! `any::<T>()` — the full-domain strategy for a type.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// Builds the full-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Generates values by calling a function on the RNG.
+#[derive(Debug, Clone, Copy)]
+pub struct FnStrategy<T>(fn(&mut TestRng) -> T);
+
+impl<T> Strategy for FnStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Arbitrary for $t {
+                type Strategy = FnStrategy<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    FnStrategy(|rng| rng.next_u64() as $t)
+                }
+            }
+        )*
+    };
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    type Strategy = FnStrategy<bool>;
+    fn arbitrary() -> Self::Strategy {
+        FnStrategy(|rng| rng.next_u64() & 1 == 1)
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = FnStrategy<f64>;
+    fn arbitrary() -> Self::Strategy {
+        // Raw bit pattern: covers NaN, infinities, subnormals. Consumers
+        // comparing round-trips must compare via to_bits().
+        FnStrategy(|rng| f64::from_bits(rng.next_u64()))
+    }
+}
+
+impl Arbitrary for f32 {
+    type Strategy = FnStrategy<f32>;
+    fn arbitrary() -> Self::Strategy {
+        FnStrategy(|rng| f32::from_bits(rng.next_u64() as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn any_u8_covers_range() {
+        let mut rng = TestRng::from_seed(7);
+        let strat = any::<u8>();
+        let mut lo = u8::MAX;
+        let mut hi = u8::MIN;
+        for _ in 0..512 {
+            let v = strat.generate(&mut rng);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo < 16 && hi > 239, "poor spread: [{lo}, {hi}]");
+    }
+}

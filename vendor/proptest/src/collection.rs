@@ -1,0 +1,93 @@
+//! Collection strategies (`collection::vec`).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Length specification for [`vec`]: an exact size or a size range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        Self {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty vec size range");
+        Self {
+            min: *r.start(),
+            max: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy producing `Vec`s of values from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max - self.size.min) as u64;
+        let len = self.size.min + rng.next_below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `Vec` strategy with length drawn from `size` (exact `usize` or a range).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_size_is_honoured() {
+        let mut rng = TestRng::from_seed(11);
+        let strat = vec(0u64..10, 5usize);
+        for _ in 0..20 {
+            assert_eq!(strat.generate(&mut rng).len(), 5);
+        }
+    }
+
+    #[test]
+    fn ranged_size_stays_in_bounds() {
+        let mut rng = TestRng::from_seed(12);
+        let strat = vec(0u64..10, 2..7);
+        let mut seen_min = usize::MAX;
+        let mut seen_max = 0;
+        for _ in 0..100 {
+            let len = strat.generate(&mut rng).len();
+            assert!((2..7).contains(&len));
+            seen_min = seen_min.min(len);
+            seen_max = seen_max.max(len);
+        }
+        assert_eq!((seen_min, seen_max), (2, 6));
+    }
+}

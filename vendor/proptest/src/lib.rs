@@ -1,0 +1,150 @@
+//! Offline mini `proptest`.
+//!
+//! A small, fully deterministic property-testing engine exposing the subset
+//! of the real proptest API this workspace uses: the `proptest!` macro,
+//! range/`any`/`Just`/tuple strategies, `collection::vec`, the
+//! `prop_map`/`prop_filter`/`prop_filter_map` combinators, `prop_oneof!`,
+//! and the `prop_assert*` macros. No shrinking: a failing case panics with
+//! its inputs' debug representation instead.
+//!
+//! Cases are generated from a SplitMix64 stream seeded by the test's name,
+//! so a failure reproduces bit-identically on every run — the same
+//! determinism contract as the rest of the workspace.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Cases generated per `proptest!` test.
+pub const NUM_CASES: u32 = 64;
+
+/// Everything a test needs in one import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestRng;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Runs each property function for [`NUM_CASES`] deterministic cases.
+///
+/// Accepted form (one or more per invocation):
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn prop(x in 0u64..10, v in proptest::collection::vec(any::<u8>(), 0..16)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $( $arg:pat_param in $strat:expr ),+ $(,)? ) $body:block )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                // A tuple of strategies is itself a strategy for a tuple.
+                let __strategies = ( $( $strat, )+ );
+                for __case in 0..$crate::NUM_CASES {
+                    let __values =
+                        $crate::strategy::Strategy::generate(&__strategies, &mut __rng);
+                    let __case_debug = format!("{:?}", &__values);
+                    #[allow(unused_mut)]
+                    let ( $( $arg, )+ ) = __values;
+                    let __result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| { $body })
+                    );
+                    if let Err(panic) = __result {
+                        let msg = panic
+                            .downcast_ref::<String>()
+                            .cloned()
+                            .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                            .unwrap_or_else(|| "<non-string panic>".to_string());
+                        panic!(
+                            "proptest case {}/{} failed: {}\n  inputs: {}",
+                            __case + 1,
+                            $crate::NUM_CASES,
+                            msg,
+                            __case_debug
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("prop_assert!({}) failed", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!("prop_assert!({}) failed: {}", stringify!($cond), format_args!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            panic!("prop_assert_eq! failed: {left:?} != {right:?}");
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            panic!("prop_assert_eq! failed: {left:?} != {right:?}: {}", format_args!($($fmt)+));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            panic!("prop_assert_ne! failed: both sides are {left:?}");
+        }
+    }};
+}
+
+/// Skips the current case when an assumption does not hold. (This engine
+/// has no rejection bookkeeping; an unmet assumption simply passes the
+/// case.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Picks uniformly between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(
+            vec![$(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+]
+        )
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(
+            vec![$($crate::strategy::Strategy::boxed($strat)),+]
+        )
+    };
+}

@@ -1,0 +1,65 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace annotates types with `#[derive(Serialize, Deserialize)]`
+//! as API surface but never drives an actual serializer (there is no
+//! `serde_json`/`bincode` in the dependency tree, and the container builds
+//! with no crates.io access). The traits here are therefore markers: the
+//! derive macros in `serde_derive` emit empty impls, which keeps every
+//! annotated type source-compatible with the real serde on the day a real
+//! serializer is vendored in.
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker counterpart of `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+impl_markers!(
+    (),
+    bool,
+    char,
+    String,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+impl<T: Serialize, U: Serialize> Serialize for (T, U) {}
+impl<'de, T: Deserialize<'de>, U: Deserialize<'de>> Deserialize<'de> for (T, U) {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize + ?Sized> Serialize for &T {}

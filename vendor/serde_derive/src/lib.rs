@@ -1,0 +1,154 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! The companion `serde` crate defines `Serialize`/`Deserialize` as marker
+//! traits, so deriving them only needs an empty impl block. Parsing is done
+//! directly on the token stream (no `syn`/`quote` — the build is fully
+//! offline): we extract the type name and its generic parameter list, strip
+//! bounds and defaults for the type-argument position, and keep the full
+//! parameter list (with bounds) for the impl-generics position.
+
+use proc_macro::{TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, false)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, true)
+}
+
+fn marker_impl(input: TokenStream, deserialize: bool) -> TokenStream {
+    let (name, params) = parse_item(input);
+    let param_decls: Vec<String> = params.iter().map(|p| p.decl.clone()).collect();
+    let param_args: Vec<String> = params.iter().map(|p| p.name.clone()).collect();
+
+    let (impl_generics, trait_path) = if deserialize {
+        let mut decls = vec!["'de".to_string()];
+        decls.extend(param_decls);
+        (
+            format!("<{}>", decls.join(", ")),
+            "::serde::Deserialize<'de>".to_string(),
+        )
+    } else if param_decls.is_empty() {
+        (String::new(), "::serde::Serialize".to_string())
+    } else {
+        (
+            format!("<{}>", param_decls.join(", ")),
+            "::serde::Serialize".to_string(),
+        )
+    };
+    let type_args = if param_args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", param_args.join(", "))
+    };
+
+    format!("impl{impl_generics} {trait_path} for {name}{type_args} {{}}")
+        .parse()
+        .expect("generated impl is valid Rust")
+}
+
+struct Param {
+    /// Declaration with bounds, defaults stripped (e.g. `T: Clone`, `'a`,
+    /// `const N: usize`).
+    decl: String,
+    /// Bare name for the type-argument position (e.g. `T`, `'a`, `N`).
+    name: String,
+}
+
+/// Extracts the item name and generic parameters from a struct/enum
+/// definition token stream.
+fn parse_item(input: TokenStream) -> (String, Vec<Param>) {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes and visibility until the `struct`/`enum` keyword.
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Consume the bracketed attribute body.
+                let _ = tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" || s == "union" {
+                    break;
+                }
+                // `pub`, `pub(crate)` etc. — visibility groups are consumed
+                // by the loop as they come.
+            }
+            _ => {}
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name after struct/enum keyword, got {other:?}"),
+    };
+
+    // Generic parameter list, if any.
+    let mut params = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            let mut current: Vec<TokenTree> = Vec::new();
+            for tt in tokens.by_ref() {
+                match &tt {
+                    TokenTree::Punct(p) if p.as_char() == '<' => {
+                        depth += 1;
+                        current.push(tt);
+                    }
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                        current.push(tt);
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                        if let Some(param) = parse_param(&current) {
+                            params.push(param);
+                        }
+                        current.clear();
+                    }
+                    _ => current.push(tt),
+                }
+            }
+            if let Some(param) = parse_param(&current) {
+                params.push(param);
+            }
+        }
+    }
+    (name, params)
+}
+
+/// Parses one generic parameter's tokens into its declaration and bare name.
+fn parse_param(tokens: &[TokenTree]) -> Option<Param> {
+    if tokens.is_empty() {
+        return None;
+    }
+    // Strip a trailing `= default`.
+    let end = tokens
+        .iter()
+        .position(|tt| matches!(tt, TokenTree::Punct(p) if p.as_char() == '='))
+        .unwrap_or(tokens.len());
+    let tokens = &tokens[..end];
+    // Round-trip through a TokenStream so lifetimes render as `'a`, not
+    // `' a`.
+    let decl = tokens.iter().cloned().collect::<TokenStream>().to_string();
+
+    // Bare name: lifetime (`'` + ident), `const` + ident, or first ident.
+    let name = match tokens {
+        [TokenTree::Punct(p), TokenTree::Ident(id), ..] if p.as_char() == '\'' => {
+            format!("'{id}")
+        }
+        [TokenTree::Ident(kw), TokenTree::Ident(id), ..] if kw.to_string() == "const" => {
+            id.to_string()
+        }
+        _ => tokens.iter().find_map(|tt| match tt {
+            TokenTree::Ident(id) => Some(id.to_string()),
+            _ => None,
+        })?,
+    };
+    Some(Param { decl, name })
+}
