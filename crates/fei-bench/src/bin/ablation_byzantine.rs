@@ -1,0 +1,200 @@
+//! Ablation: Byzantine attackers, robust aggregation, and the energy cost
+//! of reaching 92 % under attack.
+//!
+//! The paper's energy accounting assumes every upload is honest. This
+//! ablation compromises a seeded fraction of the fleet with sign-flip
+//! attackers and sweeps the coordinator's defense — undefended mean vs
+//! coordinate-median, trimmed mean, Krum, and multi-Krum behind the update
+//! screen — asking what the stringent 92 % target costs once poisoned
+//! rounds, screened updates, and slowed convergence are on the books.
+//!
+//! At attacker fraction 0 every robust rule runs its zero-budget fallback
+//! and reproduces the undefended mean bit-for-bit, so the sweep's first
+//! column doubles as a no-regression check.
+//!
+//! Run: `cargo run --release -p fei-bench --bin ablation_byzantine`
+//! CI smoke: append `-- --smoke` for a seconds-scale configuration.
+
+use fei_bench::{banner, fmt_joules, section};
+use fei_core::ledger::EnergyLedger;
+use fei_fl::{
+    AdversarySpec, DefenseConfig, FaultSpec, RobustRule, StopCondition, ToleranceConfig,
+    TrainingHistory,
+};
+use fei_testbed::{FaultCampaign, FlExperiment, FlExperimentConfig, Testbed, STRINGENT_TARGET};
+
+struct Sweep {
+    k: usize,
+    e: usize,
+    max_rounds: usize,
+    fractions: &'static [f64],
+    rules: &'static [&'static str],
+}
+
+const FULL: Sweep = Sweep {
+    k: 10,
+    e: 10,
+    max_rounds: 250,
+    fractions: &[0.0, 0.1, 0.2, 0.3],
+    rules: &["mean", "median", "trimmed-mean", "krum", "multi-krum"],
+};
+
+/// Seconds-scale configuration for the CI smoke step: a tiny fleet, two
+/// fractions, two rules, and a handful of rounds.
+const SMOKE: Sweep = Sweep {
+    k: 4,
+    e: 2,
+    max_rounds: 6,
+    fractions: &[0.0, 0.2],
+    rules: &["mean", "median"],
+};
+
+/// One sweep cell, also emitted as a JSON object (schema in
+/// EXPERIMENTS.md).
+struct Row {
+    fraction: f64,
+    rule: &'static str,
+    rounds_to_target: Option<usize>,
+    screened: usize,
+    ledger: EnergyLedger,
+}
+
+fn rule_for(name: &'static str, assumed_byzantine: usize) -> Option<RobustRule> {
+    match name {
+        "mean" => None,
+        "median" => Some(RobustRule::CoordinateMedian { assumed_byzantine }),
+        "trimmed-mean" => Some(RobustRule::TrimmedMean { assumed_byzantine }),
+        "krum" => Some(RobustRule::Krum { assumed_byzantine }),
+        "multi-krum" => Some(RobustRule::MultiKrum { assumed_byzantine }),
+        other => unreachable!("unknown rule {other}"),
+    }
+}
+
+fn total_screened(history: &TrainingHistory) -> usize {
+    history
+        .records()
+        .iter()
+        .map(|r| r.faults.screened_updates)
+        .sum()
+}
+
+fn json_row(row: &Row) -> String {
+    format!(
+        r#"{{"attack":"sign-flip","fraction":{},"rule":"{}","reached":{},"rounds_to_target":{},"useful_j":{:.3},"wasted_j":{:.3},"retransmit_j":{:.3},"poisoned_j":{:.3},"total_j":{:.3},"screened_updates":{}}}"#,
+        row.fraction,
+        row.rule,
+        row.rounds_to_target.is_some(),
+        row.rounds_to_target
+            .map_or_else(|| "null".into(), |t| t.to_string()),
+        row.ledger.useful_joules(),
+        row.ledger.wasted_joules(),
+        row.ledger.retransmit_joules(),
+        row.ledger.poisoned_joules(),
+        row.ledger.total_joules(),
+        row.screened,
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sweep = if smoke { SMOKE } else { FULL };
+
+    banner("Ablation: Byzantine attackers, robust aggregation, energy to 92 %");
+    let experiment = if smoke {
+        FlExperiment::prepare(FlExperimentConfig {
+            num_devices: 5,
+            scale: 0.01,
+            test_scale: 0.01,
+            ..FlExperimentConfig::paper_like()
+        })
+    } else {
+        FlExperiment::prepare(FlExperimentConfig::paper_like())
+    };
+    let testbed = if smoke {
+        Testbed::new(
+            fei_testbed::TestbedConfig {
+                num_devices: 5,
+                ..Default::default()
+            },
+            fei_testbed::RaspberryPi::paper_calibrated(),
+        )
+    } else {
+        Testbed::paper_prototype()
+    };
+    let tolerance = ToleranceConfig::default();
+
+    section(&format!(
+        "sign-flip fraction x aggregation rule (K = {}, E = {}, target {:.0} %, cap {} rounds)",
+        sweep.k,
+        sweep.e,
+        STRINGENT_TARGET * 100.0,
+        sweep.max_rounds
+    ));
+    println!(
+        "{:>9} {:>13} {:>8} {:>9} {:>12} {:>12} {:>10}",
+        "attack f", "rule", "T(92%)", "screened", "useful", "poisoned", "overhead"
+    );
+
+    let mut rows = Vec::new();
+    for &fraction in sweep.fractions {
+        // Budget the rules for the attackers actually present among K
+        // responders; zero at fraction 0 triggers the mean-identical
+        // fallback.
+        let budget = (fraction * sweep.k as f64).ceil() as usize;
+        for &rule_name in sweep.rules {
+            let mut campaign = FaultCampaign::new(
+                experiment.clone(),
+                testbed.clone(),
+                FaultSpec::default(),
+                tolerance.clone(),
+            );
+            if fraction > 0.0 {
+                campaign = campaign.with_adversary(AdversarySpec::sign_flip(fraction));
+            }
+            if let Some(rule) = rule_for(rule_name, budget) {
+                campaign = campaign.with_defense(DefenseConfig::with_rule(rule));
+            }
+            let report = campaign.run(
+                sweep.k,
+                sweep.e,
+                StopCondition::accuracy(STRINGENT_TARGET, sweep.max_rounds),
+            );
+            let row = Row {
+                fraction,
+                rule: rule_name,
+                rounds_to_target: report.rounds_to_accuracy(STRINGENT_TARGET),
+                screened: total_screened(&report.history),
+                ledger: report.ledger,
+            };
+            println!(
+                "{:>9.1} {:>13} {:>8} {:>9} {:>12} {:>12} {:>9.1}%",
+                row.fraction,
+                row.rule,
+                row.rounds_to_target
+                    .map_or_else(|| "miss".into(), |t| t.to_string()),
+                row.screened,
+                fmt_joules(row.ledger.useful_joules()),
+                fmt_joules(row.ledger.poisoned_joules()),
+                row.ledger.overhead_fraction() * 100.0,
+            );
+            rows.push(row);
+        }
+    }
+
+    section("machine-readable (JSON, one object per sweep cell)");
+    println!("[");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        println!("  {}{comma}", json_row(row));
+    }
+    println!("]");
+
+    println!(
+        "\nreading: with no attackers every robust rule matches the undefended\n\
+         mean exactly (zero-budget fallback) — robustness is free until it is\n\
+         needed. As the sign-flip fraction grows, the undefended mean needs more\n\
+         rounds (or misses the target outright) while median/trimmed-mean/multi-\n\
+         Krum hold T(92%) close to the clean run, at the price of the poisoned\n\
+         energy burned by compromised devices and screened-out updates."
+    );
+}

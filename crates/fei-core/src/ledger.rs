@@ -18,6 +18,10 @@ pub enum EnergyUse {
     Wasted,
     /// Spend on upload retransmissions (lost or corrupted frames).
     Retransmit,
+    /// Spend by (or on) compromised devices: adversarial training and
+    /// uploads, and the energy burned producing updates the coordinator's
+    /// screen rejected. It bought no progress — arguably negative progress.
+    Poisoned,
 }
 
 /// One charge against the ledger.
@@ -40,6 +44,7 @@ pub struct EnergyLedger {
     useful_j: f64,
     wasted_j: f64,
     retransmit_j: f64,
+    poisoned_j: f64,
 }
 
 impl EnergyLedger {
@@ -63,6 +68,7 @@ impl EnergyLedger {
             EnergyUse::Useful => self.useful_j += joules,
             EnergyUse::Wasted => self.wasted_j += joules,
             EnergyUse::Retransmit => self.retransmit_j += joules,
+            EnergyUse::Poisoned => self.poisoned_j += joules,
         }
         self.entries.push(LedgerEntry {
             round,
@@ -92,19 +98,24 @@ impl EnergyLedger {
         self.retransmit_j
     }
 
-    /// Everything spent, joules.
-    pub fn total_joules(&self) -> f64 {
-        self.useful_j + self.wasted_j + self.retransmit_j
+    /// Joules burned by compromised devices and screened-out updates.
+    pub fn poisoned_joules(&self) -> f64 {
+        self.poisoned_j
     }
 
-    /// Fraction of total energy that bought no model progress (waste plus
-    /// retransmissions). Zero on an empty ledger.
+    /// Everything spent, joules.
+    pub fn total_joules(&self) -> f64 {
+        self.useful_j + self.wasted_j + self.retransmit_j + self.poisoned_j
+    }
+
+    /// Fraction of total energy that bought no model progress (waste,
+    /// retransmissions, and poisoned spend). Zero on an empty ledger.
     pub fn overhead_fraction(&self) -> f64 {
         let total = self.total_joules();
         if total == 0.0 {
             0.0
         } else {
-            (self.wasted_j + self.retransmit_j) / total
+            (self.wasted_j + self.retransmit_j + self.poisoned_j) / total
         }
     }
 
@@ -123,6 +134,7 @@ impl EnergyLedger {
         self.useful_j += other.useful_j;
         self.wasted_j += other.wasted_j;
         self.retransmit_j += other.retransmit_j;
+        self.poisoned_j += other.poisoned_j;
     }
 }
 
@@ -136,11 +148,13 @@ mod tests {
         ledger.charge(0, EnergyUse::Useful, 10.0, "training");
         ledger.charge(0, EnergyUse::Retransmit, 2.0, "upload");
         ledger.charge(1, EnergyUse::Wasted, 5.0, "abandoned round");
+        ledger.charge(1, EnergyUse::Poisoned, 3.0, "screened update");
         assert_eq!(ledger.useful_joules(), 10.0);
         assert_eq!(ledger.wasted_joules(), 5.0);
         assert_eq!(ledger.retransmit_joules(), 2.0);
-        assert_eq!(ledger.total_joules(), 17.0);
-        assert!((ledger.overhead_fraction() - 7.0 / 17.0).abs() < 1e-12);
+        assert_eq!(ledger.poisoned_joules(), 3.0);
+        assert_eq!(ledger.total_joules(), 20.0);
+        assert!((ledger.overhead_fraction() - 10.0 / 20.0).abs() < 1e-12);
     }
 
     #[test]
@@ -167,10 +181,12 @@ mod tests {
         let mut b = EnergyLedger::new();
         b.charge(1, EnergyUse::Wasted, 2.0, "y");
         b.charge(1, EnergyUse::Retransmit, 0.5, "z");
+        b.charge(2, EnergyUse::Poisoned, 0.25, "w");
         a.absorb(&b);
-        assert_eq!(a.entries().len(), 3);
-        assert_eq!(a.total_joules(), 3.5);
+        assert_eq!(a.entries().len(), 4);
+        assert_eq!(a.total_joules(), 3.75);
         assert_eq!(a.wasted_joules(), 2.0);
+        assert_eq!(a.poisoned_joules(), 0.25);
     }
 
     #[test]

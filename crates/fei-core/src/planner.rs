@@ -124,6 +124,45 @@ impl EeFeiPlanner {
             .plan()
     }
 
+    /// Re-plans `(K*, E*)` for a fleet under Byzantine attack: of
+    /// `surviving_n` live devices, an estimated `attacker_fraction` ship
+    /// updates the coordinator's screen will reject (or a robust rule will
+    /// discard), so the *effective* fleet contributing model progress is
+    /// `⌊surviving_n · (1 − attacker_fraction)⌋`. `K*` is re-optimized
+    /// against that honest core — the expected screening loss is priced in
+    /// as a reduction of usable parallelism, exactly as crashes are in
+    /// [`EeFeiPlanner::replan_for_fleet`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] when `attacker_fraction` is outside
+    /// `[0, 1)`, the effective fleet is empty, or `surviving_n` grew beyond
+    /// the planned fleet; [`CoreError::Infeasible`] when the honest core
+    /// cannot reach the accuracy target at all.
+    pub fn replan_for_fleet_under_attack(
+        &self,
+        surviving_n: usize,
+        attacker_fraction: f64,
+    ) -> Result<EeFeiPlan, CoreError> {
+        if !(0.0..1.0).contains(&attacker_fraction) {
+            return Err(CoreError::invalid(
+                "attacker_fraction",
+                format!("attacker fraction must be in [0, 1), got {attacker_fraction}"),
+            ));
+        }
+        let honest = (surviving_n as f64 * (1.0 - attacker_fraction)).floor() as usize;
+        if honest == 0 {
+            return Err(CoreError::invalid(
+                "attacker_fraction",
+                format!(
+                    "no honest devices left: {surviving_n} survivors at \
+                     attacker fraction {attacker_fraction}"
+                ),
+            ));
+        }
+        self.replan_for_fleet(honest.min(surviving_n))
+    }
+
     /// Runs ACS and compares against the `K = 1, E = 1` baseline.
     ///
     /// # Errors
@@ -236,6 +275,38 @@ mod tests {
         ));
         assert!(matches!(
             p.replan_for_fleet(21),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn replan_under_attack_shrinks_to_the_honest_core() {
+        let p = planner();
+        // 20 survivors at 30% attackers → 14 honest devices cap K*.
+        let attacked = p.replan_for_fleet_under_attack(20, 0.3).unwrap();
+        assert_eq!(attacked, p.replan_for_fleet(14).unwrap());
+        assert!(attacked.solution.k <= 14, "K* = {}", attacked.solution.k);
+        // Zero attackers reproduce the plain replan exactly.
+        assert_eq!(
+            p.replan_for_fleet_under_attack(20, 0.0).unwrap(),
+            p.replan_for_fleet(20).unwrap()
+        );
+    }
+
+    #[test]
+    fn replan_under_attack_rejects_bad_fractions() {
+        let p = planner();
+        assert!(matches!(
+            p.replan_for_fleet_under_attack(20, 1.0),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            p.replan_for_fleet_under_attack(20, -0.1),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+        // 1 survivor at 60% attackers floors to zero honest devices.
+        assert!(matches!(
+            p.replan_for_fleet_under_attack(1, 0.6),
             Err(CoreError::InvalidParameter { .. })
         ));
     }

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::aggregate::AggregateError;
+
 /// Why a federated round (or run) could not proceed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FlError {
@@ -16,6 +18,15 @@ pub enum FlError {
         /// Minimum updates required to commit a round.
         required: usize,
     },
+    /// The round's delivered updates could not be aggregated (malformed
+    /// input that survived screening, or undefined weights). The global
+    /// model is unchanged.
+    Aggregate {
+        /// Round at which aggregation failed.
+        round: usize,
+        /// The underlying aggregation error.
+        source: AggregateError,
+    },
 }
 
 impl fmt::Display for FlError {
@@ -29,11 +40,21 @@ impl fmt::Display for FlError {
                 f,
                 "round {round}: live fleet of {alive} device(s) is below the quorum of {required}"
             ),
+            Self::Aggregate { round, source } => {
+                write!(f, "round {round}: aggregation failed: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for FlError {}
+impl std::error::Error for FlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::FleetBelowQuorum { .. } => None,
+            Self::Aggregate { source, .. } => Some(source),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -50,5 +71,18 @@ mod tests {
         assert!(msg.contains("round 7"));
         assert!(msg.contains('2'));
         assert!(msg.contains('5'));
+    }
+
+    #[test]
+    fn aggregate_error_wraps_with_round_and_source() {
+        use std::error::Error;
+        let err = FlError::Aggregate {
+            round: 3,
+            source: AggregateError::ZeroTotalWeight,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("round 3"), "{msg}");
+        assert!(msg.contains("at least one sample"), "{msg}");
+        assert!(err.source().is_some());
     }
 }

@@ -5,10 +5,12 @@ use fei_ml::{Evaluation, LocalTrainer, LogisticRegression, Model, SgdConfig, Tra
 use fei_sim::DetRng;
 use serde::{Deserialize, Serialize};
 
-use crate::aggregate::{aggregate, AggregationRule};
+use crate::adversary::{flip_dataset_labels, Adversary, AdversarySpec};
+use crate::aggregate::{try_aggregate, AggregationRule};
 use crate::error::FlError;
 use crate::fault::{FaultInjector, RetryPolicy};
 use crate::history::TrainingHistory;
+use crate::robust::{robust_aggregate, DefenseConfig, UpdateScreen};
 use crate::selection::{ClientSelector, SelectionStrategy};
 
 /// Configuration of a FedAvg run — the knobs of the paper's §III-A loop.
@@ -33,6 +35,11 @@ pub struct FedAvgConfig {
     /// Coordinator-side tolerance knobs: over-selection, quorum, deadline,
     /// and upload retry policy.
     pub tolerance: ToleranceConfig,
+    /// Byzantine defense: update screening plus a robust aggregation rule.
+    /// `None` aggregates every delivered update with [`Self::aggregation`]
+    /// (the undefended baseline). When set, [`Self::aggregation`] is only
+    /// consulted by [`crate::robust::RobustRule::Mean`].
+    pub defense: Option<DefenseConfig>,
     /// Seed for selection and dropout randomness.
     pub seed: u64,
 }
@@ -124,6 +131,11 @@ pub struct RoundFaultStats {
     /// Worker threads that died or timed out mid-round (threaded engine
     /// only; counted as dropouts, never a hang).
     pub worker_losses: usize,
+    /// Delivered updates rejected by the coordinator's update screen
+    /// (non-finite values, wrong dimension, or norm outliers).
+    pub screened_updates: usize,
+    /// Delivered updates norm-clipped (down-weighted) by the screen.
+    pub clipped_updates: usize,
 }
 
 impl RoundFaultStats {
@@ -144,6 +156,7 @@ impl Default for FedAvgConfig {
             eval_every: 1,
             dropout_prob: 0.0,
             tolerance: ToleranceConfig::default(),
+            defense: None,
             seed: 0x0FED,
         }
     }
@@ -213,6 +226,10 @@ pub struct FedAvg<M: Model = LogisticRegression> {
     trainer: LocalTrainer,
     dropout_rng: DetRng,
     injector: Option<FaultInjector>,
+    adversary: Option<Adversary>,
+    /// Label-flipped copies of compromised clients' datasets, `None` for
+    /// honest devices. Built once at [`FedAvg::with_adversary`] time.
+    flipped: Vec<Option<Dataset>>,
     round: usize,
 }
 
@@ -276,9 +293,14 @@ impl<M: Model> FedAvg<M> {
             "dropout probability must be in [0, 1)"
         );
 
+        if let Some(defense) = &config.defense {
+            defense.screen.validate();
+        }
+
         let selector = ClientSelector::new(config.selection, clients.len(), config.seed);
         let trainer = LocalTrainer::new(config.sgd.clone());
         let dropout_rng = DetRng::new(config.seed).fork(0xD80);
+        let flipped = vec![None; clients.len()];
         Self {
             config,
             clients,
@@ -288,6 +310,8 @@ impl<M: Model> FedAvg<M> {
             trainer,
             dropout_rng,
             injector: None,
+            adversary: None,
+            flipped,
             round: 0,
         }
     }
@@ -313,6 +337,30 @@ impl<M: Model> FedAvg<M> {
     /// The attached fault injector, if any.
     pub fn fault_injector(&self) -> Option<&FaultInjector> {
         self.injector.as_ref()
+    }
+
+    /// Compromises a seeded fraction of the fleet: those devices now run
+    /// `spec.behavior` every round they are selected. Label-flip cohorts
+    /// get their training sets flipped here, once, so every engine trains
+    /// them on identical poisoned data.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid [`AdversarySpec`] (see [`Adversary::new`]).
+    pub fn with_adversary(mut self, spec: AdversarySpec) -> Self {
+        let adversary = Adversary::new(spec, self.clients.len());
+        for device in adversary.malicious_devices() {
+            if adversary.flips_labels(device) {
+                self.flipped[device] = Some(flip_dataset_labels(&self.clients[device]));
+            }
+        }
+        self.adversary = Some(adversary);
+        self
+    }
+
+    /// The attached adversary, if any.
+    pub fn adversary(&self) -> Option<&Adversary> {
+        self.adversary.as_ref()
     }
 
     /// Changes `(K, E)` in place, keeping the global model, round counter,
@@ -407,6 +455,10 @@ impl<M: Model> FedAvg<M> {
     /// quorum requires — no round can commit until restarts (if any)
     /// replenish the fleet, so the caller should re-plan or abort. The
     /// round counter is not advanced.
+    ///
+    /// [`FlError::Aggregate`] when the delivered updates could not be
+    /// combined (undefined weights, or malformed input that survived
+    /// screening). The global model is unchanged.
     pub fn try_run_round(&mut self) -> Result<RoundRecord, FlError> {
         let t = self.round;
         match self.injector.as_ref().filter(|i| i.is_enabled()).cloned() {
@@ -420,7 +472,7 @@ impl<M: Model> FedAvg<M> {
                             || self.dropout_rng.next_f64() >= self.config.dropout_prob
                     })
                     .collect();
-                Ok(self.complete_round(t, selected, responded, RoundFaultStats::default()))
+                self.complete_round(t, selected, responded, RoundFaultStats::default())
             }
             Some(injector) => {
                 let tol = self.config.tolerance.clone();
@@ -473,45 +525,65 @@ impl<M: Model> FedAvg<M> {
                     arrivals.iter().take(k).map(|&(_, device)| device).collect();
                 responded.sort_unstable();
 
-                Ok(self.complete_round(t, selected, responded, faults))
+                self.complete_round(t, selected, responded, faults)
             }
         }
     }
 
-    /// Trains the responders, aggregates if quorum is met, advances the
-    /// round, and assembles the record.
+    /// Trains the responders (compromised ones attack), screens and
+    /// aggregates if quorum is met, advances the round, and assembles the
+    /// record.
     fn complete_round(
         &mut self,
         t: usize,
         selected: Vec<usize>,
         responded: Vec<usize>,
-        faults: RoundFaultStats,
-    ) -> RoundRecord {
+        mut faults: RoundFaultStats,
+    ) -> Result<RoundRecord, FlError> {
         let quorum = self.config.tolerance.effective_quorum();
-        let outcome = RoundOutcome::of(responded.len(), selected.len(), quorum);
+        let global_flat = self.global.to_flat().to_vec();
 
         let mut updates = Vec::with_capacity(responded.len());
         let mut local_stats = Vec::with_capacity(responded.len());
         for &client in &responded {
+            // A label-flip cohort trains honestly, but on flipped data.
+            let data = self.flipped[client]
+                .as_ref()
+                .unwrap_or(&self.clients[client]);
             let mut local = self.global.clone();
-            let stats = self.trainer.train(
-                &mut local,
-                &self.clients[client],
-                self.config.local_epochs,
-                t,
-            );
-            updates.push((local.to_flat().to_vec(), self.clients[client].len()));
+            let stats = self
+                .trainer
+                .train(&mut local, data, self.config.local_epochs, t);
+            let mut params = local.to_flat().to_vec();
+            if let Some(adversary) = &self.adversary {
+                adversary.poison(client, t, &global_flat, &mut params);
+            }
+            updates.push((params, self.clients[client].len()));
             local_stats.push(stats);
         }
 
+        // The coordinator's screening boundary: malformed or outlying
+        // uploads are discarded before they can reach aggregation, and a
+        // screened-out update counts as undelivered for quorum purposes.
+        if let Some(defense) = &self.config.defense {
+            let report = UpdateScreen::new(defense.screen).screen(&mut updates, global_flat.len());
+            faults.screened_updates = report.rejected_count();
+            faults.clipped_updates = report.clipped;
+        }
+        let outcome = RoundOutcome::of(updates.len(), selected.len(), quorum);
+
         if outcome.committed() && !updates.is_empty() {
-            let merged = aggregate(&updates, self.config.aggregation);
+            let merged = match &self.config.defense {
+                Some(defense) => robust_aggregate(&updates, defense.rule),
+                None => try_aggregate(&updates, self.config.aggregation),
+            }
+            .map_err(|source| FlError::Aggregate { round: t, source })?;
             self.global.set_flat(&merged);
         }
         self.round += 1;
 
         let evaluated = self.round.is_multiple_of(self.config.eval_every);
-        RoundRecord {
+        Ok(RoundRecord {
             round: t,
             selected,
             responded,
@@ -520,7 +592,7 @@ impl<M: Model> FedAvg<M> {
             test_eval: evaluated.then(|| self.evaluate()),
             outcome,
             faults,
-        }
+        })
     }
 
     /// Runs rounds until `stop` is satisfied, returning the full history.
@@ -761,6 +833,130 @@ mod tests {
         let mut b = FedAvg::new(explicit, clients, test);
         for _ in 0..3 {
             assert_eq!(a.run_round(), b.run_round());
+        }
+    }
+
+    #[test]
+    fn defended_run_with_no_attacker_matches_undefended_bit_for_bit() {
+        use crate::robust::{DefenseConfig, RobustRule};
+        let (clients, test) = setup(6, 180);
+        let base = FedAvgConfig {
+            clients_per_round: 4,
+            local_epochs: 2,
+            ..Default::default()
+        };
+        for rule in [
+            RobustRule::CoordinateMedian {
+                assumed_byzantine: 0,
+            },
+            RobustRule::TrimmedMean {
+                assumed_byzantine: 0,
+            },
+            RobustRule::Krum {
+                assumed_byzantine: 0,
+            },
+            RobustRule::MultiKrum {
+                assumed_byzantine: 0,
+            },
+        ] {
+            let defended = FedAvgConfig {
+                defense: Some(DefenseConfig::with_rule(rule)),
+                ..base.clone()
+            };
+            let mut plain = FedAvg::new(base.clone(), clients.clone(), test.clone());
+            let mut robust = FedAvg::new(defended, clients.clone(), test.clone());
+            for _ in 0..4 {
+                assert_eq!(plain.run_round(), robust.run_round(), "{}", rule.name());
+            }
+            assert_eq!(plain.global_model(), robust.global_model());
+        }
+    }
+
+    #[test]
+    fn boosted_updates_are_screened_out() {
+        use crate::adversary::{AdversarySpec, AttackBehavior};
+        use crate::robust::{DefenseConfig, RobustRule};
+        let (clients, test) = setup(10, 300);
+        let config = FedAvgConfig {
+            clients_per_round: 10,
+            local_epochs: 1,
+            defense: Some(DefenseConfig::with_rule(RobustRule::CoordinateMedian {
+                assumed_byzantine: 2,
+            })),
+            ..Default::default()
+        };
+        let spec = AdversarySpec {
+            fraction: 0.2,
+            behavior: AttackBehavior::ScaledUpdate { boost: 100.0 },
+            seed: 0xAD50,
+        };
+        let mut fed = FedAvg::new(config, clients, test).with_adversary(spec);
+        // Round 0 trains from ω₀ = 0, so every norm is small and similar;
+        // give training a round to differentiate honest from boosted norms.
+        fed.run_round();
+        let rec = fed.run_round();
+        assert_eq!(rec.faults.screened_updates, 2, "{:?}", rec.faults);
+        assert_eq!(rec.outcome, RoundOutcome::Partial);
+    }
+
+    #[test]
+    fn median_defense_resists_sign_flip_where_mean_does_not() {
+        use crate::adversary::AdversarySpec;
+        use crate::robust::{DefenseConfig, RobustRule, ScreenPolicy};
+        let (clients, test) = setup(10, 400);
+        let undefended = FedAvgConfig {
+            clients_per_round: 10,
+            local_epochs: 3,
+            sgd: SgdConfig::new(0.3, 1.0, None),
+            ..Default::default()
+        };
+        let defended = FedAvgConfig {
+            defense: Some(DefenseConfig {
+                screen: ScreenPolicy::structural_only(),
+                rule: RobustRule::CoordinateMedian {
+                    assumed_byzantine: 3,
+                },
+            }),
+            ..undefended.clone()
+        };
+        let spec = AdversarySpec::sign_flip(0.3);
+        let mut plain = FedAvg::new(undefended, clients.clone(), test.clone()).with_adversary(spec);
+        let mut robust = FedAvg::new(defended, clients, test).with_adversary(spec);
+        let ha = plain.run_until(StopCondition::rounds(12));
+        let hb = robust.run_until(StopCondition::rounds(12));
+        let acc_plain = ha.last().unwrap().test_eval.unwrap().accuracy;
+        let acc_robust = hb.last().unwrap().test_eval.unwrap().accuracy;
+        assert!(
+            acc_robust > acc_plain + 0.1,
+            "median {acc_robust} vs mean {acc_plain}"
+        );
+    }
+
+    #[test]
+    fn label_flip_cohort_trains_on_flipped_data_and_reports_it() {
+        use crate::adversary::{AdversarySpec, AttackBehavior};
+        let (clients, test) = setup(5, 100);
+        let config = FedAvgConfig {
+            clients_per_round: 5,
+            local_epochs: 1,
+            ..Default::default()
+        };
+        let spec = AdversarySpec {
+            fraction: 0.4,
+            behavior: AttackBehavior::LabelFlip,
+            seed: 3,
+        };
+        let fed = FedAvg::new(config, clients, test).with_adversary(spec);
+        let adv = fed.adversary().expect("adversary attached");
+        assert_eq!(adv.num_malicious(), 2);
+        for device in adv.malicious_devices() {
+            let flipped = fed.flipped[device].as_ref().expect("flipped dataset");
+            let orig = &fed.clients[device];
+            assert_eq!(flipped.len(), orig.len());
+            let classes = orig.num_classes();
+            for ((_, yf), (_, yo)) in flipped.iter().zip(orig.iter()) {
+                assert_eq!(yf, classes - 1 - yo);
+            }
         }
     }
 

@@ -36,16 +36,19 @@
 //! assert_eq!(record.selected.len(), 2);
 //! ```
 
+pub mod adversary;
 pub mod aggregate;
 pub mod asynchronous;
 pub mod error;
 pub mod fault;
 pub mod fedavg;
 pub mod history;
+pub mod robust;
 pub mod runtime;
 pub mod selection;
 
-pub use aggregate::{aggregate, AggregationRule};
+pub use adversary::{Adversary, AdversarySpec, AttackBehavior};
+pub use aggregate::{aggregate, try_aggregate, AggregateError, AggregationRule};
 pub use asynchronous::{AsyncConfig, AsyncFedAvg, AsyncHistory, AsyncUpdateRecord};
 pub use error::FlError;
 pub use fault::{FaultInjector, FaultSpec, RetryPolicy, UploadOutcome};
@@ -54,5 +57,9 @@ pub use fedavg::{
     ToleranceConfig,
 };
 pub use history::TrainingHistory;
+pub use robust::{
+    robust_aggregate, DefenseConfig, RobustRule, ScreenPolicy, ScreenReason, ScreenReport,
+    UpdateScreen,
+};
 pub use runtime::ThreadedFedAvg;
 pub use selection::{ClientSelector, SelectionStrategy};

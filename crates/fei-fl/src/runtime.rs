@@ -19,11 +19,13 @@ use fei_ml::{LocalTrainer, LogisticRegression, Model};
 use fei_net::codec::{decode_frame, encode_frame};
 use parking_lot::Mutex;
 
-use crate::aggregate::aggregate;
+use crate::adversary::{flip_dataset_labels, Adversary, AdversarySpec};
+use crate::aggregate::try_aggregate;
 use crate::error::FlError;
 use crate::fault::FaultInjector;
 use crate::fedavg::{FedAvgConfig, RoundFaultStats, RoundOutcome, RoundRecord, StopCondition};
 use crate::history::TrainingHistory;
+use crate::robust::{robust_aggregate, UpdateScreen};
 use crate::selection::ClientSelector;
 
 /// Wall-clock safety net for a worker reply. Fault schedules are virtual —
@@ -55,6 +57,9 @@ enum ToWorker {
         round: u32,
         epochs: u32,
         frame: Vec<u8>,
+        /// Train on the label-flipped copy of this worker's dataset (the
+        /// device is a compromised label-flip client).
+        flip: bool,
     },
     /// Test/chaos hook: the worker panics on receipt, simulating a process
     /// crash mid-deployment.
@@ -145,6 +150,7 @@ pub struct ThreadedFedAvg<M: Model = LogisticRegression> {
     handles: Vec<JoinHandle<()>>,
     stats: Arc<Mutex<TransportStats>>,
     injector: Option<FaultInjector>,
+    adversary: Option<Adversary>,
     worker_timeout: Duration,
     /// Kept so `global_train_loss` can be computed coordinator-side; shared
     /// immutably with worker threads.
@@ -204,6 +210,9 @@ impl<M: Model> ThreadedFedAvg<M> {
             (0.0..1.0).contains(&config.dropout_prob),
             "dropout probability must be in [0, 1)"
         );
+        if let Some(defense) = &config.defense {
+            defense.screen.validate();
+        }
 
         assert_eq!(global.dim(), dim, "model dimension mismatch");
         assert_eq!(global.num_classes(), classes, "model class mismatch");
@@ -243,6 +252,7 @@ impl<M: Model> ThreadedFedAvg<M> {
             handles,
             stats,
             injector: None,
+            adversary: None,
             worker_timeout: DEFAULT_WORKER_TIMEOUT,
             client_data,
         }
@@ -262,6 +272,26 @@ impl<M: Model> ThreadedFedAvg<M> {
         );
         self.injector = Some(injector);
         self
+    }
+
+    /// Compromises a seeded fraction of the fleet; see
+    /// [`crate::FedAvg::with_adversary`]. Attacks on uploaded parameters are
+    /// applied coordinator-side to the decoded frames (the codec
+    /// round-trips `f64`s exactly), and label-flip cohorts are flagged in
+    /// the dispatch so workers train on flipped copies — both engines
+    /// observe bit-identical attacks under the same spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid [`AdversarySpec`] (see [`Adversary::new`]).
+    pub fn with_adversary(mut self, spec: AdversarySpec) -> Self {
+        self.adversary = Some(Adversary::new(spec, self.client_sizes.len()));
+        self
+    }
+
+    /// The attached adversary, if any.
+    pub fn adversary(&self) -> Option<&Adversary> {
+        self.adversary.as_ref()
     }
 
     /// Overrides the wall-clock reply timeout used to detect dead workers.
@@ -340,7 +370,9 @@ impl<M: Model> ThreadedFedAvg<M> {
     /// # Errors
     ///
     /// [`FlError::FleetBelowQuorum`] when fewer devices are up than the
-    /// quorum requires. The round counter is not advanced.
+    /// quorum requires (the round counter is not advanced), and
+    /// [`FlError::Aggregate`] when the delivered updates could not be
+    /// combined (the global model is unchanged).
     pub fn try_run_round(&mut self) -> Result<RoundRecord, FlError> {
         let t = self.round;
         let mut faults = RoundFaultStats::default();
@@ -425,6 +457,10 @@ impl<M: Model> ThreadedFedAvg<M> {
                     round: t as u32,
                     epochs: self.config.local_epochs as u32,
                     frame: frame.clone(),
+                    flip: self
+                        .adversary
+                        .as_ref()
+                        .is_some_and(|adv| adv.flips_labels(client)),
                 })
                 .is_ok();
             if sent {
@@ -458,6 +494,16 @@ impl<M: Model> ThreadedFedAvg<M> {
         updates.sort_by_key(|(u, _)| u.client);
         let responded: Vec<usize> = updates.iter().map(|(u, _)| u.client).collect();
 
+        // Apply parameter attacks coordinator-side, on the decoded frames:
+        // the codec round-trips `f64`s exactly, so the poisoned values are
+        // bit-identical to the in-process engine's.
+        if let Some(adversary) = &self.adversary {
+            let global_flat = self.global.to_flat();
+            for (u, _) in updates.iter_mut() {
+                adversary.poison(u.client, t, global_flat, &mut u.params);
+            }
+        }
+
         // Charge uplink retransmissions decided by the fault schedule: each
         // failed attempt resent the full update frame.
         if let Some(injector) = &self.injector {
@@ -476,14 +522,27 @@ impl<M: Model> ThreadedFedAvg<M> {
             }
         }
 
+        // Screen the delivered updates exactly as the in-process engine
+        // does: a screened-out update counts as undelivered for quorum.
+        let mut pairs: Vec<(Vec<f64>, usize)> = updates
+            .iter()
+            .map(|(u, _)| (u.params.clone(), u.samples))
+            .collect();
+        if let Some(defense) = &self.config.defense {
+            let report =
+                UpdateScreen::new(defense.screen).screen(&mut pairs, self.global.to_flat().len());
+            faults.screened_updates = report.rejected_count();
+            faults.clipped_updates = report.clipped;
+        }
+
         let quorum = self.config.tolerance.effective_quorum();
-        let outcome = RoundOutcome::of(responded.len(), selected.len(), quorum);
-        if outcome.committed() && !updates.is_empty() {
-            let pairs: Vec<(Vec<f64>, usize)> = updates
-                .iter()
-                .map(|(u, _)| (u.params.clone(), u.samples))
-                .collect();
-            let merged = aggregate(&pairs, self.config.aggregation);
+        let outcome = RoundOutcome::of(pairs.len(), selected.len(), quorum);
+        if outcome.committed() && !pairs.is_empty() {
+            let merged = match &self.config.defense {
+                Some(defense) => robust_aggregate(&pairs, defense.rule),
+                None => try_aggregate(&pairs, self.config.aggregation),
+            }
+            .map_err(|source| FlError::Aggregate { round: t, source })?;
             self.global.set_flat(&merged);
         }
         self.round += 1;
@@ -567,6 +626,8 @@ fn worker_loop<M: Model>(
     result_tx: &Sender<Vec<u8>>,
     stats: &Mutex<TransportStats>,
 ) {
+    // Lazily built label-flipped copy, for compromised label-flip clients.
+    let mut flipped: Option<Dataset> = None;
     while let Ok(msg) = rx.recv() {
         match msg {
             ToWorker::Shutdown => break,
@@ -575,14 +636,21 @@ fn worker_loop<M: Model>(
                 round,
                 epochs,
                 frame,
+                flip,
             } => {
                 let frame_len = frame.len();
                 let (wire_round, wire_epochs, params) = decode_global(&frame);
                 debug_assert_eq!(wire_round, round);
                 debug_assert_eq!(wire_epochs, epochs);
+                let train_data: &Dataset = if flip {
+                    flipped.get_or_insert_with(|| flip_dataset_labels(data))
+                } else {
+                    data
+                };
                 let mut model = template.clone();
                 model.set_flat(&params);
-                let train_stats = trainer.train(&mut model, data, epochs as usize, round as usize);
+                let train_stats =
+                    trainer.train(&mut model, train_data, epochs as usize, round as usize);
                 let update = Update {
                     round,
                     client: id,
@@ -643,6 +711,51 @@ mod tests {
             assert_eq!(a.test_eval, b.test_eval);
         }
         assert_eq!(serial.global_model(), threaded.global_model());
+    }
+
+    #[test]
+    fn threaded_matches_in_process_under_attack_and_defense() {
+        use crate::adversary::{AdversarySpec, AttackBehavior};
+        use crate::robust::{DefenseConfig, RobustRule};
+        let (clients, test) = setup(6, 150);
+        for behavior in [
+            AttackBehavior::SignFlip,
+            AttackBehavior::ScaledUpdate { boost: 20.0 },
+            AttackBehavior::GaussianNoise { std_dev: 0.5 },
+            AttackBehavior::LabelFlip,
+        ] {
+            let spec = AdversarySpec {
+                fraction: 0.34,
+                behavior,
+                seed: 11,
+            };
+            let config = FedAvgConfig {
+                clients_per_round: 4,
+                local_epochs: 1,
+                defense: Some(DefenseConfig::with_rule(RobustRule::TrimmedMean {
+                    assumed_byzantine: 1,
+                })),
+                ..Default::default()
+            };
+            let mut serial =
+                FedAvg::new(config.clone(), clients.clone(), test.clone()).with_adversary(spec);
+            let mut threaded =
+                ThreadedFedAvg::new(config, clients.clone(), test.clone()).with_adversary(spec);
+            for _ in 0..3 {
+                let a = serial.run_round();
+                let b = threaded.run_round();
+                assert_eq!(a.selected, b.selected, "{behavior:?}");
+                assert_eq!(a.responded, b.responded, "{behavior:?}");
+                assert_eq!(a.outcome, b.outcome, "{behavior:?}");
+                assert_eq!(a.faults, b.faults, "{behavior:?}");
+                assert_eq!(a.test_eval, b.test_eval, "{behavior:?}");
+            }
+            assert_eq!(
+                serial.global_model(),
+                threaded.global_model(),
+                "{behavior:?}"
+            );
+        }
     }
 
     #[test]

@@ -29,4 +29,7 @@ pub use func::{argmax, log_sum_exp, sigmoid, softmax_in_place};
 pub use linalg::{solve_linear_system, LeastSquares, LinalgError};
 pub use matrix::Matrix;
 pub use optimize::{golden_section_min, minimize_over_integers, GoldenSectionResult};
-pub use stats::{linear_fit, mean, percentile, r_squared, rmse, std_dev, variance, LinearFit};
+pub use stats::{
+    linear_fit, mean, percentile, r_squared, rmse, std_dev, try_mean, try_percentile, try_std_dev,
+    try_variance, variance, LinearFit,
+};

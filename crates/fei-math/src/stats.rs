@@ -6,6 +6,9 @@
 
 /// Arithmetic mean.
 ///
+/// NaN inputs propagate into the result; use [`try_mean`] when the data may
+/// contain non-finite values.
+///
 /// # Panics
 ///
 /// Panics if `xs` is empty.
@@ -14,7 +17,19 @@ pub fn mean(xs: &[f64]) -> f64 {
     xs.iter().sum::<f64>() / xs.len() as f64
 }
 
+/// NaN-guarded arithmetic mean: `None` when `xs` is empty or contains any
+/// NaN, so callers never silently propagate poisoned values.
+pub fn try_mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|x| x.is_nan()) {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
 /// Population variance (divides by `n`).
+///
+/// NaN inputs propagate into the result; use [`try_variance`] when the data
+/// may contain non-finite values.
 ///
 /// # Panics
 ///
@@ -24,7 +39,17 @@ pub fn variance(xs: &[f64]) -> f64 {
     xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
 }
 
+/// NaN-guarded population variance: `None` when `xs` is empty or contains
+/// any NaN.
+pub fn try_variance(xs: &[f64]) -> Option<f64> {
+    let m = try_mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
 /// Population standard deviation.
+///
+/// NaN inputs propagate into the result; use [`try_std_dev`] when the data
+/// may contain non-finite values.
 ///
 /// # Panics
 ///
@@ -33,28 +58,45 @@ pub fn std_dev(xs: &[f64]) -> f64 {
     variance(xs).sqrt()
 }
 
+/// NaN-guarded population standard deviation: `None` when `xs` is empty or
+/// contains any NaN.
+pub fn try_std_dev(xs: &[f64]) -> Option<f64> {
+    try_variance(xs).map(f64::sqrt)
+}
+
 /// Linear-interpolated percentile, `p` in `[0, 100]`.
 ///
 /// # Panics
 ///
-/// Panics if `xs` is empty or `p` is outside `[0, 100]`.
+/// Panics if `xs` is empty, contains NaN, or `p` is outside `[0, 100]`.
+/// [`try_percentile`] reports the same conditions as `None` instead.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     assert!(!xs.is_empty(), "percentile of empty slice");
     assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    assert!(
+        !xs.iter().any(|x| x.is_nan()),
+        "percentile requires orderable values"
+    );
+    try_percentile(xs, p).expect("preconditions checked above")
+}
+
+/// NaN-guarded linear-interpolated percentile: `None` when `xs` is empty,
+/// contains any NaN, or `p` is outside `[0, 100]`.
+pub fn try_percentile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=100.0).contains(&p) || xs.iter().any(|x| x.is_nan()) {
+        return None;
+    }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| {
-        a.partial_cmp(b)
-            .expect("percentile requires orderable values")
-    });
+    sorted.sort_by(f64::total_cmp);
     let rank = p / 100.0 * (sorted.len() as f64 - 1.0);
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
-    if lo == hi {
+    Some(if lo == hi {
         sorted[lo]
     } else {
         let w = rank - lo as f64;
         sorted[lo] * (1.0 - w) + sorted[hi] * w
-    }
+    })
 }
 
 /// Root-mean-square error between predictions and targets.
@@ -181,6 +223,42 @@ mod tests {
     #[test]
     fn percentile_single_element() {
         assert_eq!(percentile(&[42.0], 73.0), 42.0);
+    }
+
+    #[test]
+    fn try_variants_match_panicking_versions_on_clean_data() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(try_mean(&xs), Some(mean(&xs)));
+        assert_eq!(try_variance(&xs), Some(variance(&xs)));
+        assert_eq!(try_std_dev(&xs), Some(std_dev(&xs)));
+        assert_eq!(try_percentile(&xs, 50.0), Some(percentile(&xs, 50.0)));
+    }
+
+    #[test]
+    fn try_variants_reject_empty_and_nan() {
+        assert_eq!(try_mean(&[]), None);
+        assert_eq!(try_variance(&[]), None);
+        assert_eq!(try_std_dev(&[]), None);
+        assert_eq!(try_percentile(&[], 50.0), None);
+        let poisoned = [1.0, f64::NAN, 3.0];
+        assert_eq!(try_mean(&poisoned), None);
+        assert_eq!(try_variance(&poisoned), None);
+        assert_eq!(try_std_dev(&poisoned), None);
+        assert_eq!(try_percentile(&poisoned, 50.0), None);
+        // Infinities are orderable and keep their usual float semantics.
+        assert_eq!(try_percentile(&[f64::INFINITY, 0.0], 0.0), Some(0.0));
+    }
+
+    #[test]
+    fn try_percentile_rejects_out_of_range_p() {
+        assert_eq!(try_percentile(&[1.0], 101.0), None);
+        assert_eq!(try_percentile(&[1.0], -0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "orderable")]
+    fn percentile_rejects_nan() {
+        let _ = percentile(&[1.0, f64::NAN], 50.0);
     }
 
     #[test]

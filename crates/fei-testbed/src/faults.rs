@@ -8,7 +8,10 @@
 //! * **wasted** joules — abandoned rounds and devices that trained but never
 //!   delivered (crash recovery, exhausted retries, deadline misses);
 //! * **retransmit** joules — extra upload airtime burned re-sending lost or
-//!   corrupted frames.
+//!   corrupted frames;
+//! * **poisoned** joules — spend by compromised devices
+//!   ([`FaultCampaign::with_adversary`]) and on honest updates the
+//!   coordinator's screen rejected ([`FaultCampaign::with_defense`]).
 //!
 //! With a planner attached ([`FaultCampaign::with_replanning`]), the
 //! coordinator reacts to permanent crashes: when the live fleet falls below
@@ -19,7 +22,8 @@
 use fei_core::ledger::{EnergyLedger, EnergyUse};
 use fei_core::planner::EeFeiPlanner;
 use fei_fl::{
-    FaultInjector, FaultSpec, FlError, RoundRecord, StopCondition, ToleranceConfig, TrainingHistory,
+    Adversary, AdversarySpec, DefenseConfig, FaultInjector, FaultSpec, FlError, RoundRecord,
+    StopCondition, ToleranceConfig, TrainingHistory,
 };
 
 use crate::fl::FlExperiment;
@@ -71,6 +75,8 @@ pub struct FaultCampaign {
     spec: FaultSpec,
     tolerance: ToleranceConfig,
     planner: Option<EeFeiPlanner>,
+    adversary: Option<AdversarySpec>,
+    defense: Option<DefenseConfig>,
 }
 
 impl FaultCampaign {
@@ -88,14 +94,33 @@ impl FaultCampaign {
             spec,
             tolerance,
             planner: None,
+            adversary: None,
+            defense: None,
         }
     }
 
     /// Attaches a planner for live re-planning: whenever the live fleet
     /// falls below the current `K`, ACS is re-run against the survivors and
-    /// training continues at the fresh `(K*, E*)`.
+    /// training continues at the fresh `(K*, E*)`. With an adversary also
+    /// attached, re-planning prices in the expected screening loss via
+    /// [`EeFeiPlanner::replan_for_fleet_under_attack`].
     pub fn with_replanning(mut self, planner: EeFeiPlanner) -> Self {
         self.planner = Some(planner);
+        self
+    }
+
+    /// Compromises a seeded fraction of the fleet: those devices run
+    /// `spec.behavior` every round, and their spend is charged to the
+    /// ledger's poisoned category.
+    pub fn with_adversary(mut self, spec: AdversarySpec) -> Self {
+        self.adversary = Some(spec);
+        self
+    }
+
+    /// Arms the coordinator's defense: every arriving update is screened
+    /// and the survivors are combined with the configured robust rule.
+    pub fn with_defense(mut self, defense: DefenseConfig) -> Self {
+        self.defense = Some(defense);
         self
     }
 
@@ -112,9 +137,14 @@ impl FaultCampaign {
     /// Panics on an invalid `(k, e)` for the experiment's fleet.
     pub fn run(&self, k: usize, e: usize, stop: StopCondition) -> FaultCampaignReport {
         let injector = FaultInjector::new(self.spec.clone());
-        let mut engine = self
-            .experiment
-            .faulty_engine(k, e, self.tolerance.clone(), injector);
+        let mut engine = self.experiment.byzantine_engine(
+            k,
+            e,
+            self.tolerance.clone(),
+            Some(injector),
+            self.adversary,
+            self.defense,
+        );
         let mut history = TrainingHistory::new();
         let mut ledger = EnergyLedger::new();
         let mut replans = Vec::new();
@@ -126,7 +156,13 @@ impl FaultCampaign {
             if let Some(planner) = &self.planner {
                 let alive = engine.live_fleet().len();
                 if alive > 0 && alive < k {
-                    if let Ok(plan) = planner.replan_for_fleet(alive) {
+                    // Under attack, the expected screening loss shrinks the
+                    // effective fleet below the survivor count.
+                    let replanned = match &self.adversary {
+                        Some(spec) => planner.replan_for_fleet_under_attack(alive, spec.fraction),
+                        None => planner.replan_for_fleet(alive),
+                    };
+                    if let Ok(plan) = replanned {
                         let new_k = plan.solution.k.clamp(1, alive);
                         let new_e = plan.solution.e.max(1);
                         if (new_k, new_e) != (k, e) {
@@ -144,7 +180,7 @@ impl FaultCampaign {
             }
             match engine.try_run_round() {
                 Ok(record) => {
-                    self.charge_round(&mut ledger, &record, e, k);
+                    self.charge_round(&mut ledger, &record, e, k, engine.adversary());
                     if let (Some(target), Some(eval)) = (stop.target_accuracy, &record.test_eval) {
                         reached = eval.accuracy >= target;
                     }
@@ -194,24 +230,61 @@ impl FaultCampaign {
         record: &RoundRecord,
         epochs: usize,
         k_concurrent: usize,
+        adversary: Option<&Adversary>,
     ) {
         let (download_j, training_j, upload_j) = self.device_joules(epochs, k_concurrent);
         let device_j = download_j + training_j + upload_j;
 
-        // Devices whose update was aggregated: useful spend on a committed
-        // round, pure waste on an abandoned one.
+        // Split the responders three ways: compromised devices (their spend
+        // served the attack), honest devices whose update the screen
+        // rejected anyway (a false positive — spent, delivered, discarded),
+        // and productive devices whose update reached aggregation.
+        let responders = record.responded.len();
+        let compromised = adversary
+            .map(|adv| {
+                record
+                    .responded
+                    .iter()
+                    .filter(|&&device| adv.is_malicious(device))
+                    .count()
+            })
+            .unwrap_or(0);
+        let honest_screened = record
+            .faults
+            .screened_updates
+            .saturating_sub(compromised)
+            .min(responders - compromised);
+        let productive = responders - compromised - honest_screened;
+
+        // Productive spend: useful on a committed round, pure waste on an
+        // abandoned one.
         let usage = if record.outcome.committed() {
             EnergyUse::Useful
         } else {
             EnergyUse::Wasted
         };
-        let responders = record.responded.len();
-        if responders > 0 {
+        if productive > 0 {
             ledger.charge(
                 record.round,
                 usage,
-                responders as f64 * device_j,
+                productive as f64 * device_j,
                 "device rounds",
+            );
+        }
+        if compromised > 0 {
+            ledger.charge(
+                record.round,
+                EnergyUse::Poisoned,
+                compromised as f64 * device_j,
+                "compromised device rounds",
+            );
+        }
+        if honest_screened > 0 {
+            ledger.charge(
+                record.round,
+                EnergyUse::Poisoned,
+                honest_screened as f64 * device_j,
+                "screened-out updates",
             );
         }
 
@@ -295,6 +368,7 @@ mod tests {
         assert_eq!(report.history.records(), exp.run_rounds(3, 2, 4).records());
         assert_eq!(report.ledger.wasted_joules(), 0.0);
         assert_eq!(report.ledger.retransmit_joules(), 0.0);
+        assert_eq!(report.ledger.poisoned_joules(), 0.0);
         assert!(report.ledger.useful_joules() > 0.0);
         assert!(report.replans.is_empty());
         assert!(report.aborted.is_none());
@@ -394,6 +468,80 @@ mod tests {
         assert!(report.final_k < 5, "K must shrink with the fleet");
         for event in &report.replans {
             assert!(event.k <= event.surviving);
+        }
+    }
+
+    #[test]
+    fn adversarial_campaign_charges_poisoned_energy() {
+        use fei_fl::{DefenseConfig, RobustRule};
+        let campaign = FaultCampaign::new(
+            small_experiment(),
+            small_testbed(),
+            FaultSpec::default(),
+            ToleranceConfig::default(),
+        )
+        .with_adversary(AdversarySpec::sign_flip(0.4))
+        .with_defense(DefenseConfig::with_rule(RobustRule::CoordinateMedian {
+            assumed_byzantine: 2,
+        }));
+        let report = campaign.run(5, 2, StopCondition::rounds(4));
+        // ⌊0.4 · 5⌋ = 2 compromised devices respond every full-fleet round.
+        assert!(report.ledger.poisoned_joules() > 0.0, "{:?}", report.ledger);
+        // Poisoned spend counts toward overhead, never toward useful.
+        assert!(report.ledger.overhead_fraction() > 0.0);
+        assert!(report.ledger.useful_joules() > 0.0);
+    }
+
+    #[test]
+    fn adversarial_campaigns_are_deterministic() {
+        use fei_fl::{DefenseConfig, RobustRule};
+        let make = || {
+            FaultCampaign::new(
+                small_experiment(),
+                small_testbed(),
+                FaultSpec {
+                    upload_loss_prob: 0.2,
+                    ..Default::default()
+                },
+                ToleranceConfig::default(),
+            )
+            .with_adversary(AdversarySpec::sign_flip(0.4))
+            .with_defense(DefenseConfig::with_rule(RobustRule::MultiKrum {
+                assumed_byzantine: 2,
+            }))
+            .run(4, 2, StopCondition::rounds(5))
+        };
+        assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn replanning_under_attack_prices_in_the_attacker_fraction() {
+        let spec = FaultSpec {
+            crash_prob: 0.15,
+            restart_rounds: 0, // permanent
+            ..Default::default()
+        };
+        let testbed = small_testbed();
+        let planner = planner(&testbed);
+        let campaign = FaultCampaign::new(
+            small_experiment(),
+            testbed,
+            spec,
+            ToleranceConfig::default(),
+        )
+        .with_adversary(AdversarySpec::sign_flip(0.2))
+        .with_replanning(planner);
+        let report = campaign.run(5, 2, StopCondition::rounds(20));
+        // Whenever attrition forces a re-plan, the fresh K* must fit the
+        // honest core of the survivors, not the full survivor count.
+        for event in &report.replans {
+            let honest = (event.surviving as f64 * 0.8).floor() as usize;
+            assert!(
+                event.k <= honest.max(1),
+                "K* = {} exceeds honest core {honest} of {} survivors",
+                event.k,
+                event.surviving
+            );
         }
     }
 

@@ -226,6 +226,39 @@ impl FlExperiment {
         FedAvg::new(config, self.clients.clone(), self.test.clone()).with_faults(injector)
     }
 
+    /// Builds a FedAvg engine for `(K, E)` under Byzantine conditions: an
+    /// optional fault schedule, an optional adversarial cohort, and an
+    /// optional coordinator defense (screen + robust rule). All three
+    /// `None` reproduces [`FlExperiment::engine`] exactly.
+    pub fn byzantine_engine(
+        &self,
+        k: usize,
+        e: usize,
+        tolerance: fei_fl::ToleranceConfig,
+        injector: Option<fei_fl::FaultInjector>,
+        adversary: Option<fei_fl::AdversarySpec>,
+        defense: Option<fei_fl::DefenseConfig>,
+    ) -> FedAvg {
+        let config = FedAvgConfig {
+            clients_per_round: k,
+            local_epochs: e,
+            sgd: self.config.sgd.clone(),
+            eval_every: self.config.eval_every,
+            seed: self.config.seed ^ ((k as u64) << 32) ^ e as u64,
+            tolerance,
+            defense,
+            ..Default::default()
+        };
+        let mut engine = FedAvg::new(config, self.clients.clone(), self.test.clone());
+        if let Some(injector) = injector {
+            engine = engine.with_faults(injector);
+        }
+        if let Some(spec) = adversary {
+            engine = engine.with_adversary(spec);
+        }
+        engine
+    }
+
     /// Runs `(K, E)` for a fixed number of rounds.
     pub fn run_rounds(&self, k: usize, e: usize, rounds: usize) -> TrainingHistory {
         self.engine(k, e).run_until(StopCondition::rounds(rounds))

@@ -72,9 +72,11 @@ pub mod prelude {
     };
     pub use fei_data::{Dataset, IotStream, Partition, SyntheticMnist, SyntheticMnistConfig};
     pub use fei_fl::{
-        aggregate, AggregationRule, AsyncConfig, AsyncFedAvg, AsyncHistory, FaultInjector,
-        FaultSpec, FedAvg, FedAvgConfig, FlError, RetryPolicy, RoundFaultStats, RoundOutcome,
-        StopCondition, ThreadedFedAvg, ToleranceConfig, TrainingHistory,
+        aggregate, robust_aggregate, try_aggregate, Adversary, AdversarySpec, AggregateError,
+        AggregationRule, AsyncConfig, AsyncFedAvg, AsyncHistory, AttackBehavior, DefenseConfig,
+        FaultInjector, FaultSpec, FedAvg, FedAvgConfig, FlError, RetryPolicy, RobustRule,
+        RoundFaultStats, RoundOutcome, ScreenPolicy, ScreenReason, ScreenReport, StopCondition,
+        ThreadedFedAvg, ToleranceConfig, TrainingHistory, UpdateScreen,
     };
     pub use fei_ml::{
         accuracy, Evaluation, LocalTrainer, LogisticRegression, Mlp, Model, SgdConfig,

@@ -1,0 +1,289 @@
+//! Byzantine robustness: screening determinism, engine agreement under
+//! attack, zero-budget equivalence with plain FedAvg, and robust rules
+//! holding accuracy where the undefended mean loses it.
+
+use ee_fei::prelude::*;
+
+fn federation(seed: u64, n: usize) -> (Vec<Dataset>, Dataset) {
+    let gen = SyntheticMnist::new(SyntheticMnistConfig {
+        pixel_noise_std: 0.3,
+        ..Default::default()
+    });
+    let train = gen.generate(400, 0);
+    let test = gen.generate(120, 1);
+    let clients = Partition::iid(train.len(), n, &mut DetRng::new(seed)).apply(&train);
+    (clients, test)
+}
+
+fn defended_config(k: usize, rule: RobustRule) -> FedAvgConfig {
+    FedAvgConfig {
+        clients_per_round: k,
+        local_epochs: 2,
+        sgd: SgdConfig::new(0.1, 0.99, None),
+        defense: Some(DefenseConfig::with_rule(rule)),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn adversarial_runs_are_bit_identical_per_seed() {
+    let run = || {
+        let (clients, test) = federation(17, 6);
+        let config = defended_config(
+            4,
+            RobustRule::TrimmedMean {
+                assumed_byzantine: 1,
+            },
+        );
+        let mut engine =
+            FedAvg::new(config, clients, test).with_adversary(AdversarySpec::sign_flip(0.34));
+        let history = engine.run_until(StopCondition::rounds(6));
+        (history, engine.global_model().clone())
+    };
+    let (ha, ma) = run();
+    let (hb, mb) = run();
+    assert_eq!(ha.records(), hb.records());
+    assert_eq!(ma, mb);
+}
+
+#[test]
+fn screening_reports_are_deterministic_and_order_invariant() {
+    // The screen is a pure function of the update set: same inputs, same
+    // verdicts; permuting the set permutes (but never changes) the verdicts.
+    let updates: Vec<(Vec<f64>, usize)> = vec![
+        (vec![0.1, 0.2, 0.3], 10),
+        (vec![0.2, 0.1, 0.2], 10),
+        (vec![40.0, -35.0, 60.0], 10), // norm outlier
+        (vec![0.15, 0.25, 0.1], 10),
+        (vec![f64::NAN, 0.0, 0.0], 10), // non-finite
+    ];
+    let screen = UpdateScreen::new(ScreenPolicy::default());
+    let mut a = updates.clone();
+    let report_a = screen.screen(&mut a, 3);
+    let mut b = updates.clone();
+    let report_b = screen.screen(&mut b, 3);
+    assert_eq!(report_a, report_b);
+    assert_eq!(a, b);
+    assert_eq!(report_a.rejected_count(), 2);
+
+    let mut reversed: Vec<(Vec<f64>, usize)> = updates.into_iter().rev().collect();
+    let report_rev = screen.screen(&mut reversed, 3);
+    assert_eq!(report_rev.rejected_count(), report_a.rejected_count());
+    reversed.reverse();
+    assert_eq!(a, reversed);
+}
+
+#[test]
+fn engines_agree_under_attack_and_defense() {
+    let (clients, test) = federation(23, 6);
+    let config = defended_config(
+        4,
+        RobustRule::CoordinateMedian {
+            assumed_byzantine: 2,
+        },
+    );
+    let spec = AdversarySpec {
+        fraction: 0.34,
+        behavior: AttackBehavior::ScaledUpdate { boost: 30.0 },
+        seed: 9,
+    };
+    let mut serial =
+        FedAvg::new(config.clone(), clients.clone(), test.clone()).with_adversary(spec);
+    let mut threaded = ThreadedFedAvg::new(config, clients, test).with_adversary(spec);
+    for round in 0..5 {
+        let a = serial.run_round();
+        let b = threaded.run_round();
+        assert_eq!(a.responded, b.responded, "round {round}");
+        assert_eq!(a.faults, b.faults, "round {round}");
+        assert_eq!(a.outcome, b.outcome, "round {round}");
+        assert_eq!(a.test_eval, b.test_eval, "round {round}");
+    }
+    assert_eq!(serial.global_model(), threaded.global_model());
+}
+
+#[test]
+fn zero_budget_robust_rules_reproduce_plain_fedavg() {
+    // Acceptance: at attacker fraction 0, every robust rule is bit-identical
+    // to the undefended uniform mean.
+    let (clients, test) = federation(29, 5);
+    let plain_config = FedAvgConfig {
+        clients_per_round: 3,
+        local_epochs: 2,
+        sgd: SgdConfig::new(0.1, 0.99, None),
+        ..Default::default()
+    };
+    let mut plain = FedAvg::new(plain_config.clone(), clients.clone(), test.clone());
+    let plain_history = plain.run_until(StopCondition::rounds(5));
+
+    for rule in [
+        RobustRule::CoordinateMedian {
+            assumed_byzantine: 0,
+        },
+        RobustRule::TrimmedMean {
+            assumed_byzantine: 0,
+        },
+        RobustRule::Krum {
+            assumed_byzantine: 0,
+        },
+        RobustRule::MultiKrum {
+            assumed_byzantine: 0,
+        },
+    ] {
+        let config = FedAvgConfig {
+            defense: Some(DefenseConfig::with_rule(rule)),
+            ..plain_config.clone()
+        };
+        let mut robust = FedAvg::new(config, clients.clone(), test.clone());
+        let history = robust.run_until(StopCondition::rounds(5));
+        assert_eq!(
+            history.records(),
+            plain_history.records(),
+            "{}",
+            rule.name()
+        );
+        assert_eq!(
+            robust.global_model(),
+            plain.global_model(),
+            "{}",
+            rule.name()
+        );
+    }
+}
+
+#[test]
+fn robust_rules_hold_accuracy_where_mean_collapses() {
+    // 20% reversed-and-boosted attackers cancel the honest mass in the
+    // mean (0.8 − 0.2·4 = 0 net progress), while median, trimmed mean, and
+    // multi-Krum keep converging. Structural-only screening isolates the
+    // robustness of the combine rules themselves.
+    let (clients, test) = federation(41, 10);
+    let spec = AdversarySpec {
+        fraction: 0.2,
+        behavior: AttackBehavior::ScaledUpdate { boost: -4.0 },
+        seed: 0xAD50,
+    };
+    let base = FedAvgConfig {
+        clients_per_round: 10,
+        local_epochs: 3,
+        sgd: SgdConfig::new(0.3, 1.0, None),
+        ..Default::default()
+    };
+    let rounds = 15;
+
+    let mut undefended =
+        FedAvg::new(base.clone(), clients.clone(), test.clone()).with_adversary(spec);
+    let undefended_acc = undefended
+        .run_until(StopCondition::rounds(rounds))
+        .last()
+        .unwrap()
+        .test_eval
+        .unwrap()
+        .accuracy;
+
+    for rule in [
+        RobustRule::CoordinateMedian {
+            assumed_byzantine: 2,
+        },
+        RobustRule::TrimmedMean {
+            assumed_byzantine: 2,
+        },
+        RobustRule::MultiKrum {
+            assumed_byzantine: 2,
+        },
+    ] {
+        let config = FedAvgConfig {
+            defense: Some(DefenseConfig {
+                screen: ScreenPolicy::structural_only(),
+                rule,
+            }),
+            ..base.clone()
+        };
+        let mut defended = FedAvg::new(config, clients.clone(), test.clone()).with_adversary(spec);
+        let defended_acc = defended
+            .run_until(StopCondition::rounds(rounds))
+            .last()
+            .unwrap()
+            .test_eval
+            .unwrap()
+            .accuracy;
+        assert!(
+            defended_acc > undefended_acc + 0.05,
+            "{}: defended {defended_acc} vs undefended {undefended_acc}",
+            rule.name()
+        );
+    }
+}
+
+#[test]
+fn sign_flip_slows_the_undefended_mean_more_than_the_median() {
+    // Sign-flip at 20% scales the mean's net step by 0.6, so the undefended
+    // run needs strictly more rounds to the target than the defended one.
+    let (clients, test) = federation(47, 10);
+    let spec = AdversarySpec::sign_flip(0.2);
+    let base = FedAvgConfig {
+        clients_per_round: 10,
+        local_epochs: 2,
+        sgd: SgdConfig::new(0.2, 1.0, None),
+        ..Default::default()
+    };
+    let target = 0.9;
+    let cap = 60;
+
+    let rounds_to = |config: FedAvgConfig| {
+        FedAvg::new(config, clients.clone(), test.clone())
+            .with_adversary(spec)
+            .run_until(StopCondition::accuracy(target, cap))
+            .rounds_to_accuracy(target)
+            .unwrap_or(cap + 1)
+    };
+    let undefended_t = rounds_to(base.clone());
+    let defended_t = rounds_to(FedAvgConfig {
+        defense: Some(DefenseConfig {
+            screen: ScreenPolicy::structural_only(),
+            rule: RobustRule::CoordinateMedian {
+                assumed_byzantine: 2,
+            },
+        }),
+        ..base
+    });
+    assert!(
+        defended_t < undefended_t,
+        "median needed {defended_t} rounds, mean {undefended_t}"
+    );
+}
+
+#[test]
+fn typed_aggregate_errors_replace_panics() {
+    assert_eq!(
+        try_aggregate(&[], AggregationRule::Uniform),
+        Err(AggregateError::EmptyUpdateSet)
+    );
+    assert_eq!(
+        try_aggregate(
+            &[(vec![1.0, 2.0], 3), (vec![1.0], 3)],
+            AggregationRule::Uniform
+        ),
+        Err(AggregateError::DimensionMismatch {
+            expected: 2,
+            got: 1,
+            index: 1
+        })
+    );
+    assert_eq!(
+        try_aggregate(
+            &[(vec![1.0], 0), (vec![2.0], 0)],
+            AggregationRule::WeightedBySamples
+        ),
+        Err(AggregateError::ZeroTotalWeight)
+    );
+    // The robust path surfaces the same typed errors.
+    assert_eq!(
+        robust_aggregate(
+            &[],
+            RobustRule::CoordinateMedian {
+                assumed_byzantine: 1
+            }
+        ),
+        Err(AggregateError::EmptyUpdateSet)
+    );
+}

@@ -208,6 +208,7 @@ fn fleet_exhaustion_is_a_typed_error() {
             assert!(alive < required);
             assert_eq!(required, 2);
         }
+        other => panic!("expected FleetBelowQuorum, got {other}"),
     }
     // The failed round did not advance the counter, and the error repeats.
     assert!(engine.try_run_round().is_err());
@@ -338,6 +339,7 @@ proptest! {
                     prop_assert!(alive < required);
                     break;
                 }
+                Err(other) => panic!("aggregation cannot fail here: {other}"),
             }
         }
     }
