@@ -61,6 +61,7 @@ fn main() {
         let mut srng = DetRng::new(0x57A6);
         let speeds: Vec<f64> = (0..N)
             .map(|_| {
+                // fei-lint: allow(float-eq, reason = "sweep sentinel: the exactly-zero spread arm is the homogeneous baseline")
                 if spread == 0.0 {
                     1.0
                 } else {

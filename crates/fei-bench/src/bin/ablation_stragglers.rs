@@ -37,6 +37,7 @@ fn main() {
         "spread", "K", "total", "straggler wait", "waste %", "wall clock"
     );
     for spread in [0.0, 0.2, 0.5, 0.8] {
+        // fei-lint: allow(float-eq, reason = "sweep sentinel: the exactly-zero spread arm is the paper's homogeneous prototype")
         let testbed = if spread == 0.0 {
             Testbed::paper_prototype()
         } else {

@@ -5,6 +5,8 @@
 //! share: the calibration pipeline that fits the convergence-bound constants
 //! from real training runs, and small text-report formatting helpers.
 
+#![forbid(unsafe_code)]
+
 use fei_core::calibration::{fit_bound_constants, GapObservation};
 use fei_core::{ConvergenceBound, CoreError};
 use fei_fl::TrainingHistory;

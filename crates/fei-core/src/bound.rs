@@ -137,6 +137,7 @@ impl ConvergenceBound {
     /// search domain `𝒵_E`): `E < (εK − A1 + A2K)/(A2K)`. Returns
     /// `f64::INFINITY` when `A₂ = 0`.
     pub fn max_e(&self, epsilon: f64, k: f64) -> f64 {
+        // fei-lint: allow(float-eq, reason = "A2 = 0 is a structural sentinel (no epoch penalty term), not a measured quantity")
         if self.a2 == 0.0 {
             return f64::INFINITY;
         }

@@ -65,6 +65,7 @@ impl ComputationModel {
     pub fn new(c0: f64, c1: f64) -> Result<Self, CoreError> {
         require_non_negative("c0", c0)?;
         require_non_negative("c1", c1)?;
+        // fei-lint: allow(float-eq, reason = "rejecting the exactly-degenerate all-zero coefficient pair; near-zero models are legal")
         if c0 == 0.0 && c1 == 0.0 {
             return Err(CoreError::invalid(
                 "c0/c1",

@@ -112,6 +112,7 @@ impl EnergyLedger {
     /// retransmissions, and poisoned spend). Zero on an empty ledger.
     pub fn overhead_fraction(&self) -> f64 {
         let total = self.total_joules();
+        // fei-lint: allow(float-eq, reason = "empty-ledger division guard: charges are validated non-negative, so zero total means no charges at all")
         if total == 0.0 {
             0.0
         } else {

@@ -38,6 +38,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod acs;
 pub mod bound;
 pub mod calibration;

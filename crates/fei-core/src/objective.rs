@@ -165,9 +165,11 @@ impl EnergyObjective {
         if self.epsilon * k - a1 <= 0.0 {
             return None;
         }
+        // fei-lint: allow(float-eq, reason = "A2 = 0 is a structural sentinel (no epoch penalty term), not a measured quantity")
         if a2 == 0.0 {
             return Some(f64::INFINITY);
         }
+        // fei-lint: allow(float-eq, reason = "B1 = 0 is a structural sentinel (no fixed per-round cost), not a measured quantity")
         if self.b1 == 0.0 {
             // No fixed per-round cost: extra epochs only add energy.
             return Some(1.0);
@@ -187,6 +189,7 @@ impl EnergyObjective {
     /// both).
     pub fn e_star_paper(&self, k: f64) -> Option<f64> {
         let a2 = self.bound.a2();
+        // fei-lint: allow(float-eq, reason = "Eq. 17 divides by A2 and B1; exactly-zero terms are the structural sentinel")
         if a2 == 0.0 || self.b1 == 0.0 {
             return None;
         }

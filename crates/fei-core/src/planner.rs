@@ -79,7 +79,7 @@ impl EeFeiPlanner {
             self.epsilon,
             self.n,
         )
-        .expect("validated at construction")
+        .expect("invariant: the same objective was validated in EeFeiPlanner::new")
     }
 
     /// The energy model in use.

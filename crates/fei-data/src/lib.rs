@@ -15,6 +15,8 @@
 //!   upload (sample sizes in bytes and arrival schedule) consumed by the
 //!   network/energy models.
 
+#![forbid(unsafe_code)]
+
 pub mod dataset;
 pub mod partition;
 pub mod persist;

@@ -146,10 +146,10 @@ impl Partition {
         while let Some(empty) = assignments.iter().position(Vec::is_empty) {
             let largest = (0..num_clients)
                 .max_by_key(|&c| assignments[c].len())
-                .expect("non-empty fleet");
+                .expect("invariant: num_clients > 0 was validated at entry");
             let moved = assignments[largest]
                 .pop()
-                .expect("largest client has samples");
+                .expect("invariant: with samples >= clients the largest client is non-empty");
             assignments[empty].push(moved);
         }
         Self { assignments }

@@ -98,7 +98,13 @@ impl Dataset {
         if version != VERSION {
             return Err(PersistError::BadHeader);
         }
-        let read_u32 = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes"));
+        let read_u32 = |o: usize| {
+            u32::from_le_bytes(
+                bytes[o..o + 4]
+                    .try_into()
+                    .expect("invariant: a 4-byte slice converts to [u8; 4]"),
+            )
+        };
         let dim = read_u32(6) as usize;
         let num_classes = read_u32(10) as usize;
         let len = read_u32(14) as usize;
@@ -117,7 +123,11 @@ impl Dataset {
             return Err(PersistError::Truncated);
         }
 
-        let declared = u64::from_le_bytes(bytes[total - 8..].try_into().expect("8 bytes"));
+        let declared = u64::from_le_bytes(
+            bytes[total - 8..]
+                .try_into()
+                .expect("invariant: bytes.len() == total was checked above"),
+        );
         if declared != checksum(&bytes[..total - 8]) {
             return Err(PersistError::ChecksumMismatch);
         }
@@ -126,7 +136,9 @@ impl Dataset {
         let mut offset = 18;
         for _ in 0..len * dim {
             features.push(f64::from_le_bytes(
-                bytes[offset..offset + 8].try_into().expect("8 bytes"),
+                bytes[offset..offset + 8]
+                    .try_into()
+                    .expect("invariant: an 8-byte slice converts to [u8; 8]"),
             ));
             offset += 8;
         }

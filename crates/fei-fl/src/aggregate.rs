@@ -157,6 +157,7 @@ pub fn try_aggregate(
 pub fn aggregate(updates: &[(Vec<f64>, usize)], rule: AggregationRule) -> Vec<f64> {
     match try_aggregate(updates, rule) {
         Ok(out) => out,
+        // fei-lint: allow(no-panic, reason = "documented panicking wrapper kept for API compatibility; fallible callers use try_aggregate")
         Err(err) => panic!("{err}"),
     }
 }

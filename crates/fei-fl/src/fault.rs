@@ -61,9 +61,13 @@ impl Default for FaultSpec {
 impl FaultSpec {
     /// Whether this spec injects nothing at all.
     pub fn is_noop(&self) -> bool {
+        // fei-lint: allow(float-eq, reason = "configuration sentinel: only an exactly-zero probability disables injection")
         self.crash_prob == 0.0
+            // fei-lint: allow(float-eq, reason = "configuration sentinel: only an exactly-zero probability disables injection")
             && self.straggler_prob == 0.0
+            // fei-lint: allow(float-eq, reason = "configuration sentinel: only an exactly-zero probability disables injection")
             && self.upload_loss_prob == 0.0
+            // fei-lint: allow(float-eq, reason = "configuration sentinel: only an exactly-zero probability disables injection")
             && self.corrupt_prob == 0.0
     }
 
@@ -209,6 +213,7 @@ impl FaultInjector {
 
     /// Whether `device` is down (crashed and not yet restarted) at `round`.
     pub fn is_down(&self, device: usize, round: usize) -> bool {
+        // fei-lint: allow(float-eq, reason = "configuration sentinel: exactly-zero crash probability means no crash schedule exists")
         if self.spec.crash_prob == 0.0 {
             return false;
         }

@@ -435,6 +435,7 @@ impl<M: Model> FedAvg<M> {
     /// Panics if the round fails outright (see [`FedAvg::try_run_round`]);
     /// impossible without a fault injector.
     pub fn run_round(&mut self) -> RoundRecord {
+        // fei-lint: allow(no-panic, reason = "documented panicking convenience wrapper; fallible callers use try_run_round")
         self.try_run_round().expect("federated round failed")
     }
 
@@ -468,6 +469,7 @@ impl<M: Model> FedAvg<M> {
                     .iter()
                     .copied()
                     .filter(|_| {
+                        // fei-lint: allow(float-eq, reason = "configuration sentinel: exactly-zero dropout must not consume RNG draws, or seeds diverge")
                         self.config.dropout_prob == 0.0
                             || self.dropout_rng.next_f64() >= self.config.dropout_prob
                     })
@@ -602,6 +604,7 @@ impl<M: Model> FedAvg<M> {
     /// Panics if a round fails outright (see [`FedAvg::try_run_until`]);
     /// impossible without a fault injector.
     pub fn run_until(&mut self, stop: StopCondition) -> TrainingHistory {
+        // fei-lint: allow(no-panic, reason = "documented panicking convenience wrapper; fallible callers use try_run_until")
         self.try_run_until(stop).expect("federated round failed")
     }
 

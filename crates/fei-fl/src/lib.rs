@@ -36,6 +36,8 @@
 //! assert_eq!(record.selected.len(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod adversary;
 pub mod aggregate;
 pub mod asynchronous;

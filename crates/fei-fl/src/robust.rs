@@ -294,7 +294,10 @@ impl UpdateScreen {
 
         report.rejected.sort_unstable_by_key(|&(i, _)| i);
         let mut it = keep.iter();
-        updates.retain(|_| *it.next().expect("keep mask covers all updates"));
+        updates.retain(|_| {
+            *it.next()
+                .expect("invariant: keep mask was built with one entry per update")
+        });
         report
     }
 }

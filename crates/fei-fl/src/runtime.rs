@@ -87,7 +87,8 @@ fn encode_global(round: u32, epochs: u32, params: &[f64]) -> Vec<u8> {
 }
 
 fn decode_global(frame: &[u8]) -> (u32, u32, Vec<f64>) {
-    let (frame, _) = decode_frame(frame).expect("coordinator frames are well-formed");
+    let (frame, _) = decode_frame(frame)
+        .expect("invariant: coordinator frames are encoded in-process and cannot be malformed");
     assert_eq!(frame.msg_type, MSG_GLOBAL, "expected a global-model frame");
     let mut buf = &frame.payload[..];
     let round = buf.get_u32();
@@ -113,7 +114,9 @@ fn encode_update(update: &Update) -> Vec<u8> {
 }
 
 fn decode_update(frame: &[u8]) -> Update {
-    let (frame, _) = decode_frame(frame).expect("worker frames are well-formed");
+    let (frame, _) = decode_frame(frame).expect(
+        "invariant: worker frames survived the codec checksum before reaching the coordinator",
+    );
     assert_eq!(frame.msg_type, MSG_UPDATE, "expected an update frame");
     let mut buf = &frame.payload[..];
     let round = buf.get_u32();
@@ -355,6 +358,7 @@ impl<M: Model> ThreadedFedAvg<M> {
     /// [`ThreadedFedAvg::try_run_round`]); impossible without a fault
     /// injector.
     pub fn run_round(&mut self) -> RoundRecord {
+        // fei-lint: allow(no-panic, reason = "documented panicking convenience wrapper; fallible callers use try_run_round")
         self.try_run_round().expect("federated round failed")
     }
 
@@ -386,6 +390,7 @@ impl<M: Model> ThreadedFedAvg<M> {
                     .iter()
                     .copied()
                     .filter(|_| {
+                        // fei-lint: allow(float-eq, reason = "configuration sentinel: exactly-zero dropout must not consume RNG draws, or seeds diverge")
                         self.config.dropout_prob == 0.0
                             || self.dropout_rng.next_f64() >= self.config.dropout_prob
                     })
@@ -576,6 +581,7 @@ impl<M: Model> ThreadedFedAvg<M> {
     /// Panics if a round fails outright; impossible without a fault
     /// injector.
     pub fn run_until(&mut self, stop: StopCondition) -> TrainingHistory {
+        // fei-lint: allow(no-panic, reason = "documented panicking convenience wrapper; fallible callers use try_run_until")
         self.try_run_until(stop).expect("federated round failed")
     }
 
@@ -631,6 +637,7 @@ fn worker_loop<M: Model>(
     while let Ok(msg) = rx.recv() {
         match msg {
             ToWorker::Shutdown => break,
+            // fei-lint: allow(no-panic, reason = "fault injection: the panic IS the injected fault the supervisor must survive")
             ToWorker::Poison => panic!("injected worker panic (client {id})"),
             ToWorker::Train {
                 round,

@@ -1,0 +1,13 @@
+//! Escape-comment scoping: each directive suppresses exactly the rules it
+//! names — a violation of any *other* rule on the covered lines still fires.
+pub fn next_line(x: Option<f64>) -> bool {
+    // fei-lint: allow(no-panic, reason = "fixture: suppresses exactly no-panic and nothing else")
+    let v = x.unwrap();
+    let settled = v == 0.25;
+    settled
+}
+
+pub fn same_line(x: Option<f64>) -> bool {
+    // fei-lint: allow(no-panic, reason = "fixture: the float comparison on the covered line must still be flagged")
+    x.unwrap() == 0.5
+}

@@ -1,0 +1,11 @@
+//! Known-bad: OS entropy in a deterministic crate. Campaigns seeded the
+//! same way would still diverge run to run.
+pub fn jitter() -> f64 {
+    let mut rng = thread_rng();
+    rng.gen_range(0.0..1.0)
+}
+
+pub fn seed_from_os() -> u64 {
+    let mut rng = OsRng;
+    rng.next_u64()
+}

@@ -1,0 +1,16 @@
+//! Known-good: a seeded deterministic generator threaded from the campaign.
+pub struct SeededRng(u64);
+
+impl SeededRng {
+    pub fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+}

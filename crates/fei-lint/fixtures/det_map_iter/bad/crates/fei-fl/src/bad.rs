@@ -1,0 +1,11 @@
+//! Known-bad: seeded-order containers in a deterministic crate. Their
+//! iteration order varies per process, which breaks bit-replayability.
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u32]) -> Vec<(u32, usize)> {
+    let mut seen: HashMap<u32, usize> = HashMap::new();
+    for &x in xs {
+        *seen.entry(x).or_insert(0) += 1;
+    }
+    seen.into_iter().collect()
+}

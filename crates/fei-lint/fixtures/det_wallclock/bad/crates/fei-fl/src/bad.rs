@@ -1,0 +1,7 @@
+//! Known-bad: wall-clock time in a deterministic crate. Replays diverge
+//! under host load, breaking the serial/threaded bit-identity contract.
+use std::time::{Instant, SystemTime};
+
+pub fn round_started() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}

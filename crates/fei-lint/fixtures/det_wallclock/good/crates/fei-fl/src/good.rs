@@ -1,0 +1,14 @@
+//! Known-good: a logical clock advanced by the simulation, never the OS.
+pub struct LogicalClock {
+    now_ms: u64,
+}
+
+impl LogicalClock {
+    pub fn advance(&mut self, dt_ms: u64) {
+        self.now_ms += dt_ms;
+    }
+
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+}

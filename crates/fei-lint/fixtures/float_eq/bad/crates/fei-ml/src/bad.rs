@@ -1,0 +1,8 @@
+//! Known-bad: exact float comparisons. Values computed along different
+//! code paths differ in the last ulp and silently diverge behaviour.
+pub fn settled(energy_j: f64, accuracy: f64) -> bool {
+    if energy_j == 0.0 {
+        return true;
+    }
+    accuracy != 1.5e3 && energy_j == 2.0f64
+}

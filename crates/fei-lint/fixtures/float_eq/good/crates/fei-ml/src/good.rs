@@ -1,0 +1,10 @@
+//! Known-good: epsilon helpers for measured quantities; exact comparison
+//! only on integers.
+use fei_math::approx::{approx_eq, approx_zero};
+
+pub fn settled(energy_j: f64, accuracy: f64, rounds: usize) -> bool {
+    if approx_zero(energy_j) {
+        return true;
+    }
+    approx_eq(accuracy, 0.93) && rounds == 0
+}

@@ -1,0 +1,15 @@
+//! Known-bad: public entry points that accept raw joules with no
+//! `EnergyUse` classification — spend that can bypass the ledger buckets.
+pub struct Sink {
+    total_j: f64,
+}
+
+impl Sink {
+    pub fn add_energy(&mut self, joules: f64) {
+        self.total_j += joules;
+    }
+
+    pub fn preload(&mut self, boost_j: f64) {
+        self.total_j += boost_j;
+    }
+}

@@ -1,0 +1,24 @@
+//! Known-good: joule-taking entry points carry a classification, and
+//! joule-returning getters are unrestricted.
+pub enum EnergyUse {
+    Useful,
+    Wasted,
+}
+
+pub struct Sink {
+    useful_j: f64,
+    wasted_j: f64,
+}
+
+impl Sink {
+    pub fn charge(&mut self, usage: EnergyUse, joules: f64) {
+        match usage {
+            EnergyUse::Useful => self.useful_j += joules,
+            EnergyUse::Wasted => self.wasted_j += joules,
+        }
+    }
+
+    pub fn useful_joules(&self) -> f64 {
+        self.useful_j
+    }
+}

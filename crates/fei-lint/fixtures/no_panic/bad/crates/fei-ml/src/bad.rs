@@ -1,0 +1,9 @@
+//! Known-bad: panicking library code. Every site here must be either a
+//! typed error or an `expect("invariant: ...")`.
+pub fn widths(s: &str) -> u32 {
+    let n: u32 = s.parse().unwrap();
+    if n > 100 {
+        panic!("width {n} out of range");
+    }
+    n.checked_mul(2).expect("fits in u32")
+}

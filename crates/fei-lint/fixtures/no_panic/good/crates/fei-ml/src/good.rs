@@ -1,0 +1,28 @@
+//! Known-good: fallible paths return typed errors; provably unreachable
+//! states say so with the sanctioned `expect("invariant: ...")` form; and
+//! test code may panic freely.
+pub enum WidthError {
+    Unparseable,
+    OutOfRange(u32),
+}
+
+pub fn widths(s: &str) -> Result<u32, WidthError> {
+    let n: u32 = s.parse().map_err(|_| WidthError::Unparseable)?;
+    if n > 100 {
+        return Err(WidthError::OutOfRange(n));
+    }
+    Ok(n * 2)
+}
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first()
+        .expect("invariant: callers validated the slice is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_sanctioned_in_tests() {
+        assert_eq!(super::widths("3").ok().unwrap(), 6);
+    }
+}

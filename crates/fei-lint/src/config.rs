@@ -1,0 +1,70 @@
+//! Lint configuration: which rules run, and where.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use crate::rules::RuleId;
+
+/// Scoping and rule selection for one lint run.
+///
+/// The defaults encode this workspace's contracts; everything is
+/// overridable (CLI flags on the binary, struct fields from tests).
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Workspace root to scan.
+    pub root: PathBuf,
+    /// Rules to run. `BTreeSet` so reports are deterministically ordered —
+    /// the linter holds itself to the determinism contract it enforces.
+    pub rules: BTreeSet<RuleId>,
+    /// Crates whose non-test code must be bit-replayable. The determinism
+    /// rules (`det-*`) run only here.
+    pub det_crates: Vec<String>,
+    /// Crates whose public energy APIs must route joules through
+    /// `EnergyUse` (the `ledger-discipline` rule).
+    pub ledger_crates: Vec<String>,
+    /// Directory names never descended into.
+    pub skip_dirs: Vec<String>,
+    /// When true, `no-panic` also covers `src/bin/` and `src/main.rs`
+    /// entry points (off by default: binaries may abort on operational
+    /// errors; the contract is about library code).
+    pub lint_bins: bool,
+}
+
+impl LintConfig {
+    /// The workspace defaults, rooted at `root`.
+    pub fn for_root(root: PathBuf) -> LintConfig {
+        LintConfig {
+            root,
+            rules: RuleId::ALL.into_iter().collect(),
+            det_crates: vec![
+                "fei-fl".to_string(),
+                "fei-core".to_string(),
+                "fei-sim".to_string(),
+            ],
+            ledger_crates: vec!["fei-core".to_string(), "fei-power".to_string()],
+            skip_dirs: vec![
+                ".git".to_string(),
+                "target".to_string(),
+                // Vendored stand-ins for external deps: not ours to gate.
+                "vendor".to_string(),
+                // The linter's own known-bad test corpus.
+                "fixtures".to_string(),
+                // Integration tests, examples, and benches are test code.
+                "tests".to_string(),
+                "examples".to_string(),
+                "benches".to_string(),
+            ],
+            lint_bins: false,
+        }
+    }
+
+    /// The crate a workspace-relative path belongs to (`crates/<name>/…`),
+    /// or the facade crate for the root `src/`.
+    pub fn crate_of(rel_path: &str) -> &str {
+        let mut parts = rel_path.split('/');
+        match parts.next() {
+            Some("crates") => parts.next().unwrap_or("ee-fei"),
+            _ => "ee-fei",
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The lint driver: walk the workspace, lex each file, run the rules.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::LintConfig;
+use crate::lexer::LexedFile;
+use crate::report::{Report, Violation};
+use crate::rules::RuleId;
+
+/// Lints the whole workspace described by `config`.
+///
+/// # Errors
+///
+/// Returns `io::Error` only for filesystem failures (unreadable root,
+/// file deleted mid-scan); rule violations are reported, not errors.
+pub fn run(config: &LintConfig) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(&config.root, &config.skip_dirs, &mut files)?;
+    // Deterministic scan order regardless of directory-entry order.
+    files.sort();
+
+    let mut report = Report::default();
+    for path in &files {
+        let source = fs::read_to_string(path)?;
+        let rel = relative_unix_path(&config.root, path);
+        report.violations.extend(lint_source(config, &rel, &source));
+        report.files_scanned += 1;
+    }
+    report.finish();
+    Ok(report)
+}
+
+/// Lints one file's source text under `config`. Exposed for fixture tests.
+pub fn lint_source(config: &LintConfig, rel_path: &str, source: &str) -> Vec<Violation> {
+    let lexed = LexedFile::lex(source);
+    let crate_name = LintConfig::crate_of(rel_path);
+    let mut out = Vec::new();
+
+    // A malformed escape comment is itself a violation: a directive that
+    // silently fails to parse would un-suppress nothing and hide typos.
+    for d in &lexed.directives {
+        if let Some(err) = &d.parse_error {
+            out.push(Violation {
+                rule: "directive-syntax".to_string(),
+                path: rel_path.to_string(),
+                line: d.line,
+                col: 1,
+                message: format!("malformed fei-lint directive: {err}"),
+                snippet: lexed.raw_line(d.line).trim().to_string(),
+            });
+        } else {
+            for rule in &d.rules {
+                if RuleId::from_name(rule).is_none() {
+                    out.push(Violation {
+                        rule: "directive-syntax".to_string(),
+                        path: rel_path.to_string(),
+                        line: d.line,
+                        col: 1,
+                        message: format!("directive allows unknown rule `{rule}`"),
+                        snippet: lexed.raw_line(d.line).trim().to_string(),
+                    });
+                }
+            }
+        }
+    }
+
+    for rule in &config.rules {
+        if rule.applies(config, crate_name, rel_path) {
+            out.extend(rule.check(&lexed, rel_path));
+        }
+    }
+    out
+}
+
+/// Recursively collects `.rs` files, skipping `skip_dirs` by name.
+fn collect_rs_files(dir: &Path, skip_dirs: &[String], out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if skip_dirs.iter().any(|d| d.as_str() == name) {
+                continue;
+            }
+            collect_rs_files(&path, skip_dirs, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `root`-relative path with `/` separators (stable across platforms for
+/// reports and JSON).
+fn relative_unix_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Locates the workspace root: ascends from `start` looking for a
+/// `Cargo.toml` that declares `[workspace]`, falling back to the
+/// compile-time manifest's grandparent (`crates/fei-lint/../..`).
+pub fn find_workspace_root(start: &Path) -> PathBuf {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return d;
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    let compile_time = Path::new(env!("CARGO_MANIFEST_DIR"));
+    compile_time
+        .parent()
+        .and_then(Path::parent)
+        .unwrap_or(compile_time)
+        .to_path_buf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> LintConfig {
+        LintConfig::for_root(PathBuf::from("."))
+    }
+
+    #[test]
+    fn crate_scoping_applies_det_rules_only_in_det_crates() {
+        let src = "use std::collections::HashMap;\n";
+        let hit = lint_source(&config(), "crates/fei-fl/src/x.rs", src);
+        assert_eq!(hit.len(), 1, "{hit:?}");
+        assert_eq!(hit[0].rule, "det-map-iter");
+        let miss = lint_source(&config(), "crates/fei-power/src/x.rs", src);
+        assert!(miss.is_empty(), "{miss:?}");
+    }
+
+    #[test]
+    fn bins_are_exempt_from_no_panic_by_default() {
+        let src = "fn main() { run().unwrap(); }\n";
+        assert!(lint_source(&config(), "crates/fei-bench/src/bin/x.rs", src).is_empty());
+        let lib_hit = lint_source(&config(), "crates/fei-bench/src/lib.rs", src);
+        assert_eq!(lib_hit.len(), 1);
+        let mut strict = config();
+        strict.lint_bins = true;
+        assert_eq!(
+            lint_source(&strict, "crates/fei-bench/src/bin/x.rs", src).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn unknown_rule_in_directive_is_a_violation() {
+        let src = "// fei-lint: allow(not-a-rule, reason = \"x\")\nlet a = 1;\n";
+        let v = lint_source(&config(), "crates/fei-math/src/x.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "directive-syntax");
+    }
+
+    #[test]
+    fn workspace_root_discovery_finds_this_workspace() {
+        let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")));
+        assert!(root.join("Cargo.toml").exists());
+        assert!(root.join("crates").is_dir());
+    }
+}

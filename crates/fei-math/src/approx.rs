@@ -1,0 +1,101 @@
+//! Epsilon-aware floating-point comparison.
+//!
+//! Exact `==`/`!=` on `f64` energy, accuracy, and loss values is forbidden
+//! across the workspace (enforced by `fei-lint`'s `float-eq` rule): two
+//! mathematically equal quantities computed along different code paths —
+//! the serial and threaded FedAvg engines, say — may differ in the last
+//! ulp, and an exact comparison silently turns that into a behavioural
+//! divergence. These helpers are the sanctioned alternative wherever a
+//! tolerance is the right semantics. (Exact comparisons remain correct for
+//! zero-guards before division and configuration sentinels; those sites
+//! carry a `// fei-lint: allow(float-eq, ...)` escape instead.)
+
+/// Default absolute tolerance: well below any physically meaningful joule
+/// or accuracy delta in this workspace, well above accumulated ulp noise.
+pub const DEFAULT_ABS_TOL: f64 = 1e-12;
+
+/// Default relative tolerance, for quantities far from zero.
+pub const DEFAULT_REL_TOL: f64 = 1e-9;
+
+/// `true` when `a` and `b` agree to within `abs_tol` absolutely or
+/// `rel_tol` relative to the larger magnitude.
+///
+/// Non-finite inputs compare equal only when exactly identical (so
+/// `inf == inf` holds but `NaN` never equals anything), matching IEEE
+/// intuition while staying total.
+pub fn approx_eq_tol(a: f64, b: f64, abs_tol: f64, rel_tol: f64) -> bool {
+    // fei-lint: allow(float-eq, reason = "the epsilon helper itself: exact short-circuit covers identical values and infinities")
+    if a == b {
+        return true;
+    }
+    if !a.is_finite() || !b.is_finite() {
+        return false;
+    }
+    let diff = (a - b).abs();
+    diff <= abs_tol || diff <= rel_tol * a.abs().max(b.abs())
+}
+
+/// [`approx_eq_tol`] with the workspace default tolerances.
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    approx_eq_tol(a, b, DEFAULT_ABS_TOL, DEFAULT_REL_TOL)
+}
+
+/// Negation of [`approx_eq`].
+pub fn approx_ne(a: f64, b: f64) -> bool {
+    !approx_eq(a, b)
+}
+
+/// `true` when `x` is within [`DEFAULT_ABS_TOL`] of zero. `NaN` is not
+/// approximately zero.
+pub fn approx_zero(x: f64) -> bool {
+    x.abs() <= DEFAULT_ABS_TOL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_values_are_approx_eq() {
+        assert!(approx_eq(1.0, 1.0));
+        assert!(approx_eq(0.0, 0.0));
+        assert!(approx_eq(0.0, -0.0));
+        assert!(approx_eq(f64::INFINITY, f64::INFINITY));
+    }
+
+    #[test]
+    fn ulp_noise_is_absorbed() {
+        let a = 0.1 + 0.2;
+        assert!(approx_eq(a, 0.3));
+        assert!(approx_ne(a, 0.3 + 1e-6));
+        // Relative tolerance scales with magnitude.
+        let big = 1e12;
+        assert!(approx_eq(big, big + 1e2));
+        assert!(approx_ne(big, big + 1e5));
+    }
+
+    #[test]
+    fn nan_never_compares_equal() {
+        assert!(approx_ne(f64::NAN, f64::NAN));
+        assert!(approx_ne(f64::NAN, 0.0));
+        assert!(!approx_zero(f64::NAN));
+        assert!(approx_ne(f64::INFINITY, f64::NEG_INFINITY));
+        assert!(approx_ne(f64::INFINITY, 1e300));
+    }
+
+    #[test]
+    fn approx_zero_window() {
+        assert!(approx_zero(0.0));
+        assert!(approx_zero(1e-13));
+        assert!(approx_zero(-1e-13));
+        assert!(!approx_zero(1e-9));
+    }
+
+    #[test]
+    fn custom_tolerances_are_respected() {
+        assert!(approx_eq_tol(1.0, 1.05, 0.1, 0.0));
+        assert!(!approx_eq_tol(1.0, 1.05, 0.01, 0.0));
+        assert!(approx_eq_tol(100.0, 101.0, 0.0, 0.02));
+        assert!(!approx_eq_tol(100.0, 101.0, 0.0, 0.001));
+    }
+}

@@ -17,6 +17,9 @@
 //! assert_eq!(a.matmul(&b), a);
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub mod approx;
 pub mod convex;
 pub mod func;
 pub mod linalg;
@@ -24,6 +27,7 @@ pub mod matrix;
 pub mod optimize;
 pub mod stats;
 
+pub use approx::{approx_eq, approx_eq_tol, approx_ne, approx_zero};
 pub use convex::{is_convex_on_grid, second_difference};
 pub use func::{argmax, log_sum_exp, sigmoid, softmax_in_place};
 pub use linalg::{solve_linear_system, LeastSquares, LinalgError};

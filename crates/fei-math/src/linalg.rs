@@ -79,13 +79,10 @@ pub fn solve_linear_system(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgErro
     for col in 0..n {
         // Partial pivot: pick the row with the largest magnitude in this column.
         let pivot_row = (col..n)
-            .max_by(|&i, &j| {
-                m[(i, col)]
-                    .abs()
-                    .partial_cmp(&m[(j, col)].abs())
-                    .expect("pivot magnitudes must be comparable")
-            })
-            .expect("non-empty pivot range");
+            // `total_cmp` is total even on NaN input, so a poisoned matrix
+            // degrades to NaN output instead of panicking mid-elimination.
+            .max_by(|&i, &j| m[(i, col)].abs().total_cmp(&m[(j, col)].abs()))
+            .expect("invariant: col < n makes the pivot range non-empty");
         let pivot = m[(pivot_row, col)];
         if pivot.abs() < 1e-12 {
             return Err(LinalgError::SingularMatrix);
@@ -100,6 +97,7 @@ pub fn solve_linear_system(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgErro
         }
         for row in (col + 1)..n {
             let factor = m[(row, col)] / m[(col, col)];
+            // fei-lint: allow(float-eq, reason = "exact-zero fast path: skips rows that are already eliminated, any tolerance would skip real work")
             if factor == 0.0 {
                 continue;
             }

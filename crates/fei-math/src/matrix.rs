@@ -157,6 +157,7 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(i, k)];
+                // fei-lint: allow(float-eq, reason = "exact-zero sparsity fast path; a tolerance would silently drop small contributions")
                 if a == 0.0 {
                     continue;
                 }

@@ -77,7 +77,7 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
         !xs.iter().any(|x| x.is_nan()),
         "percentile requires orderable values"
     );
-    try_percentile(xs, p).expect("preconditions checked above")
+    try_percentile(xs, p).expect("invariant: preconditions asserted above")
 }
 
 /// NaN-guarded linear-interpolated percentile: `None` when `xs` is empty,
@@ -137,7 +137,9 @@ pub fn r_squared(predicted: &[f64], actual: &[f64]) -> f64 {
         .zip(actual)
         .map(|(p, a)| (a - p) * (a - p))
         .sum();
+    // fei-lint: allow(float-eq, reason = "R² degenerate-variance sentinel: exactly-constant actuals are the defined special case")
     if ss_tot == 0.0 {
+        // fei-lint: allow(float-eq, reason = "a perfect fit of constant data is exactly zero residual by construction")
         if ss_res == 0.0 {
             1.0
         } else {

@@ -21,6 +21,8 @@
 //! assert_eq!(stats.epochs_run, 5);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod metrics;
 pub mod mlp;
 pub mod model;

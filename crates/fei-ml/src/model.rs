@@ -162,6 +162,7 @@ impl LogisticRegression {
             softmax_in_place(&mut probs);
             for (c, &p) in probs.iter().enumerate() {
                 let err = p - f64::from(u8::from(c == y));
+                // fei-lint: allow(float-eq, reason = "exact-zero gradient sparsity skip; tolerance would bias the accumulated gradient")
                 if err == 0.0 {
                     continue;
                 }

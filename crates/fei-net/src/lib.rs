@@ -15,6 +15,8 @@
 //! * [`codec`] — a framed binary codec for shipping model parameters between
 //!   edge servers and the coordinator in the threaded FL runtime.
 
+#![forbid(unsafe_code)]
+
 pub mod codec;
 pub mod link;
 pub mod lossy;

@@ -5,7 +5,9 @@
 //! [`per_state_mean_power`] recomputes those numbers from a sampled
 //! [`PowerTrace`] and its ground-truth [`PowerTimeline`].
 
-use std::collections::HashMap;
+// BTreeMap, not HashMap: reports iterate the map, and seeded hash order
+// would make report ordering differ run to run.
+use std::collections::BTreeMap;
 
 use crate::meter::PowerTrace;
 use crate::state::PowerState;
@@ -16,8 +18,8 @@ use crate::timeline::PowerTimeline;
 pub fn per_state_mean_power(
     trace: &PowerTrace,
     timeline: &PowerTimeline,
-) -> HashMap<PowerState, f64> {
-    let mut sums: HashMap<PowerState, (f64, usize)> = HashMap::new();
+) -> BTreeMap<PowerState, f64> {
+    let mut sums: BTreeMap<PowerState, (f64, usize)> = BTreeMap::new();
     for (i, &w) in trace.samples().iter().enumerate() {
         if let Some(state) = timeline.state_at(trace.time_of(i)) {
             let entry = sums.entry(state).or_insert((0.0, 0));

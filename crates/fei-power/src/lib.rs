@@ -19,6 +19,8 @@
 //! * [`budget::BatteryFleet`] — per-device energy budgets for lifetime
 //!   analysis and energy-aware participant scheduling.
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod budget;
 pub mod meter;

@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 
 /// The four power states of an edge server during a global round, in the
 /// order the paper observes them (Fig. 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum PowerState {
     /// Step (1): waiting for the coordinator/IoT data; idle draw.
     Waiting,

@@ -28,6 +28,8 @@
 //! assert_eq!(t1, SimTime::from_millis(2));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod queue;
 pub mod rng;
 pub mod sim;

@@ -124,7 +124,10 @@ impl<Ev> Simulation<Ev> {
             if t > deadline {
                 break;
             }
-            let (time, event) = self.queue.pop().expect("peeked event must pop");
+            let (time, event) = self
+                .queue
+                .pop()
+                .expect("invariant: peek_time just returned Some, so pop cannot fail");
             self.now = time;
             let mut scheduler = Scheduler {
                 queue: &mut self.queue,

@@ -188,6 +188,7 @@ impl Sub for SimDuration {
         SimDuration(
             self.0
                 .checked_sub(rhs.0)
+                // fei-lint: allow(no-panic, reason = "documented panic: duration underflow is a caller bug, mirroring std::time::Duration - Duration")
                 .expect("duration subtraction underflow"),
         )
     }

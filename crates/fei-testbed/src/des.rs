@@ -102,7 +102,9 @@ impl Testbed {
                     });
                 }
                 Event::TrainDone { slot, round } => {
-                    let st = state.as_mut().expect("round in flight");
+                    let st = state.as_mut().expect(
+                        "invariant: TrainDone is only scheduled by RoundStart, which set the state",
+                    );
                     st.train_done_at[slot] = Some(now);
                     st.pending -= 1;
                     if st.pending == 0 {
@@ -111,11 +113,13 @@ impl Testbed {
                     }
                 }
                 Event::UploadDone { round } => {
-                    let st = state.take().expect("round in flight");
+                    let st = state.take().expect("invariant: UploadDone is only scheduled at the barrier, while the state is live");
                     let barrier_end = now.duration_since(st.started_at) - upload;
                     for slot in 0..st.devices.len() {
                         let train = st.train[slot];
-                        let done = st.train_done_at[slot].expect("every slot trained");
+                        let done = st.train_done_at[slot].expect(
+                            "invariant: the barrier fires only after every slot recorded TrainDone",
+                        );
                         // Idle between this slot's TrainDone and the barrier.
                         let idle_after_training =
                             (st.started_at + barrier_end).duration_since(done);

@@ -32,7 +32,7 @@ impl RaspberryPi {
     /// timing law least-squares-fit to Table I.
     pub fn paper_calibrated() -> Self {
         let timing = fit_timing_model(&paper_table1())
-            .expect("the paper's Table I is a well-posed regression");
+            .expect("invariant: the paper's Table I constants form a well-posed regression");
         Self {
             profile: PowerProfile::raspberry_pi_4b(),
             timing,

@@ -51,6 +51,7 @@ impl ExperimentRun {
     /// Mean power over the experiment, watts.
     pub fn mean_power_watts(&self) -> f64 {
         let secs = self.wall_clock.as_secs_f64();
+        // fei-lint: allow(float-eq, reason = "zero-duration division guard: an empty experiment has exactly zero wall clock")
         if secs == 0.0 {
             0.0
         } else {

@@ -15,6 +15,8 @@
 //!   "measured" energy-vs-`K`/`E` curves, and extract calibration
 //!   observations for the bound fit.
 
+#![forbid(unsafe_code)]
+
 pub mod des;
 pub mod device;
 pub mod experiment;

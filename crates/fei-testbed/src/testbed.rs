@@ -255,19 +255,22 @@ impl Testbed {
             .pi
             .timing()
             .to_computation_model(TRAINING_POWER_WATTS)
-            .expect("calibrated timing law is valid");
+            .expect("invariant: the calibrated timing law was validated when the Pi was built");
         let rho = if self.config.preloaded_data {
             0.0
         } else {
             self.iot.rho_joules(NB_IOT_JOULES_PER_BYTE)
         };
-        let data = DataCollectionModel::new(rho).expect("rho is valid");
+        let data = DataCollectionModel::new(rho)
+            .expect("invariant: rho is 0 or a finite per-byte cost times a payload size");
         let e_u = self
             .uplink
             .concurrent_transfer_energy_joules(self.config.model_payload_bytes, 1);
-        let upload = UploadModel::new(e_u).expect("upload energy is valid");
+        let upload = UploadModel::new(e_u).expect(
+            "invariant: airtime energy from the calibrated uplink is finite and non-negative",
+        );
         RoundEnergyModel::new(data, compute, upload, self.config.samples_per_device)
-            .expect("testbed parameters are valid")
+            .expect("invariant: TestbedConfig validated samples_per_device at construction")
     }
 
     /// Runs a `(K, E, T)` experiment with *synchronous-barrier* semantics on

@@ -44,6 +44,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 /// The paper's contribution: energy models, bound, ACS, planner.
 pub use fei_core as core;
 /// Datasets, partitioning, IoT sample streams.
