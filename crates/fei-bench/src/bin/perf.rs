@@ -1,0 +1,466 @@
+//! Perf-regression harness: kernel microbenches + headline round timing.
+//!
+//! Times the deterministic fast-path kernels (striped dot, tiled matmul,
+//! `matmul_tn`, fused axpy+shrink, fused gradient) against the naive
+//! reference implementations they replaced, then times a full headline-config
+//! federated round under both gradient paths ([`GradReduction::Naive`] vs
+//! [`GradReduction::FusedSerial`]) with evaluation disabled so the numbers
+//! isolate training arithmetic. Every measurement is a median-of-N
+//! wall-clock; allocation counts come from the [`GradScratch`] event counter.
+//!
+//! Results are printed as a table and written to `BENCH_perf.json` (schema
+//! in EXPERIMENTS.md). The headline gate is `round.speedup_vs_naive >= 1.5`.
+//!
+//! Run: `cargo run --release -p fei-bench --bin perf`
+//! CI smoke: append `-- --smoke` for a seconds-scale configuration.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use fei_bench::{banner, section};
+use fei_data::{Dataset, SyntheticMnist, SyntheticMnistConfig};
+use fei_fl::FedAvg;
+use fei_math::{reduce, Matrix};
+use fei_ml::{GradReduction, GradScratch, LogisticRegression, Model, SgdConfig};
+use fei_testbed::{FlExperiment, FlExperimentConfig};
+
+/// Sizing knobs for one harness run.
+struct Sizes {
+    /// Vector length for `dot` / `axpy_shrink`.
+    vec_len: usize,
+    /// Square matrix side for `matmul` / `matmul_tn`.
+    mat_dim: usize,
+    /// Samples in the gradient-kernel dataset.
+    grad_samples: usize,
+    /// Repetitions per kernel measurement (median taken).
+    kernel_reps: usize,
+    /// Devices in the end-to-end fleet.
+    devices: usize,
+    /// Fraction of the paper's training set to generate.
+    scale: f64,
+    /// Participants per round (`K`).
+    k: usize,
+    /// Local epochs (`E`).
+    e: usize,
+    /// Timed rounds per engine (median taken).
+    rounds: usize,
+}
+
+/// Headline configuration: the paper-like campaign at `K = 10`, `E = 10`.
+const FULL: Sizes = Sizes {
+    vec_len: 1 << 16,
+    mat_dim: 256,
+    grad_samples: 2048,
+    kernel_reps: 21,
+    devices: 20,
+    scale: 0.05,
+    k: 10,
+    e: 10,
+    rounds: 5,
+};
+
+/// Seconds-scale configuration for the CI smoke step.
+const SMOKE: Sizes = Sizes {
+    vec_len: 1 << 12,
+    mat_dim: 96,
+    grad_samples: 256,
+    kernel_reps: 5,
+    devices: 5,
+    scale: 0.01,
+    k: 4,
+    e: 2,
+    rounds: 3,
+};
+
+/// One kernel comparison, also emitted as a JSON object.
+struct KernelRow {
+    name: &'static str,
+    size: String,
+    baseline_ns: f64,
+    fast_ns: f64,
+    /// Work completed per second on the fast path.
+    throughput: f64,
+    throughput_unit: &'static str,
+}
+
+impl KernelRow {
+    fn speedup(&self) -> f64 {
+        self.baseline_ns / self.fast_ns
+    }
+}
+
+/// End-to-end round timing under both gradient paths.
+struct RoundResult {
+    naive_ns: f64,
+    fast_ns: f64,
+    samples_per_round: usize,
+    scratch_allocations_warm: u64,
+    scratch_allocations_steady_delta: u64,
+}
+
+impl RoundResult {
+    fn speedup_vs_naive(&self) -> f64 {
+        self.naive_ns / self.fast_ns
+    }
+}
+
+/// Median wall-clock of `reps` invocations of `f`, in nanoseconds, after one
+/// untimed warmup call.
+fn median_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Deterministic pseudo-random fill, so runs are comparable across hosts.
+fn lcg_vec(len: usize, mut state: u64) -> Vec<f64> {
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect()
+}
+
+fn lcg_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    Matrix::from_vec(rows, cols, lcg_vec(rows * cols, seed))
+}
+
+fn bench_dot(sizes: &Sizes) -> KernelRow {
+    let a = lcg_vec(sizes.vec_len, 0xD07);
+    let b = lcg_vec(sizes.vec_len, 0xD08);
+    let baseline_ns = median_ns(sizes.kernel_reps, || {
+        black_box(reduce::dot_serial(black_box(&a), black_box(&b)));
+    });
+    let fast_ns = median_ns(sizes.kernel_reps, || {
+        black_box(reduce::dot(black_box(&a), black_box(&b)));
+    });
+    KernelRow {
+        name: "dot",
+        size: format!("{}", sizes.vec_len),
+        baseline_ns,
+        fast_ns,
+        throughput: sizes.vec_len as f64 / (fast_ns * 1e-9),
+        throughput_unit: "elem/s",
+    }
+}
+
+fn bench_axpy_shrink(sizes: &Sizes) -> KernelRow {
+    let x = lcg_vec(sizes.vec_len, 0xA11);
+    let y0 = lcg_vec(sizes.vec_len, 0xA12);
+    let mut y = y0.clone();
+    // Baseline: the pre-fast-path two-pass update (step, then decay).
+    let baseline_ns = median_ns(sizes.kernel_reps, || {
+        y.copy_from_slice(&y0);
+        for (yi, xi) in y.iter_mut().zip(&x) {
+            *yi += 0.01 * xi;
+        }
+        for yi in y.iter_mut() {
+            *yi *= 1.0 - 1e-4;
+        }
+        black_box(&y);
+    });
+    let fast_ns = median_ns(sizes.kernel_reps, || {
+        y.copy_from_slice(&y0);
+        reduce::fused_axpy_shrink(&mut y, 0.01, &x, 1e-4);
+        black_box(&y);
+    });
+    KernelRow {
+        name: "axpy_shrink",
+        size: format!("{}", sizes.vec_len),
+        baseline_ns,
+        fast_ns,
+        throughput: sizes.vec_len as f64 / (fast_ns * 1e-9),
+        throughput_unit: "elem/s",
+    }
+}
+
+fn bench_matmul(sizes: &Sizes) -> KernelRow {
+    let n = sizes.mat_dim;
+    let a = lcg_matrix(n, n, 0x3A7);
+    let b = lcg_matrix(n, n, 0x3A8);
+    let baseline_ns = median_ns(sizes.kernel_reps, || {
+        black_box(black_box(&a).matmul_reference(black_box(&b)));
+    });
+    let fast_ns = median_ns(sizes.kernel_reps, || {
+        black_box(black_box(&a).matmul(black_box(&b)));
+    });
+    KernelRow {
+        name: "matmul",
+        size: format!("{n}x{n}x{n}"),
+        baseline_ns,
+        fast_ns,
+        throughput: (2 * n * n * n) as f64 / (fast_ns * 1e-9),
+        throughput_unit: "flop/s",
+    }
+}
+
+fn bench_matmul_tn(sizes: &Sizes) -> KernelRow {
+    let n = sizes.mat_dim;
+    let a = lcg_matrix(n, n, 0x7A7);
+    let b = lcg_matrix(n, n, 0x7A8);
+    // Baseline: materialize the transpose, then multiply (the pre-fast-path
+    // normal-equations idiom).
+    let baseline_ns = median_ns(sizes.kernel_reps, || {
+        black_box(black_box(&a).transpose().matmul(black_box(&b)));
+    });
+    let fast_ns = median_ns(sizes.kernel_reps, || {
+        black_box(black_box(&a).matmul_tn(black_box(&b)));
+    });
+    KernelRow {
+        name: "matmul_tn",
+        size: format!("{n}x{n}x{n}"),
+        baseline_ns,
+        fast_ns,
+        throughput: (2 * n * n * n) as f64 / (fast_ns * 1e-9),
+        throughput_unit: "flop/s",
+    }
+}
+
+/// Full-batch gradient step on a synthetic-MNIST batch: allocating reference
+/// kernel vs the fused scratch-backed kernel.
+fn bench_gradient(sizes: &Sizes) -> (KernelRow, u64) {
+    let data: Dataset =
+        SyntheticMnist::new(SyntheticMnistConfig::default()).generate(sizes.grad_samples, 7);
+    let model = LogisticRegression::zeros(data.dim(), data.num_classes());
+    let indices: Vec<usize> = (0..data.len()).collect();
+    let mut scratch = GradScratch::new();
+    let baseline_ns = median_ns(sizes.kernel_reps, || {
+        black_box(model.loss_and_gradient(black_box(&data), black_box(&indices)));
+    });
+    let fast_ns = median_ns(sizes.kernel_reps, || {
+        black_box(model.loss_and_gradient_into(
+            black_box(&data),
+            black_box(&indices),
+            &mut scratch,
+            1,
+        ));
+    });
+    let warm = scratch.allocations();
+    // Steady state: further timed reps must not grow the workspace.
+    let _ = median_ns(sizes.kernel_reps, || {
+        black_box(model.loss_and_gradient_into(&data, &indices, &mut scratch, 1));
+    });
+    let steady_delta = scratch.allocations() - warm;
+    let row = KernelRow {
+        name: "grad_step",
+        size: format!("{} samples", sizes.grad_samples),
+        baseline_ns,
+        fast_ns,
+        throughput: sizes.grad_samples as f64 / (fast_ns * 1e-9),
+        throughput_unit: "sample/s",
+    };
+    (row, steady_delta)
+}
+
+/// Builds the end-to-end experiment with evaluation disabled and the given
+/// gradient path.
+fn round_experiment(sizes: &Sizes, grad: GradReduction) -> FlExperiment {
+    FlExperiment::prepare(FlExperimentConfig {
+        num_devices: sizes.devices,
+        scale: sizes.scale,
+        test_scale: sizes.scale,
+        sgd: SgdConfig::new(0.005, 0.998, None).with_grad_reduction(grad),
+        // Larger than any timed round index: never evaluate mid-timing.
+        eval_every: 1 << 30,
+        ..FlExperimentConfig::paper_like()
+    })
+}
+
+/// Per-round wall-clock samples for a fresh engine under `grad`.
+fn time_rounds(sizes: &Sizes, grad: GradReduction) -> (Vec<f64>, FedAvg) {
+    let exp = round_experiment(sizes, grad);
+    let mut engine = exp.engine(sizes.k, sizes.e);
+    // Warmup round: touches every allocation path once.
+    engine.run_round();
+    let samples = (0..sizes.rounds)
+        .map(|_| {
+            let start = Instant::now();
+            engine.run_round();
+            start.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    (samples, engine)
+}
+
+fn bench_round(sizes: &Sizes) -> RoundResult {
+    let median = |mut v: Vec<f64>| {
+        v.sort_by(|a, b| a.total_cmp(b));
+        v[v.len() / 2]
+    };
+    let (naive_samples, _) = time_rounds(sizes, GradReduction::Naive);
+
+    let exp = round_experiment(sizes, GradReduction::FusedSerial);
+    let mut engine = exp.engine(sizes.k, sizes.e);
+    engine.run_round();
+    let warm = engine.scratch_allocations();
+    let fast_samples: Vec<f64> = (0..sizes.rounds)
+        .map(|_| {
+            let start = Instant::now();
+            engine.run_round();
+            start.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    let steady_delta = engine.scratch_allocations() - warm;
+    let samples_per_round = sizes.k * exp.samples_per_device() * sizes.e;
+
+    RoundResult {
+        naive_ns: median(naive_samples),
+        fast_ns: median(fast_samples),
+        samples_per_round,
+        scratch_allocations_warm: warm,
+        scratch_allocations_steady_delta: steady_delta,
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns * 1e-9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns * 1e-6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns * 1e-3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn json_kernel(row: &KernelRow, reps: usize) -> String {
+    format!(
+        r#"{{"name":"{}","size":"{}","reps":{},"baseline_ns":{:.1},"fast_ns":{:.1},"speedup":{:.3},"throughput":{:.3e},"throughput_unit":"{}"}}"#,
+        row.name,
+        row.size,
+        reps,
+        row.baseline_ns,
+        row.fast_ns,
+        row.speedup(),
+        row.throughput,
+        row.throughput_unit,
+    )
+}
+
+fn json_report(
+    smoke: bool,
+    sizes: &Sizes,
+    kernels: &[KernelRow],
+    grad_steady_delta: u64,
+    round: &RoundResult,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"schema\": \"BENCH_perf.v1\",\n  \"smoke\": {smoke},\n"
+    ));
+    out.push_str("  \"kernels\": [\n");
+    for (i, row) in kernels.iter().enumerate() {
+        let comma = if i + 1 < kernels.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {}{comma}\n",
+            json_kernel(row, sizes.kernel_reps)
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"grad_scratch_steady_allocations\": {grad_steady_delta},\n"
+    ));
+    out.push_str(&format!(
+        concat!(
+            "  \"round\": {{\"devices\":{},\"k\":{},\"e\":{},\"rounds_timed\":{},",
+            "\"naive_ns_median\":{:.1},\"fast_ns_median\":{:.1},\"speedup_vs_naive\":{:.3},",
+            "\"samples_per_round\":{},\"throughput_samples_per_s\":{:.3e},",
+            "\"scratch_allocations_warm\":{},\"scratch_allocations_steady_delta\":{}}}\n"
+        ),
+        sizes.devices,
+        sizes.k,
+        sizes.e,
+        sizes.rounds,
+        round.naive_ns,
+        round.fast_ns,
+        round.speedup_vs_naive(),
+        round.samples_per_round,
+        round.samples_per_round as f64 / (round.fast_ns * 1e-9),
+        round.scratch_allocations_warm,
+        round.scratch_allocations_steady_delta,
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sizes = if smoke { SMOKE } else { FULL };
+
+    banner("Perf harness: fast-path kernels vs naive references");
+
+    section(&format!(
+        "kernel microbenches (median of {} reps)",
+        sizes.kernel_reps
+    ));
+    println!(
+        "{:>12} {:>16} {:>12} {:>12} {:>9} {:>16}",
+        "kernel", "size", "baseline", "fast", "speedup", "throughput"
+    );
+    let mut kernels = vec![
+        bench_dot(&sizes),
+        bench_axpy_shrink(&sizes),
+        bench_matmul(&sizes),
+        bench_matmul_tn(&sizes),
+    ];
+    let (grad_row, grad_steady_delta) = bench_gradient(&sizes);
+    kernels.push(grad_row);
+    for row in &kernels {
+        println!(
+            "{:>12} {:>16} {:>12} {:>12} {:>8.2}x {:>13.3e} {}",
+            row.name,
+            row.size,
+            fmt_ns(row.baseline_ns),
+            fmt_ns(row.fast_ns),
+            row.speedup(),
+            row.throughput,
+            row.throughput_unit,
+        );
+    }
+    println!("\ngradient scratch allocations after warmup: {grad_steady_delta} (want 0)");
+
+    section(&format!(
+        "end-to-end round: {} devices, K = {}, E = {}, median of {} rounds, eval off",
+        sizes.devices, sizes.k, sizes.e, sizes.rounds
+    ));
+    let round = bench_round(&sizes);
+    println!(
+        "naive round:  {:>12}\nfused round:  {:>12}\nspeedup_vs_naive: {:.2}x",
+        fmt_ns(round.naive_ns),
+        fmt_ns(round.fast_ns),
+        round.speedup_vs_naive(),
+    );
+    println!(
+        "samples/round: {}   fused throughput: {:.3e} sample/s",
+        round.samples_per_round,
+        round.samples_per_round as f64 / (round.fast_ns * 1e-9),
+    );
+    println!(
+        "engine scratch allocations: {} warm, +{} across {} steady rounds",
+        round.scratch_allocations_warm, round.scratch_allocations_steady_delta, sizes.rounds,
+    );
+
+    let report = json_report(smoke, &sizes, &kernels, grad_steady_delta, &round);
+    std::fs::write("BENCH_perf.json", &report).expect("failed to write BENCH_perf.json");
+    println!("\nwrote BENCH_perf.json");
+
+    if !smoke && round.speedup_vs_naive() < 1.5 {
+        eprintln!(
+            "WARNING: headline speedup_vs_naive {:.2} below the 1.5x gate",
+            round.speedup_vs_naive()
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,7 +1,9 @@
 //! The in-process FedAvg engine.
 
 use fei_data::Dataset;
-use fei_ml::{Evaluation, LocalTrainer, LogisticRegression, Model, SgdConfig, TrainStats};
+use fei_ml::{
+    Evaluation, GradScratch, LocalTrainer, LogisticRegression, Model, SgdConfig, TrainStats,
+};
 use fei_sim::DetRng;
 use serde::{Deserialize, Serialize};
 
@@ -224,6 +226,9 @@ pub struct FedAvg<M: Model = LogisticRegression> {
     global: M,
     selector: ClientSelector,
     trainer: LocalTrainer,
+    /// Gradient workspace reused across every client and round: after the
+    /// first round sizes it, local training runs allocation-free.
+    scratch: GradScratch,
     dropout_rng: DetRng,
     injector: Option<FaultInjector>,
     adversary: Option<Adversary>,
@@ -308,6 +313,7 @@ impl<M: Model> FedAvg<M> {
             global,
             selector,
             trainer,
+            scratch: GradScratch::new(),
             dropout_rng,
             injector: None,
             adversary: None,
@@ -405,6 +411,13 @@ impl<M: Model> FedAvg<M> {
     /// Rounds completed so far.
     pub fn rounds_completed(&self) -> usize {
         self.round
+    }
+
+    /// Heap-allocation events of the reused gradient workspace. Stops
+    /// increasing after the first round in steady state — the property the
+    /// perf harness (`fei-bench --bin perf`) records in `BENCH_perf.json`.
+    pub fn scratch_allocations(&self) -> u64 {
+        self.scratch.allocations()
     }
 
     /// Loss of the current global model over the union of all client data
@@ -553,9 +566,13 @@ impl<M: Model> FedAvg<M> {
                 .as_ref()
                 .unwrap_or(&self.clients[client]);
             let mut local = self.global.clone();
-            let stats = self
-                .trainer
-                .train(&mut local, data, self.config.local_epochs, t);
+            let stats = self.trainer.train_with(
+                &mut local,
+                data,
+                self.config.local_epochs,
+                t,
+                &mut self.scratch,
+            );
             let mut params = local.to_flat().to_vec();
             if let Some(adversary) = &self.adversary {
                 adversary.poison(client, t, &global_flat, &mut params);

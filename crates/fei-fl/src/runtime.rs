@@ -15,7 +15,7 @@ use std::time::Duration;
 use bytes::{Buf, BufMut, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use fei_data::Dataset;
-use fei_ml::{LocalTrainer, LogisticRegression, Model};
+use fei_ml::{GradScratch, LocalTrainer, LogisticRegression, Model};
 use fei_net::codec::{decode_frame, encode_frame};
 use parking_lot::Mutex;
 
@@ -86,18 +86,29 @@ fn encode_global(round: u32, epochs: u32, params: &[f64]) -> Vec<u8> {
     encode_frame(MSG_GLOBAL, &payload).to_vec()
 }
 
+#[cfg(test)]
 fn decode_global(frame: &[u8]) -> (u32, u32, Vec<f64>) {
+    let mut params = Vec::new();
+    let (round, epochs) = decode_global_into(frame, &mut params);
+    (round, epochs, params)
+}
+
+/// Decodes a global-model frame into a reused parameter buffer, so a worker
+/// that keeps the buffer across rounds pays no per-frame allocation once the
+/// buffer reaches model size.
+fn decode_global_into(frame: &[u8], params: &mut Vec<f64>) -> (u32, u32) {
     let (frame, _) = decode_frame(frame)
         .expect("invariant: coordinator frames are encoded in-process and cannot be malformed");
     assert_eq!(frame.msg_type, MSG_GLOBAL, "expected a global-model frame");
     let mut buf = &frame.payload[..];
     let round = buf.get_u32();
     let epochs = buf.get_u32();
-    let mut params = Vec::with_capacity(buf.remaining() / 8);
+    params.clear();
+    params.reserve(buf.remaining() / 8);
     while buf.has_remaining() {
         params.push(buf.get_f64_le());
     }
-    (round, epochs, params)
+    (round, epochs)
 }
 
 fn encode_update(update: &Update) -> Vec<u8> {
@@ -634,6 +645,12 @@ fn worker_loop<M: Model>(
 ) {
     // Lazily built label-flipped copy, for compromised label-flip clients.
     let mut flipped: Option<Dataset> = None;
+    // Persistent per-worker hot state, reused across jobs: the model is
+    // overwritten by `set_flat` each round, the gradient scratch keeps local
+    // epochs allocation-free, and the decode buffer absorbs each frame.
+    let mut model = template;
+    let mut params: Vec<f64> = Vec::new();
+    let mut scratch = GradScratch::new();
     while let Ok(msg) = rx.recv() {
         match msg {
             ToWorker::Shutdown => break,
@@ -646,7 +663,7 @@ fn worker_loop<M: Model>(
                 flip,
             } => {
                 let frame_len = frame.len();
-                let (wire_round, wire_epochs, params) = decode_global(&frame);
+                let (wire_round, wire_epochs) = decode_global_into(&frame, &mut params);
                 debug_assert_eq!(wire_round, round);
                 debug_assert_eq!(wire_epochs, epochs);
                 let train_data: &Dataset = if flip {
@@ -654,10 +671,14 @@ fn worker_loop<M: Model>(
                 } else {
                     data
                 };
-                let mut model = template.clone();
                 model.set_flat(&params);
-                let train_stats =
-                    trainer.train(&mut model, train_data, epochs as usize, round as usize);
+                let train_stats = trainer.train_with(
+                    &mut model,
+                    train_data,
+                    epochs as usize,
+                    round as usize,
+                    &mut scratch,
+                );
                 let update = Update {
                     round,
                     client: id,

@@ -25,13 +25,14 @@ pub mod func;
 pub mod linalg;
 pub mod matrix;
 pub mod optimize;
+pub mod reduce;
 pub mod stats;
 
 pub use approx::{approx_eq, approx_eq_tol, approx_ne, approx_zero};
 pub use convex::{is_convex_on_grid, second_difference};
 pub use func::{argmax, log_sum_exp, sigmoid, softmax_in_place};
 pub use linalg::{solve_linear_system, LeastSquares, LinalgError};
-pub use matrix::Matrix;
+pub use matrix::{Matrix, MatrixError};
 pub use optimize::{golden_section_min, minimize_over_integers, GoldenSectionResult};
 pub use stats::{
     linear_fit, mean, percentile, r_squared, rmse, std_dev, try_mean, try_percentile, try_std_dev,

@@ -172,9 +172,10 @@ impl LeastSquares {
                 ),
             });
         }
-        let xt = design.transpose();
-        let xtx = xt.matmul(design);
-        let xty = xt.matvec(targets);
+        // XᵀX via the transposed-operand kernel: no materialized transpose,
+        // bit-identical to `design.transpose().matmul(design)`.
+        let xtx = design.matmul_tn(design);
+        let xty = design.transpose().matvec(targets);
         let coefficients = solve_linear_system(&xtx, &xty)?;
 
         let predictions = design.matvec(&coefficients);
@@ -213,12 +214,11 @@ impl LeastSquares {
                 expected: format!("{} targets, got {}", design.rows(), targets.len()),
             });
         }
-        let xt = design.transpose();
-        let mut xtx = xt.matmul(design);
+        let mut xtx = design.matmul_tn(design);
         for i in 0..xtx.rows() {
             xtx[(i, i)] += lambda;
         }
-        let xty = xt.matvec(targets);
+        let xty = design.transpose().matvec(targets);
         let coefficients = solve_linear_system(&xtx, &xty)?;
         let predictions = design.matvec(&coefficients);
         let residual_sum_sq = predictions

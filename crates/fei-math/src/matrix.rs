@@ -2,12 +2,53 @@
 //!
 //! This is the parameter container for the logistic-regression model in
 //! `fei-ml` and the design-matrix type for least-squares calibration in
-//! `fei-core`. It favours clarity and bounds-checked access over raw speed;
-//! the model sizes in the paper (10 × 784 weights) never make these kernels a
-//! bottleneck.
+//! `fei-core`. Access is bounds-checked, but the hot kernels — [`Matrix::
+//! matmul`], [`Matrix::matmul_tn`], [`dot`] — run cache-blocked and striped
+//! (see [`crate::reduce`]); the blocked schedules are constructed to be
+//! bit-identical to the naive reference loops, which the equivalence tests
+//! pin down.
 
 use std::fmt;
 use std::ops::{Index, IndexMut};
+
+use crate::reduce;
+
+/// Square cache-block edge for the tiled matrix kernels, in elements.
+///
+/// A 64 × 64 `f64` tile is 32 KiB — one L1d's worth for the streamed
+/// operand, leaving room for the accumulator rows. The tiling only reorders
+/// *which* output rows are touched when; each output element still
+/// accumulates its `k` contributions in ascending order, so the tiled
+/// kernels are bit-identical to the naive triple loops.
+const TILE: usize = 64;
+
+/// Typed shape error for the fallible matrix kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatrixError {
+    /// Operand shapes are incompatible for the named operation.
+    DimMismatch {
+        /// The operation that failed (`"matmul"`, `"matmul_tn"`, …).
+        op: &'static str,
+        /// Left operand shape `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Right operand shape `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DimMismatch { op, lhs, rhs } => write!(
+                f,
+                "{op}: incompatible shapes {}x{} and {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
 
 /// Dense row-major matrix of `f64`.
 ///
@@ -142,12 +183,76 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Matrix–matrix product `self * rhs`.
+    /// Matrix–matrix product `self * rhs`, cache-blocked.
+    ///
+    /// Dispatches to the tiled kernel, which is bit-identical to the naive
+    /// reference loop ([`Matrix::matmul_reference`]): tiling reorders row
+    /// traversal for locality but accumulates every output element's `k`
+    /// contributions in the same ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`; [`Matrix::try_matmul`] reports
+    /// the mismatch as a typed error instead.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner dimensions must agree: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        self.matmul_blocked(rhs)
+    }
+
+    /// Matrix–matrix product with a typed dimension-mismatch error.
+    ///
+    /// # Errors
+    ///
+    /// [`MatrixError::DimMismatch`] when `self.cols() != rhs.rows()`.
+    pub fn try_matmul(&self, rhs: &Matrix) -> Result<Matrix, MatrixError> {
+        if self.cols != rhs.rows {
+            return Err(MatrixError::DimMismatch {
+                op: "matmul",
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        Ok(self.matmul_blocked(rhs))
+    }
+
+    /// The cache-blocked product kernel behind [`Matrix::matmul`]. Shapes
+    /// are already validated by the callers.
+    fn matmul_blocked(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for ii in (0..self.rows).step_by(TILE) {
+            let i_end = (ii + TILE).min(self.rows);
+            for kk in (0..self.cols).step_by(TILE) {
+                let k_end = (kk + TILE).min(self.cols);
+                for i in ii..i_end {
+                    let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+                    let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                    for (k, &a) in (kk..k_end).zip(&a_row[kk..k_end]) {
+                        // fei-lint: allow(float-eq, reason = "exact-zero sparsity fast path; a tolerance would silently drop small contributions")
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                        for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                            *o += a * b;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Naive triple-loop product: the pre-fast-path reference kernel, kept
+    /// for equivalence tests and the perf-regression harness.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
-    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+    pub fn matmul_reference(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
             "inner dimensions must agree: {}x{} * {}x{}",
@@ -163,6 +268,64 @@ impl Matrix {
                 }
                 let rhs_row = rhs.row(k);
                 let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed-operand product `selfᵀ * rhs`, without materializing the
+    /// transpose.
+    ///
+    /// `self` is `m × n`, `rhs` is `m × p`, the result is `n × p`. The
+    /// kernel walks `self` and `rhs` row-by-row (both in storage order), so
+    /// it is both cache-friendly and bit-identical to
+    /// `self.transpose().matmul(rhs)` — each output element accumulates its
+    /// `k` contributions in the same ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != rhs.rows()`; [`Matrix::try_matmul_tn`]
+    /// reports the mismatch as a typed error instead.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "transposed inner dimensions must agree: {}x{} (transposed) * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        self.matmul_tn_kernel(rhs)
+    }
+
+    /// Transposed-operand product with a typed dimension-mismatch error.
+    ///
+    /// # Errors
+    ///
+    /// [`MatrixError::DimMismatch`] when `self.rows() != rhs.rows()`.
+    pub fn try_matmul_tn(&self, rhs: &Matrix) -> Result<Matrix, MatrixError> {
+        if self.rows != rhs.rows {
+            return Err(MatrixError::DimMismatch {
+                op: "matmul_tn",
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        Ok(self.matmul_tn_kernel(rhs))
+    }
+
+    /// The kernel behind [`Matrix::matmul_tn`]. Shapes already validated.
+    fn matmul_tn_kernel(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for k in 0..self.rows {
+            let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
+            let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+            for (i, &a) in a_row.iter().enumerate() {
+                // fei-lint: allow(float-eq, reason = "exact-zero sparsity fast path; a tolerance would silently drop small contributions")
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
                 for (o, &b) in out_row.iter_mut().zip(rhs_row) {
                     *o += a * b;
                 }
@@ -219,14 +382,34 @@ impl Matrix {
         }
     }
 
+    /// Fused `self += alpha * other` followed by multiplicative shrinkage
+    /// `self -= shrink * self`, in one pass over the buffer.
+    ///
+    /// Bit-identical to calling [`Matrix::axpy`] then shrinking element-wise
+    /// (see [`crate::reduce::fused_axpy_shrink`]), at half the memory
+    /// traffic — the SGD "gradient step + weight decay" composite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn axpy_shrink(&mut self, alpha: f64, other: &Matrix, shrink: f64) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "axpy_shrink requires equal shapes"
+        );
+        reduce::fused_axpy_shrink(&mut self.data, alpha, &other.data, shrink);
+    }
+
     /// Sets every entry to zero.
     pub fn fill_zero(&mut self) {
         self.data.fill(0.0);
     }
 
-    /// Squared Frobenius norm, `sum_ij self[i][j]^2`.
+    /// Squared Frobenius norm, `sum_ij self[i][j]^2`, via the deterministic
+    /// striped reduction ([`crate::reduce::sum_squares`]).
     pub fn frobenius_norm_sq(&self) -> f64 {
-        self.data.iter().map(|x| x * x).sum()
+        reduce::sum_squares(&self.data)
     }
 
     /// Frobenius norm.
@@ -298,15 +481,14 @@ impl fmt::Debug for Matrix {
     }
 }
 
-/// Dot product of two equal-length slices.
+/// Dot product of two equal-length slices — the deterministic striped
+/// reduction from [`crate::reduce::dot`], re-exported here as the
+/// workspace's canonical dot product.
 ///
 /// # Panics
 ///
 /// Panics if lengths differ.
-pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "dot product requires equal lengths");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
-}
+pub use crate::reduce::dot;
 
 #[cfg(test)]
 mod tests {
@@ -422,5 +604,238 @@ mod tests {
     fn debug_is_nonempty() {
         let m = Matrix::zeros(1, 1);
         assert!(!format!("{m:?}").is_empty());
+    }
+
+    /// Deterministic pseudo-random fill so bit-identity tests are repeatable.
+    fn lcg_fill(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed | 1;
+        let mut m = Matrix::zeros(rows, cols);
+        for v in m.data.iter_mut() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Map the top bits to roughly [-1, 1].
+            *v = ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0;
+        }
+        m
+    }
+
+    #[test]
+    fn tiled_matmul_bit_identical_to_reference_beyond_tile() {
+        // 70 and 130 both straddle TILE = 64, exercising full and partial
+        // tiles; the blocked kernel must reproduce the naive kernel exactly.
+        for (m, k, n, seed) in [(70, 130, 67, 1u64), (1, 200, 3, 2), (130, 1, 70, 3)] {
+            let a = lcg_fill(m, k, seed);
+            let b = lcg_fill(k, n, seed ^ 0xFF);
+            let fast = a.matmul(&b);
+            let slow = a.matmul_reference(&b);
+            assert_eq!(fast.as_slice(), slow.as_slice(), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn tiled_matmul_preserves_zero_skip() {
+        // Sparse lhs: exact zeros must short-circuit identically in both paths.
+        let mut a = lcg_fill(80, 80, 9);
+        for (i, v) in a.data.iter_mut().enumerate() {
+            if i % 3 != 0 {
+                *v = 0.0;
+            }
+        }
+        let b = lcg_fill(80, 80, 10);
+        assert_eq!(a.matmul(&b).as_slice(), a.matmul_reference(&b).as_slice());
+    }
+
+    #[test]
+    fn matmul_tn_bit_identical_to_transpose_then_matmul() {
+        for (m, k, n, seed) in [(70, 5, 67, 4u64), (3, 100, 3, 5), (1, 7, 129, 6)] {
+            let a = lcg_fill(m, k, seed);
+            let b = lcg_fill(m, n, seed ^ 0xAB);
+            let fused = a.matmul_tn(&b);
+            let explicit = a.transpose().matmul_reference(&b);
+            assert_eq!(fused.as_slice(), explicit.as_slice(), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn try_matmul_reports_dim_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let err = a.try_matmul(&b).unwrap_err();
+        assert_eq!(
+            err,
+            MatrixError::DimMismatch {
+                op: "matmul",
+                lhs: (2, 3),
+                rhs: (2, 3),
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("matmul") && msg.contains("2x3"), "{msg}");
+    }
+
+    #[test]
+    fn try_matmul_accepts_conformable() {
+        let a = Matrix::identity(2);
+        let b = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.try_matmul(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn try_matmul_tn_reports_row_mismatch() {
+        // selfᵀ · rhs needs equal row counts; 2x3 vs 3x3 must fail.
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 3);
+        let err = a.try_matmul_tn(&b).unwrap_err();
+        assert!(matches!(
+            err,
+            MatrixError::DimMismatch {
+                op: "matmul_tn",
+                ..
+            }
+        ));
+        assert!(a.try_matmul_tn(&a).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "transposed inner dimensions")]
+    fn matmul_tn_panics_on_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 3);
+        let _ = a.matmul_tn(&b);
+    }
+
+    #[test]
+    fn axpy_shrink_bitwise_matches_two_pass() {
+        let x = lcg_fill(3, 50, 11);
+        let base = lcg_fill(3, 50, 12);
+        let (alpha, shrink) = (-0.0125, 3.2e-4);
+
+        let mut fused = base.clone();
+        fused.axpy_shrink(alpha, &x, shrink);
+
+        let mut two_pass = base.clone();
+        two_pass.axpy(alpha, &x);
+        for v in two_pass.data.iter_mut() {
+            *v -= shrink * *v;
+        }
+        assert_eq!(fused.as_slice(), two_pass.as_slice());
+
+        // shrink = 0 must degenerate to plain axpy, bit for bit.
+        let mut no_shrink = base.clone();
+        no_shrink.axpy_shrink(alpha, &x, 0.0);
+        let mut plain = base.clone();
+        plain.axpy(alpha, &x);
+        assert_eq!(no_shrink.as_slice(), plain.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal shapes")]
+    fn axpy_shrink_rejects_shape_mismatch() {
+        let mut a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 3);
+        a.axpy_shrink(1.0, &b, 0.0);
+    }
+
+    #[test]
+    fn frobenius_norm_sq_matches_dot_with_self() {
+        let m = lcg_fill(13, 17, 21);
+        assert_eq!(m.frobenius_norm_sq(), dot(m.as_slice(), m.as_slice()));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::approx::approx_eq_tol;
+    use proptest::prelude::*;
+
+    /// Shapes that stress the tiling: degenerate 1×N / N×1, tile-aligned,
+    /// and off-by-a-few-from-tile sizes. Under Miri the 128-sized shapes
+    /// would take minutes per case in the interpreter, so the CI lane only
+    /// exercises the small and tile-straddling shapes.
+    #[cfg(not(miri))]
+    fn dim() -> impl Strategy<Value = usize> {
+        prop_oneof![
+            Just(1usize),
+            2usize..8,
+            60usize..70,    // straddles TILE = 64
+            Just(128usize)  // two full tiles
+        ]
+    }
+
+    #[cfg(miri)]
+    fn dim() -> impl Strategy<Value = usize> {
+        prop_oneof![Just(1usize), 2usize..8]
+    }
+
+    proptest! {
+        /// Tiled matmul is bit-identical to the naive reference on every
+        /// shape (the blocked loop preserves per-element accumulation order).
+        #[test]
+        fn matmul_matches_reference_bitwise(
+            m in dim(), k in dim(), n in dim(), seed in any::<u32>(),
+        ) {
+            let a = fill(m, k, u64::from(seed));
+            let b = fill(k, n, u64::from(seed) ^ 0x5555);
+            let fast = a.matmul(&b);
+            let slow = a.matmul_reference(&b);
+            prop_assert_eq!(fast.as_slice(), slow.as_slice());
+        }
+
+        /// matmul_tn agrees with materialize-transpose-then-multiply within
+        /// tolerance on every shape (and in fact bitwise, asserted too).
+        #[test]
+        fn matmul_tn_matches_explicit_transpose(
+            m in dim(), k in dim(), n in dim(), seed in any::<u32>(),
+        ) {
+            let a = fill(m, k, u64::from(seed) | 1);
+            let b = fill(m, n, u64::from(seed) ^ 0xAAAA);
+            let fused = a.matmul_tn(&b);
+            let explicit = a.transpose().matmul_reference(&b);
+            for (x, y) in fused.as_slice().iter().zip(explicit.as_slice()) {
+                prop_assert!(approx_eq_tol(*x, *y, 1e-12, 1e-9));
+            }
+            prop_assert_eq!(fused.as_slice(), explicit.as_slice());
+        }
+
+        /// Fused axpy+shrink stays within tolerance of the mathematically
+        /// equivalent two-pass update (and is bitwise equal by construction).
+        #[test]
+        fn axpy_shrink_matches_two_pass(
+            n in 1usize..200,
+            alpha in -2.0f64..2.0,
+            shrink in 0.0f64..0.5,
+            seed in any::<u32>(),
+        ) {
+            let x = fill(1, n, u64::from(seed) | 1);
+            let base = fill(1, n, u64::from(seed) ^ 0x1234);
+            let mut fused = base.clone();
+            fused.axpy_shrink(alpha, &x, shrink);
+            let mut two_pass = base.clone();
+            two_pass.axpy(alpha, &x);
+            two_pass.scale(1.0 - shrink);
+            for (f, t) in fused.as_slice().iter().zip(two_pass.as_slice()) {
+                // `t - shrink*t` vs `t*(1-shrink)` differ by at most one
+                // rounding; compare with tolerance here (the bitwise contract
+                // against the literal two-pass form is in the unit tests).
+                prop_assert!(approx_eq_tol(*f, *t, 1e-12, 1e-9), "{} vs {}", f, t);
+            }
+        }
+    }
+
+    fn fill(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let mut m = Matrix::zeros(rows, cols);
+        for v in m.data.iter_mut() {
+            *v = next();
+        }
+        m
     }
 }

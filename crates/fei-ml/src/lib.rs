@@ -27,12 +27,14 @@ pub mod metrics;
 pub mod mlp;
 pub mod model;
 pub mod optimizer;
+pub mod scratch;
 pub mod trainer;
 pub mod traits;
 
 pub use metrics::{accuracy, Evaluation};
 pub use mlp::Mlp;
-pub use model::LogisticRegression;
-pub use optimizer::SgdConfig;
+pub use model::{LogisticRegression, GRAD_CHUNK};
+pub use optimizer::{GradReduction, SgdConfig};
+pub use scratch::GradScratch;
 pub use trainer::{LocalTrainer, TrainStats};
 pub use traits::Model;

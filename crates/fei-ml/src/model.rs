@@ -3,7 +3,21 @@
 use fei_data::Dataset;
 use fei_math::func::{argmax, log_sum_exp, softmax_in_place};
 use fei_math::matrix::{dot, Matrix};
+use fei_math::reduce;
 use serde::{Deserialize, Serialize};
+
+use crate::scratch::GradScratch;
+
+/// Samples per fixed-shape chunk in the fused gradient kernel.
+///
+/// The fused path computes one unnormalized partial gradient per chunk and
+/// combines the partials with a fixed pairwise tree
+/// ([`fei_math::reduce::tree_reduce_into_first`]). Because the chunking is a
+/// pure function of the batch length — never of thread count — the serial
+/// and parallel evaluations produce the same bits. The value is part of the
+/// numeric contract pinned by the golden-model suite, so it is fixed and
+/// public.
+pub const GRAD_CHUNK: usize = 64;
 
 /// Multinomial logistic regression: `logits = W x + b`, class probabilities
 /// via softmax.
@@ -141,6 +155,13 @@ impl LogisticRegression {
     /// Mean cross-entropy loss and its gradient over `indices` of `data`
     /// (full batch when `indices` covers the dataset).
     ///
+    /// This is the **reference (naive) kernel**: per-sample logit allocation,
+    /// serial dot products, one serial accumulator — the pre-fast-path
+    /// arithmetic, kept intact as the baseline that
+    /// [`crate::optimizer::GradReduction::Naive`] dispatches to and the perf
+    /// harness measures `speedup_vs_naive` against. Hot paths should use
+    /// [`LogisticRegression::fused_loss_and_gradient_into`].
+    ///
     /// The gradient is returned flat, in the same layout as
     /// [`LogisticRegression::to_flat`].
     ///
@@ -156,7 +177,9 @@ impl LogisticRegression {
         for &i in indices {
             let x = data.sample(i);
             let y = data.label(i);
-            let logits = self.logits(x);
+            let logits: Vec<f64> = (0..self.num_classes)
+                .map(|c| reduce::dot_serial(self.weights_row(c), x) + self.bias(c))
+                .collect();
             total_loss += log_sum_exp(&logits) - logits[y];
             let mut probs = logits;
             softmax_in_place(&mut probs);
@@ -178,6 +201,131 @@ impl LogisticRegression {
             *g *= inv_n;
         }
         (total_loss * inv_n, grad)
+    }
+
+    /// Fused single-pass loss + gradient into a reused workspace: per sample,
+    /// logits → softmax → gradient accumulation run back-to-back against
+    /// scratch buffers, with zero heap allocations once `scratch` is warm.
+    ///
+    /// The batch is split into fixed [`GRAD_CHUNK`]-sample chunks; each chunk
+    /// accumulates an unnormalized partial gradient and loss, and the
+    /// partials are combined by the fixed pairwise tree in
+    /// [`fei_math::reduce`]. With `threads <= 1` the chunks run on the
+    /// calling thread; with `threads > 1` they are dealt to scoped worker
+    /// threads in contiguous bands. Either way each chunk's arithmetic and
+    /// the combination schedule are pure functions of `indices.len()`, so
+    /// **the result is bit-identical for every thread count**.
+    ///
+    /// Returns the mean loss; the mean gradient is left in `scratch.grad()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or out of bounds, or shapes mismatch.
+    pub fn fused_loss_and_gradient_into(
+        &self,
+        data: &Dataset,
+        indices: &[usize],
+        scratch: &mut GradScratch,
+        threads: usize,
+    ) -> f64 {
+        assert!(!indices.is_empty(), "gradient over empty batch");
+        self.check_shape(data);
+        let np = self.params.len();
+        let nc = self.num_classes;
+        let n_chunks = indices.len().div_ceil(GRAD_CHUNK);
+        let workers = threads.max(1).min(n_chunks);
+        scratch.prepare(np, nc, n_chunks, workers);
+        let (grad, partials, losses, logits) = scratch.views(np, nc, n_chunks, workers);
+
+        if workers <= 1 {
+            let logits = &mut logits[..nc];
+            for ((chunk, part), loss) in indices
+                .chunks(GRAD_CHUNK)
+                .zip(partials.chunks_mut(np))
+                .zip(losses.iter_mut())
+            {
+                *loss = self.grad_chunk_into(data, chunk, part, logits);
+            }
+        } else {
+            // Deal chunk ids to workers in contiguous bands. Band boundaries
+            // affect only which thread computes a chunk, never the chunk's
+            // content or the reduction order.
+            let base = n_chunks / workers;
+            let extra = n_chunks % workers;
+            std::thread::scope(|scope| {
+                let mut rest_partials = &mut *partials;
+                let mut rest_losses = &mut *losses;
+                let mut rest_logits = &mut *logits;
+                let mut chunk0 = 0usize;
+                for w in 0..workers {
+                    let band = base + usize::from(w < extra);
+                    let (band_partials, rp) = rest_partials.split_at_mut(band * np);
+                    rest_partials = rp;
+                    let (band_losses, rl) = rest_losses.split_at_mut(band);
+                    rest_losses = rl;
+                    let (row, rlg) = rest_logits.split_at_mut(nc);
+                    rest_logits = rlg;
+                    let s0 = chunk0 * GRAD_CHUNK;
+                    let s1 = ((chunk0 + band) * GRAD_CHUNK).min(indices.len());
+                    let band_indices = &indices[s0..s1];
+                    chunk0 += band;
+                    scope.spawn(move || {
+                        for ((chunk, part), loss) in band_indices
+                            .chunks(GRAD_CHUNK)
+                            .zip(band_partials.chunks_mut(np))
+                            .zip(band_losses.iter_mut())
+                        {
+                            *loss = self.grad_chunk_into(data, chunk, part, row);
+                        }
+                    });
+                }
+            });
+        }
+
+        reduce::tree_reduce_into_first(partials, n_chunks, np);
+        let total_loss = reduce::tree_reduce_scalars(losses);
+        let inv_n = 1.0 / indices.len() as f64;
+        for (g, &p) in grad.iter_mut().zip(partials[..np].iter()) {
+            *g = p * inv_n;
+        }
+        total_loss * inv_n
+    }
+
+    /// One chunk of the fused kernel: accumulates the unnormalized gradient
+    /// of `chunk` into `out` and returns the unnormalized loss sum. Pure in
+    /// `(self, data, chunk)`, which is what makes chunk-to-thread assignment
+    /// irrelevant to the result.
+    fn grad_chunk_into(
+        &self,
+        data: &Dataset,
+        chunk: &[usize],
+        out: &mut [f64],
+        logits: &mut [f64],
+    ) -> f64 {
+        let bias_base = self.num_classes * self.dim;
+        let mut loss_sum = 0.0;
+        for &i in chunk {
+            let x = data.sample(i);
+            let y = data.label(i);
+            for (c, slot) in logits.iter_mut().enumerate() {
+                *slot = dot(self.weights_row(c), x) + self.bias(c);
+            }
+            loss_sum += log_sum_exp(logits) - logits[y];
+            softmax_in_place(logits);
+            for (c, &p) in logits.iter().enumerate() {
+                let err = p - f64::from(u8::from(c == y));
+                // fei-lint: allow(float-eq, reason = "exact-zero gradient sparsity skip; tolerance would bias the accumulated gradient")
+                if err == 0.0 {
+                    continue;
+                }
+                let row = &mut out[c * self.dim..(c + 1) * self.dim];
+                for (g, &xi) in row.iter_mut().zip(x) {
+                    *g += err * xi;
+                }
+                out[bias_base + c] += err;
+            }
+        }
+        loss_sum
     }
 
     /// Applies `params -= step * gradient` in place.
@@ -211,6 +359,47 @@ impl LogisticRegression {
         let weight_len = self.num_classes * self.dim;
         for w in &mut self.params[..weight_len] {
             *w -= shrink * *w;
+        }
+    }
+
+    /// Fused gradient step + weight decay: one pass over the weight block
+    /// via [`fei_math::reduce::fused_axpy_shrink`] (half the memory traffic
+    /// of step-then-decay), plain step over the biases. Arithmetic matches
+    /// [`LogisticRegression::apply_gradient`] followed by
+    /// [`LogisticRegression::apply_weight_decay`] operation-for-operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient length mismatches or `step * decay` is
+    /// negative or not finite.
+    pub fn apply_gradient_decayed(&mut self, gradient: &[f64], step: f64, decay: f64) {
+        assert_eq!(
+            gradient.len(),
+            self.params.len(),
+            "gradient length mismatch"
+        );
+        let shrink = step * decay;
+        assert!(
+            shrink.is_finite() && shrink >= 0.0,
+            "decay step must be non-negative"
+        );
+        // fei-lint: allow(float-eq, reason = "exact-zero shrink selects the plain step, preserving bit-identity (incl. -0.0 weights) with apply_gradient when decay is disabled")
+        if shrink == 0.0 {
+            self.apply_gradient(gradient, step);
+            return;
+        }
+        let weight_len = self.num_classes * self.dim;
+        reduce::fused_axpy_shrink(
+            &mut self.params[..weight_len],
+            -step,
+            &gradient[..weight_len],
+            shrink,
+        );
+        for (p, &g) in self.params[weight_len..]
+            .iter_mut()
+            .zip(&gradient[weight_len..])
+        {
+            *p -= step * g;
         }
     }
 
@@ -287,6 +476,20 @@ impl crate::traits::Model for LogisticRegression {
 
     fn apply_weight_decay(&mut self, step: f64, decay: f64) {
         LogisticRegression::apply_weight_decay(self, step, decay);
+    }
+
+    fn loss_and_gradient_into(
+        &self,
+        data: &Dataset,
+        indices: &[usize],
+        scratch: &mut GradScratch,
+        threads: usize,
+    ) -> f64 {
+        LogisticRegression::fused_loss_and_gradient_into(self, data, indices, scratch, threads)
+    }
+
+    fn apply_gradient_decayed(&mut self, gradient: &[f64], step: f64, decay: f64) {
+        LogisticRegression::apply_gradient_decayed(self, gradient, step, decay);
     }
 }
 
@@ -427,6 +630,138 @@ mod tests {
         let data = xor_like_dataset();
         let m = LogisticRegression::zeros(3, 2);
         let _ = m.loss(&data);
+    }
+
+    /// A deterministic many-sample dataset spanning several GRAD_CHUNKs.
+    fn chunky_dataset(n: usize, dim: usize, classes: usize) -> Dataset {
+        let mut xs = Vec::with_capacity(n * dim);
+        let mut ys = Vec::with_capacity(n);
+        let mut state = 0x5EEDu64;
+        for i in 0..n {
+            for _ in 0..dim {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                xs.push(((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5);
+            }
+            ys.push(i % classes);
+        }
+        Dataset::from_parts(dim, xs, ys, classes)
+    }
+
+    fn warm_model(dim: usize, classes: usize) -> LogisticRegression {
+        let mut m = LogisticRegression::zeros(dim, classes);
+        let flat: Vec<f64> = (0..m.num_params())
+            .map(|i| ((i * 37 % 101) as f64 - 50.0) / 200.0)
+            .collect();
+        m.set_flat(&flat);
+        m
+    }
+
+    #[test]
+    fn fused_parallel_bit_identical_to_fused_serial() {
+        // 300 samples -> 5 chunks of GRAD_CHUNK=64 (last partial); every
+        // thread count must produce the same bits as the serial evaluation.
+        let data = chunky_dataset(300, 12, 4);
+        let model = warm_model(12, 4);
+        let indices: Vec<usize> = (0..data.len()).collect();
+
+        let mut serial = GradScratch::new();
+        let loss_serial = model.fused_loss_and_gradient_into(&data, &indices, &mut serial, 1);
+        for threads in [2, 3, 4, 8, 64] {
+            let mut parallel = GradScratch::new();
+            let loss_par =
+                model.fused_loss_and_gradient_into(&data, &indices, &mut parallel, threads);
+            assert_eq!(
+                loss_serial.to_bits(),
+                loss_par.to_bits(),
+                "loss differs at {threads} threads"
+            );
+            assert_eq!(
+                serial.grad(),
+                parallel.grad(),
+                "gradient differs at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_matches_naive_within_tolerance() {
+        let data = chunky_dataset(200, 9, 3);
+        let model = warm_model(9, 3);
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let (naive_loss, naive_grad) = model.loss_and_gradient(&data, &indices);
+        let mut scratch = GradScratch::new();
+        let fused_loss = model.fused_loss_and_gradient_into(&data, &indices, &mut scratch, 1);
+        assert!(
+            (fused_loss - naive_loss).abs() < 1e-12,
+            "{fused_loss} vs {naive_loss}"
+        );
+        for (f, n) in scratch.grad().iter().zip(&naive_grad) {
+            assert!((f - n).abs() < 1e-12, "{f} vs {n}");
+        }
+    }
+
+    #[test]
+    fn fused_gradient_matches_finite_differences() {
+        let data = xor_like_dataset();
+        let mut m = LogisticRegression::zeros(2, 2);
+        m.set_flat(&[0.3, -0.2, 0.1, 0.4, 0.05, -0.1]);
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let mut scratch = GradScratch::new();
+        m.fused_loss_and_gradient_into(&data, &indices, &mut scratch, 1);
+
+        let eps = 1e-6;
+        let mut flat = m.to_flat().to_vec();
+        for j in 0..flat.len() {
+            let orig = flat[j];
+            flat[j] = orig + eps;
+            let up = LogisticRegression::from_flat(2, 2, flat.clone()).loss(&data);
+            flat[j] = orig - eps;
+            let down = LogisticRegression::from_flat(2, 2, flat.clone()).loss(&data);
+            flat[j] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - scratch.grad()[j]).abs() < 1e-6,
+                "param {j}: numeric {numeric} vs fused {}",
+                scratch.grad()[j]
+            );
+        }
+    }
+
+    #[test]
+    fn fused_kernel_is_allocation_free_when_warm() {
+        let data = chunky_dataset(150, 8, 2);
+        let model = warm_model(8, 2);
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let mut scratch = GradScratch::new();
+        model.fused_loss_and_gradient_into(&data, &indices, &mut scratch, 1);
+        let warm = scratch.allocations();
+        for _ in 0..20 {
+            model.fused_loss_and_gradient_into(&data, &indices, &mut scratch, 1);
+        }
+        assert_eq!(scratch.allocations(), warm, "warm kernel must not allocate");
+    }
+
+    #[test]
+    fn apply_gradient_decayed_matches_two_pass() {
+        // warm_model(3, 4): 3*4 weights + 4 biases = 16 parameters.
+        let grad: Vec<f64> = (0..16).map(|i| (i as f64 - 7.0) / 3.0).collect();
+        let (step, decay) = (0.05, 0.01);
+
+        let mut fused = warm_model(3, 4);
+        let mut two_pass = fused.clone();
+        fused.apply_gradient_decayed(&grad, step, decay);
+        two_pass.apply_gradient(&grad, step);
+        two_pass.apply_weight_decay(step, decay);
+        assert_eq!(fused.to_flat(), two_pass.to_flat());
+
+        // decay = 0 must reduce to the plain step, bit for bit.
+        let mut no_decay = warm_model(3, 4);
+        let mut plain = no_decay.clone();
+        no_decay.apply_gradient_decayed(&grad, step, 0.0);
+        plain.apply_gradient(&grad, step);
+        assert_eq!(no_decay.to_flat(), plain.to_flat());
     }
 }
 

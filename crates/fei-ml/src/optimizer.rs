@@ -2,6 +2,35 @@
 
 use serde::{Deserialize, Serialize};
 
+/// How the trainer computes each batch gradient.
+///
+/// All three variants compute the same mathematical gradient; they differ in
+/// arithmetic order (and therefore in the low bits) and in speed. The fused
+/// variants share one arithmetic definition — fixed
+/// [`crate::model::GRAD_CHUNK`]-sample chunks combined by a fixed pairwise
+/// tree — so [`GradReduction::FusedSerial`] and
+/// [`GradReduction::FusedParallel`] are bit-identical for every thread
+/// count. See DESIGN.md §10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum GradReduction {
+    /// The pre-fast-path reference kernel: per-sample logit allocation and a
+    /// single serial accumulator. Kept as the baseline the perf harness
+    /// measures `speedup_vs_naive` against.
+    Naive,
+    /// Fused single-pass kernel (logits → softmax → accumulate, no per-sample
+    /// allocation) over fixed chunks, reduced by a fixed pairwise tree into a
+    /// reused scratch workspace. The default.
+    #[default]
+    FusedSerial,
+    /// Same arithmetic as [`GradReduction::FusedSerial`] with chunks computed
+    /// on worker threads — bit-identical by construction, faster only when
+    /// batches are large enough to amortize thread spawn.
+    FusedParallel {
+        /// Worker thread count; `0` behaves as `1`.
+        threads: usize,
+    },
+}
+
 /// Stochastic-gradient-descent hyper-parameters.
 ///
 /// The paper trains with learning rate 0.01, a fixed multiplicative decay of
@@ -19,6 +48,8 @@ pub struct SgdConfig {
     /// L2 weight-decay coefficient applied to the weights (not biases) at
     /// every step; `0.0` (the paper's setting) disables it.
     pub weight_decay: f64,
+    /// Which gradient kernel the trainer dispatches to.
+    pub grad: GradReduction,
 }
 
 impl SgdConfig {
@@ -30,6 +61,7 @@ impl SgdConfig {
             decay_per_round: 0.99,
             batch_size: None,
             weight_decay: 0.0,
+            grad: GradReduction::default(),
         }
     }
 
@@ -51,7 +83,14 @@ impl SgdConfig {
             decay_per_round,
             batch_size,
             weight_decay: 0.0,
+            grad: GradReduction::default(),
         }
+    }
+
+    /// Returns a copy dispatching to the given gradient kernel.
+    pub fn with_grad_reduction(mut self, grad: GradReduction) -> Self {
+        self.grad = grad;
+        self
     }
 
     /// Returns a copy with the given L2 weight-decay coefficient.
@@ -91,7 +130,16 @@ mod tests {
         assert_eq!(c.learning_rate, 0.01);
         assert_eq!(c.decay_per_round, 0.99);
         assert_eq!(c.batch_size, None);
+        assert_eq!(c.grad, GradReduction::FusedSerial);
         assert_eq!(SgdConfig::default(), c);
+    }
+
+    #[test]
+    fn grad_reduction_builder() {
+        let c = SgdConfig::paper_default()
+            .with_grad_reduction(GradReduction::FusedParallel { threads: 4 });
+        assert_eq!(c.grad, GradReduction::FusedParallel { threads: 4 });
+        assert_eq!(SgdConfig::paper_default().grad, GradReduction::FusedSerial);
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Preallocated gradient workspace for the fused training fast path.
+//!
+//! Every buffer the fused logistic-regression kernel needs — the flat
+//! gradient, per-chunk partial gradients, per-chunk loss partials, and
+//! per-worker logits — lives here, so a trainer that reuses one
+//! [`GradScratch`] across epochs (and across rounds) performs **zero heap
+//! allocations per epoch** in steady state. The workspace also counts its own
+//! allocation events, which the perf harness reports in `BENCH_perf.json`
+//! (see EXPERIMENTS.md): after warm-up, the counter must stop moving.
+
+/// Reusable buffers for one trainer's gradient computations.
+///
+/// Buffers grow on demand (counted via [`GradScratch::allocations`]) and are
+/// never shrunk, so a scratch sized by its first full-batch call stays
+/// allocation-free for the rest of its life.
+#[derive(Debug, Clone, Default)]
+pub struct GradScratch {
+    /// Final mean gradient, `num_params` long after a kernel call.
+    grad: Vec<f64>,
+    /// Flattened per-chunk unnormalized gradients: `n_chunks × num_params`.
+    partials: Vec<f64>,
+    /// Per-chunk unnormalized loss sums: `n_chunks` long.
+    losses: Vec<f64>,
+    /// Per-worker logits rows: `workers × num_classes`.
+    logits: Vec<f64>,
+    /// Number of buffer-growth events since construction.
+    allocations: u64,
+}
+
+impl GradScratch {
+    /// Creates an empty workspace; buffers are sized lazily by the first
+    /// kernel call.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The gradient produced by the most recent kernel call.
+    pub fn grad(&self) -> &[f64] {
+        &self.grad
+    }
+
+    /// Number of buffer-growth (heap allocation) events so far. Constant in
+    /// steady state — the property the perf harness asserts.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Grows `buf` to at least `need` elements, counting a heap allocation
+    /// only when the existing capacity is insufficient.
+    fn ensure(buf: &mut Vec<f64>, need: usize, allocations: &mut u64) {
+        if buf.len() < need {
+            if need > buf.capacity() {
+                *allocations += 1;
+            }
+            buf.resize(need, 0.0);
+        }
+    }
+
+    /// Sizes every buffer for a kernel invocation and zeroes the accumulation
+    /// regions (a fill, not an allocation, once capacity exists).
+    pub(crate) fn prepare(
+        &mut self,
+        num_params: usize,
+        num_classes: usize,
+        n_chunks: usize,
+        workers: usize,
+    ) {
+        Self::ensure(&mut self.grad, num_params, &mut self.allocations);
+        Self::ensure(
+            &mut self.partials,
+            n_chunks * num_params,
+            &mut self.allocations,
+        );
+        Self::ensure(&mut self.losses, n_chunks, &mut self.allocations);
+        Self::ensure(
+            &mut self.logits,
+            workers.max(1) * num_classes,
+            &mut self.allocations,
+        );
+        self.partials[..n_chunks * num_params].fill(0.0);
+        self.losses[..n_chunks].fill(0.0);
+    }
+
+    /// Mutable views for one kernel invocation: `(grad, partials, losses,
+    /// logits)`, each truncated to the sizes passed to
+    /// [`GradScratch::prepare`].
+    pub(crate) fn views(
+        &mut self,
+        num_params: usize,
+        num_classes: usize,
+        n_chunks: usize,
+        workers: usize,
+    ) -> (&mut [f64], &mut [f64], &mut [f64], &mut [f64]) {
+        (
+            &mut self.grad[..num_params],
+            &mut self.partials[..n_chunks * num_params],
+            &mut self.losses[..n_chunks],
+            &mut self.logits[..workers.max(1) * num_classes],
+        )
+    }
+
+    /// Stores an externally-computed gradient (the allocating fallback used
+    /// by models without a fused kernel). Always counts one allocation: the
+    /// fallback allocated to produce `grad`.
+    pub(crate) fn store_allocated_grad(&mut self, grad: Vec<f64>) {
+        self.grad = grad;
+        self.allocations += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeat_prepare_allocates_once() {
+        let mut s = GradScratch::new();
+        s.prepare(100, 10, 4, 2);
+        let after_first = s.allocations();
+        assert!(after_first >= 1);
+        for _ in 0..50 {
+            s.prepare(100, 10, 4, 2);
+        }
+        assert_eq!(
+            s.allocations(),
+            after_first,
+            "steady state must not allocate"
+        );
+    }
+
+    #[test]
+    fn growth_is_counted() {
+        let mut s = GradScratch::new();
+        s.prepare(10, 2, 1, 1);
+        let small = s.allocations();
+        s.prepare(1000, 2, 8, 4);
+        assert!(s.allocations() > small);
+    }
+
+    #[test]
+    fn prepare_zeroes_accumulators() {
+        let mut s = GradScratch::new();
+        s.prepare(3, 2, 2, 1);
+        {
+            let (_, partials, losses, _) = s.views(3, 2, 2, 1);
+            partials.fill(7.0);
+            losses.fill(7.0);
+        }
+        s.prepare(3, 2, 2, 1);
+        let (_, partials, losses, _) = s.views(3, 2, 2, 1);
+        assert!(partials.iter().all(|&x| x == 0.0));
+        assert!(losses.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn fallback_counts_allocation() {
+        let mut s = GradScratch::new();
+        s.store_allocated_grad(vec![1.0, 2.0]);
+        assert_eq!(s.grad(), &[1.0, 2.0]);
+        assert_eq!(s.allocations(), 1);
+    }
+}

@@ -4,7 +4,8 @@ use fei_data::Dataset;
 use fei_sim::DetRng;
 use serde::{Deserialize, Serialize};
 
-use crate::optimizer::SgdConfig;
+use crate::optimizer::{GradReduction, SgdConfig};
+use crate::scratch::GradScratch;
 use crate::traits::Model;
 
 /// Statistics from one local-training invocation (one edge server, one global
@@ -43,9 +44,10 @@ impl LocalTrainer {
     /// Trains `model` in place for `epochs` epochs on `data`, using the
     /// learning rate scheduled for global round `round`.
     ///
-    /// Full-batch mode (the paper's setting) performs one gradient step per
-    /// epoch over the whole dataset; mini-batch mode shuffles deterministic
-    /// batches via an internal generator seeded from `(round, data length)`.
+    /// Convenience wrapper over [`LocalTrainer::train_with`] that allocates a
+    /// throwaway workspace. Callers in a loop (the federated engines) should
+    /// hold a [`GradScratch`] and call `train_with` so the workspace — and
+    /// its zero-allocations-per-epoch steady state — survives across rounds.
     ///
     /// # Panics
     ///
@@ -57,6 +59,31 @@ impl LocalTrainer {
         epochs: usize,
         round: usize,
     ) -> TrainStats {
+        let mut scratch = GradScratch::new();
+        self.train_with(model, data, epochs, round, &mut scratch)
+    }
+
+    /// [`LocalTrainer::train`] with an explicit reusable workspace.
+    ///
+    /// Full-batch mode (the paper's setting) performs one gradient step per
+    /// epoch over the whole dataset; mini-batch mode shuffles deterministic
+    /// batches via an internal generator seeded from `(round, data length)`.
+    /// The gradient kernel is selected by [`SgdConfig::grad`]; the fused
+    /// variants run against `scratch` without per-epoch heap allocations,
+    /// and [`GradReduction::FusedParallel`] is bit-identical to
+    /// [`GradReduction::FusedSerial`] (see DESIGN.md §10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or shapes mismatch.
+    pub fn train_with<M: Model>(
+        &self,
+        model: &mut M,
+        data: &Dataset,
+        epochs: usize,
+        round: usize,
+        scratch: &mut GradScratch,
+    ) -> TrainStats {
         assert!(!data.is_empty(), "cannot train on an empty dataset");
         let lr = self.config.lr_for_round(round);
         let initial_loss = model.loss(data);
@@ -66,11 +93,7 @@ impl LocalTrainer {
         match self.config.batch_size {
             None => {
                 for _ in 0..epochs {
-                    let (_, grad) = model.loss_and_gradient(data, &all);
-                    model.apply_gradient(&grad, lr);
-                    if self.config.weight_decay > 0.0 {
-                        model.apply_weight_decay(lr, self.config.weight_decay);
-                    }
+                    self.step(model, data, &all, lr, scratch);
                     gradient_steps += 1;
                 }
             }
@@ -80,11 +103,7 @@ impl LocalTrainer {
                 for _ in 0..epochs {
                     rng.shuffle(&mut order);
                     for chunk in order.chunks(batch) {
-                        let (_, grad) = model.loss_and_gradient(data, chunk);
-                        model.apply_gradient(&grad, lr);
-                        if self.config.weight_decay > 0.0 {
-                            model.apply_weight_decay(lr, self.config.weight_decay);
-                        }
+                        self.step(model, data, chunk, lr, scratch);
                         gradient_steps += 1;
                     }
                 }
@@ -97,6 +116,36 @@ impl LocalTrainer {
             initial_loss,
             final_loss: model.loss(data),
             samples: data.len(),
+        }
+    }
+
+    /// One gradient step on `batch`, dispatched by [`SgdConfig::grad`].
+    fn step<M: Model>(
+        &self,
+        model: &mut M,
+        data: &Dataset,
+        batch: &[usize],
+        lr: f64,
+        scratch: &mut GradScratch,
+    ) {
+        match self.config.grad {
+            // The reference path reproduces the pre-fast-path arithmetic
+            // exactly: allocating kernel, separate step and decay passes.
+            GradReduction::Naive => {
+                let (_, grad) = model.loss_and_gradient(data, batch);
+                model.apply_gradient(&grad, lr);
+                if self.config.weight_decay > 0.0 {
+                    model.apply_weight_decay(lr, self.config.weight_decay);
+                }
+            }
+            GradReduction::FusedSerial => {
+                model.loss_and_gradient_into(data, batch, scratch, 1);
+                model.apply_gradient_decayed(scratch.grad(), lr, self.config.weight_decay);
+            }
+            GradReduction::FusedParallel { threads } => {
+                model.loss_and_gradient_into(data, batch, scratch, threads.max(1));
+                model.apply_gradient_decayed(scratch.grad(), lr, self.config.weight_decay);
+            }
         }
     }
 }
@@ -206,5 +255,60 @@ mod tests {
         let data = Dataset::empty(784, 10);
         let mut model = LogisticRegression::zeros(784, 10);
         let _ = LocalTrainer::default().train(&mut model, &data, 1, 0);
+    }
+
+    #[test]
+    fn fused_parallel_training_bit_identical_to_serial() {
+        let data = clean_data(130);
+        let serial = LocalTrainer::new(
+            SgdConfig::new(0.1, 0.99, None).with_grad_reduction(GradReduction::FusedSerial),
+        );
+        let parallel = LocalTrainer::new(
+            SgdConfig::new(0.1, 0.99, None)
+                .with_grad_reduction(GradReduction::FusedParallel { threads: 4 }),
+        );
+        let mut a = LogisticRegression::zeros(data.dim(), data.num_classes());
+        let mut b = LogisticRegression::zeros(data.dim(), data.num_classes());
+        let sa = serial.train(&mut a, &data, 3, 2);
+        let sb = parallel.train(&mut b, &data, 3, 2);
+        assert_eq!(a, b, "parallel gradient must not change the trained bits");
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn fused_and_naive_reach_similar_loss() {
+        let data = clean_data(80);
+        let fused = LocalTrainer::new(SgdConfig::new(0.2, 1.0, None));
+        let naive = LocalTrainer::new(
+            SgdConfig::new(0.2, 1.0, None).with_grad_reduction(GradReduction::Naive),
+        );
+        let mut a = LogisticRegression::zeros(data.dim(), data.num_classes());
+        let mut b = LogisticRegression::zeros(data.dim(), data.num_classes());
+        let sa = fused.train(&mut a, &data, 10, 0);
+        let sb = naive.train(&mut b, &data, 10, 0);
+        assert!(
+            (sa.final_loss - sb.final_loss).abs() < 1e-9,
+            "{} vs {}",
+            sa.final_loss,
+            sb.final_loss
+        );
+    }
+
+    #[test]
+    fn reused_scratch_stops_allocating_after_first_round() {
+        let data = clean_data(60);
+        let trainer = LocalTrainer::new(SgdConfig::paper_default());
+        let mut model = LogisticRegression::zeros(data.dim(), data.num_classes());
+        let mut scratch = GradScratch::new();
+        trainer.train_with(&mut model, &data, 2, 0, &mut scratch);
+        let warm = scratch.allocations();
+        for round in 1..5 {
+            trainer.train_with(&mut model, &data, 2, round, &mut scratch);
+        }
+        assert_eq!(
+            scratch.allocations(),
+            warm,
+            "steady-state training must not grow the workspace"
+        );
     }
 }

@@ -8,6 +8,8 @@
 
 use fei_data::Dataset;
 
+use crate::scratch::GradScratch;
+
 /// A trainable classification model with flat-vector parameters.
 ///
 /// The flat representation is the unit of FedAvg aggregation (Eq. 2) and of
@@ -65,6 +67,41 @@ pub trait Model: Clone + Send + 'static {
     /// Applies L2 weight decay to the weight parameters (implementations
     /// decide which parameters count as weights vs biases).
     fn apply_weight_decay(&mut self, step: f64, decay: f64);
+
+    /// Mean loss over the given sample indices with the gradient written
+    /// into a reused workspace (`scratch.grad()` afterwards).
+    ///
+    /// Models with a fused kernel override this to run allocation-free and,
+    /// with `threads > 1`, bit-identically in parallel. The default falls
+    /// back to [`Model::loss_and_gradient`] and stores the allocated
+    /// gradient (counted by the scratch's allocation counter, which is how
+    /// the perf harness tells fused from fallback paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or out of bounds, or shapes mismatch.
+    fn loss_and_gradient_into(
+        &self,
+        data: &Dataset,
+        indices: &[usize],
+        scratch: &mut GradScratch,
+        _threads: usize,
+    ) -> f64 {
+        let (loss, grad) = self.loss_and_gradient(data, indices);
+        scratch.store_allocated_grad(grad);
+        loss
+    }
+
+    /// Gradient step fused with weight decay: equivalent to
+    /// [`Model::apply_gradient`] followed by [`Model::apply_weight_decay`]
+    /// when `decay > 0`, and to the plain step when `decay == 0`.
+    /// Implementations may override with a single-pass kernel.
+    fn apply_gradient_decayed(&mut self, gradient: &[f64], step: f64, decay: f64) {
+        self.apply_gradient(gradient, step);
+        if decay > 0.0 {
+            self.apply_weight_decay(step, decay);
+        }
+    }
 
     /// Size in bytes of the flat `f64` parameter block — the model-upload
     /// payload of the paper's step (3).

@@ -9,7 +9,7 @@
 //! scale-free).
 
 use fei_data::{Dataset, Partition, SyntheticMnist, SyntheticMnistConfig};
-use fei_fl::{FedAvg, FedAvgConfig, StopCondition, TrainingHistory};
+use fei_fl::{FedAvg, FedAvgConfig, StopCondition, ThreadedFedAvg, TrainingHistory};
 use fei_ml::SgdConfig;
 use fei_sim::DetRng;
 use serde::{Deserialize, Serialize};
@@ -202,6 +202,22 @@ impl FlExperiment {
             ..Default::default()
         };
         FedAvg::new(config, self.clients.clone(), self.test.clone())
+    }
+
+    /// Builds the thread-per-server transport-backed engine for the same
+    /// `(K, E)` combination — configured identically to
+    /// [`FlExperiment::engine`], so the two runs are bit-for-bit
+    /// interchangeable (see `tests/golden_numerics.rs`).
+    pub fn threaded_engine(&self, k: usize, e: usize) -> ThreadedFedAvg {
+        let config = FedAvgConfig {
+            clients_per_round: k,
+            local_epochs: e,
+            sgd: self.config.sgd.clone(),
+            eval_every: self.config.eval_every,
+            seed: self.config.seed ^ ((k as u64) << 32) ^ e as u64,
+            ..Default::default()
+        };
+        ThreadedFedAvg::new(config, self.clients.clone(), self.test.clone())
     }
 
     /// Builds a fault-injected FedAvg engine for `(K, E)`: the injector

@@ -77,11 +77,12 @@ pub mod prelude {
         aggregate, robust_aggregate, try_aggregate, Adversary, AdversarySpec, AggregateError,
         AggregationRule, AsyncConfig, AsyncFedAvg, AsyncHistory, AttackBehavior, DefenseConfig,
         FaultInjector, FaultSpec, FedAvg, FedAvgConfig, FlError, RetryPolicy, RobustRule,
-        RoundFaultStats, RoundOutcome, ScreenPolicy, ScreenReason, ScreenReport, StopCondition,
-        ThreadedFedAvg, ToleranceConfig, TrainingHistory, UpdateScreen,
+        RoundFaultStats, RoundOutcome, RoundRecord, ScreenPolicy, ScreenReason, ScreenReport,
+        StopCondition, ThreadedFedAvg, ToleranceConfig, TrainingHistory, UpdateScreen,
     };
     pub use fei_ml::{
-        accuracy, Evaluation, LocalTrainer, LogisticRegression, Mlp, Model, SgdConfig,
+        accuracy, Evaluation, GradReduction, GradScratch, LocalTrainer, LogisticRegression, Mlp,
+        Model, SgdConfig,
     };
     pub use fei_power::{PowerMeter, PowerProfile, PowerState, PowerTimeline};
     pub use fei_sim::{DetRng, SimDuration, SimTime};

@@ -129,6 +129,70 @@ fn engines_agree_when_training_an_mlp() {
 }
 
 #[test]
+fn serial_threaded_and_chunked_parallel_records_are_identical() {
+    // Three executions of the same campaign — in-process serial gradients,
+    // thread-per-server transport, and in-process chunked-parallel
+    // gradients — must produce *identical* RoundRecords: the fixed-shape
+    // pairwise reduction makes the intra-client parallel gradient
+    // bit-identical to its serial evaluation, and the transport layer adds
+    // nothing numeric.
+    let (clients, test) = federation(29);
+    let serial_cfg = FedAvgConfig {
+        clients_per_round: 3,
+        local_epochs: 2,
+        sgd: SgdConfig::new(0.05, 0.99, None).with_grad_reduction(GradReduction::FusedSerial),
+        ..Default::default()
+    };
+    let parallel_cfg = FedAvgConfig {
+        sgd: SgdConfig::new(0.05, 0.99, None)
+            .with_grad_reduction(GradReduction::FusedParallel { threads: 4 }),
+        ..serial_cfg.clone()
+    };
+    let mut serial = FedAvg::new(serial_cfg.clone(), clients.clone(), test.clone());
+    let mut threaded = ThreadedFedAvg::new(serial_cfg, clients.clone(), test.clone());
+    let mut parallel = FedAvg::new(parallel_cfg, clients, test);
+
+    for round in 0..5 {
+        let a = serial.run_round();
+        let b = threaded.run_round();
+        let c = parallel.run_round();
+        assert_eq!(a, b, "round {round}: threaded record diverges from serial");
+        assert_eq!(a, c, "round {round}: chunked-parallel record diverges");
+    }
+    assert_eq!(serial.global_model(), threaded.global_model());
+    assert_eq!(serial.global_model(), parallel.global_model());
+}
+
+#[test]
+fn chunked_parallel_agrees_across_thread_counts() {
+    // The reduction shape depends only on batch size, never thread count:
+    // any worker count must land on the same bits.
+    let (clients, test) = federation(31);
+    let engine_with = |threads: usize| {
+        let config = FedAvgConfig {
+            clients_per_round: 2,
+            local_epochs: 3,
+            sgd: SgdConfig::new(0.08, 1.0, None)
+                .with_grad_reduction(GradReduction::FusedParallel { threads }),
+            ..Default::default()
+        };
+        let mut engine = FedAvg::new(config, clients.clone(), test.clone());
+        for _ in 0..3 {
+            engine.run_round();
+        }
+        engine.global_model().clone()
+    };
+    let reference = engine_with(1);
+    for threads in [2, 3, 8, 64] {
+        assert_eq!(
+            engine_with(threads),
+            reference,
+            "{threads} worker threads changed the trained bits"
+        );
+    }
+}
+
+#[test]
 fn transport_volume_matches_model_size() {
     let (clients, test) = federation(13);
     let config = FedAvgConfig {

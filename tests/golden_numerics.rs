@@ -1,0 +1,231 @@
+//! Golden-model numerics: the headline configuration must reproduce a
+//! checked-in bit pattern exactly.
+//!
+//! Three rounds of the paper-like campaign (`K = 10`, `E = 10`) are pinned
+//! down to the last bit: every global-model weight, the final train loss,
+//! and the final test metrics are stored as `f64::to_bits` integers in
+//! `tests/golden/headline_numerics.json`. Any change to the fast-path
+//! kernels that alters even one ULP anywhere in training shows up here as a
+//! hard failure — speedups must be *identical*, not merely close.
+//!
+//! Both engines are held to the same golden: the in-process [`FedAvg`] and
+//! the transport-backed [`ThreadedFedAvg`].
+//!
+//! To regenerate after an intentional numeric change:
+//!
+//! ```text
+//! EE_FEI_REGEN_GOLDEN=1 cargo test --test golden_numerics
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use ee_fei::prelude::*;
+
+const ROUNDS: usize = 3;
+const K: usize = 10;
+const E: usize = 10;
+
+/// The bit-level fingerprint of a finished run.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    /// `f64::to_bits` of every global-model parameter, in flat order.
+    weight_bits: Vec<u64>,
+    /// Bits of the last round's global training loss.
+    train_loss_bits: u64,
+    /// Bits of the last round's test loss.
+    test_loss_bits: u64,
+    /// Bits of the last round's test accuracy.
+    accuracy_bits: u64,
+}
+
+fn headline_experiment() -> FlExperiment {
+    FlExperiment::prepare(FlExperimentConfig::paper_like())
+}
+
+/// Fingerprints the last round's record plus the final global weights.
+fn fingerprint(last: &RoundRecord, weights: &[f64]) -> Fingerprint {
+    let eval = last
+        .test_eval
+        .as_ref()
+        .expect("eval_every = 1 evaluates every round");
+    Fingerprint {
+        weight_bits: weights.iter().map(|w| w.to_bits()).collect(),
+        train_loss_bits: last
+            .global_train_loss
+            .expect("eval_every = 1 records train loss")
+            .to_bits(),
+        test_loss_bits: eval.loss.to_bits(),
+        accuracy_bits: eval.accuracy.to_bits(),
+    }
+}
+
+fn serial_fingerprint(exp: &FlExperiment) -> Fingerprint {
+    let mut engine = exp.engine(K, E);
+    let mut last = None;
+    for _ in 0..ROUNDS {
+        last = Some(engine.run_round());
+    }
+    fingerprint(
+        &last.expect("at least one round"),
+        engine.global_model().to_flat(),
+    )
+}
+
+fn threaded_fingerprint(exp: &FlExperiment) -> Fingerprint {
+    let mut engine = exp.threaded_engine(K, E);
+    let mut last = None;
+    for _ in 0..ROUNDS {
+        last = Some(engine.run_round());
+    }
+    fingerprint(
+        &last.expect("at least one round"),
+        engine.global_model().to_flat(),
+    )
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("headline_numerics.json")
+}
+
+fn render(fp: &Fingerprint) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"golden_numerics.v1\",\n");
+    let _ = writeln!(out, "  \"rounds\": {ROUNDS},");
+    let _ = writeln!(out, "  \"k\": {K},");
+    let _ = writeln!(out, "  \"e\": {E},");
+    let _ = writeln!(out, "  \"train_loss_bits\": {},", fp.train_loss_bits);
+    let _ = writeln!(out, "  \"test_loss_bits\": {},", fp.test_loss_bits);
+    let _ = writeln!(out, "  \"accuracy_bits\": {},", fp.accuracy_bits);
+    out.push_str("  \"weight_bits\": [\n");
+    for (i, bits) in fp.weight_bits.iter().enumerate() {
+        let comma = if i + 1 < fp.weight_bits.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "    {bits}{comma}");
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Minimal parser for the golden file: extracts one named integer field.
+fn field_u64(json: &str, name: &str) -> u64 {
+    let key = format!("\"{name}\":");
+    let start = json.find(&key).unwrap_or_else(|| panic!("missing {name}")) + key.len();
+    let rest = json[start..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse()
+        .unwrap_or_else(|_| panic!("malformed {name}"))
+}
+
+fn parse(json: &str) -> Fingerprint {
+    let arr_start = json
+        .find("\"weight_bits\": [")
+        .expect("missing weight_bits")
+        + "\"weight_bits\": [".len();
+    let arr_end = json[arr_start..]
+        .find(']')
+        .expect("unterminated weight_bits")
+        + arr_start;
+    let weight_bits = json[arr_start..arr_end]
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().expect("malformed weight bits"))
+        .collect();
+    Fingerprint {
+        weight_bits,
+        train_loss_bits: field_u64(json, "train_loss_bits"),
+        test_loss_bits: field_u64(json, "test_loss_bits"),
+        accuracy_bits: field_u64(json, "accuracy_bits"),
+    }
+}
+
+fn assert_matches_golden(fp: &Fingerprint, golden: &Fingerprint, engine: &str) {
+    assert_eq!(
+        fp.weight_bits.len(),
+        golden.weight_bits.len(),
+        "{engine}: model size changed; regenerate the golden file"
+    );
+    let diverged = fp
+        .weight_bits
+        .iter()
+        .zip(&golden.weight_bits)
+        .filter(|(a, b)| a != b)
+        .count();
+    assert_eq!(
+        diverged,
+        0,
+        "{engine}: {diverged} of {} weights diverge from the golden bits",
+        golden.weight_bits.len()
+    );
+    assert_eq!(
+        fp.train_loss_bits,
+        golden.train_loss_bits,
+        "{engine}: train loss bits diverge (golden {:.17e}, got {:.17e})",
+        f64::from_bits(golden.train_loss_bits),
+        f64::from_bits(fp.train_loss_bits)
+    );
+    assert_eq!(
+        fp.test_loss_bits, golden.test_loss_bits,
+        "{engine}: test loss bits diverge"
+    );
+    assert_eq!(
+        fp.accuracy_bits, golden.accuracy_bits,
+        "{engine}: accuracy bits diverge"
+    );
+}
+
+#[test]
+fn headline_run_matches_golden_bits() {
+    let exp = headline_experiment();
+    let fp = serial_fingerprint(&exp);
+
+    if std::env::var_os("EE_FEI_REGEN_GOLDEN").is_some() {
+        let path = golden_path();
+        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
+            .expect("create golden dir");
+        std::fs::write(&path, render(&fp)).expect("write golden file");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+
+    let json = std::fs::read_to_string(golden_path())
+        .expect("golden file missing - run once with EE_FEI_REGEN_GOLDEN=1 to record it");
+    let golden = parse(&json);
+    assert_matches_golden(&fp, &golden, "serial FedAvg");
+}
+
+#[test]
+fn threaded_engine_matches_same_golden_bits() {
+    if std::env::var_os("EE_FEI_REGEN_GOLDEN").is_some() {
+        // The serial test owns regeneration; nothing to pin here.
+        return;
+    }
+    let exp = headline_experiment();
+    let fp = threaded_fingerprint(&exp);
+    let json = std::fs::read_to_string(golden_path())
+        .expect("golden file missing - run once with EE_FEI_REGEN_GOLDEN=1 to record it");
+    let golden = parse(&json);
+    assert_matches_golden(&fp, &golden, "ThreadedFedAvg");
+}
+
+#[test]
+fn golden_file_round_trips_through_renderer() {
+    let fp = Fingerprint {
+        weight_bits: vec![0, 1, u64::MAX, 0x3FF0_0000_0000_0000],
+        train_loss_bits: 42,
+        test_loss_bits: 7,
+        accuracy_bits: u64::MAX - 1,
+    };
+    assert_eq!(parse(&render(&fp)), fp);
+}
