@@ -135,6 +135,21 @@ impl UploadModel {
         }
     }
 
+    /// Byte-accurate upload energy: `e_U` is what the link charges for the
+    /// actual frame — airtime power × transfer duration plus the per-byte
+    /// term — instead of the paper's constant. Feeding the wire codec's true
+    /// frame length here is how compression tiers move the `B₁` term of
+    /// Eq. 12 and shift the planned `(K*, E*)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] when the link's energy for
+    /// this payload is not a valid `e_U` (non-finite — impossible for the
+    /// bundled presets at sane sizes, but links are caller-constructible).
+    pub fn from_link(link: &fei_net::Link, payload_bytes: usize) -> Result<Self, CoreError> {
+        Self::new(link.transfer_energy_joules(payload_bytes))
+    }
+
     /// Joules per upload.
     pub fn e_u(&self) -> f64 {
         self.e_u
@@ -183,6 +198,14 @@ impl RoundEnergyModel {
             upload: UploadModel::wifi_default(),
             n_k: 3_000,
         }
+    }
+
+    /// The same model with a different upload component — the hook that
+    /// swaps the constant `e_U` for a payload-derived one (see
+    /// [`UploadModel::from_link`]).
+    pub fn with_upload(mut self, upload: UploadModel) -> Self {
+        self.upload = upload;
+        self
     }
 
     /// Local dataset size `n_k`.
@@ -271,6 +294,42 @@ mod tests {
         let e = UploadModel::wifi_default().e_u();
         // Millijoule-to-sub-joule scale for a 62.8 kB payload.
         assert!(e > 0.01 && e < 1.0, "e_U = {e}");
+    }
+
+    #[test]
+    fn from_link_at_the_default_payload_matches_wifi_default() {
+        // The same 62.8 kB payload over the same WiFi uplink preset must
+        // reproduce the constant-e_U default (up to the link's clock
+        // granularity).
+        let payload_bytes = (784 * 10 + 10) * 8;
+        let derived = UploadModel::from_link(&fei_net::Link::wifi_uplink(), payload_bytes).unwrap();
+        let constant = UploadModel::wifi_default();
+        assert!(
+            (derived.e_u() - constant.e_u()).abs() < 1e-6,
+            "derived {} vs constant {}",
+            derived.e_u(),
+            constant.e_u()
+        );
+    }
+
+    #[test]
+    fn from_link_scales_with_payload_bytes() {
+        let link = fei_net::Link::wifi_uplink();
+        let full = UploadModel::from_link(&link, 62_800).unwrap().e_u();
+        let q8 = UploadModel::from_link(&link, 8_100).unwrap().e_u();
+        assert!(q8 < full, "q8 {q8} vs full {full}");
+        // Both still pay the 2 ms setup airtime.
+        assert!(q8 > 5.015 * 0.002);
+    }
+
+    #[test]
+    fn with_upload_moves_only_b1() {
+        let base = RoundEnergyModel::paper_default();
+        let cheap = base.with_upload(UploadModel::new(0.01).unwrap());
+        assert_eq!(base.b0(), cheap.b0());
+        assert!(cheap.b1() < base.b1());
+        // ρ·n ≈ 18 kJ dominates b1, so the subtraction cancels ~4 ulp of it.
+        assert!((base.b1() - cheap.b1() - (base.upload().e_u() - 0.01)).abs() < 1e-9);
     }
 
     #[test]

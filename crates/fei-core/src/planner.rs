@@ -124,6 +124,37 @@ impl EeFeiPlanner {
             .plan()
     }
 
+    /// Re-plans `(K*, E*)` for a given uplink payload size: the constant
+    /// `e_U` in `B₁ = ρ·n + e_U` (Eq. 12) is replaced by the energy `link`
+    /// actually charges for `payload_bytes` — airtime power × duration plus
+    /// `joules_per_byte × bytes`. This is the closing of the loop for wire
+    /// compression: a smaller encoded model shrinks `B₁`, which shifts the
+    /// optimizer away from batching local epochs and toward more frequent
+    /// (now cheaper) rounds. Pass the true frame bytes per upload, e.g.
+    /// `TransportStats::bytes_up / jobs` from a calibration run.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] when the derived `e_U` is not a
+    /// usable energy, and [`CoreError::Infeasible`] when the unchanged
+    /// bound/target cannot be met (it never regresses from the original
+    /// plan, since only `B₁` moves).
+    pub fn replan_for_payload(
+        &self,
+        link: &fei_net::Link,
+        payload_bytes: usize,
+    ) -> Result<EeFeiPlan, CoreError> {
+        let upload = crate::energy::UploadModel::from_link(link, payload_bytes)?;
+        Self::new(
+            self.energy.with_upload(upload),
+            self.bound,
+            self.epsilon,
+            self.n,
+        )?
+        .with_optimizer(self.optimizer)
+        .plan()
+    }
+
     /// Re-plans `(K*, E*)` for a fleet under Byzantine attack: of
     /// `surviving_n` live devices, an estimated `attacker_fraction` ship
     /// updates the coordinator's screen will reject (or a robust rule will
@@ -322,6 +353,51 @@ mod tests {
             planner.replan_for_fleet(1),
             Err(CoreError::Infeasible { .. })
         ));
+    }
+
+    #[test]
+    fn replan_for_payload_cuts_energy_with_smaller_frames() {
+        let p = planner();
+        let link = fei_net::Link::wifi_uplink();
+        // F64 lossless vs Q8+delta: the same 7 850-weight model at 8 B/weight
+        // versus ~1 B/weight (+ block metadata).
+        let lossless = p.replan_for_payload(&link, 7 + 7_850 * 8).unwrap();
+        let q8 = p.replan_for_payload(&link, 7 + 7_850 + 31 * 8).unwrap();
+        assert!(
+            q8.solution.energy < lossless.solution.energy,
+            "q8 {} vs lossless {}",
+            q8.solution.energy,
+            lossless.solution.energy
+        );
+        // Cheaper rounds mean less pressure to batch local epochs.
+        assert!(
+            q8.solution.e <= lossless.solution.e,
+            "E* grew: {} -> {}",
+            lossless.solution.e,
+            q8.solution.e
+        );
+        // Same accuracy machinery: the round budget for a given (K, E) is
+        // untouched, only the energy objective moved.
+        assert_eq!(q8.baseline_t, lossless.baseline_t);
+    }
+
+    #[test]
+    fn replan_for_payload_matches_manual_upload_swap() {
+        let p = planner();
+        let link = fei_net::Link::wifi_uplink();
+        let payload = 62_800;
+        let replanned = p.replan_for_payload(&link, payload).unwrap();
+        let manual = EeFeiPlanner::new(
+            p.energy
+                .with_upload(UploadModel::from_link(&link, payload).unwrap()),
+            p.bound,
+            p.epsilon,
+            p.n,
+        )
+        .unwrap()
+        .plan()
+        .unwrap();
+        assert_eq!(replanned, manual);
     }
 
     #[test]

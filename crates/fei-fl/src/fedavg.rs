@@ -4,6 +4,7 @@ use fei_data::Dataset;
 use fei_ml::{
     Evaluation, GradScratch, LocalTrainer, LogisticRegression, Model, SgdConfig, TrainStats,
 };
+use fei_net::wire::{WireConfig, WireScratch};
 use fei_sim::DetRng;
 use serde::{Deserialize, Serialize};
 
@@ -13,6 +14,7 @@ use crate::error::FlError;
 use crate::fault::{FaultInjector, RetryPolicy};
 use crate::history::TrainingHistory;
 use crate::robust::{robust_aggregate, DefenseConfig, UpdateScreen};
+use crate::runtime::{global_frame_len, update_frame_len, TransportStats};
 use crate::selection::{ClientSelector, SelectionStrategy};
 
 /// Configuration of a FedAvg run — the knobs of the paper's §III-A loop.
@@ -42,6 +44,13 @@ pub struct FedAvgConfig {
     /// (the undefended baseline). When set, [`Self::aggregation`] is only
     /// consulted by [`crate::robust::RobustRule::Mean`].
     pub defense: Option<DefenseConfig>,
+    /// Wire encoding for worker → coordinator model uploads. The default
+    /// lossless `F64` reproduces the uncompressed path bit-for-bit; lossy
+    /// tiers shrink uplink bytes (and upload energy) at a bounded accuracy
+    /// cost. The downlink broadcast is always lossless `F64`, so every
+    /// device holds the bit-exact delta base.
+    #[serde(default)]
+    pub transport: WireConfig,
     /// Seed for selection and dropout randomness.
     pub seed: u64,
 }
@@ -159,6 +168,7 @@ impl Default for FedAvgConfig {
             dropout_prob: 0.0,
             tolerance: ToleranceConfig::default(),
             defense: None,
+            transport: WireConfig::default(),
             seed: 0x0FED,
         }
     }
@@ -229,6 +239,15 @@ pub struct FedAvg<M: Model = LogisticRegression> {
     /// Gradient workspace reused across every client and round: after the
     /// first round sizes it, local training runs allocation-free.
     scratch: GradScratch,
+    /// Wire-codec workspace: every update ships through the same
+    /// encode→decode round trip the threaded workers perform, so lossy
+    /// transport tiers affect both engines identically.
+    wire: WireScratch,
+    /// Reused staging buffer for the wire round trip.
+    wire_buf: Vec<u8>,
+    /// Simulated transport totals, byte-for-byte equal to the threaded
+    /// engine's measured [`TransportStats`] under the same configuration.
+    transport: TransportStats,
     dropout_rng: DetRng,
     injector: Option<FaultInjector>,
     adversary: Option<Adversary>,
@@ -314,6 +333,9 @@ impl<M: Model> FedAvg<M> {
             selector,
             trainer,
             scratch: GradScratch::new(),
+            wire: WireScratch::new(),
+            wire_buf: Vec::new(),
+            transport: TransportStats::default(),
             dropout_rng,
             injector: None,
             adversary: None,
@@ -418,6 +440,23 @@ impl<M: Model> FedAvg<M> {
     /// perf harness (`fei-bench --bin perf`) records in `BENCH_perf.json`.
     pub fn scratch_allocations(&self) -> u64 {
         self.scratch.allocations()
+    }
+
+    /// Heap-allocation events of the wire-codec workspace. Like
+    /// [`FedAvg::scratch_allocations`], constant after the first round in
+    /// steady state — the zero-allocation property `BENCH_compression.json`
+    /// records for the transport hot path.
+    pub fn wire_allocations(&self) -> u64 {
+        self.wire.allocations()
+    }
+
+    /// Simulated transport totals: the exact frame bytes the threaded
+    /// engine moves for this configuration (lossless `F64` downlink
+    /// broadcasts, uplink updates under [`FedAvgConfig::transport`],
+    /// retransmissions from the fault schedule). The integration tests pin
+    /// serial and threaded equality byte for byte.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.transport
     }
 
     /// Loss of the current global model over the union of all client data
@@ -557,6 +596,9 @@ impl<M: Model> FedAvg<M> {
     ) -> Result<RoundRecord, FlError> {
         let quorum = self.config.tolerance.effective_quorum();
         let global_flat = self.global.to_flat().to_vec();
+        let transport = self.config.transport;
+        let down_len = global_frame_len(global_flat.len()) as u64;
+        let up_len = update_frame_len(transport, global_flat.len()) as u64;
 
         let mut updates = Vec::with_capacity(responded.len());
         let mut local_stats = Vec::with_capacity(responded.len());
@@ -574,11 +616,38 @@ impl<M: Model> FedAvg<M> {
                 &mut self.scratch,
             );
             let mut params = local.to_flat().to_vec();
+            // Ship the update through the same wire round trip the threaded
+            // workers perform: lossy tiers perturb the parameters exactly as
+            // the coordinator would decode them, and the byte counters match
+            // the threaded engine's measured frames.
+            self.wire.round_trip(
+                transport,
+                &mut params,
+                Some(&global_flat),
+                &mut self.wire_buf,
+            );
+            self.transport.bytes_down += down_len;
+            self.transport.bytes_up += up_len;
+            self.transport.jobs += 1;
             if let Some(adversary) = &self.adversary {
                 adversary.poison(client, t, &global_flat, &mut params);
             }
             updates.push((params, self.clients[client].len()));
             local_stats.push(stats);
+        }
+
+        // Charge uplink retransmissions decided by the fault schedule, as
+        // the threaded coordinator does: each failed attempt resent the
+        // whole update frame.
+        if let Some(injector) = self.injector.as_ref().filter(|i| i.is_enabled()) {
+            let retry = &self.config.tolerance.retry;
+            let resent: u64 = responded
+                .iter()
+                .map(|&client| {
+                    (injector.upload_outcome(client, t, retry).attempts as u64 - 1) * up_len
+                })
+                .sum();
+            self.transport.bytes_retransmitted += resent;
         }
 
         // The coordinator's screening boundary: malformed or outlying

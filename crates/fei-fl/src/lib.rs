@@ -58,10 +58,11 @@ pub use fedavg::{
     FedAvg, FedAvgConfig, RoundFaultStats, RoundOutcome, RoundRecord, StopCondition,
     ToleranceConfig,
 };
+pub use fei_net::wire::{Encoding, WireConfig};
 pub use history::TrainingHistory;
 pub use robust::{
     robust_aggregate, DefenseConfig, RobustRule, ScreenPolicy, ScreenReason, ScreenReport,
     UpdateScreen,
 };
-pub use runtime::ThreadedFedAvg;
+pub use runtime::{ThreadedFedAvg, TransportStats};
 pub use selection::{ClientSelector, SelectionStrategy};

@@ -12,11 +12,12 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use bytes::{Buf, BufMut, BytesMut};
+use bytes::Buf;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use fei_data::Dataset;
 use fei_ml::{GradScratch, LocalTrainer, LogisticRegression, Model};
-use fei_net::codec::{decode_frame, encode_frame};
+use fei_net::codec::{decode_frame, encode_frame, encode_frame_into, FRAME_OVERHEAD};
+use fei_net::wire::{WireConfig, WireScratch};
 use parking_lot::Mutex;
 
 use crate::adversary::{flip_dataset_labels, Adversary, AdversarySpec};
@@ -37,6 +38,27 @@ const DEFAULT_WORKER_TIMEOUT: Duration = Duration::from_secs(30);
 const MSG_GLOBAL: u8 = 1;
 /// Frame tag for worker → coordinator model upload.
 const MSG_UPDATE: u8 = 2;
+
+/// Meta bytes in a global-model frame payload: round and epochs.
+const GLOBAL_META: usize = 4 + 4;
+/// Meta bytes in an update frame payload: round, client, samples, and the
+/// initial/final local losses.
+const UPDATE_META: usize = 4 + 4 + 8 + 8 + 8;
+
+/// Exact length of a coordinator → worker global-model frame for an
+/// `n`-parameter model. The downlink broadcast is always lossless `F64`, so
+/// every worker holds a bit-exact copy of the global model — the shared base
+/// that makes delta uploads decodable and keeps both engines bit-identical.
+pub(crate) fn global_frame_len(n: usize) -> usize {
+    FRAME_OVERHEAD + GLOBAL_META + WireConfig::lossless().payload_len(n)
+}
+
+/// Exact length of a worker → coordinator update frame for an `n`-parameter
+/// model under `transport`. The serial engine charges these same lengths to
+/// its simulated [`TransportStats`], byte for byte.
+pub(crate) fn update_frame_len(transport: WireConfig, n: usize) -> usize {
+    FRAME_OVERHEAD + UPDATE_META + transport.payload_len(n)
+}
 
 /// Bytes moved over the wire in both directions, tracked across workers.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -76,55 +98,68 @@ struct Update {
     final_loss: f64,
 }
 
-fn encode_global(round: u32, epochs: u32, params: &[f64]) -> Vec<u8> {
-    let mut payload = BytesMut::with_capacity(8 + params.len() * 8);
-    payload.put_u32(round);
-    payload.put_u32(epochs);
-    for &p in params {
-        payload.put_f64_le(p);
-    }
+fn encode_global(round: u32, epochs: u32, params: &[f64], wire: &mut WireScratch) -> Vec<u8> {
+    let mut payload =
+        Vec::with_capacity(GLOBAL_META + WireConfig::lossless().payload_len(params.len()));
+    payload.extend_from_slice(&round.to_be_bytes());
+    payload.extend_from_slice(&epochs.to_be_bytes());
+    wire.encode_into(WireConfig::lossless(), params, None, &mut payload);
     encode_frame(MSG_GLOBAL, &payload).to_vec()
 }
 
 #[cfg(test)]
 fn decode_global(frame: &[u8]) -> (u32, u32, Vec<f64>) {
     let mut params = Vec::new();
-    let (round, epochs) = decode_global_into(frame, &mut params);
+    let mut wire = WireScratch::new();
+    let (round, epochs) = decode_global_into(frame, &mut params, &mut wire);
     (round, epochs, params)
 }
 
 /// Decodes a global-model frame into a reused parameter buffer, so a worker
 /// that keeps the buffer across rounds pays no per-frame allocation once the
 /// buffer reaches model size.
-fn decode_global_into(frame: &[u8], params: &mut Vec<f64>) -> (u32, u32) {
+fn decode_global_into(frame: &[u8], params: &mut Vec<f64>, wire: &mut WireScratch) -> (u32, u32) {
     let (frame, _) = decode_frame(frame)
         .expect("invariant: coordinator frames are encoded in-process and cannot be malformed");
     assert_eq!(frame.msg_type, MSG_GLOBAL, "expected a global-model frame");
     let mut buf = &frame.payload[..];
     let round = buf.get_u32();
     let epochs = buf.get_u32();
-    params.clear();
-    params.reserve(buf.remaining() / 8);
-    while buf.has_remaining() {
-        params.push(buf.get_f64_le());
-    }
+    let config = wire
+        .decode_into(buf, None, params)
+        .expect("invariant: coordinator payloads are encoded in-process and cannot be malformed");
+    debug_assert!(config.is_lossless(), "the downlink broadcast is lossless");
     (round, epochs)
 }
 
-fn encode_update(update: &Update) -> Vec<u8> {
-    let mut payload = BytesMut::with_capacity(28 + update.params.len() * 8);
-    payload.put_u32(update.round);
-    payload.put_u32(update.client as u32);
-    payload.put_u64(update.samples as u64);
-    payload.put_f64_le(update.initial_loss);
-    payload.put_f64_le(update.final_loss);
-    for &p in &update.params {
-        payload.put_f64_le(p);
-    }
-    encode_frame(MSG_UPDATE, &payload).to_vec()
+/// Encodes an update frame under the run's transport tier. With a delta
+/// tier, `base` is the worker's bit-exact copy of this round's global model.
+/// The wire payload is staged in the worker's persistent `payload_buf`, so
+/// the codec hot path allocates nothing once warm; only the returned frame
+/// (whose ownership the channel takes) is fresh.
+fn encode_update(
+    update: &Update,
+    transport: WireConfig,
+    base: &[f64],
+    wire: &mut WireScratch,
+    payload_buf: &mut Vec<u8>,
+) -> Vec<u8> {
+    payload_buf.clear();
+    payload_buf.extend_from_slice(&update.round.to_be_bytes());
+    payload_buf.extend_from_slice(&(update.client as u32).to_be_bytes());
+    payload_buf.extend_from_slice(&(update.samples as u64).to_be_bytes());
+    payload_buf.extend_from_slice(&update.initial_loss.to_le_bytes());
+    payload_buf.extend_from_slice(&update.final_loss.to_le_bytes());
+    wire.encode_into(transport, &update.params, Some(base), payload_buf);
+    let mut frame = Vec::with_capacity(FRAME_OVERHEAD + payload_buf.len());
+    encode_frame_into(MSG_UPDATE, payload_buf, &mut frame);
+    frame
 }
 
-fn decode_update(frame: &[u8]) -> Update {
+/// Decodes an update frame. `base` is the coordinator's current global model
+/// (not yet aggregated this round), the same base every worker encoded
+/// deltas against.
+fn decode_update(frame: &[u8], base: &[f64], wire: &mut WireScratch) -> Update {
     let (frame, _) = decode_frame(frame).expect(
         "invariant: worker frames survived the codec checksum before reaching the coordinator",
     );
@@ -135,10 +170,9 @@ fn decode_update(frame: &[u8]) -> Update {
     let samples = buf.get_u64() as usize;
     let initial_loss = buf.get_f64_le();
     let final_loss = buf.get_f64_le();
-    let mut params = Vec::with_capacity(buf.remaining() / 8);
-    while buf.has_remaining() {
-        params.push(buf.get_f64_le());
-    }
+    let mut params = Vec::new();
+    wire.decode_into(buf, Some(base), &mut params)
+        .expect("invariant: worker payloads are encoded in-process against the shared base");
     Update {
         round,
         client,
@@ -163,6 +197,9 @@ pub struct ThreadedFedAvg<M: Model = LogisticRegression> {
     from_workers: Receiver<Vec<u8>>,
     handles: Vec<JoinHandle<()>>,
     stats: Arc<Mutex<TransportStats>>,
+    /// Coordinator-side wire workspace: encodes the downlink broadcast and
+    /// decodes every update frame, allocation-free once warm.
+    wire: WireScratch,
     injector: Option<FaultInjector>,
     adversary: Option<Adversary>,
     worker_timeout: Duration,
@@ -247,8 +284,11 @@ impl<M: Model> ThreadedFedAvg<M> {
             let trainer = LocalTrainer::new(config.sgd.clone());
             let stats = Arc::clone(&stats);
             let template = global.clone();
+            let transport = config.transport;
             handles.push(std::thread::spawn(move || {
-                worker_loop(id, template, &data, &trainer, &rx, &result_tx, &stats);
+                worker_loop(
+                    id, template, &data, &trainer, transport, &rx, &result_tx, &stats,
+                );
             }));
         }
 
@@ -265,6 +305,7 @@ impl<M: Model> ThreadedFedAvg<M> {
             from_workers,
             handles,
             stats,
+            wire: WireScratch::new(),
             injector: None,
             adversary: None,
             worker_timeout: DEFAULT_WORKER_TIMEOUT,
@@ -465,6 +506,7 @@ impl<M: Model> ThreadedFedAvg<M> {
             t as u32,
             self.config.local_epochs as u32,
             self.global.to_flat(),
+            &mut self.wire,
         );
         let mut pending = BTreeSet::new();
         for &client in &planned {
@@ -494,7 +536,7 @@ impl<M: Model> ThreadedFedAvg<M> {
             match self.from_workers.recv_timeout(self.worker_timeout) {
                 Ok(reply) => {
                     let frame_len = reply.len();
-                    let update = decode_update(&reply);
+                    let update = decode_update(&reply, self.global.to_flat(), &mut self.wire);
                     // Discard stale frames from rounds a dead worker missed.
                     if update.round == t as u32 && pending.remove(&update.client) {
                         updates.push((update, frame_len));
@@ -634,11 +676,13 @@ impl<M: Model> Drop for ThreadedFedAvg<M> {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop<M: Model>(
     id: usize,
     template: M,
     data: &Dataset,
     trainer: &LocalTrainer,
+    transport: WireConfig,
     rx: &Receiver<ToWorker>,
     result_tx: &Sender<Vec<u8>>,
     stats: &Mutex<TransportStats>,
@@ -647,10 +691,13 @@ fn worker_loop<M: Model>(
     let mut flipped: Option<Dataset> = None;
     // Persistent per-worker hot state, reused across jobs: the model is
     // overwritten by `set_flat` each round, the gradient scratch keeps local
-    // epochs allocation-free, and the decode buffer absorbs each frame.
+    // epochs allocation-free, and the decode buffer, wire workspace, and
+    // payload stage absorb each frame without fresh allocations.
     let mut model = template;
     let mut params: Vec<f64> = Vec::new();
     let mut scratch = GradScratch::new();
+    let mut wire = WireScratch::new();
+    let mut payload_buf: Vec<u8> = Vec::new();
     while let Ok(msg) = rx.recv() {
         match msg {
             ToWorker::Shutdown => break,
@@ -663,7 +710,7 @@ fn worker_loop<M: Model>(
                 flip,
             } => {
                 let frame_len = frame.len();
-                let (wire_round, wire_epochs) = decode_global_into(&frame, &mut params);
+                let (wire_round, wire_epochs) = decode_global_into(&frame, &mut params, &mut wire);
                 debug_assert_eq!(wire_round, round);
                 debug_assert_eq!(wire_epochs, epochs);
                 let train_data: &Dataset = if flip {
@@ -687,7 +734,9 @@ fn worker_loop<M: Model>(
                     initial_loss: train_stats.initial_loss,
                     final_loss: train_stats.final_loss,
                 };
-                let reply = encode_update(&update);
+                // `params` still holds this round's decoded global model —
+                // the bit-exact delta base shared with the coordinator.
+                let reply = encode_update(&update, transport, &params, &mut wire, &mut payload_buf);
                 {
                     let mut s = stats.lock();
                     s.bytes_down += frame_len as u64;
@@ -787,6 +836,62 @@ mod tests {
     }
 
     #[test]
+    fn serial_simulated_bytes_match_threaded_measured_bytes() {
+        use fei_net::wire::Encoding;
+        let (clients, test) = setup(5, 100);
+        for encoding in [Encoding::F64, Encoding::F32, Encoding::Q8] {
+            for delta in [false, true] {
+                let config = FedAvgConfig {
+                    clients_per_round: 3,
+                    local_epochs: 1,
+                    transport: WireConfig { encoding, delta },
+                    ..Default::default()
+                };
+                let mut serial = FedAvg::new(config.clone(), clients.clone(), test.clone());
+                let mut threaded = ThreadedFedAvg::new(config, clients.clone(), test.clone());
+                for _ in 0..3 {
+                    serial.run_round();
+                    threaded.run_round();
+                }
+                assert_eq!(
+                    serial.transport_stats(),
+                    threaded.transport_stats(),
+                    "tier {encoding:?} delta={delta}"
+                );
+                assert!(serial.transport_stats().bytes_up > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_under_every_transport_tier() {
+        use fei_net::wire::Encoding;
+        let (clients, test) = setup(5, 120);
+        for encoding in [Encoding::F64, Encoding::F32, Encoding::Q8] {
+            for delta in [false, true] {
+                let config = FedAvgConfig {
+                    clients_per_round: 3,
+                    local_epochs: 2,
+                    transport: WireConfig { encoding, delta },
+                    ..Default::default()
+                };
+                let mut serial = FedAvg::new(config.clone(), clients.clone(), test.clone());
+                let mut threaded = ThreadedFedAvg::new(config, clients.clone(), test.clone());
+                for _ in 0..3 {
+                    let a = serial.run_round();
+                    let b = threaded.run_round();
+                    assert_eq!(a, b, "tier {encoding:?} delta={delta}");
+                }
+                assert_eq!(
+                    serial.global_model(),
+                    threaded.global_model(),
+                    "tier {encoding:?} delta={delta}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn transport_stats_accumulate() {
         let (clients, test) = setup(4, 80);
         let config = FedAvgConfig {
@@ -834,8 +939,10 @@ mod tests {
 
     #[test]
     fn frame_round_trips() {
+        let mut wire = WireScratch::new();
         let params = vec![1.5, -2.5, 0.0];
-        let frame = encode_global(7, 3, &params);
+        let frame = encode_global(7, 3, &params, &mut wire);
+        assert_eq!(frame.len(), global_frame_len(params.len()));
         let (round, epochs, back) = decode_global(&frame);
         assert_eq!((round, epochs), (7, 3));
         assert_eq!(back, params);
@@ -848,12 +955,27 @@ mod tests {
             initial_loss: 2.5,
             final_loss: 1.25,
         };
-        let decoded = decode_update(&encode_update(&update));
-        assert_eq!(decoded.round, 7);
-        assert_eq!(decoded.client, 4);
-        assert_eq!(decoded.samples, 123);
-        assert_eq!(decoded.params, vec![9.0, -1.0]);
-        assert_eq!(decoded.initial_loss, 2.5);
-        assert_eq!(decoded.final_loss, 1.25);
+        let base = vec![8.75, -1.5];
+        let mut payload_buf = Vec::new();
+        for transport in [
+            WireConfig::lossless(),
+            WireConfig {
+                encoding: fei_net::wire::Encoding::F64,
+                delta: true,
+            },
+        ] {
+            let frame = encode_update(&update, transport, &base, &mut wire, &mut payload_buf);
+            assert_eq!(
+                frame.len(),
+                update_frame_len(transport, update.params.len())
+            );
+            let decoded = decode_update(&frame, &base, &mut wire);
+            assert_eq!(decoded.round, 7);
+            assert_eq!(decoded.client, 4);
+            assert_eq!(decoded.samples, 123);
+            assert_eq!(decoded.params, vec![9.0, -1.0]);
+            assert_eq!(decoded.initial_loss, 2.5);
+            assert_eq!(decoded.final_loss, 1.25);
+        }
     }
 }

@@ -1,0 +1,14 @@
+//! Known-bad: exact float comparisons in a quantizer. A constant block's
+//! span lands on zero only after bit-identical arithmetic; comparing with
+//! `==` makes the encoding depend on the last ulp.
+pub fn block_scale(min: f64, max: f64) -> f64 {
+    let span = max - min;
+    if span == 0.0 {
+        return 0.0;
+    }
+    span / 255.0
+}
+
+pub fn is_identity(scale: f32) -> bool {
+    scale != 0.0f32
+}

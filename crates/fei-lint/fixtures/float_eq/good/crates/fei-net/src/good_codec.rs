@@ -1,0 +1,16 @@
+//! Known-good: the wire-codec idiom — a strict ordering guard
+//! (`span > 0.0`) instead of float equality. Degenerate and non-finite
+//! spans both fall through to the exact zero-scale path without ever
+//! asking whether two floats are equal.
+pub fn block_scale(min: f64, max: f64) -> f64 {
+    let span = max - min;
+    if span.is_finite() && span > 0.0 {
+        span / 255.0
+    } else {
+        0.0
+    }
+}
+
+pub fn is_identity(scale: f32) -> bool {
+    !(scale > 0.0f32)
+}

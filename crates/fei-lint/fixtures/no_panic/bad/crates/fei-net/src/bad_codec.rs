@@ -1,0 +1,10 @@
+//! Known-bad: a payload decoder that panics on attacker-controlled input.
+//! Malformed frames are a normal runtime condition, not an invariant.
+pub fn decode_count(payload: &[u8]) -> usize {
+    let bytes: [u8; 4] = payload[3..7].try_into().unwrap();
+    let count = u32::from_be_bytes(bytes);
+    if payload.len() < 7 + count as usize {
+        panic!("truncated payload: {} bytes", payload.len());
+    }
+    count as usize
+}

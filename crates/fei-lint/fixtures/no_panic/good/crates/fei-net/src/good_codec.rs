@@ -1,0 +1,24 @@
+//! Known-good: the wire-codec decode contract — every malformed input is a
+//! typed error, and the one slice conversion whose bounds were already
+//! checked says so with the sanctioned `expect("invariant: ...")` form.
+pub enum DecodeError {
+    Truncated { have: usize },
+}
+
+pub fn decode_count(payload: &[u8]) -> Result<usize, DecodeError> {
+    if payload.len() < 7 {
+        return Err(DecodeError::Truncated {
+            have: payload.len(),
+        });
+    }
+    let bytes: [u8; 4] = payload[3..7]
+        .try_into()
+        .expect("invariant: length checked to cover the 7-byte header");
+    let count = u32::from_be_bytes(bytes) as usize;
+    if payload.len() < 7 + count {
+        return Err(DecodeError::Truncated {
+            have: payload.len(),
+        });
+    }
+    Ok(count)
+}

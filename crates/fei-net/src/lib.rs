@@ -12,8 +12,12 @@
 //! * [`lossy::LossyLink`] — unlicensed-band collision loss with fixed
 //!   per-attempt success probability (the §IV-A argument that expected
 //!   per-sample upload energy stays constant);
-//! * [`codec`] — a framed binary codec for shipping model parameters between
-//!   edge servers and the coordinator in the threaded FL runtime.
+//! * [`codec`] — a framed binary codec (CRC32-protected) for shipping model
+//!   parameters between edge servers and the coordinator in the threaded FL
+//!   runtime;
+//! * [`wire`] — the versioned payload format inside those frames: `F64`,
+//!   `F32`, and `Q8` encodings with an optional delta-vs-global mode, all
+//!   through zero-steady-state-allocation scratch buffers.
 
 #![forbid(unsafe_code)]
 
@@ -21,8 +25,10 @@ pub mod codec;
 pub mod link;
 pub mod lossy;
 pub mod medium;
+pub mod wire;
 
 pub use codec::{decode_frame, encode_frame, CodecError, Frame};
 pub use link::Link;
 pub use lossy::{LossyLink, TransferOutcome};
 pub use medium::SharedMedium;
+pub use wire::{Encoding, WireConfig, WireScratch};

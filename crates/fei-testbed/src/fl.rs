@@ -9,7 +9,7 @@
 //! scale-free).
 
 use fei_data::{Dataset, Partition, SyntheticMnist, SyntheticMnistConfig};
-use fei_fl::{FedAvg, FedAvgConfig, StopCondition, ThreadedFedAvg, TrainingHistory};
+use fei_fl::{FedAvg, FedAvgConfig, StopCondition, ThreadedFedAvg, TrainingHistory, WireConfig};
 use fei_ml::SgdConfig;
 use fei_sim::DetRng;
 use serde::{Deserialize, Serialize};
@@ -61,6 +61,10 @@ pub struct FlExperimentConfig {
     pub eval_every: usize,
     /// How the training data is spread across devices.
     pub partition: PartitionStrategy,
+    /// Uplink wire encoding for model uploads (lossless `F64` by default;
+    /// see [`fei_fl::WireConfig`]).
+    #[serde(default)]
+    pub transport: WireConfig,
     /// Seed for partitioning and client selection.
     pub seed: u64,
 }
@@ -75,6 +79,7 @@ impl Default for FlExperimentConfig {
             sgd: SgdConfig::paper_default(),
             eval_every: 1,
             partition: PartitionStrategy::Iid,
+            transport: WireConfig::default(),
             seed: 0xF1,
         }
     }
@@ -101,8 +106,15 @@ impl FlExperimentConfig {
             sgd: SgdConfig::new(0.005, 0.998, None),
             eval_every: 1,
             partition: PartitionStrategy::Iid,
+            transport: WireConfig::default(),
             seed: 0xF1,
         }
+    }
+
+    /// The same campaign under a different uplink wire encoding.
+    pub fn with_transport(mut self, transport: WireConfig) -> Self {
+        self.transport = transport;
+        self
     }
 }
 
@@ -198,6 +210,7 @@ impl FlExperiment {
             local_epochs: e,
             sgd: self.config.sgd.clone(),
             eval_every: self.config.eval_every,
+            transport: self.config.transport,
             seed: self.config.seed ^ ((k as u64) << 32) ^ e as u64,
             ..Default::default()
         };
@@ -214,6 +227,7 @@ impl FlExperiment {
             local_epochs: e,
             sgd: self.config.sgd.clone(),
             eval_every: self.config.eval_every,
+            transport: self.config.transport,
             seed: self.config.seed ^ ((k as u64) << 32) ^ e as u64,
             ..Default::default()
         };
@@ -235,6 +249,7 @@ impl FlExperiment {
             local_epochs: e,
             sgd: self.config.sgd.clone(),
             eval_every: self.config.eval_every,
+            transport: self.config.transport,
             seed: self.config.seed ^ ((k as u64) << 32) ^ e as u64,
             tolerance,
             ..Default::default()
@@ -260,6 +275,7 @@ impl FlExperiment {
             local_epochs: e,
             sgd: self.config.sgd.clone(),
             eval_every: self.config.eval_every,
+            transport: self.config.transport,
             seed: self.config.seed ^ ((k as u64) << 32) ^ e as u64,
             tolerance,
             defense,

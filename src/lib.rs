@@ -76,9 +76,10 @@ pub mod prelude {
     pub use fei_fl::{
         aggregate, robust_aggregate, try_aggregate, Adversary, AdversarySpec, AggregateError,
         AggregationRule, AsyncConfig, AsyncFedAvg, AsyncHistory, AttackBehavior, DefenseConfig,
-        FaultInjector, FaultSpec, FedAvg, FedAvgConfig, FlError, RetryPolicy, RobustRule,
+        Encoding, FaultInjector, FaultSpec, FedAvg, FedAvgConfig, FlError, RetryPolicy, RobustRule,
         RoundFaultStats, RoundOutcome, RoundRecord, ScreenPolicy, ScreenReason, ScreenReport,
-        StopCondition, ThreadedFedAvg, ToleranceConfig, TrainingHistory, UpdateScreen,
+        StopCondition, ThreadedFedAvg, ToleranceConfig, TrainingHistory, TransportStats,
+        UpdateScreen, WireConfig,
     };
     pub use fei_ml::{
         accuracy, Evaluation, GradReduction, GradScratch, LocalTrainer, LogisticRegression, Mlp,

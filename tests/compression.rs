@@ -1,0 +1,173 @@
+//! Transport-compression integration: the wire tiers exercised through the
+//! public facade, from `FlExperimentConfig::with_transport` down to the
+//! engines' byte accounting and the planner's payload-derived `e_U`.
+//!
+//! The crate-level unit tests pin the codec and the engine parity; these
+//! tests pin the *wiring*: a tier selected at the experiment level must
+//! reach both engines, move the measured bytes, leave the lossless default
+//! bit-identical, and feed the planner a payload it actually responds to.
+
+use ee_fei::net::Link;
+use ee_fei::prelude::*;
+
+const K: usize = 3;
+const E: usize = 2;
+const ROUNDS: usize = 3;
+
+const TIERS: [WireConfig; 6] = [
+    WireConfig {
+        encoding: Encoding::F64,
+        delta: false,
+    },
+    WireConfig {
+        encoding: Encoding::F64,
+        delta: true,
+    },
+    WireConfig {
+        encoding: Encoding::F32,
+        delta: false,
+    },
+    WireConfig {
+        encoding: Encoding::F32,
+        delta: true,
+    },
+    WireConfig {
+        encoding: Encoding::Q8,
+        delta: false,
+    },
+    WireConfig {
+        encoding: Encoding::Q8,
+        delta: true,
+    },
+];
+
+fn experiment(transport: WireConfig) -> FlExperiment {
+    FlExperiment::prepare(
+        FlExperimentConfig {
+            num_devices: 4,
+            scale: 0.01,
+            test_scale: 0.01,
+            ..FlExperimentConfig::paper_like()
+        }
+        .with_transport(transport),
+    )
+}
+
+/// The tier chosen at the experiment level reaches both engines, and the
+/// serial engine's simulated byte counts equal the threaded engine's
+/// measured frame lengths under every tier.
+#[test]
+fn experiment_transport_reaches_both_engines() {
+    for tier in TIERS {
+        let exp = experiment(tier);
+        let mut serial = exp.engine(K, E);
+        let mut threaded = exp.threaded_engine(K, E);
+        for _ in 0..ROUNDS {
+            serial.run_round();
+            threaded.run_round();
+        }
+        assert_eq!(
+            serial.transport_stats(),
+            threaded.transport_stats(),
+            "byte accounting diverged under {}",
+            tier.name()
+        );
+        assert_eq!(serial.transport_stats().jobs, (K * ROUNDS) as u64);
+    }
+}
+
+/// Compression moves real bytes: per-tier uplink totals are ordered
+/// `q8 < f32 < f64`, q8 clears the 4x reduction gate, and the downlink
+/// (always lossless) is tier-independent.
+#[test]
+fn compressed_tiers_shrink_the_uplink() {
+    let stats_for = |tier: WireConfig| {
+        let mut engine = experiment(tier).engine(K, E);
+        for _ in 0..ROUNDS {
+            engine.run_round();
+        }
+        engine.transport_stats()
+    };
+    let f64s = stats_for(TIERS[0]);
+    let f32s = stats_for(TIERS[2]);
+    let q8 = stats_for(TIERS[4]);
+    assert!(q8.bytes_up < f32s.bytes_up && f32s.bytes_up < f64s.bytes_up);
+    assert!(
+        q8.bytes_up * 4 <= f64s.bytes_up,
+        "q8 uplink {} not 4x below f64 {}",
+        q8.bytes_up,
+        f64s.bytes_up
+    );
+    assert_eq!(q8.bytes_down, f64s.bytes_down);
+    // Delta mode reshapes values, not sizes: byte totals match per encoding.
+    assert_eq!(stats_for(TIERS[5]).bytes_up, q8.bytes_up);
+}
+
+/// The default transport is the absolute-f64 tier — the one tier whose
+/// round trip is bit-exact (golden_numerics holds the engines to the seed
+/// bits under it). Delta f64 reconstructs `(w − g) + g`, which can round in
+/// the last ulp, and lossy tiers must visibly move weights.
+#[test]
+fn default_tier_is_lossless_and_lossy_tiers_move_weights() {
+    assert_eq!(FlExperimentConfig::paper_like().transport, TIERS[0]);
+    assert!(TIERS[0].is_lossless());
+    let weights = |tier: WireConfig| -> Vec<f64> {
+        let mut engine = experiment(tier).engine(K, E);
+        for _ in 0..ROUNDS {
+            engine.run_round();
+        }
+        engine.global_model().to_flat().to_vec()
+    };
+    let exact = weights(TIERS[0]);
+    // Delta f64 is near-lossless: ulp-scale reconstruction error only.
+    let delta = weights(TIERS[1]);
+    for (a, b) in exact.iter().zip(&delta) {
+        assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0), "{a} vs {b}");
+    }
+    // Lossy tiers genuinely go through the codec: at least one weight moves.
+    let q8: Vec<u64> = weights(TIERS[4]).iter().map(|w| w.to_bits()).collect();
+    assert_ne!(exact.iter().map(|w| w.to_bits()).collect::<Vec<_>>(), q8);
+}
+
+/// After the first round has sized the scratch, further rounds perform no
+/// codec allocations under any tier.
+#[test]
+fn codec_is_allocation_free_after_warmup() {
+    for tier in TIERS {
+        let mut engine = experiment(tier).engine(K, E);
+        engine.run_round();
+        let warm = engine.wire_allocations();
+        for _ in 1..ROUNDS {
+            engine.run_round();
+        }
+        assert_eq!(
+            engine.wire_allocations(),
+            warm,
+            "steady-state allocations under {}",
+            tier.name()
+        );
+    }
+}
+
+/// The planner consumes the tier's true payload size: a smaller encoded
+/// model yields a cheaper plan over a byte-priced uplink, and never a more
+/// expensive one over any link.
+#[test]
+fn planner_replans_from_payload_bytes() {
+    let bound = ConvergenceBound::new(50.0, 0.05, 1e-4).unwrap();
+    let planner = EeFeiPlanner::new(RoundEnergyModel::paper_default(), bound, 0.1, 20).unwrap();
+    let count = 7_850;
+    let link = Link::nb_iot();
+    let mut last_energy = f64::INFINITY;
+    for tier in [TIERS[0], TIERS[2], TIERS[4]] {
+        let plan = planner
+            .replan_for_payload(&link, tier.payload_len(count))
+            .unwrap();
+        assert!(
+            plan.solution.energy <= last_energy,
+            "{} plan costs more than the previous tier",
+            tier.name()
+        );
+        last_energy = plan.solution.energy;
+    }
+}

@@ -20,6 +20,7 @@ fn mini_experiment() -> FlExperiment {
         eval_every: 1,
         partition: PartitionStrategy::Iid,
         seed: 7,
+        transport: WireConfig::default(),
     })
 }
 

@@ -18,6 +18,7 @@ fn experiment() -> FlExperiment {
         eval_every: 1,
         partition: PartitionStrategy::Iid,
         seed: 3,
+        transport: WireConfig::default(),
     })
 }
 
