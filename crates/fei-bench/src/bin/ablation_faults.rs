@@ -42,8 +42,16 @@ fn main() {
         STRINGENT_TARGET * 100.0
     ));
     println!(
-        "{:>8} {:>7} {:>8} {:>10} {:>12} {:>12} {:>12} {:>10}",
-        "drop p", "quorum", "T(92%)", "abandoned", "useful", "wasted", "retransmit", "overhead"
+        "{:>8} {:>7} {:>8} {:>10} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "drop p",
+        "quorum",
+        "T(92%)",
+        "abandoned",
+        "useful",
+        "wasted",
+        "retransmit",
+        "control",
+        "overhead"
     );
     for drop_p in [0.0, 0.2, 0.4, 0.6] {
         for quorum in [1usize, K / 2, K] {
@@ -58,11 +66,12 @@ fn main() {
                 .rounds_to_accuracy(STRINGENT_TARGET)
                 .map_or_else(|| "miss".into(), |t| t.to_string());
             println!(
-                "{drop_p:>8.1} {quorum:>7} {t:>8} {:>10} {:>12} {:>12} {:>12} {:>9.1}%",
+                "{drop_p:>8.1} {quorum:>7} {t:>8} {:>10} {:>12} {:>12} {:>12} {:>12} {:>9.1}%",
                 report.history.abandoned_rounds(),
                 fmt_joules(report.ledger.useful_joules()),
                 fmt_joules(report.ledger.wasted_joules()),
                 fmt_joules(report.ledger.retransmit_joules()),
+                fmt_joules(report.ledger.control_joules()),
                 report.ledger.overhead_fraction() * 100.0,
             );
         }
@@ -91,11 +100,13 @@ fn main() {
         |t| format!("reached in {t} rounds"),
     );
     println!(
-        "target {reached}; final (K, E) = ({}, {}); {} useful / {} wasted; aborted: {}",
+        "target {reached}; final (K, E) = ({}, {}); {} useful / {} wasted / {} control; \
+         aborted: {}",
         report.final_k,
         report.final_e,
         fmt_joules(report.ledger.useful_joules()),
         fmt_joules(report.ledger.wasted_joules()),
+        fmt_joules(report.ledger.control_joules()),
         report
             .aborted
             .map_or_else(|| "no".into(), |e| e.to_string()),
@@ -107,6 +118,8 @@ fn main() {
          abandoned rounds whose full energy is wasted — reliability policy, not\n\
          just loss rate, sets the real energy-to-accuracy. Under permanent\n\
          crashes, re-planning keeps the campaign alive by shrinking K* with the\n\
-         surviving fleet."
+         surviving fleet. The control column is the coordinator protocol's own\n\
+         bill — selection notices, heartbeats, and commit/abort broadcasts at\n\
+         WiFi link energy — small but never zero."
     );
 }

@@ -22,6 +22,11 @@ pub enum EnergyUse {
     /// uploads, and the energy burned producing updates the coordinator's
     /// screen rejected. It bought no progress — arguably negative progress.
     Poisoned,
+    /// Spend on coordinator-protocol control frames: join handshakes,
+    /// heartbeats, selection notices, and commit/abort broadcasts. Pure
+    /// coordination overhead — it keeps the fleet coherent but moves no
+    /// model bytes.
+    Control,
 }
 
 /// One charge against the ledger.
@@ -45,6 +50,8 @@ pub struct EnergyLedger {
     wasted_j: f64,
     retransmit_j: f64,
     poisoned_j: f64,
+    #[serde(default)]
+    control_j: f64,
 }
 
 impl EnergyLedger {
@@ -69,6 +76,7 @@ impl EnergyLedger {
             EnergyUse::Wasted => self.wasted_j += joules,
             EnergyUse::Retransmit => self.retransmit_j += joules,
             EnergyUse::Poisoned => self.poisoned_j += joules,
+            EnergyUse::Control => self.control_j += joules,
         }
         self.entries.push(LedgerEntry {
             round,
@@ -103,20 +111,26 @@ impl EnergyLedger {
         self.poisoned_j
     }
 
+    /// Joules spent on coordinator-protocol control frames.
+    pub fn control_joules(&self) -> f64 {
+        self.control_j
+    }
+
     /// Everything spent, joules.
     pub fn total_joules(&self) -> f64 {
-        self.useful_j + self.wasted_j + self.retransmit_j + self.poisoned_j
+        self.useful_j + self.wasted_j + self.retransmit_j + self.poisoned_j + self.control_j
     }
 
     /// Fraction of total energy that bought no model progress (waste,
-    /// retransmissions, and poisoned spend). Zero on an empty ledger.
+    /// retransmissions, poisoned spend, and protocol control traffic).
+    /// Zero on an empty ledger.
     pub fn overhead_fraction(&self) -> f64 {
         let total = self.total_joules();
         // fei-lint: allow(float-eq, reason = "empty-ledger division guard: charges are validated non-negative, so zero total means no charges at all")
         if total == 0.0 {
             0.0
         } else {
-            (self.wasted_j + self.retransmit_j + self.poisoned_j) / total
+            (self.wasted_j + self.retransmit_j + self.poisoned_j + self.control_j) / total
         }
     }
 
@@ -136,6 +150,7 @@ impl EnergyLedger {
         self.wasted_j += other.wasted_j;
         self.retransmit_j += other.retransmit_j;
         self.poisoned_j += other.poisoned_j;
+        self.control_j += other.control_j;
     }
 }
 
@@ -167,6 +182,21 @@ mod tests {
         assert_eq!(ledger.round_joules(3), 3.0);
         assert_eq!(ledger.round_joules(4), 4.0);
         assert_eq!(ledger.round_joules(5), 0.0);
+    }
+
+    #[test]
+    fn control_charges_are_tracked_and_count_as_overhead() {
+        let mut ledger = EnergyLedger::new();
+        ledger.charge(0, EnergyUse::Useful, 8.0, "training");
+        ledger.charge(0, EnergyUse::Control, 2.0, "heartbeats");
+        assert_eq!(ledger.control_joules(), 2.0);
+        assert_eq!(ledger.total_joules(), 10.0);
+        assert!((ledger.overhead_fraction() - 0.2).abs() < 1e-12);
+        let mut other = EnergyLedger::new();
+        other.charge(1, EnergyUse::Control, 3.0, "selection notices");
+        ledger.absorb(&other);
+        assert_eq!(ledger.control_joules(), 5.0);
+        assert_eq!(ledger.round_joules(1), 3.0);
     }
 
     #[test]

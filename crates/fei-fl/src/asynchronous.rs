@@ -18,6 +18,7 @@
 
 use fei_data::Dataset;
 use fei_ml::{Evaluation, LocalTrainer, LogisticRegression, Model, SgdConfig};
+use fei_proto::{control_round_bytes, DeviceReport, LivenessTracker, RoundMachine, RoundPolicy};
 use fei_sim::{SimDuration, SimTime, Simulation};
 use serde::{Deserialize, Serialize};
 
@@ -132,6 +133,13 @@ pub struct AsyncFedAvg<M: Model = LogisticRegression> {
     test: Dataset,
     global: M,
     trainer: LocalTrainer,
+    /// Control-plane bytes of the protocol: each merge is a one-client
+    /// round (selection notice down, heartbeat up, commit back down).
+    control_bytes: u64,
+    /// Heartbeat leases that lapsed because a client went more than
+    /// `4 · fleet` merges without delivering (the client rejoins on its
+    /// next delivery; its merges still apply, discounted by staleness).
+    lease_expiries: u64,
 }
 
 impl AsyncFedAvg<LogisticRegression> {
@@ -203,6 +211,8 @@ impl<M: Model> AsyncFedAvg<M> {
             test,
             global,
             trainer,
+            control_bytes: 0,
+            lease_expiries: 0,
         }
     }
 
@@ -214,6 +224,18 @@ impl<M: Model> AsyncFedAvg<M> {
     /// The current global model.
     pub fn global_model(&self) -> &M {
         &self.global
+    }
+
+    /// Control-plane bytes the protocol moved so far (one selection
+    /// notice, heartbeat, and commit per applied merge).
+    pub fn control_bytes(&self) -> u64 {
+        self.control_bytes
+    }
+
+    /// Heartbeat leases that lapsed so far: merges by a client that had
+    /// gone silent past its lease and had to rejoin before delivering.
+    pub fn lease_expiries(&self) -> u64 {
+        self.lease_expiries
     }
 
     /// Runs until `max_updates` merges have been applied (or until
@@ -233,6 +255,13 @@ impl<M: Model> AsyncFedAvg<M> {
 
         let mut history = AsyncHistory::default();
         let mut version = 0usize;
+        // Heartbeat leases on the merge clock: a client is expected to
+        // deliver at least every 4·n merges (four full waves of an equal
+        // fleet) or its lease lapses and it rejoins on the next delivery.
+        let mut liveness = LivenessTracker::new(4 * n as u64);
+        for client in 0..n {
+            liveness.register(client as u64, 0);
+        }
         while history.len() < max_updates {
             let Some((now, client)) = sim.step() else {
                 break;
@@ -248,6 +277,42 @@ impl<M: Model> AsyncFedAvg<M> {
             );
 
             let staleness = version - snapshot_version[client];
+
+            // Each arrival is a degenerate one-client round driven through
+            // the shared fei-proto decision core: quorum 1, no deadline —
+            // asynchrony discounts staleness instead of rejecting it.
+            liveness.expire(version as u64);
+            if liveness.contains(client as u64) {
+                let _ = liveness.beat(client as u64, version as u64);
+            } else {
+                // The lease lapsed while the job ran; the client rejoins.
+                self.lease_expiries += 1;
+                liveness.register(client as u64, version as u64);
+            }
+            let policy = RoundPolicy {
+                k: 1,
+                over_select: 0,
+                quorum: 1,
+                deadline_s: None,
+            };
+            let Ok(mut machine) = RoundMachine::begin(policy, version as u64, 1) else {
+                // Unreachable: one delivering client satisfies a quorum of 1.
+                break;
+            };
+            machine.offer(
+                client,
+                DeviceReport {
+                    straggle_factor: 1.0 + staleness as f64,
+                    delivered: true,
+                    arrival_s: 0.0,
+                },
+            );
+            let closed = machine.close();
+            if !closed.quorum_met {
+                break;
+            }
+            self.control_bytes += control_round_bytes(1, 1, true, 1);
+
             let weight = self.config.mixing_rate
                 / (1.0 + staleness as f64).powf(self.config.staleness_exponent);
             merge_into(&mut self.global, &local, weight);
@@ -410,6 +475,36 @@ mod tests {
         }
         let counts = history.updates_per_client(2);
         assert!(counts[0] > counts[1]);
+    }
+
+    #[test]
+    fn control_bytes_count_one_protocol_round_per_merge() {
+        let (clients, test) = setup(3, 90);
+        let mut run = AsyncFedAvg::new(fast_config(3), clients, test);
+        let history = run.run(30, None);
+        let per_merge = fei_proto::control_round_bytes(1, 1, true, 1);
+        assert_eq!(run.control_bytes(), history.len() as u64 * per_merge);
+        // An equal-speed fleet never outruns its leases.
+        assert_eq!(run.lease_expiries(), 0);
+    }
+
+    #[test]
+    fn slow_client_lease_lapses_and_rejoins() {
+        // A 20x-slow client goes ~40 merges between deliveries while the
+        // lease allows 4·n = 12: it expires and rejoins each time — and its
+        // merges still apply, staleness-discounted, exactly as before.
+        let (clients, test) = setup(3, 90);
+        let config = AsyncConfig {
+            job_seconds: vec![1.0, 1.0, 20.0],
+            ..fast_config(3)
+        };
+        let mut run = AsyncFedAvg::new(config, clients, test);
+        let history = run.run(80, None);
+        assert!(run.lease_expiries() >= 1, "slow client never lapsed");
+        assert!(
+            history.updates_per_client(3)[2] >= 1,
+            "lapsed client must still contribute after rejoining"
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@ use fei_ml::{
     Evaluation, GradScratch, LocalTrainer, LogisticRegression, Model, SgdConfig, TrainStats,
 };
 use fei_net::wire::{WireConfig, WireScratch};
+use fei_proto::{control_round_bytes, DeviceReport, RoundMachine, RoundPolicy};
 use fei_sim::DetRng;
 use serde::{Deserialize, Serialize};
 
@@ -530,56 +531,58 @@ impl<M: Model> FedAvg<M> {
             }
             Some(injector) => {
                 let tol = self.config.tolerance.clone();
-                let k = self.config.clients_per_round;
                 let n = self.clients.len();
-                let quorum = tol.effective_quorum();
 
+                // The protocol's round decision core: quorum gate,
+                // over-selection width, deadline admission, and the
+                // first-K-by-arrival race all live in fei-proto so this
+                // engine, the threaded engine, and the frame-driven
+                // coordinator share one implementation.
+                let policy = RoundPolicy {
+                    k: self.config.clients_per_round,
+                    over_select: tol.over_select,
+                    quorum: tol.effective_quorum(),
+                    deadline_s: tol.deadline_s,
+                };
                 let alive = injector.live_fleet(n, t).len();
-                if alive < quorum {
-                    return Err(FlError::FleetBelowQuorum {
+                // `RoundMachine::begin` fails only on quorum loss.
+                let mut machine = RoundMachine::begin(policy, t as u64, alive).map_err(|_| {
+                    FlError::FleetBelowQuorum {
                         round: t,
                         alive,
-                        required: quorum,
-                    });
-                }
+                        required: policy.quorum,
+                    }
+                })?;
 
                 // Over-select K + m as a dropout hedge.
-                let want = (k + tol.over_select).min(n);
-                let selected = self.selector.select(t, want);
+                let selected = self.selector.select(t, machine.selection_width(n));
 
                 let mut faults = RoundFaultStats::default();
-                let mut arrivals: Vec<(f64, usize)> = Vec::with_capacity(selected.len());
                 for &device in &selected {
                     if injector.is_down(device, t) {
-                        faults.crashed += 1;
+                        machine.offer_crashed(device);
                         continue;
                     }
                     let factor = injector.straggle_factor(device, t);
-                    if factor > 1.0 {
-                        faults.stragglers += 1;
-                    }
                     let upload = injector.upload_outcome(device, t, &tol.retry);
                     faults.corrupted_frames += upload.corrupted;
                     faults.upload_retries += upload.attempts - 1;
-                    if !upload.delivered {
-                        faults.abandoned_uploads += 1;
-                        continue;
-                    }
-                    let arrival = tol.nominal_round_s * factor + upload.backoff_s;
-                    if tol.deadline_s.is_some_and(|d| arrival > d) {
-                        faults.deadline_misses += 1;
-                        continue;
-                    }
-                    arrivals.push((arrival, device));
+                    machine.offer(
+                        device,
+                        DeviceReport {
+                            straggle_factor: factor,
+                            delivered: upload.delivered,
+                            arrival_s: tol.nominal_round_s * factor + upload.backoff_s,
+                        },
+                    );
                 }
 
-                // First K arrivals win; ties break by device id.
-                arrivals.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-                let mut responded: Vec<usize> =
-                    arrivals.iter().take(k).map(|&(_, device)| device).collect();
-                responded.sort_unstable();
-
-                self.complete_round(t, selected, responded, faults)
+                let closed = machine.close();
+                faults.crashed = closed.tally.crashed;
+                faults.stragglers = closed.tally.stragglers;
+                faults.abandoned_uploads = closed.tally.abandoned_uploads;
+                faults.deadline_misses = closed.tally.deadline_misses;
+                self.complete_round(t, selected, closed.accepted, faults)
             }
         }
     }
@@ -659,6 +662,17 @@ impl<M: Model> FedAvg<M> {
             faults.clipped_updates = report.clipped;
         }
         let outcome = RoundOutcome::of(updates.len(), selected.len(), quorum);
+
+        // Control-plane traffic of the protocol round: a selection notice
+        // down to every selected device, one heartbeat up from each device
+        // that was up, and the commit-or-abort verdict back down. Charged
+        // identically by the threaded engine.
+        self.transport.bytes_control += control_round_bytes(
+            selected.len(),
+            selected.len() - faults.crashed,
+            outcome.committed(),
+            responded.len(),
+        );
 
         if outcome.committed() && !updates.is_empty() {
             let merged = match &self.config.defense {

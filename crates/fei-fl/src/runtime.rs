@@ -18,6 +18,7 @@ use fei_data::Dataset;
 use fei_ml::{GradScratch, LocalTrainer, LogisticRegression, Model};
 use fei_net::codec::{decode_frame, encode_frame, encode_frame_into, FRAME_OVERHEAD};
 use fei_net::wire::{WireConfig, WireScratch};
+use fei_proto::{control_round_bytes, DeviceReport, RoundMachine, RoundPolicy};
 use parking_lot::Mutex;
 
 use crate::adversary::{flip_dataset_labels, Adversary, AdversarySpec};
@@ -70,6 +71,10 @@ pub struct TransportStats {
     /// Bytes retransmitted on the uplink: every lost or corrupted upload
     /// attempt resends the full update frame.
     pub bytes_retransmitted: u64,
+    /// Control-plane bytes (selection notices, heartbeats, round verdicts)
+    /// of the coordinator protocol, both directions. Model payloads ride
+    /// the data-plane frames counted above.
+    pub bytes_control: u64,
     /// Number of local-training jobs executed.
     pub jobs: u64,
 }
@@ -451,52 +456,54 @@ impl<M: Model> ThreadedFedAvg<M> {
             }
             Some(injector) => {
                 let tol = self.config.tolerance.clone();
-                let k = self.config.clients_per_round;
                 let n = self.client_sizes.len();
-                let quorum = tol.effective_quorum();
 
+                // The same fei-proto round decision core the in-process
+                // engine executes: one implementation of the quorum gate,
+                // selection width, deadline admission, and first-K race.
+                let policy = RoundPolicy {
+                    k: self.config.clients_per_round,
+                    over_select: tol.over_select,
+                    quorum: tol.effective_quorum(),
+                    deadline_s: tol.deadline_s,
+                };
                 let alive = injector.live_fleet(n, t).len();
-                if alive < quorum {
-                    return Err(FlError::FleetBelowQuorum {
+                // `RoundMachine::begin` fails only on quorum loss.
+                let mut machine = RoundMachine::begin(policy, t as u64, alive).map_err(|_| {
+                    FlError::FleetBelowQuorum {
                         round: t,
                         alive,
-                        required: quorum,
-                    });
-                }
+                        required: policy.quorum,
+                    }
+                })?;
 
-                let want = (k + tol.over_select).min(n);
-                let selected = self.selector.select(t, want);
+                let selected = self.selector.select(t, machine.selection_width(n));
 
-                let mut arrivals: Vec<(f64, usize)> = Vec::with_capacity(selected.len());
                 for &device in &selected {
                     if injector.is_down(device, t) {
-                        faults.crashed += 1;
+                        machine.offer_crashed(device);
                         continue;
                     }
                     let factor = injector.straggle_factor(device, t);
-                    if factor > 1.0 {
-                        faults.stragglers += 1;
-                    }
                     let upload = injector.upload_outcome(device, t, &tol.retry);
                     faults.corrupted_frames += upload.corrupted;
                     faults.upload_retries += upload.attempts - 1;
-                    if !upload.delivered {
-                        faults.abandoned_uploads += 1;
-                        continue;
-                    }
-                    let arrival = tol.nominal_round_s * factor + upload.backoff_s;
-                    if tol.deadline_s.is_some_and(|d| arrival > d) {
-                        faults.deadline_misses += 1;
-                        continue;
-                    }
-                    arrivals.push((arrival, device));
+                    machine.offer(
+                        device,
+                        DeviceReport {
+                            straggle_factor: factor,
+                            delivered: upload.delivered,
+                            arrival_s: tol.nominal_round_s * factor + upload.backoff_s,
+                        },
+                    );
                 }
 
-                arrivals.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-                let mut planned: Vec<usize> =
-                    arrivals.iter().take(k).map(|&(_, device)| device).collect();
-                planned.sort_unstable();
-                (selected, planned)
+                let closed = machine.close();
+                faults.crashed = closed.tally.crashed;
+                faults.stragglers = closed.tally.stragglers;
+                faults.abandoned_uploads = closed.tally.abandoned_uploads;
+                faults.deadline_misses = closed.tally.deadline_misses;
+                (selected, closed.accepted)
             }
         };
 
@@ -595,6 +602,15 @@ impl<M: Model> ThreadedFedAvg<M> {
 
         let quorum = self.config.tolerance.effective_quorum();
         let outcome = RoundOutcome::of(pairs.len(), selected.len(), quorum);
+
+        // Control-plane traffic of the protocol round, charged exactly as
+        // the in-process engine charges it.
+        self.stats.lock().bytes_control += control_round_bytes(
+            selected.len(),
+            selected.len() - faults.crashed,
+            outcome.committed(),
+            responded.len(),
+        );
         if outcome.committed() && !pairs.is_empty() {
             let merged = match &self.config.defense {
                 Some(defense) => robust_aggregate(&pairs, defense.rule),

@@ -1,0 +1,6 @@
+//! Known-bad: OS entropy jittering retransmit backoff. The same chaos
+//! seed would replay different protocol histories run to run.
+pub fn jittered_backoff(base_ticks: u64) -> u64 {
+    let mut rng = thread_rng();
+    base_ticks + rng.gen_range(0..base_ticks)
+}

@@ -1,0 +1,5 @@
+//! Known-good: backoff derived from the attempt counter alone — pure in
+//! its inputs, identical on every replay.
+pub fn backoff_ticks(base_ticks: u64, attempt: u32) -> u64 {
+    base_ticks.max(1) * (1u64 << attempt.min(16))
+}

@@ -1,0 +1,7 @@
+//! Known-bad: a hash-ordered client roster in the protocol crate. Frame
+//! emission order would vary per process, breaking byte-replayability.
+use std::collections::HashMap;
+
+pub fn broadcast_order(beats: &HashMap<u64, u64>) -> Vec<u64> {
+    beats.keys().copied().collect()
+}

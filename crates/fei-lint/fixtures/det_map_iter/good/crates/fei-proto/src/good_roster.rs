@@ -1,0 +1,6 @@
+//! Known-good: an ordered roster keeps frame emission order reproducible.
+use std::collections::BTreeMap;
+
+pub fn broadcast_order(beats: &BTreeMap<u64, u64>) -> Vec<u64> {
+    beats.keys().copied().collect()
+}

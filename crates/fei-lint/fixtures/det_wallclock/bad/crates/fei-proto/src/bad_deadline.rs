@@ -1,0 +1,19 @@
+//! Known-bad: wall-clock round deadlines. Heartbeat expiry would depend
+//! on host load instead of the simulated tick, so replays diverge.
+use std::time::Instant;
+
+pub struct RoundDeadline {
+    opened: Instant,
+}
+
+impl RoundDeadline {
+    pub fn open() -> Self {
+        Self {
+            opened: Instant::now(),
+        }
+    }
+
+    pub fn expired(&self, budget_ms: u128) -> bool {
+        self.opened.elapsed().as_millis() > budget_ms
+    }
+}

@@ -1,0 +1,19 @@
+//! Known-good: deadlines measured on the driver's logical tick, never the
+//! OS clock.
+pub struct RoundDeadline {
+    opened_tick: u64,
+    budget_ticks: u64,
+}
+
+impl RoundDeadline {
+    pub fn open(now: u64, budget_ticks: u64) -> Self {
+        Self {
+            opened_tick: now,
+            budget_ticks,
+        }
+    }
+
+    pub fn expired(&self, now: u64) -> bool {
+        now.saturating_sub(self.opened_tick) >= self.budget_ticks
+    }
+}

@@ -1,0 +1,9 @@
+//! Known-bad: exact float comparison on arrival times. An arrival that
+//! differs from the sentinel in the last ulp silently changes ranking.
+pub fn arrived_instantly(arrival_s: f64) -> bool {
+    arrival_s == 0.0
+}
+
+pub fn straggled(factor: f64) -> bool {
+    factor != 1.0f64
+}

@@ -1,0 +1,10 @@
+//! Known-good: total-order comparison ranks arrivals; ties break on the
+//! integer device id, never on float equality.
+use std::cmp::Ordering;
+
+pub fn rank(arrivals: &mut Vec<(f64, usize)>) {
+    arrivals.sort_by(|a, b| match a.0.total_cmp(&b.0) {
+        Ordering::Equal => a.1.cmp(&b.1),
+        other => other,
+    });
+}

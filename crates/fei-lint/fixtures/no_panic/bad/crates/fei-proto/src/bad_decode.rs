@@ -1,0 +1,10 @@
+//! Known-bad: panicking on wire input. A corrupted frame is a normal
+//! event on a lossy link and must surface as a typed error, never abort
+//! the coordinator.
+pub fn client_id(payload: &[u8]) -> u64 {
+    let bytes: [u8; 8] = payload[1..9].try_into().unwrap();
+    if payload[0] != 1 {
+        panic!("unsupported protocol version {}", payload[0]);
+    }
+    u64::from_be_bytes(bytes)
+}

@@ -1,0 +1,26 @@
+//! Known-good: wire input failures are typed; test code may still panic.
+pub enum DecodeError {
+    Truncated,
+    VersionMismatch(u8),
+}
+
+pub fn client_id(payload: &[u8]) -> Result<u64, DecodeError> {
+    match payload {
+        [1, body @ ..] if body.len() >= 8 => {
+            let bytes: [u8; 8] = body[..8].try_into().map_err(|_| DecodeError::Truncated)?;
+            Ok(u64::from_be_bytes(bytes))
+        }
+        [version, ..] if *version != 1 => Err(DecodeError::VersionMismatch(*version)),
+        _ => Err(DecodeError::Truncated),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn round_trips() {
+        let mut payload = vec![1u8];
+        payload.extend_from_slice(&7u64.to_be_bytes());
+        assert_eq!(super::client_id(&payload).ok().unwrap(), 7);
+    }
+}

@@ -39,6 +39,7 @@ impl LintConfig {
             det_crates: vec![
                 "fei-fl".to_string(),
                 "fei-core".to_string(),
+                "fei-proto".to_string(),
                 "fei-sim".to_string(),
             ],
             ledger_crates: vec!["fei-core".to_string(), "fei-power".to_string()],

@@ -140,8 +140,8 @@ fn cli_json_reports_per_rule_counts() {
         .expect("invariant: the fei-lint binary was built alongside this test");
     assert_eq!(out.status.code(), Some(1));
     let json = String::from_utf8_lossy(&out.stdout);
-    assert!(json.contains("\"violations_total\": 5"), "{json}");
-    assert!(json.contains("\"float-eq\": {\"violations\": 5}"), "{json}");
+    assert!(json.contains("\"violations_total\": 7"), "{json}");
+    assert!(json.contains("\"float-eq\": {\"violations\": 7}"), "{json}");
     assert!(json.contains("\"no-panic\": {\"violations\": 0}"), "{json}");
     assert!(json.contains("\"rule\": \"float-eq\""), "{json}");
 }

@@ -1,0 +1,452 @@
+//! Deterministic in-process protocol cluster.
+//!
+//! A [`Cluster`] wires one [`Coordinator`] to a fleet of [`Participant`]s
+//! through two [`ChaosLink`]s (uplink and downlink) and drives everything
+//! on a single virtual clock. All traffic crosses the links as encoded
+//! wire frames — the same bytes a real deployment would ship — so chaos
+//! (drops, duplicates, reordering, corruption) hits the protocol exactly
+//! where a lossy network would.
+//!
+//! The cluster also audits the protocol from outside:
+//!
+//! * **liveness** — the run either closes its target number of rounds
+//!   (each committed or aborted) or reports itself `stuck`;
+//! * **safety** — an independent shadow of every heartbeat actually
+//!   delivered to the coordinator cross-checks each commit: an accepted
+//!   client whose lease had lapsed is counted as a
+//!   [`ClusterReport::safety_violations`].
+
+use std::collections::BTreeMap;
+
+use crate::chaos::{ChaosConfig, ChaosLink, ChaosStats, Envelope, COORDINATOR_ADDR};
+use crate::coordinator::{ControlStats, Coordinator, CoordinatorConfig, Effect, Phase};
+use crate::error::ProtoError;
+use crate::frames::ControlFrame;
+use crate::participant::{Participant, ParticipantConfig, ParticipantStats};
+
+/// Full description of one cluster run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Coordinator protocol parameters.
+    pub coordinator: CoordinatorConfig,
+    /// The participant fleet (client ids should be unique).
+    pub participants: Vec<ParticipantConfig>,
+    /// Chaos profile of the participant → coordinator direction.
+    pub uplink: ChaosConfig,
+    /// Chaos profile of the coordinator → participant direction.
+    pub downlink: ChaosConfig,
+    /// Rounds to close (committed or aborted) before the run ends.
+    pub target_rounds: u64,
+    /// Tick budget; hitting it before the target marks the run stuck.
+    pub max_ticks: u64,
+    /// Global-model payload shipped in selection notices.
+    pub global_payload: Vec<u8>,
+}
+
+impl ClusterConfig {
+    /// A quiet-network cluster of `n` well-behaved participants.
+    pub fn quiet(coordinator: CoordinatorConfig, n: u64, target_rounds: u64) -> Self {
+        Self {
+            coordinator,
+            participants: (0..n).map(|c| ParticipantConfig::new(c, 3)).collect(),
+            uplink: ChaosConfig::quiet(1),
+            downlink: ChaosConfig::quiet(2),
+            target_rounds,
+            max_ticks: 10_000,
+            global_payload: vec![0xAB; 64],
+        }
+    }
+}
+
+/// One closed round as the cluster observed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundVerdict {
+    /// The round number.
+    pub round: u64,
+    /// Whether it committed (false = aborted).
+    pub committed: bool,
+    /// Accepted clients (empty on abort), ascending.
+    pub accepted: Vec<u64>,
+    /// Tick the verdict landed.
+    pub closed_at: u64,
+}
+
+/// What one cluster run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Rounds that committed.
+    pub committed: u64,
+    /// Rounds that aborted.
+    pub aborted: u64,
+    /// Ticks consumed.
+    pub ticks: u64,
+    /// True when the tick budget ran out before the round target — a
+    /// liveness failure.
+    pub stuck: bool,
+    /// Commits that accepted a client whose delivered-heartbeat shadow had
+    /// lapsed — a safety failure. Must be zero.
+    pub safety_violations: u64,
+    /// `(round, alive)` fleet-shrink events, in emission order — each is a
+    /// cue for the driver to re-plan `(K*, E*)` for the surviving fleet.
+    pub replan_events: Vec<(u64, usize)>,
+    /// Chronological verdict log.
+    pub round_log: Vec<RoundVerdict>,
+    /// Uplink misbehaviour counters.
+    pub uplink: ChaosStats,
+    /// Downlink misbehaviour counters.
+    pub downlink: ChaosStats,
+    /// Control bytes offered upstream (pre-chaos, sender-side).
+    pub control_bytes_up: u64,
+    /// Control bytes offered downstream (pre-chaos, sender-side).
+    pub control_bytes_down: u64,
+    /// Coordinator traffic counters.
+    pub coordinator: ControlStats,
+    /// Per-participant traffic counters, in fleet order.
+    pub participants: Vec<ParticipantStats>,
+}
+
+impl ClusterReport {
+    /// Whether every targeted round closed within the tick budget.
+    pub fn liveness_ok(&self) -> bool {
+        !self.stuck
+    }
+
+    /// Whether no expired client's update was ever aggregated.
+    pub fn safety_ok(&self) -> bool {
+        self.safety_violations == 0
+    }
+
+    /// Total control-plane bytes offered to the wire, both directions.
+    pub fn control_bytes(&self) -> u64 {
+        self.control_bytes_up + self.control_bytes_down
+    }
+}
+
+/// The in-process cluster driver.
+#[derive(Debug)]
+pub struct Cluster {
+    config: ClusterConfig,
+    coordinator: Coordinator,
+    participants: Vec<Participant>,
+    uplink: ChaosLink,
+    downlink: ChaosLink,
+    /// Independent record of the last tick each client's join/heartbeat was
+    /// actually *delivered* to the coordinator — the safety cross-check.
+    shadow_beat: BTreeMap<u64, u64>,
+    report: ClusterReport,
+}
+
+impl Cluster {
+    /// Builds a cluster; nothing runs until [`Cluster::run`].
+    pub fn new(config: ClusterConfig) -> Self {
+        let mut coordinator = Coordinator::new(config.coordinator.clone());
+        coordinator.set_global(config.global_payload.clone());
+        let participants: Vec<Participant> = config
+            .participants
+            .iter()
+            .map(|p| Participant::new(p.clone()))
+            .collect();
+        let report = ClusterReport {
+            committed: 0,
+            aborted: 0,
+            ticks: 0,
+            stuck: false,
+            safety_violations: 0,
+            replan_events: Vec::new(),
+            round_log: Vec::new(),
+            uplink: ChaosStats::default(),
+            downlink: ChaosStats::default(),
+            control_bytes_up: 0,
+            control_bytes_down: 0,
+            coordinator: ControlStats::default(),
+            participants: Vec::new(),
+        };
+        Self {
+            uplink: ChaosLink::new(config.uplink),
+            downlink: ChaosLink::new(config.downlink),
+            config,
+            coordinator,
+            participants,
+            shadow_beat: BTreeMap::new(),
+            report,
+        }
+    }
+
+    /// Runs the cluster to its round target (or tick budget) and reports.
+    pub fn run(mut self) -> ClusterReport {
+        self.coordinator
+            .open_rendezvous()
+            .expect("invariant: a fresh coordinator is idle");
+        let mut inbox: Vec<Envelope> = Vec::new();
+        // Tick 0: the whole fleet fires its join handshake.
+        for i in 0..self.participants.len() {
+            let join = self.participants[i].start(0);
+            self.send_up(join, &mut inbox);
+        }
+        let mut tick = 0;
+        while tick < self.config.max_ticks {
+            // 1. Participants act on the current tick.
+            for i in 0..self.participants.len() {
+                for frame in self.participants[i].tick(tick) {
+                    self.send_up(frame, &mut inbox);
+                }
+            }
+            self.uplink.drain(&mut inbox);
+            // 2. Deliver upstream traffic to the coordinator.
+            let deliveries = std::mem::take(&mut inbox);
+            let mut outbox: Vec<Envelope> = Vec::new();
+            for envelope in deliveries {
+                self.deliver_up(envelope, tick, &mut inbox, &mut outbox);
+            }
+            // 3. Open the next round whenever the coordinator is between
+            //    rounds and the target is still ahead.
+            if self.rounds_closed() < self.config.target_rounds
+                && matches!(
+                    self.coordinator.phase(),
+                    Phase::Rendezvous | Phase::RoundClosed
+                )
+            {
+                // Quorum not yet live (joins still in flight, or the fleet
+                // shrank): wait a tick and retry. The phase gate above makes
+                // any other rejection impossible, so it is safe to wait on
+                // those too rather than panic.
+                if let Ok(effects) = self.coordinator.start_round(tick) {
+                    self.absorb(effects, tick, &mut outbox);
+                }
+            }
+            // 4. Advance the coordinator clock: expiry, collapse, deadline.
+            let effects = self.coordinator.tick(tick);
+            self.absorb(effects, tick, &mut outbox);
+            // 5. Deliver downstream traffic.
+            self.downlink.drain(&mut outbox);
+            for envelope in outbox {
+                self.deliver_down(envelope, tick);
+            }
+            self.report.ticks = tick + 1;
+            if self.rounds_closed() >= self.config.target_rounds {
+                break;
+            }
+            tick += 1;
+        }
+        self.report.stuck = self.rounds_closed() < self.config.target_rounds;
+        self.report.uplink = self.uplink.stats();
+        self.report.downlink = self.downlink.stats();
+        self.report.coordinator = self.coordinator.stats();
+        self.report.participants = self.participants.iter().map(|p| p.stats()).collect();
+        self.report
+    }
+
+    fn rounds_closed(&self) -> u64 {
+        self.report.committed + self.report.aborted
+    }
+
+    /// Encodes and offers one upstream frame to the uplink, charging its
+    /// bytes at the sender (duplicates are the network's doing, not the
+    /// device's radio).
+    fn send_up(&mut self, frame: ControlFrame, inbox: &mut Vec<Envelope>) {
+        let bytes = frame.encode();
+        self.report.control_bytes_up += bytes.len() as u64;
+        self.uplink.push(
+            Envelope {
+                to: COORDINATOR_ADDR,
+                bytes,
+            },
+            inbox,
+        );
+    }
+
+    /// Delivers one upstream envelope to the coordinator, maintaining the
+    /// shadow liveness record and bouncing unknown clients into a rejoin.
+    fn deliver_up(
+        &mut self,
+        envelope: Envelope,
+        tick: u64,
+        inbox: &mut Vec<Envelope>,
+        outbox: &mut Vec<Envelope>,
+    ) {
+        // Shadow the liveness-bearing frames *as delivered*, independently
+        // of the coordinator's own bookkeeping.
+        if let Ok((
+            ControlFrame::JoinRequest { client, .. } | ControlFrame::Heartbeat { client, .. },
+            _,
+        )) = ControlFrame::decode(&envelope.bytes)
+        {
+            let entry = self.shadow_beat.entry(client).or_insert(tick);
+            *entry = (*entry).max(tick);
+        }
+        match self.coordinator.handle_frame(&envelope.bytes, tick) {
+            Ok(effects) => self.absorb(effects, tick, outbox),
+            // A heartbeat from a client the coordinator already expired:
+            // the driver kicks that participant back into the handshake.
+            Err(ProtoError::UnknownClient { client }) => {
+                if let Some(i) = self.participant_index(client) {
+                    let rejoin = self.participants[i].start(tick);
+                    self.send_up(rejoin, inbox);
+                }
+            }
+            // Everything else — corrupted frames, stale rounds, duplicate
+            // or expired submissions — is a typed rejection the protocol
+            // absorbs by design.
+            Err(_) => {}
+        }
+    }
+
+    /// Routes one downstream envelope to its participant.
+    fn deliver_down(&mut self, envelope: Envelope, tick: u64) {
+        if let Some(i) = self.participant_index(envelope.to) {
+            // Typed rejections (corruption, stale rounds, misroutes) are
+            // absorbed; responses flow out on the next tick.
+            let _ = self.participants[i].handle_frame(&envelope.bytes, tick);
+        }
+    }
+
+    fn participant_index(&self, client: u64) -> Option<usize> {
+        self.participants.iter().position(|p| p.client() == client)
+    }
+
+    /// Folds coordinator effects into the report and the downlink.
+    fn absorb(&mut self, effects: Vec<Effect>, tick: u64, outbox: &mut Vec<Envelope>) {
+        for effect in effects {
+            match effect {
+                Effect::Send { to, frame } => {
+                    let bytes = frame.encode();
+                    self.report.control_bytes_down += bytes.len() as u64;
+                    self.downlink.push(Envelope { to, bytes }, outbox);
+                }
+                Effect::RoundCommitted { round, accepted } => {
+                    self.audit_commit(&accepted, tick);
+                    self.report.committed += 1;
+                    self.report.round_log.push(RoundVerdict {
+                        round,
+                        committed: true,
+                        accepted,
+                        closed_at: tick,
+                    });
+                }
+                Effect::RoundAborted { round, .. } => {
+                    self.report.aborted += 1;
+                    self.report.round_log.push(RoundVerdict {
+                        round,
+                        committed: false,
+                        accepted: Vec::new(),
+                        closed_at: tick,
+                    });
+                }
+                Effect::FleetShrunk { round, alive } => {
+                    self.report.replan_events.push((round, alive));
+                }
+            }
+        }
+    }
+
+    /// The independent safety audit: every accepted client must have had a
+    /// join or heartbeat *delivered* within the lease window ending at the
+    /// commit tick.
+    fn audit_commit(&mut self, accepted: &[u64], tick: u64) {
+        let timeout = self.config.coordinator.heartbeat_timeout;
+        for client in accepted {
+            let live = self
+                .shadow_beat
+                .get(client)
+                .is_some_and(|&last| tick.saturating_sub(last) < timeout);
+            if !live {
+                self.report.safety_violations += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coordinator_config() -> CoordinatorConfig {
+        CoordinatorConfig {
+            k: 2,
+            over_select: 1,
+            quorum: 2,
+            epochs: 5,
+            heartbeat_interval: 5,
+            heartbeat_timeout: 20,
+            round_deadline: 40,
+        }
+    }
+
+    #[test]
+    fn quiet_cluster_commits_every_round() {
+        let report = Cluster::new(ClusterConfig::quiet(coordinator_config(), 4, 5)).run();
+        assert!(report.liveness_ok(), "{report:?}");
+        assert!(report.safety_ok(), "{report:?}");
+        assert_eq!(report.committed, 5);
+        assert_eq!(report.aborted, 0);
+        for verdict in &report.round_log {
+            assert_eq!(verdict.accepted.len(), 2, "K = 2 winners per round");
+        }
+        assert!(report.control_bytes() > 0);
+    }
+
+    #[test]
+    fn quiet_cluster_is_deterministic() {
+        let a = Cluster::new(ClusterConfig::quiet(coordinator_config(), 4, 5)).run();
+        let b = Cluster::new(ClusterConfig::quiet(coordinator_config(), 4, 5)).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chaotic_cluster_still_closes_every_round() {
+        let chaos = ChaosConfig {
+            drop_prob: 0.1,
+            dup_prob: 0.1,
+            reorder_prob: 0.1,
+            corrupt_prob: 0.05,
+            seed: 42,
+        };
+        let mut config = ClusterConfig::quiet(coordinator_config(), 5, 8);
+        config.uplink = chaos;
+        config.downlink = ChaosConfig { seed: 43, ..chaos };
+        let report = Cluster::new(config).run();
+        assert!(report.liveness_ok(), "{report:?}");
+        assert!(report.safety_ok(), "{report:?}");
+        assert_eq!(report.committed + report.aborted, 8);
+    }
+
+    #[test]
+    fn muted_participants_are_never_aggregated_after_expiry() {
+        // Three honest clients and two that never heartbeat: the mutes'
+        // leases lapse 20 ticks after joining, while the round deadline is
+        // 40 — any update of theirs buffered early must be voided.
+        let mut config = ClusterConfig::quiet(coordinator_config(), 3, 6);
+        for client in [3u64, 4] {
+            config.participants.push(ParticipantConfig {
+                mute_heartbeats: true,
+                ..ParticipantConfig::new(client, 3)
+            });
+        }
+        config.max_ticks = 5_000;
+        let report = Cluster::new(config).run();
+        assert!(report.safety_ok(), "{report:?}");
+        assert!(report.liveness_ok(), "{report:?}");
+        // After the mutes expire, later commits only ever accept 0..=2.
+        let last = report.round_log.last().expect("rounds closed");
+        assert!(last.accepted.iter().all(|&c| c < 3), "{report:?}");
+    }
+
+    #[test]
+    fn fleet_shrink_emits_replan_cues() {
+        // K = 3 but only 2 participants ever join: every round opens with
+        // a shrunken fleet and cues a re-plan.
+        let config = CoordinatorConfig {
+            k: 3,
+            over_select: 0,
+            quorum: 2,
+            epochs: 5,
+            heartbeat_interval: 5,
+            heartbeat_timeout: 20,
+            round_deadline: 40,
+        };
+        let report = Cluster::new(ClusterConfig::quiet(config, 2, 3)).run();
+        assert!(report.liveness_ok(), "{report:?}");
+        assert!(!report.replan_events.is_empty());
+        assert!(report.replan_events.iter().all(|&(_, alive)| alive == 2));
+    }
+}

@@ -1,0 +1,859 @@
+//! The frame-driven coordinator state machine.
+//!
+//! An event-driven coordinator that speaks **only** control-plane frames
+//! ([`crate::ControlFrame`]) and advances through
+//! `Idle → Rendezvous → Selected → Training → Aggregating → RoundClosed`.
+//! It owns no transport and no clock: drivers push decoded byte frames via
+//! [`Coordinator::handle_frame`] and advance virtual time via
+//! [`Coordinator::tick`]; the machine answers with [`Effect`]s (frames to
+//! send, rounds committed or aborted, re-plan hooks). Identical inputs
+//! produce identical outputs — the chaos campaign leans on that to replay
+//! fault schedules bit-for-bit.
+//!
+//! Robustness contract:
+//!
+//! * **liveness** — every opened round reaches `RoundClosed` by its
+//!   deadline tick at the latest, committing a quorum-satisfying partial
+//!   set or aborting;
+//! * **safety** — an update from a client whose heartbeat lease has
+//!   expired is never aggregated: late submissions are rejected with
+//!   [`ProtoError::ExpiredClient`], and buffered updates are discarded the
+//!   moment their sender expires.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use fei_net::wire::WIRE_VERSION;
+
+use crate::error::ProtoError;
+use crate::frames::{AbortReason, ControlFrame};
+use crate::liveness::LivenessTracker;
+use crate::round::{first_k_by_arrival, RoundPolicy};
+
+/// Protocol states of the coordinator (and mirrored by participants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Not yet accepting anyone.
+    Idle,
+    /// Accepting joins; no round open.
+    Rendezvous,
+    /// Selection notices sent; waiting for the first update.
+    Selected,
+    /// At least one update arrived; collecting the rest.
+    Training,
+    /// Ranking arrivals and deciding commit-or-abort (transient).
+    Aggregating,
+    /// The round ended; ready to open the next.
+    RoundClosed,
+}
+
+impl Phase {
+    /// Human-readable state name, used in typed rejections.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Idle => "Idle",
+            Phase::Rendezvous => "Rendezvous",
+            Phase::Selected => "Selected",
+            Phase::Training => "Training",
+            Phase::Aggregating => "Aggregating",
+            Phase::RoundClosed => "RoundClosed",
+        }
+    }
+}
+
+/// Static configuration of a coordinator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoordinatorConfig {
+    /// Updates aggregated per round (`K`).
+    pub k: usize,
+    /// Extra selections beyond `K` as a dropout hedge.
+    pub over_select: usize,
+    /// Minimum aggregated updates for a round to commit.
+    pub quorum: usize,
+    /// Local epochs announced in selection notices.
+    pub epochs: u32,
+    /// Ticks between heartbeats participants must send.
+    pub heartbeat_interval: u64,
+    /// Silent ticks after which a participant is expired.
+    pub heartbeat_timeout: u64,
+    /// Ticks from round open to the submission deadline.
+    pub round_deadline: u64,
+}
+
+impl CoordinatorConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` or `quorum` is zero, the quorum exceeds what
+    /// selection can deliver, the heartbeat contract is degenerate
+    /// (zero interval/timeout, or a timeout not beyond the interval), or
+    /// the round deadline is zero.
+    pub fn validated(self) -> Self {
+        assert!(self.k > 0, "K must be at least 1");
+        assert!(self.quorum > 0, "quorum must be at least 1");
+        assert!(
+            self.quorum <= self.k + self.over_select,
+            "quorum {} cannot exceed the selection width {}",
+            self.quorum,
+            self.k + self.over_select
+        );
+        assert!(
+            self.heartbeat_interval > 0,
+            "heartbeat interval must be positive"
+        );
+        assert!(
+            self.heartbeat_timeout > self.heartbeat_interval,
+            "heartbeat timeout must exceed the interval, or every client flaps"
+        );
+        assert!(self.round_deadline > 0, "round deadline must be positive");
+        self
+    }
+}
+
+/// What the coordinator asks its driver to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Effect {
+    /// Send `frame` to client `to`.
+    Send {
+        /// Destination client id.
+        to: u64,
+        /// The frame to deliver.
+        frame: ControlFrame,
+    },
+    /// A round committed with these aggregated clients (ascending).
+    RoundCommitted {
+        /// The committed round.
+        round: u64,
+        /// Clients whose updates were aggregated.
+        accepted: Vec<u64>,
+    },
+    /// A round closed without commit.
+    RoundAborted {
+        /// The aborted round.
+        round: u64,
+        /// Why.
+        reason: AbortReason,
+    },
+    /// The live fleet is smaller than the planned `K` — the driver should
+    /// re-plan `(K*, E*)` for the surviving fleet.
+    FleetShrunk {
+        /// The round about to open (or in progress).
+        round: u64,
+        /// Live clients remaining.
+        alive: usize,
+    },
+}
+
+/// Control-plane traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControlStats {
+    /// Frames accepted by `handle_frame`.
+    pub frames_in: u64,
+    /// Bytes of accepted inbound frames.
+    pub bytes_in: u64,
+    /// Frames emitted via `Send` effects.
+    pub frames_out: u64,
+    /// Bytes of emitted frames.
+    pub bytes_out: u64,
+    /// Frames rejected with a typed error.
+    pub rejected: u64,
+    /// Updates rejected because their sender's lease had expired.
+    pub expired_rejections: u64,
+}
+
+/// The coordinator state machine.
+#[derive(Debug, Clone)]
+pub struct Coordinator {
+    config: CoordinatorConfig,
+    phase: Phase,
+    round: u64,
+    liveness: LivenessTracker,
+    /// Wire-v2 payload of the current global model, shipped in `Select`.
+    global: Vec<u8>,
+    /// Clients selected for the open round.
+    selected: BTreeSet<u64>,
+    /// In-time submissions, in arrival order: `(tick, client)`.
+    received: Vec<(u64, u64)>,
+    /// Buffered update payloads: client → (samples, wire payload).
+    payloads: BTreeMap<u64, (u32, Vec<u8>)>,
+    /// Tick after which the open round closes.
+    deadline_tick: u64,
+    stats: ControlStats,
+}
+
+impl Coordinator {
+    /// Creates an idle coordinator.
+    ///
+    /// # Panics
+    ///
+    /// Same validation as [`CoordinatorConfig::validated`].
+    pub fn new(config: CoordinatorConfig) -> Self {
+        let config = config.validated();
+        let liveness = LivenessTracker::new(config.heartbeat_timeout);
+        Self {
+            config,
+            phase: Phase::Idle,
+            round: 0,
+            liveness,
+            global: Vec::new(),
+            selected: BTreeSet::new(),
+            received: Vec::new(),
+            payloads: BTreeMap::new(),
+            deadline_tick: 0,
+            stats: ControlStats::default(),
+        }
+    }
+
+    /// Current protocol state.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The round in progress (or the next to open).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CoordinatorConfig {
+        &self.config
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> ControlStats {
+        self.stats
+    }
+
+    /// Live clients at `now`, ascending.
+    pub fn live_clients(&self, now: u64) -> Vec<u64> {
+        self.liveness.live_clients(now)
+    }
+
+    /// Whether `client` is registered and inside its lease.
+    pub fn is_live(&self, client: u64, now: u64) -> bool {
+        self.liveness.is_live(client, now)
+    }
+
+    /// Buffered update payloads of the open round (client → samples,
+    /// wire-v2 bytes), for drivers that aggregate on commit.
+    pub fn update_payloads(&self) -> &BTreeMap<u64, (u32, Vec<u8>)> {
+        &self.payloads
+    }
+
+    /// Replaces the global-model payload shipped in selection notices.
+    pub fn set_global(&mut self, payload: Vec<u8>) {
+        self.global = payload;
+    }
+
+    /// Opens the rendezvous: joins are now accepted.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::UnexpectedFrame`] unless the coordinator is idle.
+    pub fn open_rendezvous(&mut self) -> Result<(), ProtoError> {
+        match self.phase {
+            Phase::Idle => {
+                self.phase = Phase::Rendezvous;
+                Ok(())
+            }
+            other => Err(ProtoError::UnexpectedFrame {
+                state: other.name(),
+                frame: "open_rendezvous",
+            }),
+        }
+    }
+
+    /// Opens the next round at `now`: expires stale leases, checks the
+    /// quorum against the live fleet, and emits a selection notice to the
+    /// first `min(K + m, alive)` live clients in id order.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::UnexpectedFrame`] when no round can open from the
+    /// current state, [`ProtoError::QuorumLost`] when too few clients are
+    /// live (the state is unchanged; the driver may re-plan and retry).
+    pub fn start_round(&mut self, now: u64) -> Result<Vec<Effect>, ProtoError> {
+        if !matches!(self.phase, Phase::Rendezvous | Phase::RoundClosed) {
+            return Err(ProtoError::UnexpectedFrame {
+                state: self.phase.name(),
+                frame: "start_round",
+            });
+        }
+        self.liveness.expire(now);
+        let live = self.liveness.live_clients(now);
+        let policy = self.policy();
+        if live.len() < policy.quorum {
+            return Err(ProtoError::QuorumLost {
+                round: self.round,
+                alive: live.len(),
+                required: policy.quorum,
+            });
+        }
+        let mut effects = Vec::new();
+        if live.len() < self.config.k {
+            effects.push(Effect::FleetShrunk {
+                round: self.round,
+                alive: live.len(),
+            });
+        }
+        let width = policy.selection_width(live.len());
+        self.selected = live.iter().copied().take(width).collect();
+        self.received.clear();
+        self.payloads.clear();
+        self.deadline_tick = now + self.config.round_deadline;
+        let selected: Vec<u64> = self.selected.iter().copied().collect();
+        for client in selected {
+            effects.push(self.send(
+                client,
+                ControlFrame::Select {
+                    round: self.round,
+                    client,
+                    epochs: self.config.epochs,
+                    deadline_tick: self.deadline_tick,
+                    global: self.global.clone(),
+                },
+            ));
+        }
+        self.phase = Phase::Selected;
+        Ok(effects)
+    }
+
+    /// Feeds one inbound byte frame at `now`.
+    ///
+    /// Every frame in every state has exactly one defined outcome: a
+    /// transition (possibly emitting effects) or a typed rejection. This
+    /// function never panics on wire input.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ProtoError`]; rejected frames are counted in
+    /// [`ControlStats::rejected`] and leave the round state unchanged.
+    pub fn handle_frame(&mut self, bytes: &[u8], now: u64) -> Result<Vec<Effect>, ProtoError> {
+        let (frame, consumed) = ControlFrame::decode(bytes).inspect_err(|_| {
+            self.stats.rejected += 1;
+        })?;
+        self.stats.frames_in += 1;
+        self.stats.bytes_in += consumed as u64;
+        self.handle_control(frame, now)
+    }
+
+    /// Feeds one decoded control frame at `now` (the typed twin of
+    /// [`Coordinator::handle_frame`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Coordinator::handle_frame`].
+    pub fn handle_control(
+        &mut self,
+        frame: ControlFrame,
+        now: u64,
+    ) -> Result<Vec<Effect>, ProtoError> {
+        self.dispatch(frame, now).inspect_err(|_| {
+            self.stats.rejected += 1;
+        })
+    }
+
+    fn dispatch(&mut self, frame: ControlFrame, now: u64) -> Result<Vec<Effect>, ProtoError> {
+        match frame {
+            ControlFrame::JoinRequest {
+                client,
+                wire_version,
+            } => self.on_join(client, wire_version, now),
+            ControlFrame::Heartbeat { client, .. } => {
+                self.liveness.beat(client, now)?;
+                Ok(Vec::new())
+            }
+            ControlFrame::UpdateSubmit {
+                round,
+                client,
+                samples,
+                update,
+            } => self.on_update(round, client, samples, update, now),
+            // Downstream frames have no coordinator-side transition in any
+            // state.
+            other => Err(ProtoError::UnexpectedFrame {
+                state: self.phase.name(),
+                frame: other.name(),
+            }),
+        }
+    }
+
+    /// Advances virtual time: expires leases (discarding any buffered
+    /// update of an expired client), aborts the round if the live fleet
+    /// collapses below quorum, and closes the round at its deadline tick.
+    pub fn tick(&mut self, now: u64) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        let expired = self.liveness.expire(now);
+        for client in &expired {
+            // Safety invariant: an expired client's update never survives
+            // to aggregation.
+            self.payloads.remove(client);
+            self.received.retain(|&(_, c)| c != *client);
+        }
+        if matches!(self.phase, Phase::Selected | Phase::Training) {
+            let alive = self.liveness.live_count(now);
+            if alive < self.config.quorum {
+                effects.push(Effect::FleetShrunk {
+                    round: self.round,
+                    alive,
+                });
+                effects.extend(self.close_round(now, Some(AbortReason::FleetCollapse)));
+                return effects;
+            }
+            if now >= self.deadline_tick {
+                effects.extend(self.close_round(now, None));
+            }
+        }
+        effects
+    }
+
+    /// The round policy derived from the configuration. Deadline admission
+    /// runs on ticks here, so the policy itself carries no deadline.
+    fn policy(&self) -> RoundPolicy {
+        RoundPolicy {
+            k: self.config.k,
+            over_select: self.config.over_select,
+            quorum: self.config.quorum,
+            deadline_s: None,
+        }
+    }
+
+    fn on_join(
+        &mut self,
+        client: u64,
+        wire_version: u8,
+        now: u64,
+    ) -> Result<Vec<Effect>, ProtoError> {
+        if self.phase == Phase::Idle {
+            return Err(ProtoError::UnexpectedFrame {
+                state: self.phase.name(),
+                frame: "JoinRequest",
+            });
+        }
+        // The handshake version gate: a client encoding payloads with a
+        // different wire codec is rejected before it can ship any.
+        if wire_version != WIRE_VERSION {
+            return Err(ProtoError::VersionMismatch {
+                expected: WIRE_VERSION,
+                found: wire_version,
+            });
+        }
+        self.liveness.register(client, now);
+        let ack = self.send(
+            client,
+            ControlFrame::JoinAck {
+                client,
+                heartbeat_interval: self.config.heartbeat_interval as u32,
+                heartbeat_timeout: self.config.heartbeat_timeout as u32,
+            },
+        );
+        Ok(vec![ack])
+    }
+
+    fn on_update(
+        &mut self,
+        round: u64,
+        client: u64,
+        samples: u32,
+        update: Vec<u8>,
+        now: u64,
+    ) -> Result<Vec<Effect>, ProtoError> {
+        if !matches!(self.phase, Phase::Selected | Phase::Training) {
+            return Err(ProtoError::UnexpectedFrame {
+                state: self.phase.name(),
+                frame: "UpdateSubmit",
+            });
+        }
+        if round != self.round {
+            return Err(ProtoError::WrongRound {
+                current: self.round,
+                got: round,
+            });
+        }
+        if !self.selected.contains(&client) {
+            return Err(ProtoError::NotSelected { client });
+        }
+        if !self.liveness.is_live(client, now) {
+            self.stats.expired_rejections += 1;
+            return Err(ProtoError::ExpiredClient { client });
+        }
+        if self.payloads.contains_key(&client) {
+            return Err(ProtoError::DuplicateUpdate { client });
+        }
+        self.phase = Phase::Training;
+        self.received.push((now, client));
+        self.payloads.insert(client, (samples, update));
+        // Early close: every selected client delivered; no reason to wait
+        // for the deadline.
+        if self.payloads.len() == self.selected.len() {
+            return Ok(self.close_round(now, None));
+        }
+        Ok(Vec::new())
+    }
+
+    /// Closes the open round: ranks the surviving arrivals through the
+    /// shared decision core, commits a quorum-satisfying set or aborts,
+    /// and broadcasts the verdict to every selected client.
+    fn close_round(&mut self, now: u64, forced: Option<AbortReason>) -> Vec<Effect> {
+        self.phase = Phase::Aggregating;
+        // Only arrivals whose sender is *still live* survive to ranking —
+        // expiry between submission and close voids the update.
+        let arrivals: Vec<(f64, usize)> = self
+            .received
+            .iter()
+            .filter(|&&(_, client)| {
+                self.liveness.is_live(client, now) && self.payloads.contains_key(&client)
+            })
+            .map(|&(tick, client)| (tick as f64, client as usize))
+            .collect();
+        let accepted: Vec<u64> = first_k_by_arrival(arrivals, self.config.k)
+            .into_iter()
+            .map(|c| c as u64)
+            .collect();
+        self.payloads.retain(|client, _| accepted.contains(client));
+
+        let verdict = match forced {
+            Some(reason) => Err(reason),
+            None if accepted.len() >= self.config.quorum => Ok(()),
+            None => Err(AbortReason::QuorumMiss),
+        };
+        let mut effects = Vec::new();
+        let selected: Vec<u64> = self.selected.iter().copied().collect();
+        match verdict {
+            Ok(()) => {
+                for &client in &selected {
+                    effects.push(self.send(
+                        client,
+                        ControlFrame::RoundCommit {
+                            round: self.round,
+                            accepted: accepted.clone(),
+                        },
+                    ));
+                }
+                effects.push(Effect::RoundCommitted {
+                    round: self.round,
+                    accepted,
+                });
+            }
+            Err(reason) => {
+                self.payloads.clear();
+                for &client in &selected {
+                    effects.push(self.send(
+                        client,
+                        ControlFrame::RoundAbort {
+                            round: self.round,
+                            reason,
+                        },
+                    ));
+                }
+                effects.push(Effect::RoundAborted {
+                    round: self.round,
+                    reason,
+                });
+            }
+        }
+        self.phase = Phase::RoundClosed;
+        self.round += 1;
+        effects
+    }
+
+    fn send(&mut self, to: u64, frame: ControlFrame) -> Effect {
+        self.stats.frames_out += 1;
+        self.stats.bytes_out += frame.encoded_len() as u64;
+        Effect::Send { to, frame }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn config() -> CoordinatorConfig {
+        CoordinatorConfig {
+            k: 2,
+            over_select: 1,
+            quorum: 2,
+            epochs: 5,
+            heartbeat_interval: 5,
+            heartbeat_timeout: 20,
+            round_deadline: 50,
+        }
+    }
+
+    fn joined(n: u64) -> Coordinator {
+        let mut coordinator = Coordinator::new(config());
+        coordinator.open_rendezvous().expect("idle coordinator");
+        for client in 0..n {
+            let effects = coordinator
+                .handle_control(
+                    ControlFrame::JoinRequest {
+                        client,
+                        wire_version: WIRE_VERSION,
+                    },
+                    0,
+                )
+                .expect("join accepted");
+            assert!(matches!(
+                effects[0],
+                Effect::Send {
+                    frame: ControlFrame::JoinAck { .. },
+                    ..
+                }
+            ));
+        }
+        coordinator
+    }
+
+    fn submit(client: u64, round: u64) -> ControlFrame {
+        ControlFrame::UpdateSubmit {
+            round,
+            client,
+            samples: 10,
+            update: vec![client as u8],
+        }
+    }
+
+    #[test]
+    fn happy_path_walks_all_phases() {
+        let mut c = joined(3);
+        assert_eq!(c.phase(), Phase::Rendezvous);
+        let effects = c.start_round(10).expect("quorum of 3");
+        assert_eq!(c.phase(), Phase::Selected);
+        // k + over_select = 3 selection notices.
+        assert_eq!(effects.len(), 3);
+        c.handle_control(submit(0, 0), 12).expect("first update");
+        assert_eq!(c.phase(), Phase::Training);
+        c.handle_control(submit(1, 0), 13).expect("second update");
+        // Third delivery closes early with a full commit.
+        let effects = c.handle_control(submit(2, 0), 14).expect("third update");
+        assert_eq!(c.phase(), Phase::RoundClosed);
+        let committed = effects.iter().find_map(|e| match e {
+            Effect::RoundCommitted { round, accepted } => Some((*round, accepted.clone())),
+            _ => None,
+        });
+        // First K = 2 arrivals win: clients 0 and 1.
+        assert_eq!(committed, Some((0, vec![0, 1])));
+        assert_eq!(c.round(), 1);
+    }
+
+    #[test]
+    fn deadline_closes_with_quorum_partial() {
+        let mut c = joined(3);
+        c.start_round(0).expect("quorum of 3");
+        c.handle_control(submit(0, 0), 5).expect("update 0");
+        c.handle_control(submit(1, 0), 6).expect("update 1");
+        // Client 2 never submits; everyone keeps heartbeating.
+        for client in 0..3 {
+            c.handle_control(ControlFrame::Heartbeat { client, tick: 40 }, 40)
+                .expect("beat");
+        }
+        assert!(c.tick(49).is_empty(), "before the deadline nothing closes");
+        let effects = c.tick(50);
+        let committed = effects.iter().any(
+            |e| matches!(e, Effect::RoundCommitted { accepted, .. } if accepted == &vec![0, 1]),
+        );
+        assert!(
+            committed,
+            "partial close must commit the quorum: {effects:?}"
+        );
+    }
+
+    #[test]
+    fn deadline_without_quorum_aborts() {
+        let mut c = joined(3);
+        c.start_round(0).expect("quorum of 3");
+        c.handle_control(submit(0, 0), 5).expect("update 0");
+        for client in 0..3 {
+            c.handle_control(ControlFrame::Heartbeat { client, tick: 40 }, 40)
+                .expect("beat");
+        }
+        let effects = c.tick(50);
+        assert!(
+            effects.iter().any(|e| matches!(
+                e,
+                Effect::RoundAborted {
+                    reason: AbortReason::QuorumMiss,
+                    ..
+                }
+            )),
+            "{effects:?}"
+        );
+        assert_eq!(c.phase(), Phase::RoundClosed);
+    }
+
+    #[test]
+    fn expired_client_update_is_rejected_and_never_aggregated() {
+        let mut c = joined(3);
+        c.start_round(0).expect("quorum of 3");
+        // Clients 0 and 1 keep their leases alive; client 2 goes silent.
+        for tick in [10u64, 19] {
+            for client in [0u64, 1] {
+                c.handle_control(ControlFrame::Heartbeat { client, tick }, tick)
+                    .expect("beat");
+            }
+        }
+        // Client 2's lease (registered at 0, timeout 20) lapses at tick 20.
+        let err = c.handle_control(submit(2, 0), 20);
+        assert_eq!(err, Err(ProtoError::ExpiredClient { client: 2 }));
+        assert_eq!(c.stats().expired_rejections, 1);
+        // The others commit without it.
+        c.handle_control(submit(0, 0), 21).expect("update 0");
+        c.handle_control(submit(1, 0), 22).expect("update 1");
+        for client in [0u64, 1] {
+            c.handle_control(ControlFrame::Heartbeat { client, tick: 38 }, 38)
+                .expect("beat");
+        }
+        let effects = c.tick(50);
+        let accepted = effects.iter().find_map(|e| match e {
+            Effect::RoundCommitted { accepted, .. } => Some(accepted.clone()),
+            _ => None,
+        });
+        assert_eq!(accepted, Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn buffered_update_is_discarded_when_its_sender_expires() {
+        let mut c = joined(3);
+        c.start_round(0).expect("quorum of 3");
+        // Client 2 submits while live, then goes silent past its lease.
+        c.handle_control(submit(2, 0), 1).expect("in-time update");
+        for tick in [10u64, 19, 28, 37, 46] {
+            for client in [0u64, 1] {
+                c.handle_control(ControlFrame::Heartbeat { client, tick }, tick)
+                    .expect("beat");
+            }
+        }
+        c.handle_control(submit(0, 0), 30).expect("update 0");
+        // Every selected client has now delivered, so this submission
+        // closes the round early — at tick 31, past client 2's lease.
+        let effects = c.handle_control(submit(1, 0), 31).expect("update 1");
+        let accepted = effects.iter().find_map(|e| match e {
+            Effect::RoundCommitted { accepted, .. } => Some(accepted.clone()),
+            _ => None,
+        });
+        // Client 2 expired at tick 20 < 31: its buffered update is void.
+        assert_eq!(accepted, Some(vec![0, 1]));
+        assert!(!c.update_payloads().contains_key(&2));
+    }
+
+    #[test]
+    fn fleet_collapse_aborts_and_requests_replan() {
+        let mut c = joined(2);
+        c.start_round(0).expect("exactly at quorum");
+        // Nobody heartbeats: both leases lapse at tick 20.
+        let effects = c.tick(20);
+        assert!(effects
+            .iter()
+            .any(|e| matches!(e, Effect::FleetShrunk { alive: 0, .. })));
+        assert!(effects.iter().any(|e| matches!(
+            e,
+            Effect::RoundAborted {
+                reason: AbortReason::FleetCollapse,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn shrunken_fleet_triggers_replan_hook_on_open() {
+        let mut c = joined(1);
+        // quorum is 2 > 1 live → cannot open.
+        assert_eq!(
+            c.start_round(5),
+            Err(ProtoError::QuorumLost {
+                round: 0,
+                alive: 1,
+                required: 2
+            })
+        );
+        // Relax to a 1-quorum coordinator: opening with 1 < k = 2 live
+        // clients emits the re-plan hook.
+        let mut config = config();
+        config.quorum = 1;
+        let mut c = Coordinator::new(config);
+        c.open_rendezvous().expect("idle");
+        c.handle_control(
+            ControlFrame::JoinRequest {
+                client: 0,
+                wire_version: WIRE_VERSION,
+            },
+            0,
+        )
+        .expect("join");
+        let effects = c.start_round(1).expect("1-quorum");
+        assert!(effects
+            .iter()
+            .any(|e| matches!(e, Effect::FleetShrunk { alive: 1, .. })));
+    }
+
+    #[test]
+    fn wrong_wire_version_is_rejected_at_the_handshake() {
+        let mut c = Coordinator::new(config());
+        c.open_rendezvous().expect("idle");
+        let err = c.handle_control(
+            ControlFrame::JoinRequest {
+                client: 0,
+                wire_version: WIRE_VERSION + 1,
+            },
+            0,
+        );
+        assert_eq!(
+            err,
+            Err(ProtoError::VersionMismatch {
+                expected: WIRE_VERSION,
+                found: WIRE_VERSION + 1,
+            })
+        );
+    }
+
+    #[test]
+    fn typed_rejections_cover_the_update_path() {
+        let mut c = joined(3);
+        c.start_round(0).expect("quorum");
+        assert_eq!(
+            c.handle_control(submit(0, 7), 1),
+            Err(ProtoError::WrongRound { current: 0, got: 7 })
+        );
+        assert_eq!(
+            c.handle_control(submit(9, 0), 1),
+            Err(ProtoError::NotSelected { client: 9 })
+        );
+        c.handle_control(submit(0, 0), 1).expect("first");
+        assert_eq!(
+            c.handle_control(submit(0, 0), 2),
+            Err(ProtoError::DuplicateUpdate { client: 0 })
+        );
+        // Downstream frames bounce with the state name.
+        assert_eq!(
+            c.handle_control(
+                ControlFrame::RoundCommit {
+                    round: 0,
+                    accepted: vec![]
+                },
+                3
+            ),
+            Err(ProtoError::UnexpectedFrame {
+                state: "Training",
+                frame: "RoundCommit"
+            })
+        );
+        assert_eq!(c.stats().rejected, 4);
+    }
+
+    #[test]
+    fn byte_frames_round_trip_through_handle_frame() {
+        let mut c = joined(3);
+        c.start_round(0).expect("quorum");
+        let bytes = submit(0, 0).encode();
+        let before = c.stats();
+        c.handle_frame(&bytes, 1).expect("framed update");
+        let after = c.stats();
+        assert_eq!(after.frames_in, before.frames_in + 1);
+        assert_eq!(after.bytes_in - before.bytes_in, bytes.len() as u64);
+        // Garbage bytes are a typed codec rejection, not a panic.
+        assert!(matches!(
+            c.handle_frame(&[0x00, 0x01, 0x02], 2),
+            Err(ProtoError::Codec(_))
+        ));
+    }
+}

@@ -1,0 +1,195 @@
+//! Typed protocol errors.
+//!
+//! Every way a control-plane frame can be rejected has a dedicated variant,
+//! so drivers can distinguish recoverable conditions (retry after a
+//! [`ProtoError::Codec`] checksum failure, rejoin after
+//! [`ProtoError::UnknownClient`]) from contract violations
+//! ([`ProtoError::ExpiredClient`] — the safety invariant that an expired
+//! device's update never reaches aggregation).
+
+use std::error::Error;
+use std::fmt;
+
+use fei_net::CodecError;
+
+/// Why a control-plane frame or command was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The peer speaks a different protocol or wire-codec version. Raised
+    /// from the version byte leading every control payload and from the
+    /// codec version carried by the join handshake — *before* any
+    /// CRC-dependent parsing of the body.
+    VersionMismatch {
+        /// The version this endpoint speaks.
+        expected: u8,
+        /// The version the peer declared.
+        found: u8,
+    },
+    /// The byte stream failed frame- or wire-level decoding (truncation,
+    /// bad magic, checksum mismatch, malformed payload).
+    Codec(CodecError),
+    /// A frame type this protocol does not define.
+    UnknownFrameType {
+        /// The frame tag found.
+        tag: u8,
+    },
+    /// A legal frame arrived in a state that has no transition for it
+    /// (e.g. an `UpdateSubmit` while the coordinator is idle).
+    UnexpectedFrame {
+        /// The receiving state machine's current state.
+        state: &'static str,
+        /// The frame kind that had no transition.
+        frame: &'static str,
+    },
+    /// The client is not registered (never joined, or was expired and
+    /// removed). The participant-side recovery is to rejoin.
+    UnknownClient {
+        /// The client id carried by the frame.
+        client: u64,
+    },
+    /// The client's heartbeat lease had expired when its frame arrived.
+    /// Updates rejected with this error are never aggregated.
+    ExpiredClient {
+        /// The expired client id.
+        client: u64,
+    },
+    /// The frame references a round other than the one in progress.
+    WrongRound {
+        /// The round the receiver is in.
+        current: u64,
+        /// The round the frame referenced.
+        got: u64,
+    },
+    /// An update arrived from a client that was not selected this round.
+    NotSelected {
+        /// The unselected client id.
+        client: u64,
+    },
+    /// A second update from the same client in the same round (duplicate
+    /// delivery, or a retransmission racing its original).
+    DuplicateUpdate {
+        /// The client id that already submitted.
+        client: u64,
+    },
+    /// A frame addressed to a different client reached this participant.
+    WrongRecipient {
+        /// This participant's client id.
+        client: u64,
+        /// The addressee in the frame.
+        got: u64,
+    },
+    /// Too few live clients to satisfy the round quorum.
+    QuorumLost {
+        /// The round that could not proceed.
+        round: u64,
+        /// Live clients remaining.
+        alive: usize,
+        /// Quorum required.
+        required: usize,
+    },
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::VersionMismatch { expected, found } => {
+                write!(f, "version mismatch: speak {expected}, peer sent {found}")
+            }
+            ProtoError::Codec(e) => write!(f, "codec failure: {e}"),
+            ProtoError::UnknownFrameType { tag } => {
+                write!(f, "unknown control frame tag {tag:#04x}")
+            }
+            ProtoError::UnexpectedFrame { state, frame } => {
+                write!(f, "no transition for {frame} in state {state}")
+            }
+            ProtoError::UnknownClient { client } => {
+                write!(f, "client {client} is not registered")
+            }
+            ProtoError::ExpiredClient { client } => {
+                write!(f, "client {client}'s heartbeat lease expired")
+            }
+            ProtoError::WrongRound { current, got } => {
+                write!(f, "frame for round {got} during round {current}")
+            }
+            ProtoError::NotSelected { client } => {
+                write!(f, "client {client} was not selected this round")
+            }
+            ProtoError::DuplicateUpdate { client } => {
+                write!(f, "client {client} already submitted this round")
+            }
+            ProtoError::WrongRecipient { client, got } => {
+                write!(f, "frame for client {got} delivered to client {client}")
+            }
+            ProtoError::QuorumLost {
+                round,
+                alive,
+                required,
+            } => write!(
+                f,
+                "round {round}: {alive} live clients below quorum {required}"
+            ),
+        }
+    }
+}
+
+impl Error for ProtoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProtoError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for ProtoError {
+    fn from(e: CodecError) -> Self {
+        ProtoError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let cases: Vec<(ProtoError, &str)> = vec![
+            (
+                ProtoError::VersionMismatch {
+                    expected: 1,
+                    found: 9,
+                },
+                "version mismatch",
+            ),
+            (ProtoError::UnknownFrameType { tag: 0x7F }, "0x7f"),
+            (
+                ProtoError::UnexpectedFrame {
+                    state: "Idle",
+                    frame: "UpdateSubmit",
+                },
+                "Idle",
+            ),
+            (ProtoError::ExpiredClient { client: 3 }, "expired"),
+            (
+                ProtoError::QuorumLost {
+                    round: 2,
+                    alive: 1,
+                    required: 4,
+                },
+                "quorum",
+            ),
+        ];
+        for (err, needle) in cases {
+            let text = err.to_string();
+            assert!(text.contains(needle), "{text:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn codec_errors_convert_and_chain() {
+        let err: ProtoError = CodecError::BadMagic.into();
+        assert_eq!(err, ProtoError::Codec(CodecError::BadMagic));
+        assert!(err.source().is_some());
+        assert!(ProtoError::UnknownClient { client: 0 }.source().is_none());
+    }
+}

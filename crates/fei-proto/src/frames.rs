@@ -1,0 +1,626 @@
+//! Control-plane frames.
+//!
+//! Every protocol message rides the same CRC32-protected frame format as
+//! the model payloads ([`fei_net::codec`]), under its own tag space
+//! (`0x10..`), so a single byte stream can interleave control and data
+//! frames. Every control payload leads with a one-byte protocol version
+//! that is checked *before* any body parsing — a peer speaking a different
+//! protocol gets a typed [`ProtoError::VersionMismatch`], not a confusing
+//! parse failure further in.
+//!
+//! Integers are big-endian throughout, matching the frame and wire codecs.
+
+use fei_net::codec::{decode_frame, encode_frame, FRAME_OVERHEAD};
+
+use crate::error::ProtoError;
+
+/// Version of the control-plane protocol this crate speaks.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Tag space for control frames; model payload frames use low tags.
+pub const TAG_JOIN_REQUEST: u8 = 0x10;
+/// Coordinator's acceptance of a join, carrying the heartbeat contract.
+pub const TAG_JOIN_ACK: u8 = 0x11;
+/// Periodic liveness beacon from a participant.
+pub const TAG_HEARTBEAT: u8 = 0x12;
+/// Round-selection notice (with the global model payload) to one client.
+pub const TAG_SELECT: u8 = 0x13;
+/// A participant's trained-update submission.
+pub const TAG_UPDATE_SUBMIT: u8 = 0x14;
+/// Round closed without commit.
+pub const TAG_ROUND_ABORT: u8 = 0x15;
+/// Round committed, listing the aggregated clients.
+pub const TAG_ROUND_COMMIT: u8 = 0x16;
+
+/// Why a coordinator aborted a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// Fewer updates than the quorum arrived by the deadline.
+    QuorumMiss,
+    /// The live fleet shrank below quorum mid-round.
+    FleetCollapse,
+    /// The driver cancelled the round.
+    Cancelled,
+}
+
+impl AbortReason {
+    /// One-byte wire representation.
+    pub fn tag(self) -> u8 {
+        match self {
+            AbortReason::QuorumMiss => 0,
+            AbortReason::FleetCollapse => 1,
+            AbortReason::Cancelled => 2,
+        }
+    }
+
+    /// Parses the wire byte.
+    pub fn from_tag(tag: u8) -> Option<AbortReason> {
+        match tag {
+            0 => Some(AbortReason::QuorumMiss),
+            1 => Some(AbortReason::FleetCollapse),
+            2 => Some(AbortReason::Cancelled),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AbortReason::QuorumMiss => "quorum miss",
+            AbortReason::FleetCollapse => "fleet collapse",
+            AbortReason::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// One control-plane message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlFrame {
+    /// Participant → coordinator: request to join the federation,
+    /// declaring the wire-codec version it encodes payloads with.
+    JoinRequest {
+        /// Joining client id.
+        client: u64,
+        /// Wire-codec version the client speaks
+        /// ([`fei_net::wire::WIRE_VERSION`]).
+        wire_version: u8,
+    },
+    /// Coordinator → participant: join accepted; heartbeat contract.
+    JoinAck {
+        /// The accepted client id.
+        client: u64,
+        /// Ticks between heartbeats the client must send.
+        heartbeat_interval: u32,
+        /// Ticks of silence after which the client is expired.
+        heartbeat_timeout: u32,
+    },
+    /// Participant → coordinator: liveness beacon.
+    Heartbeat {
+        /// Sending client id.
+        client: u64,
+        /// The sender's local tick when the beacon was emitted.
+        tick: u64,
+    },
+    /// Coordinator → participant: you are selected this round; train on
+    /// the carried global model and submit before the deadline.
+    Select {
+        /// Round being opened.
+        round: u64,
+        /// Selected client id.
+        client: u64,
+        /// Local epochs to run.
+        epochs: u32,
+        /// Absolute tick after which submissions are not accepted.
+        deadline_tick: u64,
+        /// Wire-v2 payload of the global model.
+        global: Vec<u8>,
+    },
+    /// Participant → coordinator: the trained update.
+    UpdateSubmit {
+        /// Round the update belongs to.
+        round: u64,
+        /// Submitting client id.
+        client: u64,
+        /// Local sample count (aggregation weight).
+        samples: u32,
+        /// Wire-v2 payload of the local model or delta.
+        update: Vec<u8>,
+    },
+    /// Coordinator → participants: round closed without commit.
+    RoundAbort {
+        /// The aborted round.
+        round: u64,
+        /// Why it aborted.
+        reason: AbortReason,
+    },
+    /// Coordinator → participants: round committed.
+    RoundCommit {
+        /// The committed round.
+        round: u64,
+        /// Clients whose updates were aggregated, ascending.
+        accepted: Vec<u64>,
+    },
+}
+
+impl ControlFrame {
+    /// The frame-codec tag this message is framed under.
+    pub fn tag(&self) -> u8 {
+        match self {
+            ControlFrame::JoinRequest { .. } => TAG_JOIN_REQUEST,
+            ControlFrame::JoinAck { .. } => TAG_JOIN_ACK,
+            ControlFrame::Heartbeat { .. } => TAG_HEARTBEAT,
+            ControlFrame::Select { .. } => TAG_SELECT,
+            ControlFrame::UpdateSubmit { .. } => TAG_UPDATE_SUBMIT,
+            ControlFrame::RoundAbort { .. } => TAG_ROUND_ABORT,
+            ControlFrame::RoundCommit { .. } => TAG_ROUND_COMMIT,
+        }
+    }
+
+    /// Human-readable frame kind, used in typed rejections.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ControlFrame::JoinRequest { .. } => "JoinRequest",
+            ControlFrame::JoinAck { .. } => "JoinAck",
+            ControlFrame::Heartbeat { .. } => "Heartbeat",
+            ControlFrame::Select { .. } => "Select",
+            ControlFrame::UpdateSubmit { .. } => "UpdateSubmit",
+            ControlFrame::RoundAbort { .. } => "RoundAbort",
+            ControlFrame::RoundCommit { .. } => "RoundCommit",
+        }
+    }
+
+    /// Exact encoded length (frame overhead + version byte + body).
+    pub fn encoded_len(&self) -> usize {
+        let body = match self {
+            ControlFrame::JoinRequest { .. } => 8 + 1,
+            ControlFrame::JoinAck { .. } => 8 + 4 + 4,
+            ControlFrame::Heartbeat { .. } => 8 + 8,
+            ControlFrame::Select { global, .. } => 8 + 8 + 4 + 8 + 4 + global.len(),
+            ControlFrame::UpdateSubmit { update, .. } => 8 + 8 + 4 + 4 + update.len(),
+            ControlFrame::RoundAbort { .. } => 8 + 1,
+            ControlFrame::RoundCommit { accepted, .. } => 8 + 4 + 8 * accepted.len(),
+        };
+        FRAME_OVERHEAD + 1 + body
+    }
+
+    /// Serializes into a complete frame (magic, tag, length, payload, CRC).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(self.encoded_len() - FRAME_OVERHEAD);
+        payload.push(PROTO_VERSION);
+        match self {
+            ControlFrame::JoinRequest {
+                client,
+                wire_version,
+            } => {
+                payload.extend_from_slice(&client.to_be_bytes());
+                payload.push(*wire_version);
+            }
+            ControlFrame::JoinAck {
+                client,
+                heartbeat_interval,
+                heartbeat_timeout,
+            } => {
+                payload.extend_from_slice(&client.to_be_bytes());
+                payload.extend_from_slice(&heartbeat_interval.to_be_bytes());
+                payload.extend_from_slice(&heartbeat_timeout.to_be_bytes());
+            }
+            ControlFrame::Heartbeat { client, tick } => {
+                payload.extend_from_slice(&client.to_be_bytes());
+                payload.extend_from_slice(&tick.to_be_bytes());
+            }
+            ControlFrame::Select {
+                round,
+                client,
+                epochs,
+                deadline_tick,
+                global,
+            } => {
+                payload.extend_from_slice(&round.to_be_bytes());
+                payload.extend_from_slice(&client.to_be_bytes());
+                payload.extend_from_slice(&epochs.to_be_bytes());
+                payload.extend_from_slice(&deadline_tick.to_be_bytes());
+                payload.extend_from_slice(&(global.len() as u32).to_be_bytes());
+                payload.extend_from_slice(global);
+            }
+            ControlFrame::UpdateSubmit {
+                round,
+                client,
+                samples,
+                update,
+            } => {
+                payload.extend_from_slice(&round.to_be_bytes());
+                payload.extend_from_slice(&client.to_be_bytes());
+                payload.extend_from_slice(&samples.to_be_bytes());
+                payload.extend_from_slice(&(update.len() as u32).to_be_bytes());
+                payload.extend_from_slice(update);
+            }
+            ControlFrame::RoundAbort { round, reason } => {
+                payload.extend_from_slice(&round.to_be_bytes());
+                payload.push(reason.tag());
+            }
+            ControlFrame::RoundCommit { round, accepted } => {
+                payload.extend_from_slice(&round.to_be_bytes());
+                payload.extend_from_slice(&(accepted.len() as u32).to_be_bytes());
+                for client in accepted {
+                    payload.extend_from_slice(&client.to_be_bytes());
+                }
+            }
+        }
+        encode_frame(self.tag(), &payload).to_vec()
+    }
+
+    /// Decodes one control frame from the front of `bytes`, returning the
+    /// message and the bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Codec`] on framing/CRC failures,
+    /// [`ProtoError::UnknownFrameType`] on a tag outside the control space,
+    /// and [`ProtoError::VersionMismatch`] when the payload's leading
+    /// version byte differs from [`PROTO_VERSION`] — checked before any
+    /// body field is parsed.
+    pub fn decode(bytes: &[u8]) -> Result<(ControlFrame, usize), ProtoError> {
+        let (frame, consumed) = decode_frame(bytes)?;
+        let payload = &frame.payload[..];
+        let mut reader = Reader::new(payload);
+        let version = reader.u8()?;
+        if version != PROTO_VERSION {
+            return Err(ProtoError::VersionMismatch {
+                expected: PROTO_VERSION,
+                found: version,
+            });
+        }
+        let message = match frame.msg_type {
+            TAG_JOIN_REQUEST => ControlFrame::JoinRequest {
+                client: reader.u64()?,
+                wire_version: reader.u8()?,
+            },
+            TAG_JOIN_ACK => ControlFrame::JoinAck {
+                client: reader.u64()?,
+                heartbeat_interval: reader.u32()?,
+                heartbeat_timeout: reader.u32()?,
+            },
+            TAG_HEARTBEAT => ControlFrame::Heartbeat {
+                client: reader.u64()?,
+                tick: reader.u64()?,
+            },
+            TAG_SELECT => {
+                let round = reader.u64()?;
+                let client = reader.u64()?;
+                let epochs = reader.u32()?;
+                let deadline_tick = reader.u64()?;
+                let len = reader.u32()? as usize;
+                ControlFrame::Select {
+                    round,
+                    client,
+                    epochs,
+                    deadline_tick,
+                    global: reader.bytes(len)?.to_vec(),
+                }
+            }
+            TAG_UPDATE_SUBMIT => {
+                let round = reader.u64()?;
+                let client = reader.u64()?;
+                let samples = reader.u32()?;
+                let len = reader.u32()? as usize;
+                ControlFrame::UpdateSubmit {
+                    round,
+                    client,
+                    samples,
+                    update: reader.bytes(len)?.to_vec(),
+                }
+            }
+            TAG_ROUND_ABORT => {
+                let round = reader.u64()?;
+                let tag = reader.u8()?;
+                let reason =
+                    AbortReason::from_tag(tag).ok_or(ProtoError::UnknownFrameType { tag })?;
+                ControlFrame::RoundAbort { round, reason }
+            }
+            TAG_ROUND_COMMIT => {
+                let round = reader.u64()?;
+                let count = reader.u32()? as usize;
+                let mut accepted = Vec::with_capacity(count.min(payload.len() / 8));
+                for _ in 0..count {
+                    accepted.push(reader.u64()?);
+                }
+                ControlFrame::RoundCommit { round, accepted }
+            }
+            tag => return Err(ProtoError::UnknownFrameType { tag }),
+        };
+        Ok((message, consumed))
+    }
+}
+
+/// Bounds-checked big-endian payload reader.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, at: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let slice = &self.bytes[self.at..end];
+                self.at = end;
+                Ok(slice)
+            }
+            None => Err(ProtoError::Codec(fei_net::CodecError::Truncated {
+                needed: self.at.saturating_add(n),
+                available: self.bytes.len(),
+            })),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        let raw = self.bytes(4)?;
+        let mut buf = [0u8; 4];
+        buf.copy_from_slice(raw);
+        Ok(u32::from_be_bytes(buf))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        let raw = self.bytes(8)?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(raw);
+        Ok(u64::from_be_bytes(buf))
+    }
+}
+
+/// Encoded length of a heartbeat frame.
+pub fn heartbeat_frame_len() -> usize {
+    FRAME_OVERHEAD + 1 + 16
+}
+
+/// Encoded length of a join-request frame.
+pub fn join_request_frame_len() -> usize {
+    FRAME_OVERHEAD + 1 + 9
+}
+
+/// Encoded length of a join-ack frame.
+pub fn join_ack_frame_len() -> usize {
+    FRAME_OVERHEAD + 1 + 16
+}
+
+/// Encoded length of a selection notice carrying a `payload`-byte global.
+pub fn select_frame_len(payload: usize) -> usize {
+    FRAME_OVERHEAD + 1 + 32 + payload
+}
+
+/// Encoded length of an update submission carrying a `payload`-byte model.
+pub fn update_submit_frame_len(payload: usize) -> usize {
+    FRAME_OVERHEAD + 1 + 24 + payload
+}
+
+/// Encoded length of a commit broadcast naming `accepted` clients.
+pub fn commit_frame_len(accepted: usize) -> usize {
+    FRAME_OVERHEAD + 1 + 12 + 8 * accepted
+}
+
+/// Encoded length of an abort broadcast.
+pub fn abort_frame_len() -> usize {
+    FRAME_OVERHEAD + 1 + 9
+}
+
+/// Control-plane bytes one engine-driven round moves, for energy
+/// accounting: a selection notice down to every selected device, one
+/// heartbeat up from every device that was up (`heartbeats`), and the
+/// commit-or-abort broadcast back down to every selected device. The model
+/// payloads themselves ride the data-plane frames and are charged
+/// separately.
+pub fn control_round_bytes(
+    selected: usize,
+    heartbeats: usize,
+    committed: bool,
+    accepted: usize,
+) -> u64 {
+    let close = if committed {
+        commit_frame_len(accepted)
+    } else {
+        abort_frame_len()
+    };
+    let down = selected as u64 * (select_frame_len(0) + close) as u64;
+    let up = heartbeats as u64 * heartbeat_frame_len() as u64;
+    down + up
+}
+
+#[cfg(test)]
+mod tests {
+    use fei_net::codec::encode_frame;
+    use fei_net::CodecError;
+
+    use super::*;
+
+    fn all_frames() -> Vec<ControlFrame> {
+        vec![
+            ControlFrame::JoinRequest {
+                client: 7,
+                wire_version: fei_net::wire::WIRE_VERSION,
+            },
+            ControlFrame::JoinAck {
+                client: 7,
+                heartbeat_interval: 5,
+                heartbeat_timeout: 20,
+            },
+            ControlFrame::Heartbeat {
+                client: 7,
+                tick: 99,
+            },
+            ControlFrame::Select {
+                round: 3,
+                client: 7,
+                epochs: 10,
+                deadline_tick: 140,
+                global: vec![1, 2, 3, 4, 5],
+            },
+            ControlFrame::UpdateSubmit {
+                round: 3,
+                client: 7,
+                samples: 120,
+                update: vec![9, 8, 7],
+            },
+            ControlFrame::RoundAbort {
+                round: 3,
+                reason: AbortReason::QuorumMiss,
+            },
+            ControlFrame::RoundCommit {
+                round: 3,
+                accepted: vec![1, 4, 7],
+            },
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        for frame in all_frames() {
+            let bytes = frame.encode();
+            assert_eq!(bytes.len(), frame.encoded_len(), "{}", frame.name());
+            let (decoded, consumed) = ControlFrame::decode(&bytes)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", frame.name()));
+            assert_eq!(decoded, frame);
+            assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    #[test]
+    fn length_helpers_match_encodings() {
+        assert_eq!(
+            heartbeat_frame_len(),
+            ControlFrame::Heartbeat { client: 0, tick: 0 }.encoded_len()
+        );
+        assert_eq!(
+            join_request_frame_len(),
+            ControlFrame::JoinRequest {
+                client: 0,
+                wire_version: 2
+            }
+            .encoded_len()
+        );
+        assert_eq!(
+            join_ack_frame_len(),
+            ControlFrame::JoinAck {
+                client: 0,
+                heartbeat_interval: 1,
+                heartbeat_timeout: 2
+            }
+            .encoded_len()
+        );
+        assert_eq!(
+            select_frame_len(17),
+            ControlFrame::Select {
+                round: 0,
+                client: 0,
+                epochs: 1,
+                deadline_tick: 2,
+                global: vec![0; 17]
+            }
+            .encoded_len()
+        );
+        assert_eq!(
+            update_submit_frame_len(9),
+            ControlFrame::UpdateSubmit {
+                round: 0,
+                client: 0,
+                samples: 1,
+                update: vec![0; 9]
+            }
+            .encoded_len()
+        );
+        assert_eq!(
+            commit_frame_len(3),
+            ControlFrame::RoundCommit {
+                round: 0,
+                accepted: vec![0, 1, 2]
+            }
+            .encoded_len()
+        );
+        assert_eq!(
+            abort_frame_len(),
+            ControlFrame::RoundAbort {
+                round: 0,
+                reason: AbortReason::Cancelled
+            }
+            .encoded_len()
+        );
+    }
+
+    #[test]
+    fn version_mismatch_is_typed_not_a_crc_failure() {
+        // A well-formed frame (valid CRC) from a future protocol version:
+        // the rejection must name the version, not fall through to a
+        // checksum or parse error.
+        let mut payload = vec![PROTO_VERSION + 1];
+        payload.extend_from_slice(&7u64.to_be_bytes());
+        payload.extend_from_slice(&42u64.to_be_bytes());
+        let bytes = encode_frame(TAG_HEARTBEAT, &payload).to_vec();
+        assert_eq!(
+            ControlFrame::decode(&bytes),
+            Err(ProtoError::VersionMismatch {
+                expected: PROTO_VERSION,
+                found: PROTO_VERSION + 1,
+            })
+        );
+    }
+
+    #[test]
+    fn corrupted_frames_are_codec_errors() {
+        let mut bytes = ControlFrame::Heartbeat { client: 1, tick: 2 }.encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        assert_eq!(
+            ControlFrame::decode(&bytes),
+            Err(ProtoError::Codec(CodecError::ChecksumMismatch))
+        );
+    }
+
+    #[test]
+    fn unknown_tags_and_truncated_bodies_are_typed() {
+        let bytes = encode_frame(0x7E, &[PROTO_VERSION, 0, 0]).to_vec();
+        assert_eq!(
+            ControlFrame::decode(&bytes),
+            Err(ProtoError::UnknownFrameType { tag: 0x7E })
+        );
+        // A heartbeat body cut short (but correctly framed and checksummed).
+        let bytes = encode_frame(TAG_HEARTBEAT, &[PROTO_VERSION, 1, 2, 3]).to_vec();
+        assert!(matches!(
+            ControlFrame::decode(&bytes),
+            Err(ProtoError::Codec(CodecError::Truncated { .. }))
+        ));
+    }
+
+    #[test]
+    fn bad_abort_reason_is_rejected() {
+        let mut payload = vec![PROTO_VERSION];
+        payload.extend_from_slice(&1u64.to_be_bytes());
+        payload.push(9);
+        let bytes = encode_frame(TAG_ROUND_ABORT, &payload).to_vec();
+        assert_eq!(
+            ControlFrame::decode(&bytes),
+            Err(ProtoError::UnknownFrameType { tag: 9 })
+        );
+    }
+
+    #[test]
+    fn control_round_bytes_is_consistent() {
+        // 4 selected, 3 alive to heartbeat, committed with 2 accepted.
+        let expected = 4 * (select_frame_len(0) + commit_frame_len(2)) as u64
+            + 3 * heartbeat_frame_len() as u64;
+        assert_eq!(control_round_bytes(4, 3, true, 2), expected);
+        let aborted =
+            4 * (select_frame_len(0) + abort_frame_len()) as u64 + 3 * heartbeat_frame_len() as u64;
+        assert_eq!(control_round_bytes(4, 3, false, 0), aborted);
+    }
+}

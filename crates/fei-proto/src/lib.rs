@@ -1,0 +1,53 @@
+//! Coordinator protocol state machine for federated edge intelligence.
+//!
+//! `fei-proto` turns the workspace's federated-averaging loop into an
+//! explicit, event-driven protocol in which wire frames are the *only*
+//! channel between coordinator and devices:
+//!
+//! * [`ControlFrame`] — the control plane (join handshake with a wire
+//!   version gate, heartbeats, selection notices, update submissions,
+//!   commit/abort broadcasts), encoded through the same `fei-net` frame
+//!   codec as model payloads;
+//! * [`Coordinator`] — the server-side machine
+//!   (`Idle → Rendezvous → Selected → Training → Aggregating →
+//!   RoundClosed`) with heartbeat leases, round deadlines, quorum-gated
+//!   partial close, and typed rejections for every malformed or mistimed
+//!   frame;
+//! * [`Participant`] — the device-side mirror with rejoin, heartbeating,
+//!   and retransmit-with-backoff submission;
+//! * [`RoundMachine`] — the round decision core (quorum gate, selection
+//!   width, deadline admission, first-`K`-by-arrival ranking) shared with
+//!   the in-process training engines so committed sets stay bit-identical
+//!   across drivers;
+//! * [`ChaosLink`] and [`Cluster`] — a deterministic lossy network and an
+//!   in-process driver that audits the protocol's liveness (every opened
+//!   round commits or aborts) and safety (no expired client's update is
+//!   ever aggregated) under seeded chaos.
+//!
+//! Everything is deterministic: no wall clock, no ambient randomness, no
+//! unordered iteration. Identical configurations and seeds replay
+//! identical protocol histories, byte for byte.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod cluster;
+pub mod coordinator;
+pub mod error;
+pub mod frames;
+pub mod liveness;
+pub mod participant;
+pub mod round;
+
+pub use chaos::{ChaosConfig, ChaosLink, ChaosStats, Envelope, COORDINATOR_ADDR};
+pub use cluster::{Cluster, ClusterConfig, ClusterReport, RoundVerdict};
+pub use coordinator::{ControlStats, Coordinator, CoordinatorConfig, Effect, Phase};
+pub use error::ProtoError;
+pub use frames::{control_round_bytes, AbortReason, ControlFrame, PROTO_VERSION};
+pub use liveness::LivenessTracker;
+pub use participant::{Participant, ParticipantConfig, ParticipantPhase, ParticipantStats};
+pub use round::{
+    first_k_by_arrival, ClosedRound, DeviceFate, DeviceReport, RoundMachine, RoundPolicy,
+    RoundTally,
+};

@@ -1,0 +1,588 @@
+//! The participant-side protocol mirror.
+//!
+//! A [`Participant`] mirrors the coordinator's state machine from the edge
+//! device's side: it joins (rejoining with deterministic backoff if the
+//! handshake is lost), heartbeats on the interval granted by its
+//! [`crate::ControlFrame::JoinAck`] lease, trains when selected, and
+//! submits its update — retransmitting with exponential backoff until the
+//! round's commit-or-abort broadcast arrives, so a dropped frame costs
+//! retries, never a stuck device. Like the coordinator it owns no
+//! transport and no clock: drivers feed frames and ticks, it answers with
+//! frames to send.
+
+use crate::error::ProtoError;
+use crate::frames::ControlFrame;
+
+/// Participant configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParticipantConfig {
+    /// This device's client id.
+    pub client: u64,
+    /// Virtual ticks one local training job takes.
+    pub train_ticks: u64,
+    /// Base backoff, ticks, for submission retransmits (doubled per
+    /// attempt) and join retries.
+    pub retry_base: u64,
+    /// Retransmits after the first submission before giving up the round.
+    pub max_retries: u32,
+    /// A misbehaving device that never heartbeats — used by chaos
+    /// campaigns to probe the coordinator's expiry safety invariant.
+    pub mute_heartbeats: bool,
+}
+
+impl ParticipantConfig {
+    /// A well-behaved participant with sane retry defaults.
+    pub fn new(client: u64, train_ticks: u64) -> Self {
+        Self {
+            client,
+            train_ticks,
+            retry_base: 2,
+            max_retries: 8,
+            mute_heartbeats: false,
+        }
+    }
+}
+
+/// Participant protocol states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParticipantPhase {
+    /// Not yet started.
+    Idle,
+    /// JoinRequest sent; waiting for the ack.
+    Joining,
+    /// Joined; waiting for a selection notice.
+    Ready,
+    /// Training a selected round.
+    Training,
+    /// Update submitted; awaiting the round verdict (retransmitting).
+    Uploading,
+}
+
+impl ParticipantPhase {
+    /// Human-readable state name, used in typed rejections.
+    pub fn name(self) -> &'static str {
+        match self {
+            ParticipantPhase::Idle => "Idle",
+            ParticipantPhase::Joining => "Joining",
+            ParticipantPhase::Ready => "Ready",
+            ParticipantPhase::Training => "Training",
+            ParticipantPhase::Uploading => "Uploading",
+        }
+    }
+}
+
+/// Participant-side traffic and retry counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParticipantStats {
+    /// Join requests sent (first attempt and retries).
+    pub joins: u64,
+    /// Heartbeats sent.
+    pub heartbeats: u64,
+    /// Update submissions sent (first attempt and retransmits).
+    pub submits: u64,
+    /// Retransmissions among those submissions.
+    pub retries: u64,
+    /// Commit broadcasts received for rounds this device submitted to.
+    pub commits: u64,
+    /// Abort broadcasts received.
+    pub aborts: u64,
+}
+
+/// A pending (possibly retransmitting) update submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PendingUpload {
+    round: u64,
+    samples: u32,
+    payload: Vec<u8>,
+    attempts: u32,
+    next_send: u64,
+}
+
+/// The participant state machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Participant {
+    config: ParticipantConfig,
+    phase: ParticipantPhase,
+    /// Heartbeat interval granted by the coordinator's lease (0 = none yet).
+    heartbeat_interval: u64,
+    last_beat: u64,
+    /// Next tick a join (re)attempt fires while unacknowledged.
+    next_join: u64,
+    /// The round last selected for.
+    round: u64,
+    /// Tick local training completes.
+    train_done: u64,
+    /// Submission deadline announced by the selection notice.
+    deadline_tick: u64,
+    /// Global payload from the selection notice; by default echoed back as
+    /// the update (drivers running real training call
+    /// [`Participant::set_update`] before the job completes).
+    global: Vec<u8>,
+    update_override: Option<(u32, Vec<u8>)>,
+    pending: Option<PendingUpload>,
+    stats: ParticipantStats,
+}
+
+impl Participant {
+    /// Creates an idle participant.
+    pub fn new(config: ParticipantConfig) -> Self {
+        Self {
+            config,
+            phase: ParticipantPhase::Idle,
+            heartbeat_interval: 0,
+            last_beat: 0,
+            next_join: 0,
+            round: 0,
+            train_done: 0,
+            deadline_tick: 0,
+            global: Vec::new(),
+            update_override: None,
+            pending: None,
+            stats: ParticipantStats::default(),
+        }
+    }
+
+    /// This device's client id.
+    pub fn client(&self) -> u64 {
+        self.config.client
+    }
+
+    /// Current protocol state.
+    pub fn phase(&self) -> ParticipantPhase {
+        self.phase
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> ParticipantStats {
+        self.stats
+    }
+
+    /// The global payload received with the last selection notice.
+    pub fn global_payload(&self) -> &[u8] {
+        &self.global
+    }
+
+    /// Overrides the update payload submitted for the current round (the
+    /// default echoes the received global — a transport-level identity
+    /// trainer).
+    pub fn set_update(&mut self, samples: u32, payload: Vec<u8>) {
+        self.update_override = Some((samples, payload));
+    }
+
+    /// Kicks off the join handshake at `now`, returning the first
+    /// [`ControlFrame::JoinRequest`].
+    pub fn start(&mut self, now: u64) -> ControlFrame {
+        self.phase = ParticipantPhase::Joining;
+        self.next_join = now + self.config.retry_base.max(1);
+        self.stats.joins += 1;
+        ControlFrame::JoinRequest {
+            client: self.config.client,
+            wire_version: fei_net::wire::WIRE_VERSION,
+        }
+    }
+
+    /// Feeds one inbound byte frame at `now`, returning any frames to send
+    /// in response.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ProtoError`]; a rejection leaves the participant state
+    /// unchanged. Never panics on wire input.
+    pub fn handle_frame(
+        &mut self,
+        bytes: &[u8],
+        now: u64,
+    ) -> Result<Vec<ControlFrame>, ProtoError> {
+        let (frame, _) = ControlFrame::decode(bytes)?;
+        self.handle_control(frame, now)
+    }
+
+    /// Feeds one decoded control frame at `now` (the typed twin of
+    /// [`Participant::handle_frame`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Participant::handle_frame`].
+    pub fn handle_control(
+        &mut self,
+        frame: ControlFrame,
+        now: u64,
+    ) -> Result<Vec<ControlFrame>, ProtoError> {
+        match frame {
+            ControlFrame::JoinAck {
+                client,
+                heartbeat_interval,
+                ..
+            } => {
+                self.check_recipient(client)?;
+                // Duplicate acks (chaos duplication, or an ack answering a
+                // join retry) are idempotent.
+                self.heartbeat_interval = heartbeat_interval as u64;
+                self.last_beat = now;
+                if self.phase == ParticipantPhase::Joining {
+                    self.phase = ParticipantPhase::Ready;
+                }
+                Ok(Vec::new())
+            }
+            ControlFrame::Select {
+                round,
+                client,
+                deadline_tick,
+                global,
+                ..
+            } => {
+                self.check_recipient(client)?;
+                match self.phase {
+                    ParticipantPhase::Idle | ParticipantPhase::Joining => {
+                        Err(ProtoError::UnexpectedFrame {
+                            state: self.phase.name(),
+                            frame: "Select",
+                        })
+                    }
+                    // A selection for an older round than one we already
+                    // worked is stale (reordered or duplicated).
+                    _ if self.phase != ParticipantPhase::Ready && round <= self.round => {
+                        Err(ProtoError::WrongRound {
+                            current: self.round,
+                            got: round,
+                        })
+                    }
+                    _ => {
+                        self.round = round;
+                        self.deadline_tick = deadline_tick;
+                        self.global = global;
+                        self.train_done = now + self.config.train_ticks;
+                        self.update_override = None;
+                        self.pending = None;
+                        self.phase = ParticipantPhase::Training;
+                        Ok(Vec::new())
+                    }
+                }
+            }
+            ControlFrame::RoundCommit { round, .. } => {
+                if round == self.round && self.phase == ParticipantPhase::Uploading {
+                    self.stats.commits += 1;
+                }
+                self.finish_round(round)
+            }
+            ControlFrame::RoundAbort { round, .. } => {
+                if round == self.round && self.phase == ParticipantPhase::Uploading {
+                    self.stats.aborts += 1;
+                }
+                self.finish_round(round)
+            }
+            // Upstream frames have no participant-side transition.
+            other => Err(ProtoError::UnexpectedFrame {
+                state: self.phase.name(),
+                frame: other.name(),
+            }),
+        }
+    }
+
+    /// Advances virtual time, returning frames due at `now`: join retries
+    /// while unacknowledged, heartbeats on the lease interval, the
+    /// submission when training completes, and backoff-scheduled
+    /// retransmits while the round verdict is outstanding.
+    pub fn tick(&mut self, now: u64) -> Vec<ControlFrame> {
+        let mut out = Vec::new();
+        if self.phase == ParticipantPhase::Joining && now >= self.next_join {
+            // The join or its ack was lost: retry with linear backoff (the
+            // handshake is idempotent).
+            self.next_join = now + self.config.retry_base.max(1) * (1 + self.stats.joins.min(8));
+            self.stats.joins += 1;
+            out.push(ControlFrame::JoinRequest {
+                client: self.config.client,
+                wire_version: fei_net::wire::WIRE_VERSION,
+            });
+        }
+        if self.heartbeat_interval > 0
+            && !self.config.mute_heartbeats
+            && !matches!(
+                self.phase,
+                ParticipantPhase::Idle | ParticipantPhase::Joining
+            )
+            && now.saturating_sub(self.last_beat) >= self.heartbeat_interval
+        {
+            self.last_beat = now;
+            self.stats.heartbeats += 1;
+            out.push(ControlFrame::Heartbeat {
+                client: self.config.client,
+                tick: now,
+            });
+        }
+        if self.phase == ParticipantPhase::Training && now >= self.train_done {
+            let (samples, payload) = self
+                .update_override
+                .take()
+                .unwrap_or_else(|| (1, self.global.clone()));
+            self.pending = Some(PendingUpload {
+                round: self.round,
+                samples,
+                payload,
+                attempts: 0,
+                next_send: now,
+            });
+            self.phase = ParticipantPhase::Uploading;
+        }
+        if self.phase == ParticipantPhase::Uploading {
+            if let Some(pending) = &mut self.pending {
+                if now >= pending.next_send && pending.attempts <= self.config.max_retries {
+                    pending.attempts += 1;
+                    // Exponential backoff, capped shift: base · 2^attempts.
+                    let shift = pending.attempts.min(16);
+                    pending.next_send = now + self.config.retry_base.max(1) * (1u64 << shift);
+                    self.stats.submits += 1;
+                    if pending.attempts > 1 {
+                        self.stats.retries += 1;
+                    }
+                    out.push(ControlFrame::UpdateSubmit {
+                        round: pending.round,
+                        client: self.config.client,
+                        samples: pending.samples,
+                        update: pending.payload.clone(),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn check_recipient(&self, client: u64) -> Result<(), ProtoError> {
+        if client != self.config.client {
+            return Err(ProtoError::WrongRecipient {
+                client: self.config.client,
+                got: client,
+            });
+        }
+        Ok(())
+    }
+
+    /// Handles a round verdict: the matching round clears any pending
+    /// upload; verdicts for other rounds are stale broadcasts and ignored.
+    fn finish_round(&mut self, round: u64) -> Result<Vec<ControlFrame>, ProtoError> {
+        if round == self.round
+            && matches!(
+                self.phase,
+                ParticipantPhase::Training | ParticipantPhase::Uploading
+            )
+        {
+            self.pending = None;
+            self.phase = ParticipantPhase::Ready;
+        }
+        Ok(Vec::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::frames::AbortReason;
+
+    use super::*;
+
+    fn select(round: u64, client: u64, now: u64) -> ControlFrame {
+        ControlFrame::Select {
+            round,
+            client,
+            epochs: 5,
+            deadline_tick: now + 50,
+            global: vec![1, 2, 3],
+        }
+    }
+
+    fn ack(client: u64) -> ControlFrame {
+        ControlFrame::JoinAck {
+            client,
+            heartbeat_interval: 5,
+            heartbeat_timeout: 20,
+        }
+    }
+
+    fn ready_participant() -> Participant {
+        let mut p = Participant::new(ParticipantConfig::new(7, 3));
+        let join = p.start(0);
+        assert!(matches!(join, ControlFrame::JoinRequest { client: 7, .. }));
+        p.handle_control(ack(7), 1).expect("ack accepted");
+        assert_eq!(p.phase(), ParticipantPhase::Ready);
+        p
+    }
+
+    #[test]
+    fn trains_then_submits_then_heartbeats() {
+        let mut p = ready_participant();
+        p.handle_control(select(0, 7, 2), 2).expect("selected");
+        assert_eq!(p.phase(), ParticipantPhase::Training);
+        assert!(p.tick(3).is_empty(), "still training");
+        // Training done at 2 + 3 = 5; submission fires.
+        let frames = p.tick(5);
+        assert!(frames.iter().any(|f| matches!(
+            f,
+            ControlFrame::UpdateSubmit {
+                round: 0,
+                client: 7,
+                ..
+            }
+        )));
+        assert_eq!(p.phase(), ParticipantPhase::Uploading);
+        // Heartbeats keep flowing on the lease interval.
+        let frames = p.tick(6);
+        assert!(frames
+            .iter()
+            .any(|f| matches!(f, ControlFrame::Heartbeat { client: 7, .. })));
+    }
+
+    #[test]
+    fn default_update_echoes_the_global() {
+        let mut p = ready_participant();
+        p.handle_control(select(0, 7, 2), 2).expect("selected");
+        let frames = p.tick(5);
+        let update = frames.iter().find_map(|f| match f {
+            ControlFrame::UpdateSubmit { update, .. } => Some(update.clone()),
+            _ => None,
+        });
+        assert_eq!(update, Some(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn retransmits_with_backoff_until_verdict() {
+        let mut p = ready_participant();
+        p.handle_control(select(0, 7, 0), 0).expect("selected");
+        p.tick(3); // first submission at train_done = 3
+        assert_eq!(p.stats().submits, 1);
+        // Next send scheduled at 3 + 2·2 = 7.
+        assert!(p
+            .tick(6)
+            .iter()
+            .all(|f| !matches!(f, ControlFrame::UpdateSubmit { .. })));
+        let frames = p.tick(7);
+        assert!(frames
+            .iter()
+            .any(|f| matches!(f, ControlFrame::UpdateSubmit { .. })));
+        assert_eq!(p.stats().retries, 1);
+        // The commit stops the retransmit loop.
+        p.handle_control(
+            ControlFrame::RoundCommit {
+                round: 0,
+                accepted: vec![7],
+            },
+            8,
+        )
+        .expect("commit");
+        assert_eq!(p.phase(), ParticipantPhase::Ready);
+        assert_eq!(p.stats().commits, 1);
+        for t in 9..200 {
+            assert!(p
+                .tick(t)
+                .iter()
+                .all(|f| !matches!(f, ControlFrame::UpdateSubmit { .. })));
+        }
+    }
+
+    #[test]
+    fn abort_clears_pending_and_counts() {
+        let mut p = ready_participant();
+        p.handle_control(select(0, 7, 0), 0).expect("selected");
+        p.tick(3);
+        p.handle_control(
+            ControlFrame::RoundAbort {
+                round: 0,
+                reason: AbortReason::QuorumMiss,
+            },
+            4,
+        )
+        .expect("abort");
+        assert_eq!(p.stats().aborts, 1);
+        assert_eq!(p.phase(), ParticipantPhase::Ready);
+        // A stale verdict for an old round is ignored, not an error.
+        let stale = p.handle_control(
+            ControlFrame::RoundAbort {
+                round: 0,
+                reason: AbortReason::QuorumMiss,
+            },
+            5,
+        );
+        assert_eq!(stale, Ok(Vec::new()));
+    }
+
+    #[test]
+    fn join_retries_when_the_handshake_is_lost() {
+        let mut p = Participant::new(ParticipantConfig::new(3, 2));
+        p.start(0);
+        let mut retries = 0;
+        for t in 1..40 {
+            retries += p
+                .tick(t)
+                .iter()
+                .filter(|f| matches!(f, ControlFrame::JoinRequest { .. }))
+                .count();
+        }
+        assert!(retries >= 2, "lost handshake must keep retrying");
+        p.handle_control(ack(3), 40).expect("late ack");
+        assert_eq!(p.phase(), ParticipantPhase::Ready);
+        assert!(p
+            .tick(41)
+            .iter()
+            .all(|f| !matches!(f, ControlFrame::JoinRequest { .. })));
+    }
+
+    #[test]
+    fn version_mismatch_is_typed_on_the_participant_side() {
+        // The coordinator (or an imposter) speaking a future protocol
+        // version is rejected before any body parsing — the participant
+        // direction of the handshake check.
+        let mut p = ready_participant();
+        let mut bytes = ack(7).encode();
+        // Payload starts after the 7-byte header: flip the version byte and
+        // refresh the CRC by re-encoding manually.
+        let payload_start = 7;
+        bytes[payload_start] = crate::frames::PROTO_VERSION + 3;
+        let reframed = fei_net::codec::encode_frame(
+            crate::frames::TAG_JOIN_ACK,
+            &bytes[payload_start..bytes.len() - 4],
+        )
+        .to_vec();
+        assert_eq!(
+            p.handle_frame(&reframed, 2),
+            Err(ProtoError::VersionMismatch {
+                expected: crate::frames::PROTO_VERSION,
+                found: crate::frames::PROTO_VERSION + 3,
+            })
+        );
+    }
+
+    #[test]
+    fn misrouted_frames_are_typed() {
+        let mut p = ready_participant();
+        assert_eq!(
+            p.handle_control(ack(9), 2),
+            Err(ProtoError::WrongRecipient { client: 7, got: 9 })
+        );
+        assert_eq!(
+            p.handle_control(select(0, 9, 2), 2),
+            Err(ProtoError::WrongRecipient { client: 7, got: 9 })
+        );
+        // Upstream frames bounce.
+        assert_eq!(
+            p.handle_control(ControlFrame::Heartbeat { client: 7, tick: 0 }, 2),
+            Err(ProtoError::UnexpectedFrame {
+                state: "Ready",
+                frame: "Heartbeat"
+            })
+        );
+    }
+
+    #[test]
+    fn muted_participant_never_heartbeats() {
+        let mut p = Participant::new(ParticipantConfig {
+            mute_heartbeats: true,
+            ..ParticipantConfig::new(1, 2)
+        });
+        p.start(0);
+        p.handle_control(ack(1), 1).expect("ack");
+        for t in 2..100 {
+            assert!(p
+                .tick(t)
+                .iter()
+                .all(|f| !matches!(f, ControlFrame::Heartbeat { .. })));
+        }
+    }
+}

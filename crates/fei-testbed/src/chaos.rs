@@ -1,0 +1,256 @@
+//! Wire-level chaos campaigns over the protocol cluster.
+//!
+//! A [`ChaosCampaign`] drives the fei-proto [`Cluster`] — coordinator,
+//! participant fleet, and two lossy links — across a matrix of chaos
+//! seeds, and audits the two protocol guarantees under fire:
+//!
+//! * **liveness** — every run closes its target number of rounds (each
+//!   committed or aborted) inside the tick budget;
+//! * **safety** — no commit ever aggregates an update from a client whose
+//!   heartbeat lease had lapsed (probed by heartbeat-muted participants).
+//!
+//! The campaign also closes two loops with the rest of the workspace:
+//! control-plane bytes are charged to an [`EnergyLedger`] under
+//! [`EnergyUse::Control`] at WiFi link energy, and fleet-shrink cues from
+//! the coordinator are answered by [`EeFeiPlanner::replan_for_fleet`] —
+//! the paper's `(K*, E*)` optimization re-run against the survivors.
+
+use fei_core::ledger::{EnergyLedger, EnergyUse};
+use fei_core::planner::EeFeiPlanner;
+use fei_net::link::Link;
+use fei_proto::{
+    ChaosConfig, Cluster, ClusterConfig, ClusterReport, CoordinatorConfig, ParticipantConfig,
+};
+
+/// One chaos campaign: a misbehaviour profile swept over a seed matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosCampaignConfig {
+    /// Coordinator protocol parameters shared by every run.
+    pub coordinator: CoordinatorConfig,
+    /// Honest (heartbeating) participants.
+    pub fleet: u64,
+    /// Heartbeat-muted participants probing the expiry safety invariant.
+    pub muted: u64,
+    /// Rounds each run must close.
+    pub rounds_per_seed: u64,
+    /// Tick budget per run.
+    pub max_ticks: u64,
+    /// Chaos probabilities applied to both links (per-run seeds are derived
+    /// from the matrix below; this profile's own seed is ignored).
+    pub profile: ChaosConfig,
+    /// Seed matrix; one cluster run per entry.
+    pub seeds: Vec<u64>,
+}
+
+impl ChaosCampaignConfig {
+    /// The default campaign: 5 honest + 1 muted participant, moderate
+    /// four-way chaos, five rounds per seed.
+    pub fn default_matrix(seeds: Vec<u64>) -> Self {
+        Self {
+            coordinator: CoordinatorConfig {
+                k: 3,
+                over_select: 1,
+                quorum: 2,
+                epochs: 5,
+                heartbeat_interval: 5,
+                heartbeat_timeout: 20,
+                round_deadline: 40,
+            },
+            fleet: 5,
+            muted: 1,
+            rounds_per_seed: 5,
+            max_ticks: 5_000,
+            profile: ChaosConfig {
+                drop_prob: 0.08,
+                dup_prob: 0.08,
+                reorder_prob: 0.08,
+                corrupt_prob: 0.04,
+                seed: 0,
+            },
+            seeds,
+        }
+    }
+}
+
+/// One seed's run, audited.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosRun {
+    /// The seed that drove both links.
+    pub seed: u64,
+    /// The cluster's full report.
+    pub report: ClusterReport,
+    /// Joules charged for this run's control traffic.
+    pub control_joules: f64,
+    /// `K*` from re-planning against the smallest fleet the coordinator
+    /// saw, when a planner was attached and a shrink cue fired.
+    pub replanned_k: Option<usize>,
+}
+
+/// Everything a chaos campaign produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosCampaignReport {
+    /// Per-seed runs, in matrix order.
+    pub runs: Vec<ChaosRun>,
+    /// Control-plane energy, one [`EnergyUse::Control`] charge per run.
+    pub ledger: EnergyLedger,
+}
+
+impl ChaosCampaignReport {
+    /// Whether every run closed every targeted round in budget.
+    pub fn liveness_ok(&self) -> bool {
+        self.runs.iter().all(|r| r.report.liveness_ok())
+    }
+
+    /// Whether no run ever aggregated an expired client's update.
+    pub fn safety_ok(&self) -> bool {
+        self.runs.iter().all(|r| r.report.safety_ok())
+    }
+
+    /// Rounds committed across the whole matrix.
+    pub fn total_committed(&self) -> u64 {
+        self.runs.iter().map(|r| r.report.committed).sum()
+    }
+
+    /// Rounds aborted across the whole matrix.
+    pub fn total_aborted(&self) -> u64 {
+        self.runs.iter().map(|r| r.report.aborted).sum()
+    }
+}
+
+/// The campaign driver.
+#[derive(Debug)]
+pub struct ChaosCampaign {
+    config: ChaosCampaignConfig,
+    planner: Option<EeFeiPlanner>,
+}
+
+impl ChaosCampaign {
+    /// Creates a campaign without re-planning.
+    pub fn new(config: ChaosCampaignConfig) -> Self {
+        Self {
+            config,
+            planner: None,
+        }
+    }
+
+    /// Attaches a planner answering the coordinator's fleet-shrink cues
+    /// with a fresh `(K*, E*)` against the survivors.
+    pub fn with_replanning(mut self, planner: EeFeiPlanner) -> Self {
+        self.planner = Some(planner);
+        self
+    }
+
+    /// Runs the whole seed matrix and reports.
+    pub fn run(&self) -> ChaosCampaignReport {
+        let uplink_energy = Link::wifi_uplink();
+        let downlink_energy = Link::wifi_downlink();
+        let mut runs = Vec::with_capacity(self.config.seeds.len());
+        let mut ledger = EnergyLedger::new();
+        for (index, &seed) in self.config.seeds.iter().enumerate() {
+            let report = Cluster::new(self.cluster_config(seed)).run();
+
+            // Control-plane energy at WiFi link rates, split by direction.
+            let control_joules = uplink_energy
+                .transfer_energy_joules(report.control_bytes_up as usize)
+                + downlink_energy.transfer_energy_joules(report.control_bytes_down as usize);
+            ledger.charge(index, EnergyUse::Control, control_joules, "control frames");
+
+            // Graceful degradation: answer the deepest shrink cue with a
+            // re-plan for the surviving fleet, exactly as a live
+            // coordinator driver would.
+            let replanned_k = self.planner.as_ref().and_then(|planner| {
+                report
+                    .replan_events
+                    .iter()
+                    .map(|&(_, alive)| alive)
+                    .min()
+                    .filter(|&alive| alive > 0)
+                    .and_then(|alive| planner.replan_for_fleet(alive).ok())
+                    .map(|plan| plan.solution.k)
+            });
+
+            runs.push(ChaosRun {
+                seed,
+                report,
+                control_joules,
+                replanned_k,
+            });
+        }
+        ChaosCampaignReport { runs, ledger }
+    }
+
+    fn cluster_config(&self, seed: u64) -> ClusterConfig {
+        let mut participants: Vec<ParticipantConfig> = (0..self.config.fleet)
+            .map(|client| ParticipantConfig::new(client, 3))
+            .collect();
+        for client in self.config.fleet..self.config.fleet + self.config.muted {
+            participants.push(ParticipantConfig {
+                mute_heartbeats: true,
+                ..ParticipantConfig::new(client, 3)
+            });
+        }
+        ClusterConfig {
+            coordinator: self.config.coordinator.clone(),
+            participants,
+            uplink: ChaosConfig {
+                seed: seed.wrapping_mul(2).wrapping_add(1),
+                ..self.config.profile
+            },
+            downlink: ChaosConfig {
+                seed: seed.wrapping_mul(2).wrapping_add(2),
+                ..self.config.profile
+            },
+            target_rounds: self.config.rounds_per_seed,
+            max_ticks: self.config.max_ticks,
+            global_payload: vec![0xEE; 64],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fei_core::bound::ConvergenceBound;
+    use fei_core::energy::RoundEnergyModel;
+
+    use super::*;
+
+    fn planner() -> EeFeiPlanner {
+        let energy = RoundEnergyModel::paper_default();
+        let bound = ConvergenceBound::new(1.0, 0.05, 1e-4).expect("valid bound");
+        EeFeiPlanner::new(energy, bound, 0.1, 20).expect("paper-default planner")
+    }
+
+    #[test]
+    fn campaign_is_live_and_safe_across_the_matrix() {
+        let report = ChaosCampaign::new(ChaosCampaignConfig::default_matrix(vec![1, 2, 3])).run();
+        assert!(report.liveness_ok(), "liveness failed: {report:?}");
+        assert!(report.safety_ok(), "safety failed: {report:?}");
+        assert_eq!(report.total_committed() + report.total_aborted(), 15);
+        assert!(report.ledger.control_joules() > 0.0);
+        assert_eq!(report.ledger.entries().len(), 3);
+    }
+
+    #[test]
+    fn campaign_replays_bit_identically_per_seed() {
+        let config = ChaosCampaignConfig::default_matrix(vec![7, 8]);
+        let a = ChaosCampaign::new(config.clone()).run();
+        let b = ChaosCampaign::new(config).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shrink_cues_are_answered_with_a_replan() {
+        // K = 3 but only 2 participants exist: every round opens shrunken.
+        let mut config = ChaosCampaignConfig::default_matrix(vec![4]);
+        config.fleet = 2;
+        config.muted = 0;
+        config.coordinator.quorum = 2;
+        config.profile = ChaosConfig::quiet(0);
+        let report = ChaosCampaign::new(config).with_replanning(planner()).run();
+        assert!(report.liveness_ok(), "{report:?}");
+        let run = &report.runs[0];
+        assert!(!run.report.replan_events.is_empty());
+        let k_star = run.replanned_k.expect("planner attached and cue fired");
+        assert!((1..=2).contains(&k_star), "K* = {k_star} for 2 survivors");
+    }
+}

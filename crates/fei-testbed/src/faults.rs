@@ -25,6 +25,7 @@ use fei_fl::{
     Adversary, AdversarySpec, DefenseConfig, FaultInjector, FaultSpec, FlError, RoundRecord,
     StopCondition, ToleranceConfig, TrainingHistory,
 };
+use fei_net::link::Link;
 
 use crate::fl::FlExperiment;
 use crate::testbed::Testbed;
@@ -311,6 +312,30 @@ impl FaultCampaign {
                 EnergyUse::Retransmit,
                 record.faults.upload_retries as f64 * upload_j,
                 "upload retries",
+            );
+        }
+
+        // Coordinator-protocol control frames: selection notices and the
+        // round verdict ride the downlink, heartbeats the uplink. The
+        // byte counts mirror exactly what the engines charge to
+        // `TransportStats::bytes_control`.
+        let selected = record.selected.len();
+        let heartbeats = selected.saturating_sub(record.faults.crashed);
+        let close = if record.outcome.committed() {
+            fei_proto::frames::commit_frame_len(record.responded.len())
+        } else {
+            fei_proto::frames::abort_frame_len()
+        };
+        let down_bytes = selected * (fei_proto::frames::select_frame_len(0) + close);
+        let up_bytes = heartbeats * fei_proto::frames::heartbeat_frame_len();
+        let control_j = Link::wifi_downlink().transfer_energy_joules(down_bytes)
+            + Link::wifi_uplink().transfer_energy_joules(up_bytes);
+        if control_j > 0.0 {
+            ledger.charge(
+                record.round,
+                EnergyUse::Control,
+                control_j,
+                "control frames",
             );
         }
     }

@@ -17,6 +17,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod des;
 pub mod device;
 pub mod experiment;
@@ -24,6 +25,7 @@ pub mod faults;
 pub mod fl;
 pub mod testbed;
 
+pub use chaos::{ChaosCampaign, ChaosCampaignConfig, ChaosCampaignReport, ChaosRun};
 pub use device::RaspberryPi;
 pub use experiment::{EnergyBreakdown, ExperimentRun};
 pub use faults::{FaultCampaign, FaultCampaignReport, ReplanEvent};

@@ -20,6 +20,7 @@
 //! | [`testbed`] | the simulated hardware prototype |
 //! | [`power`] | power states, timelines, meter simulation |
 //! | [`net`] | links, shared media, message codec |
+//! | [`proto`] | coordinator protocol: state machines, liveness, chaos |
 //! | [`sim`] | discrete-event kernel, deterministic RNG |
 //! | [`math`] | matrices, least squares, 1-D optimizers |
 //!
@@ -60,6 +61,8 @@ pub use fei_ml as ml;
 pub use fei_net as net;
 /// Power states, timelines, meters.
 pub use fei_power as power;
+/// Coordinator/participant protocol state machines and chaos testing.
+pub use fei_proto as proto;
 /// Discrete-event simulation kernel.
 pub use fei_sim as sim;
 /// The simulated hardware prototype.
@@ -86,9 +89,14 @@ pub mod prelude {
         Model, SgdConfig,
     };
     pub use fei_power::{PowerMeter, PowerProfile, PowerState, PowerTimeline};
+    pub use fei_proto::{
+        ChaosConfig, ChaosLink, Cluster, ClusterConfig, ClusterReport, ControlFrame, Coordinator,
+        CoordinatorConfig, Effect, LivenessTracker, Participant, ParticipantConfig, Phase,
+        ProtoError, PROTO_VERSION,
+    };
     pub use fei_sim::{DetRng, SimDuration, SimTime};
     pub use fei_testbed::{
-        FaultCampaign, FlExperiment, FlExperimentConfig, PartitionStrategy, RaspberryPi, Testbed,
-        TestbedConfig,
+        ChaosCampaign, ChaosCampaignConfig, FaultCampaign, FlExperiment, FlExperimentConfig,
+        PartitionStrategy, RaspberryPi, Testbed, TestbedConfig,
     };
 }

@@ -1,0 +1,159 @@
+//! Coordinator protocol under wire-level chaos: liveness (every opened
+//! round commits or aborts), safety (no expired client's update is ever
+//! aggregated), handshake version gating in both directions, and
+//! bit-identical chaos replays.
+
+use ee_fei::net::codec::encode_frame;
+use ee_fei::prelude::*;
+use ee_fei::proto::frames::{TAG_HEARTBEAT, TAG_JOIN_ACK};
+
+fn coordinator_config() -> CoordinatorConfig {
+    CoordinatorConfig {
+        k: 3,
+        over_select: 1,
+        quorum: 2,
+        epochs: 5,
+        heartbeat_interval: 5,
+        heartbeat_timeout: 20,
+        round_deadline: 40,
+    }
+}
+
+fn cluster_config(seed: u64, chaos: ChaosConfig) -> ClusterConfig {
+    let mut participants: Vec<ParticipantConfig> =
+        (0..5).map(|c| ParticipantConfig::new(c, 3)).collect();
+    // One heartbeat-muted probe: it joins and trains but its lease always
+    // lapses, so any commit carrying its update is a safety violation.
+    participants.push(ParticipantConfig {
+        mute_heartbeats: true,
+        ..ParticipantConfig::new(5, 3)
+    });
+    ClusterConfig {
+        coordinator: coordinator_config(),
+        participants,
+        uplink: ChaosConfig {
+            seed: seed * 2 + 1,
+            ..chaos
+        },
+        downlink: ChaosConfig {
+            seed: seed * 2 + 2,
+            ..chaos
+        },
+        target_rounds: 6,
+        max_ticks: 10_000,
+        global_payload: vec![0x5A; 48],
+    }
+}
+
+fn hostile() -> ChaosConfig {
+    ChaosConfig {
+        drop_prob: 0.12,
+        dup_prob: 0.10,
+        reorder_prob: 0.12,
+        corrupt_prob: 0.06,
+        seed: 0,
+    }
+}
+
+#[test]
+fn every_round_commits_or_aborts_under_chaos() {
+    for seed in [1u64, 7, 23, 99, 1234] {
+        let report = Cluster::new(cluster_config(seed, hostile())).run();
+        assert!(
+            report.liveness_ok(),
+            "seed {seed}: stuck={} closed={} of 6",
+            report.stuck,
+            report.round_log.len()
+        );
+        assert_eq!(report.committed + report.aborted, 6, "seed {seed}");
+    }
+}
+
+#[test]
+fn no_expired_clients_update_is_ever_aggregated() {
+    for seed in [1u64, 7, 23, 99, 1234] {
+        let report = Cluster::new(cluster_config(seed, hostile())).run();
+        assert!(
+            report.safety_ok(),
+            "seed {seed}: {} commits carried an expired client's update",
+            report.safety_violations
+        );
+        // The muted probe (client 5) must never appear in a commit.
+        for verdict in &report.round_log {
+            assert!(
+                !verdict.accepted.contains(&5),
+                "seed {seed}: muted client aggregated in round {}",
+                verdict.round
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_replays_are_bit_identical() {
+    for seed in [3u64, 42] {
+        let a = Cluster::new(cluster_config(seed, hostile())).run();
+        let b = Cluster::new(cluster_config(seed, hostile())).run();
+        assert_eq!(a, b, "seed {seed} replay diverged");
+    }
+}
+
+#[test]
+fn quiet_wire_commits_every_round_with_zero_rejections() {
+    let mut config = cluster_config(0, ChaosConfig::quiet(0));
+    // Drop the muted probe: a quiet, fully-live fleet is the baseline.
+    config.participants.truncate(5);
+    let report = Cluster::new(config).run();
+    assert!(report.liveness_ok() && report.safety_ok());
+    assert_eq!(report.committed, 6);
+    assert_eq!(report.aborted, 0);
+    assert_eq!(report.coordinator.rejected, 0);
+    assert!(report.control_bytes() > 0);
+}
+
+#[test]
+fn coordinator_rejects_future_protocol_versions() {
+    let mut c = Coordinator::new(coordinator_config());
+    let _ = c.open_rendezvous();
+    // A well-formed, correctly-checksummed heartbeat from protocol v+1.
+    let mut payload = vec![PROTO_VERSION + 1];
+    payload.extend_from_slice(&0u64.to_be_bytes());
+    payload.extend_from_slice(&1u64.to_be_bytes());
+    let bytes = encode_frame(TAG_HEARTBEAT, &payload).to_vec();
+    assert_eq!(
+        c.handle_frame(&bytes, 1),
+        Err(ProtoError::VersionMismatch {
+            expected: PROTO_VERSION,
+            found: PROTO_VERSION + 1,
+        })
+    );
+}
+
+#[test]
+fn participant_rejects_future_protocol_versions() {
+    let mut p = Participant::new(ParticipantConfig::new(7, 3));
+    let _join = p.start(0);
+    // A JoinAck answered by a coordinator speaking protocol v+1.
+    let mut payload = vec![PROTO_VERSION + 1];
+    payload.extend_from_slice(&7u64.to_be_bytes());
+    payload.extend_from_slice(&5u32.to_be_bytes());
+    payload.extend_from_slice(&20u32.to_be_bytes());
+    let bytes = encode_frame(TAG_JOIN_ACK, &payload).to_vec();
+    assert_eq!(
+        p.handle_frame(&bytes, 1),
+        Err(ProtoError::VersionMismatch {
+            expected: PROTO_VERSION,
+            found: PROTO_VERSION + 1,
+        })
+    );
+}
+
+#[test]
+fn chaos_campaign_matrix_is_live_safe_and_energy_billed() {
+    let report = ChaosCampaign::new(ChaosCampaignConfig::default_matrix(vec![11, 12])).run();
+    assert!(report.liveness_ok());
+    assert!(report.safety_ok());
+    assert!(report.ledger.control_joules() > 0.0);
+    // Control spend is pure overhead in the ledger's accounting.
+    assert!(report.ledger.overhead_fraction() > 0.99);
+}
