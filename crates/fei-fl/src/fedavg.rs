@@ -14,6 +14,7 @@ use crate::aggregate::{try_aggregate, AggregationRule};
 use crate::error::FlError;
 use crate::fault::{FaultInjector, RetryPolicy};
 use crate::history::TrainingHistory;
+use crate::resume::EngineCheckpoint;
 use crate::robust::{robust_aggregate, DefenseConfig, UpdateScreen};
 use crate::runtime::{global_frame_len, update_frame_len, TransportStats};
 use crate::selection::{ClientSelector, SelectionStrategy};
@@ -697,6 +698,61 @@ impl<M: Model> FedAvg<M> {
         })
     }
 
+    /// Captures the engine's resumable state: round counter, global model,
+    /// RNG streams, transport totals, and the current `(K, E)`. A driver
+    /// recovering from a coordinator crash rebuilds the engine from its
+    /// construction inputs and [`FedAvg::restore`]s this checkpoint; future
+    /// rounds are then bit-identical to the uncrashed run. The checkpoint
+    /// is engine-agnostic — `ThreadedFedAvg::restore` accepts it too.
+    pub fn checkpoint(&self) -> EngineCheckpoint<M> {
+        EngineCheckpoint {
+            round: self.round,
+            global: self.global.clone(),
+            selector: self.selector.clone(),
+            dropout_rng: self.dropout_rng.clone(),
+            transport: self.transport,
+            clients_per_round: self.config.clients_per_round,
+            local_epochs: self.config.local_epochs,
+        }
+    }
+
+    /// Rewinds the engine to a checkpoint taken from either execution
+    /// engine over the same fleet and configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpointed model's shape does not match this
+    /// engine's datasets, or its `K` exceeds the fleet.
+    pub fn restore(&mut self, checkpoint: EngineCheckpoint<M>) {
+        assert_eq!(
+            checkpoint.global.dim(),
+            self.clients[0].dim(),
+            "checkpoint model dimension mismatch"
+        );
+        assert_eq!(
+            checkpoint.global.num_classes(),
+            self.clients[0].num_classes(),
+            "checkpoint model class mismatch"
+        );
+        assert!(
+            checkpoint.clients_per_round >= 1 && checkpoint.clients_per_round <= self.clients.len(),
+            "checkpoint K = {} out of range for N = {}",
+            checkpoint.clients_per_round,
+            self.clients.len()
+        );
+        assert!(
+            checkpoint.local_epochs >= 1,
+            "checkpoint E must be at least 1"
+        );
+        self.round = checkpoint.round;
+        self.global = checkpoint.global;
+        self.selector = checkpoint.selector;
+        self.dropout_rng = checkpoint.dropout_rng;
+        self.transport = checkpoint.transport;
+        self.config.clients_per_round = checkpoint.clients_per_round;
+        self.config.local_epochs = checkpoint.local_epochs;
+    }
+
     /// Runs rounds until `stop` is satisfied, returning the full history.
     ///
     /// # Panics
@@ -1061,6 +1117,72 @@ mod tests {
                 assert_eq!(yf, classes - 1 - yo);
             }
         }
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        let (clients, test) = setup(6, 120);
+        let config = FedAvgConfig {
+            clients_per_round: 3,
+            local_epochs: 2,
+            dropout_prob: 0.3,
+            ..Default::default()
+        };
+        let mut straight = FedAvg::new(config.clone(), clients.clone(), test.clone());
+        let mut crashed = FedAvg::new(config.clone(), clients.clone(), test.clone());
+        for _ in 0..3 {
+            straight.run_round();
+            crashed.run_round();
+        }
+        // "Crash": the driver loses the engine, keeps only the checkpoint,
+        // and rebuilds from construction inputs.
+        let ckpt = crashed.checkpoint();
+        assert_eq!(ckpt.round(), 3);
+        let mut rebuilt = FedAvg::new(config, clients, test);
+        rebuilt.restore(ckpt);
+        for _ in 0..3 {
+            assert_eq!(straight.run_round(), rebuilt.run_round());
+        }
+        assert_eq!(straight.global_model(), rebuilt.global_model());
+        assert_eq!(straight.transport_stats(), rebuilt.transport_stats());
+    }
+
+    #[test]
+    fn checkpoint_carries_replanned_participation() {
+        let (clients, test) = setup(6, 120);
+        let config = FedAvgConfig {
+            clients_per_round: 4,
+            local_epochs: 3,
+            ..Default::default()
+        };
+        let mut fed = FedAvg::new(config.clone(), clients.clone(), test.clone());
+        fed.run_round();
+        fed.set_participation(2, 5);
+        let ckpt = fed.checkpoint();
+        assert_eq!(ckpt.participation(), (2, 5));
+        let mut rebuilt = FedAvg::new(config, clients, test);
+        rebuilt.restore(ckpt);
+        assert_eq!(rebuilt.config().clients_per_round, 2);
+        assert_eq!(rebuilt.config().local_epochs, 5);
+        assert_eq!(fed.run_round(), rebuilt.run_round());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn restore_rejects_oversized_k() {
+        let (clients, test) = setup(4, 80);
+        let config = FedAvgConfig {
+            clients_per_round: 4,
+            ..Default::default()
+        };
+        let ckpt = FedAvg::new(config, clients.clone(), test.clone()).checkpoint();
+        let (small_clients, small_test) = setup(2, 40);
+        let shrunk = FedAvgConfig {
+            clients_per_round: 2,
+            ..Default::default()
+        };
+        let mut fed = FedAvg::new(shrunk, small_clients, small_test);
+        fed.restore(ckpt);
     }
 
     #[test]

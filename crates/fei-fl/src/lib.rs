@@ -45,6 +45,7 @@ pub mod error;
 pub mod fault;
 pub mod fedavg;
 pub mod history;
+pub mod resume;
 pub mod robust;
 pub mod runtime;
 pub mod selection;
@@ -60,6 +61,7 @@ pub use fedavg::{
 };
 pub use fei_net::wire::{Encoding, WireConfig};
 pub use history::TrainingHistory;
+pub use resume::EngineCheckpoint;
 pub use robust::{
     robust_aggregate, DefenseConfig, RobustRule, ScreenPolicy, ScreenReason, ScreenReport,
     UpdateScreen,

@@ -27,6 +27,7 @@ use crate::error::FlError;
 use crate::fault::FaultInjector;
 use crate::fedavg::{FedAvgConfig, RoundFaultStats, RoundOutcome, RoundRecord, StopCondition};
 use crate::history::TrainingHistory;
+use crate::resume::EngineCheckpoint;
 use crate::robust::{robust_aggregate, UpdateScreen};
 use crate::selection::ClientSelector;
 
@@ -394,6 +395,61 @@ impl<M: Model> ThreadedFedAvg<M> {
     /// Cumulative transport statistics across all workers.
     pub fn transport_stats(&self) -> TransportStats {
         *self.stats.lock()
+    }
+
+    /// Captures the engine's resumable state; see
+    /// [`crate::FedAvg::checkpoint`]. Checkpoints are interchangeable
+    /// between the serial and threaded engines.
+    pub fn checkpoint(&self) -> EngineCheckpoint<M> {
+        EngineCheckpoint {
+            round: self.round,
+            global: self.global.clone(),
+            selector: self.selector.clone(),
+            dropout_rng: self.dropout_rng.clone(),
+            transport: *self.stats.lock(),
+            clients_per_round: self.config.clients_per_round,
+            local_epochs: self.config.local_epochs,
+        }
+    }
+
+    /// Rewinds the engine to a checkpoint taken from either execution
+    /// engine over the same fleet and configuration. Worker threads keep
+    /// running — only coordinator-side state rewinds, which is all a round
+    /// depends on (workers are stateless between jobs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpointed model's shape does not match this
+    /// engine's datasets, or its `K` exceeds the fleet.
+    pub fn restore(&mut self, checkpoint: EngineCheckpoint<M>) {
+        assert_eq!(
+            checkpoint.global.dim(),
+            self.client_data[0].dim(),
+            "checkpoint model dimension mismatch"
+        );
+        assert_eq!(
+            checkpoint.global.num_classes(),
+            self.client_data[0].num_classes(),
+            "checkpoint model class mismatch"
+        );
+        assert!(
+            checkpoint.clients_per_round >= 1
+                && checkpoint.clients_per_round <= self.client_sizes.len(),
+            "checkpoint K = {} out of range for N = {}",
+            checkpoint.clients_per_round,
+            self.client_sizes.len()
+        );
+        assert!(
+            checkpoint.local_epochs >= 1,
+            "checkpoint E must be at least 1"
+        );
+        self.round = checkpoint.round;
+        self.global = checkpoint.global;
+        self.selector = checkpoint.selector;
+        self.dropout_rng = checkpoint.dropout_rng;
+        *self.stats.lock() = checkpoint.transport;
+        self.config.clients_per_round = checkpoint.clients_per_round;
+        self.config.local_epochs = checkpoint.local_epochs;
     }
 
     /// Loss of the current global model over all client data.

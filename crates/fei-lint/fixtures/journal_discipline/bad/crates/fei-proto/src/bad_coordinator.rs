@@ -1,0 +1,17 @@
+//! Known-bad: phase transitions with no write-ahead journal append — a
+//! crash right after either assignment loses the transition entirely.
+pub struct Coordinator {
+    phase: u64,
+    rounds_closed: u64,
+}
+
+impl Coordinator {
+    pub fn open_round(&mut self, round: u64) {
+        self.phase = round;
+    }
+
+    pub fn close_round(&mut self) {
+        self.rounds_closed += 1;
+        self.phase = 0;
+    }
+}

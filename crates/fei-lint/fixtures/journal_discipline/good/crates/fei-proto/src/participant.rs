@@ -1,0 +1,15 @@
+//! Participants keep no durable log: their phase writes are out of the
+//! rule's scope (it covers coordinator files only).
+pub struct Participant {
+    phase: u64,
+}
+
+impl Participant {
+    pub fn start_training(&mut self) {
+        self.phase = 1;
+    }
+
+    pub fn finish(&mut self) {
+        self.phase = 2;
+    }
+}

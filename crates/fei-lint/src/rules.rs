@@ -38,17 +38,24 @@ pub enum RuleId {
     /// classification, so no joule can bypass the `EnergyLedger` buckets
     /// (`tests/energy_accounting.rs`).
     LedgerDiscipline,
+    /// Write-ahead logging in the coordinator: every `.phase =` state
+    /// transition in `fei-proto` coordinator code must sit within a few
+    /// lines of a round-journal append, so no transition can outrun its
+    /// durability point and crash recovery never loses acknowledged state
+    /// (`tests/recovery.rs`).
+    JournalDiscipline,
 }
 
 impl RuleId {
     /// Every rule, in reporting order.
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 7] = [
         RuleId::DetMapIter,
         RuleId::DetWallclock,
         RuleId::DetEntropy,
         RuleId::NoPanic,
         RuleId::FloatEq,
         RuleId::LedgerDiscipline,
+        RuleId::JournalDiscipline,
     ];
 
     /// The kebab-case name used in reports and allow directives.
@@ -60,6 +67,7 @@ impl RuleId {
             RuleId::NoPanic => "no-panic",
             RuleId::FloatEq => "float-eq",
             RuleId::LedgerDiscipline => "ledger-discipline",
+            RuleId::JournalDiscipline => "journal-discipline",
         }
     }
 
@@ -84,6 +92,9 @@ impl RuleId {
             RuleId::LedgerDiscipline => {
                 "public joule-taking fns in fei-core/fei-power must take an EnergyUse classification"
             }
+            RuleId::JournalDiscipline => {
+                "coordinator phase transitions must follow a round-journal append (write-ahead logging)"
+            }
         }
     }
 
@@ -99,6 +110,13 @@ impl RuleId {
                 config.det_crates.iter().any(|c| c == crate_name)
             }
             RuleId::LedgerDiscipline => config.ledger_crates.iter().any(|c| c == crate_name),
+            RuleId::JournalDiscipline => {
+                crate_name == "fei-proto"
+                    && rel_path
+                        .rsplit('/')
+                        .next()
+                        .is_some_and(|f| f.contains("coordinator"))
+            }
             RuleId::NoPanic => {
                 // Binary entry points (src/bin/, src/main.rs) may abort on
                 // operational errors; the contract covers library code.
@@ -137,6 +155,7 @@ impl RuleId {
             RuleId::NoPanic => check_no_panic(self, file, path),
             RuleId::FloatEq => check_float_eq(self, file, path),
             RuleId::LedgerDiscipline => check_ledger(self, file, path),
+            RuleId::JournalDiscipline => check_journal(self, file, path),
         }
     }
 }
@@ -480,6 +499,50 @@ fn check_ledger(rule: RuleId, file: &LexedFile, path: &str) -> Vec<Violation> {
     out
 }
 
+/// Lines of slack allowed between a round-journal append and the
+/// `.phase =` transition it makes durable. The append must come first —
+/// within this many lines above the assignment (or on the same line).
+const JOURNAL_WINDOW: usize = 6;
+
+fn check_journal(rule: RuleId, file: &LexedFile, path: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let masked = &file.masked;
+    let bytes = masked.as_bytes();
+    let masked_lines: Vec<&str> = masked.lines().collect();
+    for offset in find_idents(masked, "phase") {
+        // A field write: `<receiver>.phase = …` (not `==`).
+        if offset == 0 || bytes[offset - 1] != b'.' {
+            continue;
+        }
+        let rest = masked[offset + "phase".len()..].trim_start();
+        if !rest.starts_with('=') || rest.starts_with("==") || rest.starts_with("=>") {
+            continue;
+        }
+        let line = file.line_of(offset);
+        let from = line.saturating_sub(JOURNAL_WINDOW + 1);
+        let journaled = masked_lines[from..line.min(masked_lines.len())]
+            .iter()
+            .any(|l| !find_idents(l, "journal").is_empty());
+        if journaled {
+            continue;
+        }
+        emit(
+            rule,
+            file,
+            path,
+            offset,
+            format!(
+                "coordinator phase transition without a journal append in the \
+                 {JOURNAL_WINDOW} lines above it: append the transition's \
+                 JournalRecord first (write-ahead), or justify with an allow \
+                 directive"
+            ),
+            &mut out,
+        );
+    }
+    out
+}
+
 /// Whether a parameter list names a joule-carrying parameter
 /// (`joules: f64`, `capacity_j: f64`, …).
 fn has_joule_param(params: &str) -> bool {
@@ -553,6 +616,23 @@ mod tests {
         let v = RuleId::LedgerDiscipline.check(&lex(src), "p.rs");
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn journal_rule_wants_an_append_before_every_phase_write() {
+        let src = "impl C {\n    fn ok(&mut self) {\n        self.journal.append(&record);\n        self.phase = Phase::Selected;\n    }\n    fn read_only(&self) -> bool {\n        self.phase == Phase::Idle\n    }\n    fn noise(&self) -> u64 {\n        self.round + 1\n    }\n    fn bad(&mut self) {\n        self.phase = Phase::Idle;\n    }\n}\n";
+        let v = RuleId::JournalDiscipline.check(&lex(src), "coordinator.rs");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 13);
+    }
+
+    #[test]
+    fn journal_rule_scopes_to_proto_coordinator_files() {
+        let config = LintConfig::for_root(std::path::PathBuf::from("."));
+        let rule = RuleId::JournalDiscipline;
+        assert!(rule.applies(&config, "fei-proto", "crates/fei-proto/src/coordinator.rs"));
+        assert!(!rule.applies(&config, "fei-proto", "crates/fei-proto/src/participant.rs"));
+        assert!(!rule.applies(&config, "fei-fl", "crates/fei-fl/src/coordinator.rs"));
     }
 
     #[test]

@@ -21,13 +21,14 @@ fn lint_fixture(rel: &str) -> Report {
 }
 
 /// (fixture dir, the one rule its bad tree violates)
-const CASES: [(&str, RuleId); 6] = [
+const CASES: [(&str, RuleId); 7] = [
     ("det_map_iter", RuleId::DetMapIter),
     ("det_wallclock", RuleId::DetWallclock),
     ("det_entropy", RuleId::DetEntropy),
     ("no_panic", RuleId::NoPanic),
     ("float_eq", RuleId::FloatEq),
     ("ledger_discipline", RuleId::LedgerDiscipline),
+    ("journal_discipline", RuleId::JournalDiscipline),
 ];
 
 #[test]

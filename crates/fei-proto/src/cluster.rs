@@ -14,15 +14,35 @@
 //! * **safety** — an independent shadow of every heartbeat actually
 //!   delivered to the coordinator cross-checks each commit: an accepted
 //!   client whose lease had lapsed is counted as a
-//!   [`ClusterReport::safety_violations`].
+//!   [`ClusterReport::safety_violations`];
+//! * **crash-recovery** — scheduled [`CoordinatorCrash`] events kill the
+//!   coordinator (keeping only its durable journal bytes) and restart it
+//!   via [`Coordinator::recover`]; the audit then also checks that no
+//!   update is ever aggregated twice across a restart
+//!   ([`ClusterReport::double_aggregations`]) and that every round open at
+//!   a crash commits or aborts within one recovery budget of the restart
+//!   ([`ClusterReport::recovery_violations`]).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::chaos::{ChaosConfig, ChaosLink, ChaosStats, Envelope, COORDINATOR_ADDR};
 use crate::coordinator::{ControlStats, Coordinator, CoordinatorConfig, Effect, Phase};
 use crate::error::ProtoError;
-use crate::frames::ControlFrame;
+use crate::frames::{AbortReason, ControlFrame};
 use crate::participant::{Participant, ParticipantConfig, ParticipantStats};
+
+/// One scheduled coordinator failure: the process dies at `at_tick`
+/// (losing all volatile state; only the journal bytes survive) and
+/// restarts `down_ticks` later via [`Coordinator::recover`].
+///
+/// Crash ticks landing while the coordinator is already down are skipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoordinatorCrash {
+    /// Tick the coordinator dies.
+    pub at_tick: u64,
+    /// Ticks of downtime before the restart (minimum 1).
+    pub down_ticks: u64,
+}
 
 /// Full description of one cluster run.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +61,8 @@ pub struct ClusterConfig {
     pub max_ticks: u64,
     /// Global-model payload shipped in selection notices.
     pub global_payload: Vec<u8>,
+    /// Scheduled coordinator kill/restart events, in tick order.
+    pub crashes: Vec<CoordinatorCrash>,
 }
 
 impl ClusterConfig {
@@ -54,6 +76,7 @@ impl ClusterConfig {
             target_rounds,
             max_ticks: 10_000,
             global_payload: vec![0xAB; 64],
+            crashes: Vec::new(),
         }
     }
 }
@@ -69,6 +92,8 @@ pub struct RoundVerdict {
     pub accepted: Vec<u64>,
     /// Tick the verdict landed.
     pub closed_at: u64,
+    /// Why it aborted (`None` on commit).
+    pub reason: Option<AbortReason>,
 }
 
 /// What one cluster run produced.
@@ -86,6 +111,17 @@ pub struct ClusterReport {
     /// Commits that accepted a client whose delivered-heartbeat shadow had
     /// lapsed — a safety failure. Must be zero.
     pub safety_violations: u64,
+    /// Coordinator crashes actually executed (scheduled crashes landing
+    /// during downtime are skipped).
+    pub coordinator_crashes: u64,
+    /// Rounds open at a crash that failed to commit or abort within one
+    /// `round_deadline` of the restart — a recovery-liveness failure. Must
+    /// be zero.
+    pub recovery_violations: u64,
+    /// `(round, client)` pairs aggregated more than once, or rounds
+    /// committed twice, across restarts — a recovery-safety failure. Must
+    /// be zero.
+    pub double_aggregations: u64,
     /// `(round, alive)` fleet-shrink events, in emission order — each is a
     /// cue for the driver to re-plan `(K*, E*)` for the surviving fleet.
     pub replan_events: Vec<(u64, usize)>,
@@ -116,6 +152,12 @@ impl ClusterReport {
         self.safety_violations == 0
     }
 
+    /// Whether every crash recovered cleanly: no double aggregation, and
+    /// every pre-crash round settled within the recovery budget.
+    pub fn recovery_ok(&self) -> bool {
+        self.recovery_violations == 0 && self.double_aggregations == 0
+    }
+
     /// Total control-plane bytes offered to the wire, both directions.
     pub fn control_bytes(&self) -> u64 {
         self.control_bytes_up + self.control_bytes_down
@@ -133,6 +175,17 @@ pub struct Cluster {
     /// Independent record of the last tick each client's join/heartbeat was
     /// actually *delivered* to the coordinator — the safety cross-check.
     shadow_beat: BTreeMap<u64, u64>,
+    /// `(round, client)` pairs already aggregated — the double-aggregation
+    /// cross-check across restarts.
+    aggregated: BTreeSet<(u64, u64)>,
+    /// Round numbers already committed — no round may commit twice.
+    committed_rounds: BTreeSet<u64>,
+    /// Counters from pre-crash coordinator incarnations, folded into the
+    /// final report alongside the live instance's stats.
+    stats_carry: ControlStats,
+    /// `(round, settle_by)` recovery budget for the round that was open at
+    /// the most recent crash; cleared when its verdict lands in time.
+    recovery_watch: Option<(u64, u64)>,
     report: ClusterReport,
 }
 
@@ -152,6 +205,9 @@ impl Cluster {
             ticks: 0,
             stuck: false,
             safety_violations: 0,
+            coordinator_crashes: 0,
+            recovery_violations: 0,
+            double_aggregations: 0,
             replan_events: Vec::new(),
             round_log: Vec::new(),
             uplink: ChaosStats::default(),
@@ -168,6 +224,10 @@ impl Cluster {
             coordinator,
             participants,
             shadow_beat: BTreeMap::new(),
+            aggregated: BTreeSet::new(),
+            committed_rounds: BTreeSet::new(),
+            stats_carry: ControlStats::default(),
+            recovery_watch: None,
             report,
         }
     }
@@ -177,6 +237,10 @@ impl Cluster {
         self.coordinator
             .open_rendezvous()
             .expect("invariant: a fresh coordinator is idle");
+        let mut crashes = self.config.crashes.clone();
+        crashes.sort_by_key(|c| c.at_tick);
+        let mut next_crash = 0usize;
+        let mut outage: Option<Outage> = None;
         let mut inbox: Vec<Envelope> = Vec::new();
         // Tick 0: the whole fleet fires its join handshake.
         for i in 0..self.participants.len() {
@@ -185,6 +249,34 @@ impl Cluster {
         }
         let mut tick = 0;
         while tick < self.config.max_ticks {
+            let mut outbox: Vec<Envelope> = Vec::new();
+            // 0a. Restart a downed coordinator once its outage has elapsed:
+            //     recover from the surviving journal bytes.
+            if outage.as_ref().is_some_and(|o| tick >= o.restart) {
+                let o = outage.take().expect("invariant: checked above");
+                self.restart_coordinator(&o, tick, &mut outbox);
+            }
+            // 0b. Kill the coordinator at its scheduled crash tick. Only
+            //     the durable journal bytes survive; crashes scheduled
+            //     while it is already down are skipped.
+            while next_crash < crashes.len() && crashes[next_crash].at_tick <= tick {
+                let crash = crashes[next_crash];
+                next_crash += 1;
+                if outage.is_some() || crash.at_tick < tick {
+                    continue;
+                }
+                let open_round =
+                    matches!(self.coordinator.phase(), Phase::Selected | Phase::Training)
+                        .then(|| self.coordinator.round());
+                self.stats_carry.absorb(self.coordinator.stats());
+                outage = Some(Outage {
+                    restart: tick + crash.down_ticks.max(1),
+                    crash_tick: tick,
+                    journal: self.coordinator.journal().bytes().to_vec(),
+                    open_round,
+                });
+                self.report.coordinator_crashes += 1;
+            }
             // 1. Participants act on the current tick.
             for i in 0..self.participants.len() {
                 for frame in self.participants[i].tick(tick) {
@@ -192,35 +284,40 @@ impl Cluster {
                 }
             }
             self.uplink.drain(&mut inbox);
-            // 2. Deliver upstream traffic to the coordinator.
+            // 2. Deliver upstream traffic to the coordinator. While it is
+            //    down, delivered frames are lost on the floor — and they do
+            //    not count as shadow beats either.
             let deliveries = std::mem::take(&mut inbox);
-            let mut outbox: Vec<Envelope> = Vec::new();
-            for envelope in deliveries {
-                self.deliver_up(envelope, tick, &mut inbox, &mut outbox);
-            }
-            // 3. Open the next round whenever the coordinator is between
-            //    rounds and the target is still ahead.
-            if self.rounds_closed() < self.config.target_rounds
-                && matches!(
-                    self.coordinator.phase(),
-                    Phase::Rendezvous | Phase::RoundClosed
-                )
-            {
-                // Quorum not yet live (joins still in flight, or the fleet
-                // shrank): wait a tick and retry. The phase gate above makes
-                // any other rejection impossible, so it is safe to wait on
-                // those too rather than panic.
-                if let Ok(effects) = self.coordinator.start_round(tick) {
-                    self.absorb(effects, tick, &mut outbox);
+            if outage.is_none() {
+                for envelope in deliveries {
+                    self.deliver_up(envelope, tick, &mut inbox, &mut outbox);
                 }
+                // 3. Open the next round whenever the coordinator is between
+                //    rounds and the target is still ahead.
+                if self.rounds_closed() < self.config.target_rounds
+                    && matches!(
+                        self.coordinator.phase(),
+                        Phase::Rendezvous | Phase::RoundClosed
+                    )
+                {
+                    // Quorum not yet live (joins still in flight, or the
+                    // fleet shrank): wait a tick and retry. The phase gate
+                    // above makes any other rejection impossible, so it is
+                    // safe to wait on those too rather than panic.
+                    if let Ok(effects) = self.coordinator.start_round(tick) {
+                        self.absorb(effects, tick, &mut outbox);
+                    }
+                }
+                // 4. Advance the coordinator clock: expiry, collapse,
+                //    deadline.
+                let effects = self.coordinator.tick(tick);
+                self.absorb(effects, tick, &mut outbox);
             }
-            // 4. Advance the coordinator clock: expiry, collapse, deadline.
-            let effects = self.coordinator.tick(tick);
-            self.absorb(effects, tick, &mut outbox);
-            // 5. Deliver downstream traffic.
+            // 5. Deliver downstream traffic (frames already in flight keep
+            //    arriving even while the coordinator is down).
             self.downlink.drain(&mut outbox);
             for envelope in outbox {
-                self.deliver_down(envelope, tick);
+                self.deliver_down(envelope, tick, &mut inbox);
             }
             self.report.ticks = tick + 1;
             if self.rounds_closed() >= self.config.target_rounds {
@@ -229,11 +326,46 @@ impl Cluster {
             tick += 1;
         }
         self.report.stuck = self.rounds_closed() < self.config.target_rounds;
+        // A pre-crash round that never settled within its budget is a
+        // recovery-liveness failure (only judged once the budget elapsed).
+        if let Some((_, settle_by)) = self.recovery_watch {
+            if self.report.ticks > settle_by {
+                self.report.recovery_violations += 1;
+            }
+        }
         self.report.uplink = self.uplink.stats();
         self.report.downlink = self.downlink.stats();
-        self.report.coordinator = self.coordinator.stats();
+        let mut stats = self.stats_carry;
+        stats.absorb(self.coordinator.stats());
+        self.report.coordinator = stats;
         self.report.participants = self.participants.iter().map(|p| p.stats()).collect();
         self.report
+    }
+
+    /// Rebuilds the coordinator from durable journal bytes and re-syncs the
+    /// shadow audit with the recovered leases.
+    fn restart_coordinator(&mut self, outage: &Outage, tick: u64, outbox: &mut Vec<Envelope>) {
+        let (coordinator, effects) =
+            Coordinator::recover(self.config.coordinator.clone(), &outage.journal, tick)
+                .expect("invariant: our own journal bytes replay cleanly");
+        self.coordinator = coordinator;
+        self.coordinator
+            .set_global(self.config.global_payload.clone());
+        // Recovery re-arms every surviving roster lease at the restart
+        // tick; grant the shadow the same grace — but only to clients whose
+        // shadow lease had not already lapsed when the crash hit.
+        let timeout = self.config.coordinator.heartbeat_timeout;
+        for last in self.shadow_beat.values_mut() {
+            if outage.crash_tick.saturating_sub(*last) < timeout {
+                *last = (*last).max(tick);
+            }
+        }
+        // The round open at the crash must settle within one deadline
+        // budget of the restart, whether it resumes or aborts.
+        if let Some(round) = outage.open_round {
+            self.recovery_watch = Some((round, tick + self.config.coordinator.round_deadline));
+        }
+        self.absorb(effects, tick, outbox);
     }
 
     fn rounds_closed(&self) -> u64 {
@@ -291,12 +423,17 @@ impl Cluster {
         }
     }
 
-    /// Routes one downstream envelope to its participant.
-    fn deliver_down(&mut self, envelope: Envelope, tick: u64) {
+    /// Routes one downstream envelope to its participant, pushing any
+    /// response (resume requests, rejoin handshakes) back onto the uplink.
+    fn deliver_down(&mut self, envelope: Envelope, tick: u64, inbox: &mut Vec<Envelope>) {
         if let Some(i) = self.participant_index(envelope.to) {
             // Typed rejections (corruption, stale rounds, misroutes) are
-            // absorbed; responses flow out on the next tick.
-            let _ = self.participants[i].handle_frame(&envelope.bytes, tick);
+            // absorbed by the protocol.
+            if let Ok(frames) = self.participants[i].handle_frame(&envelope.bytes, tick) {
+                for frame in frames {
+                    self.send_up(frame, inbox);
+                }
+            }
         }
     }
 
@@ -315,21 +452,26 @@ impl Cluster {
                 }
                 Effect::RoundCommitted { round, accepted } => {
                     self.audit_commit(&accepted, tick);
+                    self.audit_once(round, &accepted);
+                    self.settle_recovery(round, tick);
                     self.report.committed += 1;
                     self.report.round_log.push(RoundVerdict {
                         round,
                         committed: true,
                         accepted,
                         closed_at: tick,
+                        reason: None,
                     });
                 }
-                Effect::RoundAborted { round, .. } => {
+                Effect::RoundAborted { round, reason } => {
+                    self.settle_recovery(round, tick);
                     self.report.aborted += 1;
                     self.report.round_log.push(RoundVerdict {
                         round,
                         committed: false,
                         accepted: Vec::new(),
                         closed_at: tick,
+                        reason: Some(reason),
                     });
                 }
                 Effect::FleetShrunk { round, alive } => {
@@ -354,6 +496,42 @@ impl Cluster {
             }
         }
     }
+
+    /// The recovery-safety audit: no round commits twice, and no
+    /// `(round, client)` update is aggregated twice — even across restarts.
+    fn audit_once(&mut self, round: u64, accepted: &[u64]) {
+        if !self.committed_rounds.insert(round) {
+            self.report.double_aggregations += 1;
+        }
+        for &client in accepted {
+            if !self.aggregated.insert((round, client)) {
+                self.report.double_aggregations += 1;
+            }
+        }
+    }
+
+    /// The recovery-liveness audit: a round open at a crash must settle
+    /// (commit or abort) within one `round_deadline` of the restart.
+    fn settle_recovery(&mut self, round: u64, tick: u64) {
+        if let Some((watched, settle_by)) = self.recovery_watch {
+            if watched == round {
+                if tick > settle_by {
+                    self.report.recovery_violations += 1;
+                }
+                self.recovery_watch = None;
+            }
+        }
+    }
+}
+
+/// Volatile bookkeeping for one coordinator outage: what survives the
+/// crash (the journal bytes) and when the process comes back.
+#[derive(Debug)]
+struct Outage {
+    restart: u64,
+    crash_tick: u64,
+    journal: Vec<u8>,
+    open_round: Option<u64>,
 }
 
 #[cfg(test)]
@@ -429,6 +607,127 @@ mod tests {
         // After the mutes expire, later commits only ever accept 0..=2.
         let last = report.round_log.last().expect("rounds closed");
         assert!(last.accepted.iter().all(|&c| c < 3), "{report:?}");
+    }
+
+    /// A quiet fleet whose training times are staggered, so uploads
+    /// straggle in over several ticks and every round stays open long
+    /// enough for a crash to land mid-round with updates buffered.
+    fn staggered_config(target_rounds: u64) -> ClusterConfig {
+        let mut config = ClusterConfig::quiet(coordinator_config(), 4, target_rounds);
+        for (i, p) in config.participants.iter_mut().enumerate() {
+            p.train_ticks = 2 + 4 * i as u64;
+        }
+        config
+    }
+
+    #[test]
+    fn coordinator_crash_mid_round_recovers_live_and_safe() {
+        let mut config = staggered_config(5);
+        config.crashes = vec![CoordinatorCrash {
+            at_tick: 5,
+            down_ticks: 5,
+        }];
+        let report = Cluster::new(config).run();
+        assert_eq!(report.coordinator_crashes, 1, "{report:?}");
+        assert!(report.liveness_ok(), "{report:?}");
+        assert!(report.safety_ok(), "{report:?}");
+        assert!(report.recovery_ok(), "{report:?}");
+        assert_eq!(report.committed + report.aborted, 5);
+        // The fleet answered the restart's epoch notices with session
+        // resumes, and the recovered coordinator accepted them.
+        assert!(report.coordinator.resumes_accepted > 0, "{report:?}");
+    }
+
+    #[test]
+    fn crash_runs_replay_bit_identically() {
+        let build = || {
+            let mut config = ClusterConfig::quiet(coordinator_config(), 4, 5);
+            config.crashes = vec![
+                CoordinatorCrash {
+                    at_tick: 12,
+                    down_ticks: 4,
+                },
+                CoordinatorCrash {
+                    at_tick: 33,
+                    down_ticks: 7,
+                },
+            ];
+            config
+        };
+        let a = Cluster::new(build()).run();
+        let b = Cluster::new(build()).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn crash_scheduled_during_downtime_is_skipped() {
+        let mut config = staggered_config(5);
+        config.crashes = vec![
+            CoordinatorCrash {
+                at_tick: 4,
+                down_ticks: 10,
+            },
+            CoordinatorCrash {
+                at_tick: 8,
+                down_ticks: 10,
+            },
+        ];
+        let report = Cluster::new(config).run();
+        assert_eq!(report.coordinator_crashes, 1, "{report:?}");
+        assert!(report.liveness_ok() && report.safety_ok() && report.recovery_ok());
+    }
+
+    #[test]
+    fn long_outage_aborts_the_open_round_within_the_recovery_budget() {
+        // The outage outlives the round deadline: the pre-crash round can
+        // never resume, so recovery must abort it — and the run still
+        // closes every remaining round.
+        let mut config = staggered_config(4);
+        config.crashes = vec![CoordinatorCrash {
+            at_tick: 5,
+            down_ticks: 60,
+        }];
+        let report = Cluster::new(config).run();
+        assert!(report.liveness_ok(), "{report:?}");
+        assert!(report.recovery_ok(), "{report:?}");
+        let crash_aborts: Vec<_> = report
+            .round_log
+            .iter()
+            .filter(|v| v.reason == Some(AbortReason::CoordinatorCrash))
+            .collect();
+        assert_eq!(crash_aborts.len(), 1, "{report:?}");
+        assert_eq!(report.coordinator.aborts.coordinator_crash, 1);
+        // The abandoned round's buffered uploads are billed as waste.
+        assert!(report.coordinator.wasted_update_bytes > 0, "{report:?}");
+    }
+
+    #[test]
+    fn chaotic_cluster_survives_coordinator_crashes() {
+        let chaos = ChaosConfig {
+            drop_prob: 0.1,
+            dup_prob: 0.1,
+            reorder_prob: 0.1,
+            corrupt_prob: 0.05,
+            seed: 42,
+        };
+        let mut config = ClusterConfig::quiet(coordinator_config(), 5, 8);
+        config.uplink = chaos;
+        config.downlink = ChaosConfig { seed: 43, ..chaos };
+        config.crashes = vec![
+            CoordinatorCrash {
+                at_tick: 18,
+                down_ticks: 6,
+            },
+            CoordinatorCrash {
+                at_tick: 90,
+                down_ticks: 12,
+            },
+        ];
+        let report = Cluster::new(config).run();
+        assert!(report.liveness_ok(), "{report:?}");
+        assert!(report.safety_ok(), "{report:?}");
+        assert!(report.recovery_ok(), "{report:?}");
+        assert_eq!(report.committed + report.aborted, 8);
     }
 
     #[test]

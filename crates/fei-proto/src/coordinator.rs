@@ -25,7 +25,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use fei_net::wire::WIRE_VERSION;
 
 use crate::error::ProtoError;
-use crate::frames::{AbortReason, ControlFrame};
+use crate::frames::{update_submit_frame_len, AbortReason, ControlFrame};
+use crate::journal::{JournalRecord, JournalState, RoundJournal};
 use crate::liveness::LivenessTracker;
 use crate::round::{first_k_by_arrival, RoundPolicy};
 
@@ -144,6 +145,54 @@ pub enum Effect {
     },
 }
 
+/// Per-reason round-abort counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AbortBreakdown {
+    /// Rounds aborted for missing quorum at the deadline.
+    pub quorum_miss: u64,
+    /// Rounds aborted because the live fleet collapsed mid-round.
+    pub fleet_collapse: u64,
+    /// Rounds cancelled by the driver.
+    pub cancelled: u64,
+    /// Rounds abandoned by crash recovery.
+    pub coordinator_crash: u64,
+}
+
+impl AbortBreakdown {
+    /// Counts one abort under its reason.
+    pub fn record(&mut self, reason: AbortReason) {
+        match reason {
+            AbortReason::QuorumMiss => self.quorum_miss += 1,
+            AbortReason::FleetCollapse => self.fleet_collapse += 1,
+            AbortReason::Cancelled => self.cancelled += 1,
+            AbortReason::CoordinatorCrash => self.coordinator_crash += 1,
+        }
+    }
+
+    /// The counter for one reason.
+    pub fn count(&self, reason: AbortReason) -> u64 {
+        match reason {
+            AbortReason::QuorumMiss => self.quorum_miss,
+            AbortReason::FleetCollapse => self.fleet_collapse,
+            AbortReason::Cancelled => self.cancelled,
+            AbortReason::CoordinatorCrash => self.coordinator_crash,
+        }
+    }
+
+    /// All aborts, any reason.
+    pub fn total(&self) -> u64 {
+        AbortReason::ALL.iter().map(|&r| self.count(r)).sum()
+    }
+
+    /// Folds another breakdown into this one.
+    pub fn absorb(&mut self, other: AbortBreakdown) {
+        self.quorum_miss += other.quorum_miss;
+        self.fleet_collapse += other.fleet_collapse;
+        self.cancelled += other.cancelled;
+        self.coordinator_crash += other.coordinator_crash;
+    }
+}
+
 /// Control-plane traffic counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ControlStats {
@@ -159,6 +208,44 @@ pub struct ControlStats {
     pub rejected: u64,
     /// Updates rejected because their sender's lease had expired.
     pub expired_rejections: u64,
+    /// Rounds that committed.
+    pub committed_rounds: u64,
+    /// Rounds that aborted (any reason; see [`ControlStats::aborts`]).
+    pub aborted_rounds: u64,
+    /// Abort-reason breakdown of [`ControlStats::aborted_rounds`].
+    pub aborts: AbortBreakdown,
+    /// In-flight rounds carried across a crash by [`Coordinator::recover`].
+    pub resumed_rounds: u64,
+    /// Resume requests answered with a session resume.
+    pub resumes_accepted: u64,
+    /// Resume requests bounced into a full rejoin.
+    pub resumes_rejoined: u64,
+    /// Updates rejected because their round was abandoned by recovery.
+    pub recovered_rejections: u64,
+    /// Upload bytes whose rounds were abandoned by recovery — pre-crash
+    /// work the energy ledger should bill as wasted.
+    pub wasted_update_bytes: u64,
+}
+
+impl ControlStats {
+    /// Folds another incarnation's counters into this one — how a driver
+    /// totals traffic across coordinator restarts.
+    pub fn absorb(&mut self, other: ControlStats) {
+        self.frames_in += other.frames_in;
+        self.bytes_in += other.bytes_in;
+        self.frames_out += other.frames_out;
+        self.bytes_out += other.bytes_out;
+        self.rejected += other.rejected;
+        self.expired_rejections += other.expired_rejections;
+        self.committed_rounds += other.committed_rounds;
+        self.aborted_rounds += other.aborted_rounds;
+        self.aborts.absorb(other.aborts);
+        self.resumed_rounds += other.resumed_rounds;
+        self.resumes_accepted += other.resumes_accepted;
+        self.resumes_rejoined += other.resumes_rejoined;
+        self.recovered_rejections += other.recovered_rejections;
+        self.wasted_update_bytes += other.wasted_update_bytes;
+    }
 }
 
 /// The coordinator state machine.
@@ -167,6 +254,8 @@ pub struct Coordinator {
     config: CoordinatorConfig,
     phase: Phase,
     round: u64,
+    /// Incarnation number: 0 on first boot, bumped by every recovery.
+    epoch: u64,
     liveness: LivenessTracker,
     /// Wire-v2 payload of the current global model, shipped in `Select`.
     global: Vec<u8>,
@@ -178,6 +267,13 @@ pub struct Coordinator {
     payloads: BTreeMap<u64, (u32, Vec<u8>)>,
     /// Tick after which the open round closes.
     deadline_tick: u64,
+    /// The write-ahead log: appended before any transition's effects leave
+    /// the machine, so `recover` can rebuild this exact state.
+    journal: RoundJournal,
+    /// The round recovery abandoned, if any — late frames for it get a
+    /// typed [`ProtoError::Recovered`] rather than a confusing
+    /// `WrongRound`.
+    recovered_round: Option<u64>,
     stats: ControlStats,
 }
 
@@ -194,14 +290,116 @@ impl Coordinator {
             config,
             phase: Phase::Idle,
             round: 0,
+            epoch: 0,
             liveness,
             global: Vec::new(),
             selected: BTreeSet::new(),
             received: Vec::new(),
             payloads: BTreeMap::new(),
             deadline_tick: 0,
+            journal: RoundJournal::new(),
+            recovered_round: None,
             stats: ControlStats::default(),
         }
+    }
+
+    /// Rebuilds a coordinator from the durable journal of a crashed
+    /// incarnation, at tick `now`.
+    ///
+    /// The roster and epoch are folded out of the journal; every surviving
+    /// roster member gets its lease re-armed at `now` (they will be
+    /// re-expired on their usual timeout if they do not answer the epoch
+    /// notice). If a round was in flight, it is **resumed** — selection,
+    /// deadline, and buffered updates restored exactly — when its deadline
+    /// has not passed and enough selected clients survive in the roster to
+    /// still reach quorum; otherwise it is **aborted** with
+    /// [`AbortReason::CoordinatorCrash`], its buffered upload bytes are
+    /// counted into [`ControlStats::wasted_update_bytes`], and late frames
+    /// for it are rejected with [`ProtoError::Recovered`]. Either way the
+    /// verdict lands within one recovery step of the restart.
+    ///
+    /// The returned effects carry the abort broadcast (if any) and an
+    /// [`ControlFrame::EpochNotice`] to every roster member; participants
+    /// answer with [`ControlFrame::Resume`] or a fresh join.
+    ///
+    /// # Errors
+    ///
+    /// Journal decode errors ([`ProtoError::Codec`] and friends) on
+    /// mid-log corruption; a torn trailing record from the crash itself is
+    /// tolerated and cut off.
+    ///
+    /// # Panics
+    ///
+    /// Same configuration validation as [`CoordinatorConfig::validated`].
+    pub fn recover(
+        config: CoordinatorConfig,
+        journal_bytes: &[u8],
+        now: u64,
+    ) -> Result<(Self, Vec<Effect>), ProtoError> {
+        let journal = RoundJournal::from_bytes(journal_bytes.to_vec());
+        let replay = journal.replay()?;
+        let state = JournalState::from_records(&replay.records);
+        let mut c = Self::new(config);
+        c.journal = journal;
+        c.epoch = state.epoch + 1;
+        c.round = state.next_round;
+        for &client in &state.roster {
+            c.liveness.register(client, now);
+        }
+        c.journal.append(&JournalRecord::EpochStarted {
+            epoch: c.epoch,
+            tick: now,
+        });
+        c.phase = Phase::Rendezvous;
+
+        let mut effects = Vec::new();
+        if let Some(open) = state.open_round {
+            c.round = open.round;
+            let live_selected = open
+                .selected
+                .iter()
+                .filter(|client| state.roster.contains(client))
+                .count();
+            if now < open.deadline_tick && live_selected >= c.config.quorum {
+                // Resume: re-journal the open marker under the new
+                // incarnation (the fold treats it as a duplicate) and put
+                // the round back exactly where the crash left it.
+                c.journal.append(&JournalRecord::RoundOpened {
+                    round: open.round,
+                    deadline_tick: open.deadline_tick,
+                    tick: now,
+                    selected: open.selected.iter().copied().collect(),
+                });
+                c.phase = if open.updates.is_empty() {
+                    Phase::Selected
+                } else {
+                    Phase::Training
+                };
+                c.selected = open.selected;
+                c.received = open.arrivals;
+                c.payloads = open.updates;
+                c.deadline_tick = open.deadline_tick;
+                c.stats.resumed_rounds += 1;
+            } else {
+                // Abort cleanly: the pre-crash upload bytes are wasted
+                // work for the energy ledger to bill.
+                for (_, payload) in open.updates.values() {
+                    c.stats.wasted_update_bytes += update_submit_frame_len(payload.len()) as u64;
+                }
+                c.selected = open.selected;
+                c.recovered_round = Some(open.round);
+                effects.extend(c.close_round(now, Some(AbortReason::CoordinatorCrash)));
+            }
+        }
+        let roster: Vec<u64> = state.roster.iter().copied().collect();
+        for client in roster {
+            let notice = ControlFrame::EpochNotice {
+                epoch: c.epoch,
+                round: c.round,
+            };
+            effects.push(c.send(client, notice));
+        }
+        Ok((c, effects))
     }
 
     /// Current protocol state.
@@ -212,6 +410,22 @@ impl Coordinator {
     /// The round in progress (or the next to open).
     pub fn round(&self) -> u64 {
         self.round
+    }
+
+    /// The incarnation number (0 until the first recovery).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The write-ahead journal. A driver modelling a durable log snapshots
+    /// [`RoundJournal::bytes`] and feeds them to [`Coordinator::recover`].
+    pub fn journal(&self) -> &RoundJournal {
+        &self.journal
+    }
+
+    /// The round abandoned by the last recovery, if any.
+    pub fn recovered_round(&self) -> Option<u64> {
+        self.recovered_round
     }
 
     /// The configuration.
@@ -253,6 +467,10 @@ impl Coordinator {
     pub fn open_rendezvous(&mut self) -> Result<(), ProtoError> {
         match self.phase {
             Phase::Idle => {
+                self.journal.append(&JournalRecord::EpochStarted {
+                    epoch: self.epoch,
+                    tick: 0,
+                });
                 self.phase = Phase::Rendezvous;
                 Ok(())
             }
@@ -279,7 +497,10 @@ impl Coordinator {
                 frame: "start_round",
             });
         }
-        self.liveness.expire(now);
+        for client in self.liveness.expire(now) {
+            self.journal
+                .append(&JournalRecord::ClientExpired { client, tick: now });
+        }
         let live = self.liveness.live_clients(now);
         let policy = self.policy();
         if live.len() < policy.quorum {
@@ -302,6 +523,13 @@ impl Coordinator {
         self.payloads.clear();
         self.deadline_tick = now + self.config.round_deadline;
         let selected: Vec<u64> = self.selected.iter().copied().collect();
+        self.journal.append(&JournalRecord::RoundOpened {
+            round: self.round,
+            deadline_tick: self.deadline_tick,
+            tick: now,
+            selected: selected.clone(),
+        });
+        self.phase = Phase::Selected;
         for client in selected {
             effects.push(self.send(
                 client,
@@ -314,7 +542,6 @@ impl Coordinator {
                 },
             ));
         }
-        self.phase = Phase::Selected;
         Ok(effects)
     }
 
@@ -369,6 +596,7 @@ impl Coordinator {
                 samples,
                 update,
             } => self.on_update(round, client, samples, update, now),
+            ControlFrame::Resume { client, epoch, .. } => self.on_resume(client, epoch, now),
             // Downstream frames have no coordinator-side transition in any
             // state.
             other => Err(ProtoError::UnexpectedFrame {
@@ -385,6 +613,10 @@ impl Coordinator {
         let mut effects = Vec::new();
         let expired = self.liveness.expire(now);
         for client in &expired {
+            self.journal.append(&JournalRecord::ClientExpired {
+                client: *client,
+                tick: now,
+            });
             // Safety invariant: an expired client's update never survives
             // to aggregation.
             self.payloads.remove(client);
@@ -438,6 +670,10 @@ impl Coordinator {
                 found: wire_version,
             });
         }
+        if !self.liveness.contains(client) {
+            self.journal
+                .append(&JournalRecord::ClientJoined { client, tick: now });
+        }
         self.liveness.register(client, now);
         let ack = self.send(
             client,
@@ -445,6 +681,34 @@ impl Coordinator {
                 client,
                 heartbeat_interval: self.config.heartbeat_interval as u32,
                 heartbeat_timeout: self.config.heartbeat_timeout as u32,
+            },
+        );
+        Ok(vec![ack])
+    }
+
+    /// Answers a session-resume request: resume when the journal roster
+    /// still knows the client and its observed epoch is not ahead of ours,
+    /// otherwise order a fresh join handshake.
+    fn on_resume(&mut self, client: u64, epoch: u64, now: u64) -> Result<Vec<Effect>, ProtoError> {
+        if self.phase == Phase::Idle {
+            return Err(ProtoError::UnexpectedFrame {
+                state: self.phase.name(),
+                frame: "Resume",
+            });
+        }
+        let resume = self.liveness.contains(client) && epoch <= self.epoch;
+        if resume {
+            self.stats.resumes_accepted += 1;
+            self.liveness.register(client, now);
+        } else {
+            self.stats.resumes_rejoined += 1;
+        }
+        let ack = self.send(
+            client,
+            ControlFrame::ResumeAck {
+                client,
+                epoch: self.epoch,
+                resume,
             },
         );
         Ok(vec![ack])
@@ -458,6 +722,10 @@ impl Coordinator {
         update: Vec<u8>,
         now: u64,
     ) -> Result<Vec<Effect>, ProtoError> {
+        if self.recovered_round == Some(round) && round != self.round {
+            self.stats.recovered_rejections += 1;
+            return Err(ProtoError::Recovered { round });
+        }
         if !matches!(self.phase, Phase::Selected | Phase::Training) {
             return Err(ProtoError::UnexpectedFrame {
                 state: self.phase.name(),
@@ -480,6 +748,14 @@ impl Coordinator {
         if self.payloads.contains_key(&client) {
             return Err(ProtoError::DuplicateUpdate { client });
         }
+        let record = JournalRecord::UpdateAccepted {
+            round,
+            client,
+            samples,
+            tick: now,
+            update: update.clone(),
+        };
+        self.journal.append(&record);
         self.phase = Phase::Training;
         self.received.push((now, client));
         self.payloads.insert(client, (samples, update));
@@ -495,7 +771,6 @@ impl Coordinator {
     /// shared decision core, commits a quorum-satisfying set or aborts,
     /// and broadcasts the verdict to every selected client.
     fn close_round(&mut self, now: u64, forced: Option<AbortReason>) -> Vec<Effect> {
-        self.phase = Phase::Aggregating;
         // Only arrivals whose sender is *still live* survive to ranking —
         // expiry between submission and close voids the update.
         let arrivals: Vec<(f64, usize)> = self
@@ -517,10 +792,40 @@ impl Coordinator {
             None if accepted.len() >= self.config.quorum => Ok(()),
             None => Err(AbortReason::QuorumMiss),
         };
+        // The verdict is durable before any verdict effect leaves the
+        // machine: a crash from here on replays as a closed round.
+        let record = match verdict {
+            Ok(()) => JournalRecord::RoundCommitted {
+                round: self.round,
+                tick: now,
+                accepted: accepted.clone(),
+            },
+            Err(reason) => JournalRecord::RoundAborted {
+                round: self.round,
+                reason,
+                tick: now,
+            },
+        };
+        self.journal.append(&record);
+        self.phase = Phase::Aggregating;
+        let effects = self.verdict_effects(verdict, accepted);
+        self.phase = Phase::RoundClosed;
+        self.round += 1;
+        effects
+    }
+
+    /// Builds the commit-or-abort broadcast and driver effect for the
+    /// closing round, and counts the verdict in the stats.
+    fn verdict_effects(
+        &mut self,
+        verdict: Result<(), AbortReason>,
+        accepted: Vec<u64>,
+    ) -> Vec<Effect> {
         let mut effects = Vec::new();
         let selected: Vec<u64> = self.selected.iter().copied().collect();
         match verdict {
             Ok(()) => {
+                self.stats.committed_rounds += 1;
                 for &client in &selected {
                     effects.push(self.send(
                         client,
@@ -536,6 +841,8 @@ impl Coordinator {
                 });
             }
             Err(reason) => {
+                self.stats.aborted_rounds += 1;
+                self.stats.aborts.record(reason);
                 self.payloads.clear();
                 for &client in &selected {
                     effects.push(self.send(
@@ -552,8 +859,6 @@ impl Coordinator {
                 });
             }
         }
-        self.phase = Phase::RoundClosed;
-        self.round += 1;
         effects
     }
 
@@ -838,6 +1143,174 @@ mod tests {
             })
         );
         assert_eq!(c.stats().rejected, 4);
+    }
+
+    #[test]
+    fn recover_resumes_an_in_deadline_round_exactly() {
+        let mut c = joined(3);
+        c.start_round(10).expect("quorum of 3");
+        c.handle_control(submit(0, 0), 12).expect("update 0");
+        let snapshot = c.journal().bytes().to_vec();
+
+        // Crash + restart well inside the deadline (10 + 50 = 60).
+        let (mut r, effects) = Coordinator::recover(config(), &snapshot, 20).expect("clean log");
+        assert_eq!(r.phase(), Phase::Training);
+        assert_eq!(r.round(), 0);
+        assert_eq!(r.epoch(), 1);
+        assert_eq!(r.stats().resumed_rounds, 1);
+        assert!(r.update_payloads().contains_key(&0), "buffer restored");
+        // Every roster member is notified of the new incarnation.
+        let notices = effects
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Effect::Send {
+                        frame: ControlFrame::EpochNotice { epoch: 1, round: 0 },
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(notices, 3);
+
+        // No double-aggregation: client 0 retransmitting its pre-crash
+        // update is a duplicate, not a second buffer entry.
+        assert_eq!(
+            r.handle_control(submit(0, 0), 21),
+            Err(ProtoError::DuplicateUpdate { client: 0 })
+        );
+        // The round still commits on the survivors' updates.
+        r.handle_control(submit(1, 0), 22).expect("update 1");
+        let effects = r.handle_control(submit(2, 0), 23).expect("update 2");
+        let accepted = effects.iter().find_map(|e| match e {
+            Effect::RoundCommitted { accepted, .. } => Some(accepted.clone()),
+            _ => None,
+        });
+        assert_eq!(accepted, Some(vec![0, 1]));
+        assert_eq!(r.stats().committed_rounds, 1);
+    }
+
+    #[test]
+    fn recover_aborts_a_round_past_its_deadline() {
+        let mut c = joined(3);
+        c.start_round(10).expect("quorum of 3");
+        c.handle_control(submit(0, 0), 12).expect("update 0");
+        let snapshot = c.journal().bytes().to_vec();
+
+        // Restart after the deadline: resume is impossible in budget.
+        let (mut r, effects) = Coordinator::recover(config(), &snapshot, 70).expect("clean log");
+        assert!(effects.iter().any(|e| matches!(
+            e,
+            Effect::RoundAborted {
+                round: 0,
+                reason: AbortReason::CoordinatorCrash,
+            }
+        )));
+        assert_eq!(r.round(), 1);
+        assert_eq!(r.recovered_round(), Some(0));
+        assert_eq!(r.stats().aborts.coordinator_crash, 1);
+        // Client 0's pre-crash upload is billed as wasted bytes.
+        assert_eq!(
+            r.stats().wasted_update_bytes,
+            crate::frames::update_submit_frame_len(1) as u64
+        );
+        // A late frame for the abandoned round gets the typed rejection.
+        assert_eq!(
+            r.handle_control(submit(1, 0), 71),
+            Err(ProtoError::Recovered { round: 0 })
+        );
+        assert_eq!(r.stats().recovered_rejections, 1);
+    }
+
+    #[test]
+    fn recover_replays_idempotently() {
+        let mut c = joined(3);
+        c.start_round(10).expect("quorum of 3");
+        c.handle_control(submit(0, 0), 12).expect("update 0");
+        let snapshot = c.journal().bytes().to_vec();
+        let (a, ea) = Coordinator::recover(config(), &snapshot, 20).expect("clean log");
+        let (b, eb) = Coordinator::recover(config(), &snapshot, 20).expect("clean log");
+        assert_eq!(ea, eb);
+        assert_eq!(a.phase(), b.phase());
+        assert_eq!(a.journal().bytes(), b.journal().bytes());
+        // Recovering from the recovered journal converges to the same
+        // round state (one epoch later).
+        let (c2, _) = Coordinator::recover(config(), a.journal().bytes(), 20).expect("clean log");
+        assert_eq!(c2.round(), a.round());
+        assert_eq!(c2.epoch(), a.epoch() + 1);
+        assert_eq!(c2.update_payloads(), a.update_payloads());
+    }
+
+    #[test]
+    fn resume_requests_split_on_roster_membership() {
+        let mut c = joined(2);
+        c.start_round(5).expect("at quorum");
+        let snapshot = c.journal().bytes().to_vec();
+        let (mut r, _) = Coordinator::recover(config(), &snapshot, 10).expect("clean log");
+
+        // A roster member resumes; its lease is re-armed.
+        let effects = r
+            .handle_control(
+                ControlFrame::Resume {
+                    client: 0,
+                    epoch: 0,
+                    last_round: 0,
+                },
+                11,
+            )
+            .expect("resume answered");
+        assert!(matches!(
+            effects[0],
+            Effect::Send {
+                to: 0,
+                frame: ControlFrame::ResumeAck {
+                    client: 0,
+                    epoch: 1,
+                    resume: true,
+                },
+            }
+        ));
+        // A stranger is bounced into the join handshake.
+        let effects = r
+            .handle_control(
+                ControlFrame::Resume {
+                    client: 99,
+                    epoch: 0,
+                    last_round: 0,
+                },
+                11,
+            )
+            .expect("resume answered");
+        assert!(matches!(
+            effects[0],
+            Effect::Send {
+                to: 99,
+                frame: ControlFrame::ResumeAck { resume: false, .. },
+            }
+        ));
+        assert_eq!(r.stats().resumes_accepted, 1);
+        assert_eq!(r.stats().resumes_rejoined, 1);
+    }
+
+    #[test]
+    fn abort_breakdown_counts_by_reason() {
+        let mut c = joined(3);
+        c.start_round(0).expect("quorum of 3");
+        for client in 0..3 {
+            c.handle_control(ControlFrame::Heartbeat { client, tick: 40 }, 40)
+                .expect("beat");
+        }
+        c.tick(50); // quorum miss: nobody submitted
+        assert_eq!(c.stats().aborted_rounds, 1);
+        assert_eq!(c.stats().aborts.quorum_miss, 1);
+        assert_eq!(c.stats().aborts.total(), 1);
+
+        c.start_round(51).expect("still live");
+        c.tick(75); // all leases lapse at 60 → fleet collapse
+        assert_eq!(c.stats().aborts.fleet_collapse, 1);
+        assert_eq!(c.stats().aborted_rounds, 2);
+        assert_eq!(c.stats().committed_rounds, 0);
     }
 
     #[test]

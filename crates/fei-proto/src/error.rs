@@ -87,6 +87,13 @@ pub enum ProtoError {
         /// Quorum required.
         required: usize,
     },
+    /// The frame belongs to a round the coordinator abandoned during crash
+    /// recovery. The work it carried is already billed as wasted; the
+    /// participant should await the next selection.
+    Recovered {
+        /// The recovery-aborted round the frame referenced.
+        round: u64,
+    },
 }
 
 impl fmt::Display for ProtoError {
@@ -128,6 +135,9 @@ impl fmt::Display for ProtoError {
                 f,
                 "round {round}: {alive} live clients below quorum {required}"
             ),
+            ProtoError::Recovered { round } => {
+                write!(f, "round {round} was abandoned by crash recovery")
+            }
         }
     }
 }
@@ -178,6 +188,7 @@ mod tests {
                 },
                 "quorum",
             ),
+            (ProtoError::Recovered { round: 5 }, "crash recovery"),
         ];
         for (err, needle) in cases {
             let text = err.to_string();

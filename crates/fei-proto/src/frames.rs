@@ -31,6 +31,12 @@ pub const TAG_UPDATE_SUBMIT: u8 = 0x14;
 pub const TAG_ROUND_ABORT: u8 = 0x15;
 /// Round committed, listing the aggregated clients.
 pub const TAG_ROUND_COMMIT: u8 = 0x16;
+/// Recovered coordinator announcing its new incarnation to the roster.
+pub const TAG_EPOCH_NOTICE: u8 = 0x17;
+/// Participant asking to resume its session after a coordinator restart.
+pub const TAG_RESUME: u8 = 0x18;
+/// Coordinator's resume-vs-rejoin verdict on a resume request.
+pub const TAG_RESUME_ACK: u8 = 0x19;
 
 /// Why a coordinator aborted a round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +47,9 @@ pub enum AbortReason {
     FleetCollapse,
     /// The driver cancelled the round.
     Cancelled,
+    /// The coordinator crashed mid-round and recovery could not resume it
+    /// inside the deadline budget.
+    CoordinatorCrash,
 }
 
 impl AbortReason {
@@ -50,6 +59,7 @@ impl AbortReason {
             AbortReason::QuorumMiss => 0,
             AbortReason::FleetCollapse => 1,
             AbortReason::Cancelled => 2,
+            AbortReason::CoordinatorCrash => 3,
         }
     }
 
@@ -59,6 +69,7 @@ impl AbortReason {
             0 => Some(AbortReason::QuorumMiss),
             1 => Some(AbortReason::FleetCollapse),
             2 => Some(AbortReason::Cancelled),
+            3 => Some(AbortReason::CoordinatorCrash),
             _ => None,
         }
     }
@@ -69,8 +80,17 @@ impl AbortReason {
             AbortReason::QuorumMiss => "quorum miss",
             AbortReason::FleetCollapse => "fleet collapse",
             AbortReason::Cancelled => "cancelled",
+            AbortReason::CoordinatorCrash => "coordinator crash",
         }
     }
+
+    /// Every reason, in tag order (for breakdown tables).
+    pub const ALL: [AbortReason; 4] = [
+        AbortReason::QuorumMiss,
+        AbortReason::FleetCollapse,
+        AbortReason::Cancelled,
+        AbortReason::CoordinatorCrash,
+    ];
 }
 
 /// One control-plane message.
@@ -140,6 +160,37 @@ pub enum ControlFrame {
         /// Clients whose updates were aggregated, ascending.
         accepted: Vec<u64>,
     },
+    /// Coordinator → participant: a recovered coordinator announcing its
+    /// new incarnation; the receiver must answer with [`Resume`] or rejoin.
+    ///
+    /// [`Resume`]: ControlFrame::Resume
+    EpochNotice {
+        /// The coordinator's journal epoch after recovery.
+        epoch: u64,
+        /// The round the recovered coordinator is at.
+        round: u64,
+    },
+    /// Participant → coordinator: session-resume request after a
+    /// coordinator restart, carrying the last state the participant saw.
+    Resume {
+        /// Resuming client id.
+        client: u64,
+        /// The newest coordinator epoch the client has observed.
+        epoch: u64,
+        /// The last round the client saw open (or closed).
+        last_round: u64,
+    },
+    /// Coordinator → participant: resume verdict. `resume = true` keeps the
+    /// session (lease re-armed, in-flight uploads still wanted);
+    /// `resume = false` orders a fresh join handshake.
+    ResumeAck {
+        /// The client being answered.
+        client: u64,
+        /// The coordinator's current epoch.
+        epoch: u64,
+        /// Whether the session resumes (vs. full rejoin).
+        resume: bool,
+    },
 }
 
 impl ControlFrame {
@@ -153,6 +204,9 @@ impl ControlFrame {
             ControlFrame::UpdateSubmit { .. } => TAG_UPDATE_SUBMIT,
             ControlFrame::RoundAbort { .. } => TAG_ROUND_ABORT,
             ControlFrame::RoundCommit { .. } => TAG_ROUND_COMMIT,
+            ControlFrame::EpochNotice { .. } => TAG_EPOCH_NOTICE,
+            ControlFrame::Resume { .. } => TAG_RESUME,
+            ControlFrame::ResumeAck { .. } => TAG_RESUME_ACK,
         }
     }
 
@@ -166,6 +220,9 @@ impl ControlFrame {
             ControlFrame::UpdateSubmit { .. } => "UpdateSubmit",
             ControlFrame::RoundAbort { .. } => "RoundAbort",
             ControlFrame::RoundCommit { .. } => "RoundCommit",
+            ControlFrame::EpochNotice { .. } => "EpochNotice",
+            ControlFrame::Resume { .. } => "Resume",
+            ControlFrame::ResumeAck { .. } => "ResumeAck",
         }
     }
 
@@ -179,6 +236,9 @@ impl ControlFrame {
             ControlFrame::UpdateSubmit { update, .. } => 8 + 8 + 4 + 4 + update.len(),
             ControlFrame::RoundAbort { .. } => 8 + 1,
             ControlFrame::RoundCommit { accepted, .. } => 8 + 4 + 8 * accepted.len(),
+            ControlFrame::EpochNotice { .. } => 8 + 8,
+            ControlFrame::Resume { .. } => 8 + 8 + 8,
+            ControlFrame::ResumeAck { .. } => 8 + 8 + 1,
         };
         FRAME_OVERHEAD + 1 + body
     }
@@ -244,6 +304,28 @@ impl ControlFrame {
                 for client in accepted {
                     payload.extend_from_slice(&client.to_be_bytes());
                 }
+            }
+            ControlFrame::EpochNotice { epoch, round } => {
+                payload.extend_from_slice(&epoch.to_be_bytes());
+                payload.extend_from_slice(&round.to_be_bytes());
+            }
+            ControlFrame::Resume {
+                client,
+                epoch,
+                last_round,
+            } => {
+                payload.extend_from_slice(&client.to_be_bytes());
+                payload.extend_from_slice(&epoch.to_be_bytes());
+                payload.extend_from_slice(&last_round.to_be_bytes());
+            }
+            ControlFrame::ResumeAck {
+                client,
+                epoch,
+                resume,
+            } => {
+                payload.extend_from_slice(&client.to_be_bytes());
+                payload.extend_from_slice(&epoch.to_be_bytes());
+                payload.push(u8::from(*resume));
             }
         }
         encode_frame(self.tag(), &payload).to_vec()
@@ -325,6 +407,29 @@ impl ControlFrame {
                     accepted.push(reader.u64()?);
                 }
                 ControlFrame::RoundCommit { round, accepted }
+            }
+            TAG_EPOCH_NOTICE => ControlFrame::EpochNotice {
+                epoch: reader.u64()?,
+                round: reader.u64()?,
+            },
+            TAG_RESUME => ControlFrame::Resume {
+                client: reader.u64()?,
+                epoch: reader.u64()?,
+                last_round: reader.u64()?,
+            },
+            TAG_RESUME_ACK => {
+                let client = reader.u64()?;
+                let epoch = reader.u64()?;
+                let resume = match reader.u8()? {
+                    0 => false,
+                    1 => true,
+                    tag => return Err(ProtoError::UnknownFrameType { tag }),
+                };
+                ControlFrame::ResumeAck {
+                    client,
+                    epoch,
+                    resume,
+                }
             }
             tag => return Err(ProtoError::UnknownFrameType { tag }),
         };
@@ -415,6 +520,21 @@ pub fn abort_frame_len() -> usize {
     FRAME_OVERHEAD + 1 + 9
 }
 
+/// Encoded length of an epoch notice.
+pub fn epoch_notice_frame_len() -> usize {
+    FRAME_OVERHEAD + 1 + 16
+}
+
+/// Encoded length of a session-resume request.
+pub fn resume_frame_len() -> usize {
+    FRAME_OVERHEAD + 1 + 24
+}
+
+/// Encoded length of a resume verdict.
+pub fn resume_ack_frame_len() -> usize {
+    FRAME_OVERHEAD + 1 + 17
+}
+
 /// Control-plane bytes one engine-driven round moves, for energy
 /// accounting: a selection notice down to every selected device, one
 /// heartbeat up from every device that was up (`heartbeats`), and the
@@ -479,6 +599,22 @@ mod tests {
             ControlFrame::RoundCommit {
                 round: 3,
                 accepted: vec![1, 4, 7],
+            },
+            ControlFrame::EpochNotice { epoch: 2, round: 3 },
+            ControlFrame::Resume {
+                client: 7,
+                epoch: 1,
+                last_round: 3,
+            },
+            ControlFrame::ResumeAck {
+                client: 7,
+                epoch: 2,
+                resume: true,
+            },
+            ControlFrame::ResumeAck {
+                client: 7,
+                epoch: 2,
+                resume: false,
             },
         ]
     }
@@ -554,6 +690,49 @@ mod tests {
                 reason: AbortReason::Cancelled
             }
             .encoded_len()
+        );
+        assert_eq!(
+            epoch_notice_frame_len(),
+            ControlFrame::EpochNotice { epoch: 0, round: 0 }.encoded_len()
+        );
+        assert_eq!(
+            resume_frame_len(),
+            ControlFrame::Resume {
+                client: 0,
+                epoch: 0,
+                last_round: 0
+            }
+            .encoded_len()
+        );
+        assert_eq!(
+            resume_ack_frame_len(),
+            ControlFrame::ResumeAck {
+                client: 0,
+                epoch: 0,
+                resume: true
+            }
+            .encoded_len()
+        );
+    }
+
+    #[test]
+    fn abort_reasons_round_trip_tags() {
+        for reason in AbortReason::ALL {
+            assert_eq!(AbortReason::from_tag(reason.tag()), Some(reason));
+        }
+        assert_eq!(AbortReason::from_tag(AbortReason::ALL.len() as u8), None);
+    }
+
+    #[test]
+    fn bad_resume_verdict_byte_is_rejected() {
+        let mut payload = vec![PROTO_VERSION];
+        payload.extend_from_slice(&7u64.to_be_bytes());
+        payload.extend_from_slice(&2u64.to_be_bytes());
+        payload.push(9);
+        let bytes = encode_frame(TAG_RESUME_ACK, &payload).to_vec();
+        assert_eq!(
+            ControlFrame::decode(&bytes),
+            Err(ProtoError::UnknownFrameType { tag: 9 })
         );
     }
 

@@ -1,0 +1,691 @@
+//! The coordinator's write-ahead round journal.
+//!
+//! A [`RoundJournal`] is the coordinator's only durable state: an
+//! append-only byte log of [`JournalRecord`]s, each encoded as a
+//! CRC32-framed [`fei_net::codec`] frame under the journal tag space
+//! (`0x20..`) with the same leading protocol-version byte as the control
+//! plane. The coordinator appends a record at every state transition
+//! *before* the transition's effects leave the machine, so a crash between
+//! any two ticks loses nothing that was acknowledged.
+//!
+//! Replay is deterministic and idempotent: [`RoundJournal::replay`] decodes
+//! the log back into records (tolerating a torn tail from a crash
+//! mid-append, which is cut off cleanly), and [`JournalState::from_records`]
+//! folds them into the recovered roster, epoch, and in-flight round state.
+//! Folding a journal twice — or a journal in which any record was
+//! duplicated — produces the same state, so recovery composes with the
+//! at-least-once semantics of any real log device.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use fei_net::codec::{decode_frame, encode_frame};
+use fei_net::CodecError;
+
+use crate::error::ProtoError;
+use crate::frames::{AbortReason, PROTO_VERSION};
+
+/// Journal tag space: a new coordinator epoch began (fresh start or
+/// recovery).
+pub const TAG_EPOCH_STARTED: u8 = 0x20;
+/// A client joined the roster.
+pub const TAG_CLIENT_JOINED: u8 = 0x21;
+/// A client's heartbeat lease lapsed and it left the roster.
+pub const TAG_CLIENT_EXPIRED: u8 = 0x22;
+/// A round opened with a selection set and a deadline.
+pub const TAG_ROUND_OPENED: u8 = 0x23;
+/// An update was accepted into the open round's buffer.
+pub const TAG_UPDATE_ACCEPTED: u8 = 0x24;
+/// The open round committed.
+pub const TAG_ROUND_COMMITTED: u8 = 0x25;
+/// The open round aborted.
+pub const TAG_ROUND_ABORTED: u8 = 0x26;
+
+/// One durable state transition of the coordinator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// A coordinator incarnation began (epoch 0 is the first boot; each
+    /// recovery bumps it).
+    EpochStarted {
+        /// The incarnation number.
+        epoch: u64,
+        /// Tick the incarnation started.
+        tick: u64,
+    },
+    /// `client` joined the roster.
+    ClientJoined {
+        /// The joined client id.
+        client: u64,
+        /// Tick of the join.
+        tick: u64,
+    },
+    /// `client`'s lease lapsed; it left the roster.
+    ClientExpired {
+        /// The expired client id.
+        client: u64,
+        /// Tick of the expiry.
+        tick: u64,
+    },
+    /// A round opened.
+    RoundOpened {
+        /// The opened round.
+        round: u64,
+        /// Absolute submission deadline tick.
+        deadline_tick: u64,
+        /// Tick the round opened.
+        tick: u64,
+        /// Selected clients, ascending.
+        selected: Vec<u64>,
+    },
+    /// An update entered the open round's buffer.
+    UpdateAccepted {
+        /// The round the update belongs to.
+        round: u64,
+        /// The submitting client.
+        client: u64,
+        /// Aggregation weight (local sample count).
+        samples: u32,
+        /// Arrival tick.
+        tick: u64,
+        /// The wire-v2 update payload, byte for byte.
+        update: Vec<u8>,
+    },
+    /// The open round committed.
+    RoundCommitted {
+        /// The committed round.
+        round: u64,
+        /// Commit tick.
+        tick: u64,
+        /// Aggregated clients, ascending.
+        accepted: Vec<u64>,
+    },
+    /// The open round aborted.
+    RoundAborted {
+        /// The aborted round.
+        round: u64,
+        /// Why.
+        reason: AbortReason,
+        /// Abort tick.
+        tick: u64,
+    },
+}
+
+impl JournalRecord {
+    /// The journal tag this record is framed under.
+    pub fn tag(&self) -> u8 {
+        match self {
+            JournalRecord::EpochStarted { .. } => TAG_EPOCH_STARTED,
+            JournalRecord::ClientJoined { .. } => TAG_CLIENT_JOINED,
+            JournalRecord::ClientExpired { .. } => TAG_CLIENT_EXPIRED,
+            JournalRecord::RoundOpened { .. } => TAG_ROUND_OPENED,
+            JournalRecord::UpdateAccepted { .. } => TAG_UPDATE_ACCEPTED,
+            JournalRecord::RoundCommitted { .. } => TAG_ROUND_COMMITTED,
+            JournalRecord::RoundAborted { .. } => TAG_ROUND_ABORTED,
+        }
+    }
+
+    /// Human-readable record kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JournalRecord::EpochStarted { .. } => "EpochStarted",
+            JournalRecord::ClientJoined { .. } => "ClientJoined",
+            JournalRecord::ClientExpired { .. } => "ClientExpired",
+            JournalRecord::RoundOpened { .. } => "RoundOpened",
+            JournalRecord::UpdateAccepted { .. } => "UpdateAccepted",
+            JournalRecord::RoundCommitted { .. } => "RoundCommitted",
+            JournalRecord::RoundAborted { .. } => "RoundAborted",
+        }
+    }
+
+    /// Serializes into one complete journal frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        payload.push(PROTO_VERSION);
+        match self {
+            JournalRecord::EpochStarted { epoch, tick } => {
+                payload.extend_from_slice(&epoch.to_be_bytes());
+                payload.extend_from_slice(&tick.to_be_bytes());
+            }
+            JournalRecord::ClientJoined { client, tick }
+            | JournalRecord::ClientExpired { client, tick } => {
+                payload.extend_from_slice(&client.to_be_bytes());
+                payload.extend_from_slice(&tick.to_be_bytes());
+            }
+            JournalRecord::RoundOpened {
+                round,
+                deadline_tick,
+                tick,
+                selected,
+            } => {
+                payload.extend_from_slice(&round.to_be_bytes());
+                payload.extend_from_slice(&deadline_tick.to_be_bytes());
+                payload.extend_from_slice(&tick.to_be_bytes());
+                payload.extend_from_slice(&(selected.len() as u32).to_be_bytes());
+                for client in selected {
+                    payload.extend_from_slice(&client.to_be_bytes());
+                }
+            }
+            JournalRecord::UpdateAccepted {
+                round,
+                client,
+                samples,
+                tick,
+                update,
+            } => {
+                payload.extend_from_slice(&round.to_be_bytes());
+                payload.extend_from_slice(&client.to_be_bytes());
+                payload.extend_from_slice(&samples.to_be_bytes());
+                payload.extend_from_slice(&tick.to_be_bytes());
+                payload.extend_from_slice(&(update.len() as u32).to_be_bytes());
+                payload.extend_from_slice(update);
+            }
+            JournalRecord::RoundCommitted {
+                round,
+                tick,
+                accepted,
+            } => {
+                payload.extend_from_slice(&round.to_be_bytes());
+                payload.extend_from_slice(&tick.to_be_bytes());
+                payload.extend_from_slice(&(accepted.len() as u32).to_be_bytes());
+                for client in accepted {
+                    payload.extend_from_slice(&client.to_be_bytes());
+                }
+            }
+            JournalRecord::RoundAborted {
+                round,
+                reason,
+                tick,
+            } => {
+                payload.extend_from_slice(&round.to_be_bytes());
+                payload.push(reason.tag());
+                payload.extend_from_slice(&tick.to_be_bytes());
+            }
+        }
+        encode_frame(self.tag(), &payload).to_vec()
+    }
+
+    /// Decodes one journal record from the front of `bytes`, returning the
+    /// record and the bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Codec`] on framing/CRC failures,
+    /// [`ProtoError::UnknownFrameType`] on a tag outside the journal space,
+    /// and [`ProtoError::VersionMismatch`] on a foreign version byte.
+    pub fn decode(bytes: &[u8]) -> Result<(JournalRecord, usize), ProtoError> {
+        let (frame, consumed) = decode_frame(bytes)?;
+        let payload = &frame.payload[..];
+        let mut reader = Reader::new(payload);
+        let version = reader.u8()?;
+        if version != PROTO_VERSION {
+            return Err(ProtoError::VersionMismatch {
+                expected: PROTO_VERSION,
+                found: version,
+            });
+        }
+        let record = match frame.msg_type {
+            TAG_EPOCH_STARTED => JournalRecord::EpochStarted {
+                epoch: reader.u64()?,
+                tick: reader.u64()?,
+            },
+            TAG_CLIENT_JOINED => JournalRecord::ClientJoined {
+                client: reader.u64()?,
+                tick: reader.u64()?,
+            },
+            TAG_CLIENT_EXPIRED => JournalRecord::ClientExpired {
+                client: reader.u64()?,
+                tick: reader.u64()?,
+            },
+            TAG_ROUND_OPENED => {
+                let round = reader.u64()?;
+                let deadline_tick = reader.u64()?;
+                let tick = reader.u64()?;
+                let count = reader.u32()? as usize;
+                let mut selected = Vec::with_capacity(count.min(payload.len() / 8));
+                for _ in 0..count {
+                    selected.push(reader.u64()?);
+                }
+                JournalRecord::RoundOpened {
+                    round,
+                    deadline_tick,
+                    tick,
+                    selected,
+                }
+            }
+            TAG_UPDATE_ACCEPTED => {
+                let round = reader.u64()?;
+                let client = reader.u64()?;
+                let samples = reader.u32()?;
+                let tick = reader.u64()?;
+                let len = reader.u32()? as usize;
+                JournalRecord::UpdateAccepted {
+                    round,
+                    client,
+                    samples,
+                    tick,
+                    update: reader.bytes(len)?.to_vec(),
+                }
+            }
+            TAG_ROUND_COMMITTED => {
+                let round = reader.u64()?;
+                let tick = reader.u64()?;
+                let count = reader.u32()? as usize;
+                let mut accepted = Vec::with_capacity(count.min(payload.len() / 8));
+                for _ in 0..count {
+                    accepted.push(reader.u64()?);
+                }
+                JournalRecord::RoundCommitted {
+                    round,
+                    tick,
+                    accepted,
+                }
+            }
+            TAG_ROUND_ABORTED => {
+                let round = reader.u64()?;
+                let tag = reader.u8()?;
+                let reason =
+                    AbortReason::from_tag(tag).ok_or(ProtoError::UnknownFrameType { tag })?;
+                JournalRecord::RoundAborted {
+                    round,
+                    reason,
+                    tick: reader.u64()?,
+                }
+            }
+            tag => return Err(ProtoError::UnknownFrameType { tag }),
+        };
+        Ok((record, consumed))
+    }
+}
+
+/// Bounds-checked big-endian payload reader (journal twin of the
+/// control-frame reader).
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, at: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let slice = &self.bytes[self.at..end];
+                self.at = end;
+                Ok(slice)
+            }
+            None => Err(ProtoError::Codec(CodecError::Truncated {
+                needed: self.at.saturating_add(n),
+                available: self.bytes.len(),
+            })),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        let raw = self.bytes(4)?;
+        let mut buf = [0u8; 4];
+        buf.copy_from_slice(raw);
+        Ok(u32::from_be_bytes(buf))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        let raw = self.bytes(8)?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(raw);
+        Ok(u64::from_be_bytes(buf))
+    }
+}
+
+/// The append-only write-ahead log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundJournal {
+    bytes: Vec<u8>,
+    records: u64,
+}
+
+/// What [`RoundJournal::replay`] recovered from the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalReplay {
+    /// Every intact record, in append order.
+    pub records: Vec<JournalRecord>,
+    /// Bytes of a torn trailing record cut off by a crash mid-append
+    /// (zero on a clean log).
+    pub torn_bytes: usize,
+}
+
+impl RoundJournal {
+    /// Creates an empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adopts an existing durable log (e.g. the bytes that survived a
+    /// coordinator crash).
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        let records = Self::count_records(&bytes).unwrap_or_default();
+        Self { bytes, records }
+    }
+
+    fn count_records(bytes: &[u8]) -> Result<u64, ProtoError> {
+        let mut at = 0;
+        let mut n = 0;
+        while at < bytes.len() {
+            let (_, consumed) = JournalRecord::decode(&bytes[at..])?;
+            at += consumed;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Appends one record; the write is the transition's durability point.
+    pub fn append(&mut self, record: &JournalRecord) {
+        self.bytes.extend_from_slice(&record.encode());
+        self.records += 1;
+    }
+
+    /// The durable log, byte for byte.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Records appended so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Total log size, bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether nothing has been journaled.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Decodes the log back into records. A truncated trailing frame — the
+    /// signature of a crash mid-append — is cut off cleanly and reported in
+    /// [`JournalReplay::torn_bytes`]; any other malformation (CRC failure,
+    /// foreign tag or version) is a hard error, because it means the log
+    /// device corrupted acknowledged writes.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Codec`], [`ProtoError::UnknownFrameType`], or
+    /// [`ProtoError::VersionMismatch`] on mid-log corruption.
+    pub fn replay(&self) -> Result<JournalReplay, ProtoError> {
+        let mut records = Vec::new();
+        let mut at = 0;
+        while at < self.bytes.len() {
+            match JournalRecord::decode(&self.bytes[at..]) {
+                Ok((record, consumed)) => {
+                    records.push(record);
+                    at += consumed;
+                }
+                // A torn tail is only acceptable as the *last* thing in the
+                // log: the decode failed because the bytes ran out, not
+                // because acknowledged bytes changed underneath us.
+                Err(ProtoError::Codec(CodecError::Truncated { .. })) => {
+                    return Ok(JournalReplay {
+                        records,
+                        torn_bytes: self.bytes.len() - at,
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(JournalReplay {
+            records,
+            torn_bytes: 0,
+        })
+    }
+}
+
+/// An in-flight round reconstructed from the journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenRound {
+    /// The round number.
+    pub round: u64,
+    /// Selected clients.
+    pub selected: BTreeSet<u64>,
+    /// Absolute submission deadline tick.
+    pub deadline_tick: u64,
+    /// Tick the round opened.
+    pub opened_at: u64,
+    /// Buffered updates: client → (samples, payload).
+    pub updates: BTreeMap<u64, (u32, Vec<u8>)>,
+    /// Arrival order of the buffered updates: `(tick, client)`.
+    pub arrivals: Vec<(u64, u64)>,
+}
+
+/// Coordinator state folded out of a journal replay.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JournalState {
+    /// The last incarnation recorded (0 when the log is empty).
+    pub epoch: u64,
+    /// Clients joined and not expired, ascending.
+    pub roster: BTreeSet<u64>,
+    /// The round the recovered coordinator should be at (the open round's
+    /// number, or one past the last closed round).
+    pub next_round: u64,
+    /// The round that was in flight at the crash, if any.
+    pub open_round: Option<OpenRound>,
+}
+
+impl JournalState {
+    /// Folds records into recovered state. The fold is idempotent per
+    /// record: duplicated records (an at-least-once log device) produce the
+    /// same state as the originals.
+    pub fn from_records(records: &[JournalRecord]) -> JournalState {
+        let mut state = JournalState::default();
+        for record in records {
+            state.apply(record);
+        }
+        state
+    }
+
+    fn apply(&mut self, record: &JournalRecord) {
+        match record {
+            JournalRecord::EpochStarted { epoch, .. } => {
+                self.epoch = (*epoch).max(self.epoch);
+            }
+            JournalRecord::ClientJoined { client, .. } => {
+                self.roster.insert(*client);
+            }
+            JournalRecord::ClientExpired { client, .. } => {
+                self.roster.remove(client);
+            }
+            JournalRecord::RoundOpened {
+                round,
+                deadline_tick,
+                tick,
+                selected,
+            } => {
+                // Re-opening the already-open round is a duplicate; a new
+                // round supersedes (its predecessor must have closed, but a
+                // torn verdict record makes the open marker authoritative).
+                if self.open_round.as_ref().is_some_and(|o| o.round == *round) {
+                    return;
+                }
+                self.open_round = Some(OpenRound {
+                    round: *round,
+                    selected: selected.iter().copied().collect(),
+                    deadline_tick: *deadline_tick,
+                    opened_at: *tick,
+                    updates: BTreeMap::new(),
+                    arrivals: Vec::new(),
+                });
+                self.next_round = self.next_round.max(*round);
+            }
+            JournalRecord::UpdateAccepted {
+                round,
+                client,
+                samples,
+                tick,
+                update,
+            } => {
+                if let Some(open) = self.open_round.as_mut() {
+                    if open.round == *round && !open.updates.contains_key(client) {
+                        open.updates.insert(*client, (*samples, update.clone()));
+                        open.arrivals.push((*tick, *client));
+                    }
+                }
+            }
+            JournalRecord::RoundCommitted { round, .. }
+            | JournalRecord::RoundAborted { round, .. } => {
+                if self.open_round.as_ref().is_some_and(|o| o.round == *round) {
+                    self.open_round = None;
+                }
+                self.next_round = self.next_round.max(round + 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::EpochStarted { epoch: 0, tick: 0 },
+            JournalRecord::ClientJoined { client: 3, tick: 1 },
+            JournalRecord::ClientJoined { client: 1, tick: 2 },
+            JournalRecord::ClientJoined { client: 7, tick: 2 },
+            JournalRecord::ClientExpired {
+                client: 7,
+                tick: 30,
+            },
+            JournalRecord::RoundOpened {
+                round: 0,
+                deadline_tick: 50,
+                tick: 10,
+                selected: vec![1, 3],
+            },
+            JournalRecord::UpdateAccepted {
+                round: 0,
+                client: 3,
+                samples: 12,
+                tick: 14,
+                update: vec![9, 9, 9],
+            },
+            JournalRecord::RoundCommitted {
+                round: 0,
+                tick: 20,
+                accepted: vec![3],
+            },
+            JournalRecord::RoundOpened {
+                round: 1,
+                deadline_tick: 90,
+                tick: 40,
+                selected: vec![1, 3],
+            },
+            JournalRecord::UpdateAccepted {
+                round: 1,
+                client: 1,
+                samples: 5,
+                tick: 44,
+                update: vec![1, 2],
+            },
+        ]
+    }
+
+    fn journal_of(records: &[JournalRecord]) -> RoundJournal {
+        let mut journal = RoundJournal::new();
+        for record in records {
+            journal.append(record);
+        }
+        journal
+    }
+
+    #[test]
+    fn every_record_round_trips() {
+        for record in sample_records() {
+            let bytes = record.encode();
+            let (decoded, consumed) = JournalRecord::decode(&bytes)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", record.name()));
+            assert_eq!(decoded, record);
+            assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    #[test]
+    fn replay_recovers_the_append_order() {
+        let records = sample_records();
+        let journal = journal_of(&records);
+        let replay = journal.replay().expect("clean log");
+        assert_eq!(replay.records, records);
+        assert_eq!(replay.torn_bytes, 0);
+        assert_eq!(journal.records(), records.len() as u64);
+    }
+
+    #[test]
+    fn torn_tail_is_cut_cleanly() {
+        let records = sample_records();
+        let journal = journal_of(&records);
+        // A crash mid-append leaves a partial trailing frame.
+        let torn = RoundJournal::from_bytes(journal.bytes()[..journal.len() - 5].to_vec());
+        let replay = torn.replay().expect("torn tail is not corruption");
+        assert_eq!(replay.records.len(), records.len() - 1);
+        assert!(replay.torn_bytes > 0);
+    }
+
+    #[test]
+    fn mid_log_corruption_is_a_hard_error() {
+        let journal = journal_of(&sample_records());
+        let mut bytes = journal.bytes().to_vec();
+        // Flip a byte inside the first record's payload.
+        bytes[9] ^= 0xFF;
+        let corrupt = RoundJournal::from_bytes(bytes);
+        assert!(corrupt.replay().is_err());
+    }
+
+    #[test]
+    fn state_fold_reconstructs_roster_and_open_round() {
+        let state = JournalState::from_records(&sample_records());
+        assert_eq!(state.epoch, 0);
+        assert_eq!(state.roster.iter().copied().collect::<Vec<_>>(), vec![1, 3]);
+        let open = state.open_round.expect("round 1 was in flight");
+        assert_eq!(open.round, 1);
+        assert_eq!(open.deadline_tick, 90);
+        assert_eq!(open.updates.len(), 1);
+        assert_eq!(open.arrivals, vec![(44, 1)]);
+        assert_eq!(state.next_round, 1);
+    }
+
+    #[test]
+    fn closed_rounds_advance_next_round() {
+        let mut records = sample_records();
+        records.push(JournalRecord::RoundAborted {
+            round: 1,
+            reason: AbortReason::CoordinatorCrash,
+            tick: 60,
+        });
+        let state = JournalState::from_records(&records);
+        assert!(state.open_round.is_none());
+        assert_eq!(state.next_round, 2);
+    }
+
+    #[test]
+    fn fold_is_idempotent_under_per_record_duplication() {
+        let records = sample_records();
+        let mut duplicated = Vec::new();
+        for record in &records {
+            duplicated.push(record.clone());
+            duplicated.push(record.clone());
+        }
+        assert_eq!(
+            JournalState::from_records(&records),
+            JournalState::from_records(&duplicated)
+        );
+    }
+}

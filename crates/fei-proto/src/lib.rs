@@ -19,10 +19,17 @@
 //!   width, deadline admission, first-`K`-by-arrival ranking) shared with
 //!   the in-process training engines so committed sets stay bit-identical
 //!   across drivers;
+//! * [`RoundJournal`] — the coordinator's write-ahead log, appended before
+//!   every state transition; [`Coordinator::recover`] folds it back into
+//!   roster, leases, and in-flight round state after a crash, resuming the
+//!   round when quorum is still reachable in the deadline budget and
+//!   aborting it cleanly otherwise;
 //! * [`ChaosLink`] and [`Cluster`] — a deterministic lossy network and an
 //!   in-process driver that audits the protocol's liveness (every opened
-//!   round commits or aborts) and safety (no expired client's update is
-//!   ever aggregated) under seeded chaos.
+//!   round commits or aborts — across coordinator restarts, within a
+//!   bounded recovery budget) and safety (no expired client's update is
+//!   ever aggregated, no update aggregated twice across a restart) under
+//!   seeded chaos, including seeded coordinator kill/restart events.
 //!
 //! Everything is deterministic: no wall clock, no ambient randomness, no
 //! unordered iteration. Identical configurations and seeds replay
@@ -36,15 +43,19 @@ pub mod cluster;
 pub mod coordinator;
 pub mod error;
 pub mod frames;
+pub mod journal;
 pub mod liveness;
 pub mod participant;
 pub mod round;
 
 pub use chaos::{ChaosConfig, ChaosLink, ChaosStats, Envelope, COORDINATOR_ADDR};
-pub use cluster::{Cluster, ClusterConfig, ClusterReport, RoundVerdict};
-pub use coordinator::{ControlStats, Coordinator, CoordinatorConfig, Effect, Phase};
+pub use cluster::{Cluster, ClusterConfig, ClusterReport, CoordinatorCrash, RoundVerdict};
+pub use coordinator::{
+    AbortBreakdown, ControlStats, Coordinator, CoordinatorConfig, Effect, Phase,
+};
 pub use error::ProtoError;
 pub use frames::{control_round_bytes, AbortReason, ControlFrame, PROTO_VERSION};
+pub use journal::{JournalRecord, JournalReplay, JournalState, OpenRound, RoundJournal};
 pub use liveness::LivenessTracker;
 pub use participant::{Participant, ParticipantConfig, ParticipantPhase, ParticipantStats};
 pub use round::{

@@ -6,9 +6,18 @@
 //! [`crate::ControlFrame::JoinAck`] lease, trains when selected, and
 //! submits its update — retransmitting with exponential backoff until the
 //! round's commit-or-abort broadcast arrives, so a dropped frame costs
-//! retries, never a stuck device. Like the coordinator it owns no
-//! transport and no clock: drivers feed frames and ticks, it answers with
-//! frames to send.
+//! retries, never a stuck device. When a recovered coordinator announces a
+//! new incarnation ([`crate::ControlFrame::EpochNotice`]), the participant
+//! enters [`ParticipantPhase::Resuming`] and negotiates session resume
+//! with backoff; the coordinator's journal decides resume-vs-rejoin. Like
+//! the coordinator it owns no transport and no clock: drivers feed frames
+//! and ticks, it answers with frames to send.
+//!
+//! Retransmit discipline: backoff state (attempt counts, next-send ticks)
+//! is only ever touched by the frame that *acknowledges* the pending
+//! message — the round verdict for an update, the ack for a join or
+//! resume. Unrelated inbound frames (duplicate acks, stale verdicts,
+//! repeated epoch notices) never reset a schedule.
 
 use crate::error::ProtoError;
 use crate::frames::ControlFrame;
@@ -56,6 +65,9 @@ pub enum ParticipantPhase {
     Training,
     /// Update submitted; awaiting the round verdict (retransmitting).
     Uploading,
+    /// A recovered coordinator announced a new epoch; negotiating session
+    /// resume (retransmitting [`crate::ControlFrame::Resume`]).
+    Resuming,
 }
 
 impl ParticipantPhase {
@@ -67,6 +79,7 @@ impl ParticipantPhase {
             ParticipantPhase::Ready => "Ready",
             ParticipantPhase::Training => "Training",
             ParticipantPhase::Uploading => "Uploading",
+            ParticipantPhase::Resuming => "Resuming",
         }
     }
 }
@@ -86,6 +99,12 @@ pub struct ParticipantStats {
     pub commits: u64,
     /// Abort broadcasts received.
     pub aborts: u64,
+    /// Resume requests sent (first attempt and retransmits).
+    pub resumes: u64,
+    /// Sessions carried across a coordinator restart by a resume ack.
+    pub sessions_resumed: u64,
+    /// Sessions the coordinator bounced into a full rejoin.
+    pub sessions_rejoined: u64,
 }
 
 /// A pending (possibly retransmitting) update submission.
@@ -120,6 +139,15 @@ pub struct Participant {
     global: Vec<u8>,
     update_override: Option<(u32, Vec<u8>)>,
     pending: Option<PendingUpload>,
+    /// The newest coordinator epoch this device has confirmed (via ack).
+    epoch: u64,
+    /// The epoch announced by the notice currently being resumed toward.
+    notice_epoch: u64,
+    /// The phase to return to when a resume is granted.
+    resume_from: ParticipantPhase,
+    /// Resume retransmit schedule (exponential backoff, like uploads).
+    resume_attempts: u32,
+    next_resume: u64,
     stats: ParticipantStats,
 }
 
@@ -138,8 +166,18 @@ impl Participant {
             global: Vec::new(),
             update_override: None,
             pending: None,
+            epoch: 0,
+            notice_epoch: 0,
+            resume_from: ParticipantPhase::Ready,
+            resume_attempts: 0,
+            next_resume: 0,
             stats: ParticipantStats::default(),
         }
+    }
+
+    /// The newest coordinator epoch this device has confirmed.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// This device's client id.
@@ -215,11 +253,13 @@ impl Participant {
                 ..
             } => {
                 self.check_recipient(client)?;
-                // Duplicate acks (chaos duplication, or an ack answering a
-                // join retry) are idempotent.
-                self.heartbeat_interval = heartbeat_interval as u64;
-                self.last_beat = now;
+                // Only the ack that actually answers an outstanding join
+                // takes effect. Duplicates (chaos duplication, acks racing
+                // join retries) are pure no-ops — in particular they must
+                // not touch the heartbeat or retransmit schedules.
                 if self.phase == ParticipantPhase::Joining {
+                    self.heartbeat_interval = heartbeat_interval as u64;
+                    self.last_beat = now;
                     self.phase = ParticipantPhase::Ready;
                 }
                 Ok(Vec::new())
@@ -271,11 +311,95 @@ impl Participant {
                 }
                 self.finish_round(round)
             }
+            ControlFrame::EpochNotice { epoch, .. } => self.on_epoch_notice(epoch, now),
+            ControlFrame::ResumeAck {
+                client,
+                epoch,
+                resume,
+            } => {
+                self.check_recipient(client)?;
+                self.on_resume_ack(epoch, resume, now)
+            }
             // Upstream frames have no participant-side transition.
             other => Err(ProtoError::UnexpectedFrame {
                 state: self.phase.name(),
                 frame: other.name(),
             }),
+        }
+    }
+
+    /// A recovered coordinator announced incarnation `epoch`: enter the
+    /// resume negotiation (keeping the interrupted session state on ice)
+    /// and send the first resume request.
+    fn on_epoch_notice(&mut self, epoch: u64, now: u64) -> Result<Vec<ControlFrame>, ProtoError> {
+        match self.phase {
+            ParticipantPhase::Idle => Err(ProtoError::UnexpectedFrame {
+                state: self.phase.name(),
+                frame: "EpochNotice",
+            }),
+            // Mid-handshake there is no session to resume; the join retry
+            // loop already converges on the new incarnation.
+            ParticipantPhase::Joining => Ok(Vec::new()),
+            // A stale or duplicated notice must not restart the
+            // negotiation (or reset its backoff).
+            _ if epoch <= self.epoch
+                || (self.phase == ParticipantPhase::Resuming && epoch <= self.notice_epoch) =>
+            {
+                Ok(Vec::new())
+            }
+            _ => {
+                if self.phase != ParticipantPhase::Resuming {
+                    self.resume_from = self.phase;
+                }
+                self.notice_epoch = epoch;
+                self.phase = ParticipantPhase::Resuming;
+                self.resume_attempts = 1;
+                self.next_resume = now + self.config.retry_base.max(1) * 2;
+                self.stats.resumes += 1;
+                Ok(vec![self.resume_frame()])
+            }
+        }
+    }
+
+    /// The coordinator's resume verdict: restore the interrupted session,
+    /// or fall back to a fresh join handshake.
+    fn on_resume_ack(
+        &mut self,
+        epoch: u64,
+        resume: bool,
+        now: u64,
+    ) -> Result<Vec<ControlFrame>, ProtoError> {
+        if self.phase != ParticipantPhase::Resuming {
+            // Duplicate ack after the negotiation ended: no-op — it must
+            // not disturb any schedule.
+            return Ok(Vec::new());
+        }
+        self.epoch = epoch.max(self.notice_epoch);
+        if resume {
+            self.stats.sessions_resumed += 1;
+            self.last_beat = now;
+            self.phase = self.resume_from;
+            // The session survives, so an interrupted upload resumes
+            // immediately — but the ack acknowledges the *resume*, not the
+            // update, so the attempt count (and with it the backoff
+            // schedule) is preserved.
+            if let Some(pending) = &mut self.pending {
+                pending.next_send = now;
+            }
+            Ok(Vec::new())
+        } else {
+            self.stats.sessions_rejoined += 1;
+            self.heartbeat_interval = 0;
+            self.pending = None;
+            Ok(vec![self.start(now)])
+        }
+    }
+
+    fn resume_frame(&self) -> ControlFrame {
+        ControlFrame::Resume {
+            client: self.config.client,
+            epoch: self.epoch,
+            last_round: self.round,
         }
     }
 
@@ -324,6 +448,18 @@ impl Participant {
             });
             self.phase = ParticipantPhase::Uploading;
         }
+        if self.phase == ParticipantPhase::Resuming
+            && now >= self.next_resume
+            && self.resume_attempts <= self.config.max_retries
+        {
+            // The resume request or its ack was lost: retransmit with the
+            // same exponential backoff as uploads.
+            self.resume_attempts += 1;
+            let shift = self.resume_attempts.min(16);
+            self.next_resume = now + self.config.retry_base.max(1) * (1u64 << shift);
+            self.stats.resumes += 1;
+            out.push(self.resume_frame());
+        }
         if self.phase == ParticipantPhase::Uploading {
             if let Some(pending) = &mut self.pending {
                 if now >= pending.next_send && pending.attempts <= self.config.max_retries {
@@ -359,15 +495,26 @@ impl Participant {
 
     /// Handles a round verdict: the matching round clears any pending
     /// upload; verdicts for other rounds are stale broadcasts and ignored.
+    /// A verdict landing mid-resume settles the round (nothing left to
+    /// retransmit) but the negotiation itself still awaits its ack.
     fn finish_round(&mut self, round: u64) -> Result<Vec<ControlFrame>, ProtoError> {
-        if round == self.round
-            && matches!(
-                self.phase,
-                ParticipantPhase::Training | ParticipantPhase::Uploading
-            )
-        {
-            self.pending = None;
-            self.phase = ParticipantPhase::Ready;
+        if round == self.round {
+            match self.phase {
+                ParticipantPhase::Training | ParticipantPhase::Uploading => {
+                    self.pending = None;
+                    self.phase = ParticipantPhase::Ready;
+                }
+                ParticipantPhase::Resuming
+                    if matches!(
+                        self.resume_from,
+                        ParticipantPhase::Training | ParticipantPhase::Uploading
+                    ) =>
+                {
+                    self.pending = None;
+                    self.resume_from = ParticipantPhase::Ready;
+                }
+                _ => {}
+            }
         }
         Ok(Vec::new())
     }
@@ -568,6 +715,194 @@ mod tests {
                 frame: "Heartbeat"
             })
         );
+    }
+
+    #[test]
+    fn backoff_schedule_survives_unrelated_inbound_frames() {
+        // Pin the retransmit schedule: with retry_base = 2 the submission
+        // at train_done = 3 schedules retransmits at 3+4=7, 7+8=15,
+        // 15+16=31, … Unrelated frames mid-backoff (duplicate JoinAck,
+        // stale verdict for another round, stale epoch notice) must not
+        // shift a single tick of it.
+        let mut quiet = ready_participant();
+        quiet.handle_control(select(0, 7, 0), 0).expect("selected");
+        let mut noisy = quiet.clone();
+        let mut quiet_sends = Vec::new();
+        let mut noisy_sends = Vec::new();
+        for t in 1..64u64 {
+            if t == 9 {
+                // Acknowledge nothing: none of these answer the pending
+                // update.
+                noisy.handle_control(ack(7), t).expect("duplicate ack");
+                noisy
+                    .handle_control(
+                        ControlFrame::RoundCommit {
+                            round: 99,
+                            accepted: vec![7],
+                        },
+                        t,
+                    )
+                    .expect("stale verdict");
+                noisy
+                    .handle_control(ControlFrame::EpochNotice { epoch: 0, round: 0 }, t)
+                    .expect("stale notice");
+            }
+            for (p, sends) in [
+                (&mut quiet, &mut quiet_sends),
+                (&mut noisy, &mut noisy_sends),
+            ] {
+                if p.tick(t)
+                    .iter()
+                    .any(|f| matches!(f, ControlFrame::UpdateSubmit { .. }))
+                {
+                    sends.push(t);
+                }
+            }
+        }
+        assert_eq!(quiet_sends, vec![3, 7, 15, 31, 63]);
+        assert_eq!(noisy_sends, quiet_sends, "inbound noise shifted backoff");
+    }
+
+    #[test]
+    fn epoch_notice_triggers_resume_and_session_survives() {
+        let mut p = ready_participant();
+        p.handle_control(select(0, 7, 0), 0).expect("selected");
+        p.tick(3); // submission sent, attempts = 1
+        assert_eq!(p.phase(), ParticipantPhase::Uploading);
+
+        // The coordinator restarts as epoch 1.
+        let frames = p
+            .handle_control(ControlFrame::EpochNotice { epoch: 1, round: 0 }, 5)
+            .expect("notice");
+        assert_eq!(p.phase(), ParticipantPhase::Resuming);
+        assert!(matches!(
+            frames[0],
+            ControlFrame::Resume {
+                client: 7,
+                epoch: 0,
+                last_round: 0,
+            }
+        ));
+        // A duplicated notice neither restarts nor re-sends.
+        assert_eq!(
+            p.handle_control(ControlFrame::EpochNotice { epoch: 1, round: 0 }, 6),
+            Ok(Vec::new())
+        );
+        // No update retransmits while the session is unconfirmed.
+        assert!(p
+            .tick(7)
+            .iter()
+            .all(|f| !matches!(f, ControlFrame::UpdateSubmit { .. })));
+
+        // Resume granted: upload continues immediately, attempts intact.
+        p.handle_control(
+            ControlFrame::ResumeAck {
+                client: 7,
+                epoch: 1,
+                resume: true,
+            },
+            8,
+        )
+        .expect("resume ack");
+        assert_eq!(p.phase(), ParticipantPhase::Uploading);
+        assert_eq!(p.epoch(), 1);
+        assert_eq!(p.stats().sessions_resumed, 1);
+        let frames = p.tick(8);
+        assert!(frames
+            .iter()
+            .any(|f| matches!(f, ControlFrame::UpdateSubmit { round: 0, .. })));
+        // attempts was 1 before the crash, so this retransmit is the 2nd.
+        assert_eq!(p.stats().retries, 1);
+    }
+
+    #[test]
+    fn resume_request_retransmits_with_backoff_until_acked() {
+        let mut p = ready_participant();
+        p.handle_control(ControlFrame::EpochNotice { epoch: 1, round: 0 }, 0)
+            .expect("notice");
+        assert_eq!(p.stats().resumes, 1);
+        let mut sends = Vec::new();
+        for t in 1..40u64 {
+            if p.tick(t)
+                .iter()
+                .any(|f| matches!(f, ControlFrame::Resume { .. }))
+            {
+                sends.push(t);
+            }
+        }
+        // First send at 0 scheduled the retry at 4; then 4+8=12, 12+16=28.
+        assert_eq!(sends, vec![4, 12, 28]);
+    }
+
+    #[test]
+    fn resume_rejection_falls_back_to_rejoin() {
+        let mut p = ready_participant();
+        p.handle_control(ControlFrame::EpochNotice { epoch: 1, round: 0 }, 0)
+            .expect("notice");
+        let frames = p
+            .handle_control(
+                ControlFrame::ResumeAck {
+                    client: 7,
+                    epoch: 1,
+                    resume: false,
+                },
+                2,
+            )
+            .expect("rejection");
+        assert!(matches!(
+            frames[0],
+            ControlFrame::JoinRequest { client: 7, .. }
+        ));
+        assert_eq!(p.phase(), ParticipantPhase::Joining);
+        assert_eq!(p.stats().sessions_rejoined, 1);
+        assert_eq!(p.epoch(), 1);
+        // The stale ResumeAck arriving again is a no-op.
+        assert_eq!(
+            p.handle_control(
+                ControlFrame::ResumeAck {
+                    client: 7,
+                    epoch: 1,
+                    resume: false,
+                },
+                3,
+            ),
+            Ok(Vec::new())
+        );
+    }
+
+    #[test]
+    fn verdict_landing_mid_resume_settles_the_round() {
+        let mut p = ready_participant();
+        p.handle_control(select(0, 7, 0), 0).expect("selected");
+        p.tick(3);
+        p.handle_control(ControlFrame::EpochNotice { epoch: 1, round: 0 }, 4)
+            .expect("notice");
+        // The reordered abort for our round arrives during the
+        // negotiation: nothing left to retransmit afterwards.
+        p.handle_control(
+            ControlFrame::RoundAbort {
+                round: 0,
+                reason: AbortReason::CoordinatorCrash,
+            },
+            5,
+        )
+        .expect("abort");
+        p.handle_control(
+            ControlFrame::ResumeAck {
+                client: 7,
+                epoch: 1,
+                resume: true,
+            },
+            6,
+        )
+        .expect("resume ack");
+        assert_eq!(p.phase(), ParticipantPhase::Ready);
+        for t in 7..60 {
+            assert!(p
+                .tick(t)
+                .iter()
+                .all(|f| !matches!(f, ControlFrame::UpdateSubmit { .. })));
+        }
     }
 
     #[test]

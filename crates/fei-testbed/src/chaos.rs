@@ -19,8 +19,13 @@ use fei_core::ledger::{EnergyLedger, EnergyUse};
 use fei_core::planner::EeFeiPlanner;
 use fei_net::link::Link;
 use fei_proto::{
-    ChaosConfig, Cluster, ClusterConfig, ClusterReport, CoordinatorConfig, ParticipantConfig,
+    ChaosConfig, Cluster, ClusterConfig, ClusterReport, CoordinatorConfig, CoordinatorCrash,
+    ParticipantConfig,
 };
+use fei_sim::DetRng;
+
+/// Stream id for deriving per-seed coordinator crash schedules.
+const CRASH_STREAM: u64 = 0xC4A5;
 
 /// One chaos campaign: a misbehaviour profile swept over a seed matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +43,9 @@ pub struct ChaosCampaignConfig {
     /// Chaos probabilities applied to both links (per-run seeds are derived
     /// from the matrix below; this profile's own seed is ignored).
     pub profile: ChaosConfig,
+    /// Coordinator crashes per run; each run's kill/restart schedule is
+    /// derived purely from its seed, so replays stay bit-identical.
+    pub coordinator_crashes: u64,
     /// Seed matrix; one cluster run per entry.
     pub seeds: Vec<u64>,
 }
@@ -67,8 +75,16 @@ impl ChaosCampaignConfig {
                 corrupt_prob: 0.04,
                 seed: 0,
             },
+            coordinator_crashes: 0,
             seeds,
         }
+    }
+
+    /// The same campaign with `crashes` seeded coordinator kill/restart
+    /// events per run.
+    pub fn with_coordinator_crashes(mut self, crashes: u64) -> Self {
+        self.coordinator_crashes = crashes;
+        self
     }
 }
 
@@ -104,6 +120,17 @@ impl ChaosCampaignReport {
     /// Whether no run ever aggregated an expired client's update.
     pub fn safety_ok(&self) -> bool {
         self.runs.iter().all(|r| r.report.safety_ok())
+    }
+
+    /// Whether every coordinator crash recovered cleanly: no double
+    /// aggregation across restarts, every pre-crash round settled in budget.
+    pub fn recovery_ok(&self) -> bool {
+        self.runs.iter().all(|r| r.report.recovery_ok())
+    }
+
+    /// Coordinator crashes executed across the whole matrix.
+    pub fn total_crashes(&self) -> u64 {
+        self.runs.iter().map(|r| r.report.coordinator_crashes).sum()
     }
 
     /// Rounds committed across the whole matrix.
@@ -155,6 +182,15 @@ impl ChaosCampaign {
                 + downlink_energy.transfer_energy_joules(report.control_bytes_down as usize);
             ledger.charge(index, EnergyUse::Control, control_joules, "control frames");
 
+            // Uploads buffered into rounds a crash recovery abandoned:
+            // radio energy the fleet spent for nothing, billed as waste so
+            // the campaign's re-planning sees the true cost of a crash.
+            if report.coordinator.wasted_update_bytes > 0 {
+                let wasted_joules = uplink_energy
+                    .transfer_energy_joules(report.coordinator.wasted_update_bytes as usize);
+                ledger.charge(index, EnergyUse::Wasted, wasted_joules, "pre-crash uploads");
+            }
+
             // Graceful degradation: answer the deepest shrink cue with a
             // re-plan for the surviving fleet, exactly as a live
             // coordinator driver would.
@@ -203,7 +239,22 @@ impl ChaosCampaign {
             target_rounds: self.config.rounds_per_seed,
             max_ticks: self.config.max_ticks,
             global_payload: vec![0xEE; 64],
+            crashes: self.crash_schedule(seed),
         }
+    }
+
+    /// Derives one run's coordinator kill/restart schedule purely from its
+    /// seed: crashes land in the busy early window (so they hit open
+    /// rounds) with outages short enough for leases to survive recovery.
+    fn crash_schedule(&self, seed: u64) -> Vec<CoordinatorCrash> {
+        let mut rng = DetRng::new(seed).fork(CRASH_STREAM);
+        let window = self.config.max_ticks.clamp(1, 200);
+        (0..self.config.coordinator_crashes)
+            .map(|_| CoordinatorCrash {
+                at_tick: 10 + rng.next_below(window),
+                down_ticks: 2 + rng.next_below(10),
+            })
+            .collect()
     }
 }
 
@@ -236,6 +287,38 @@ mod tests {
         let a = ChaosCampaign::new(config.clone()).run();
         let b = ChaosCampaign::new(config).run();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn crash_campaign_recovers_and_bills_wasted_work() {
+        let config = ChaosCampaignConfig::default_matrix(vec![1, 2, 3]).with_coordinator_crashes(2);
+        let report = ChaosCampaign::new(config.clone()).run();
+        assert!(report.liveness_ok(), "liveness failed: {report:?}");
+        assert!(report.safety_ok(), "safety failed: {report:?}");
+        assert!(report.recovery_ok(), "recovery failed: {report:?}");
+        assert!(report.total_crashes() > 0, "no crash ever executed");
+        // Crash schedules are pure in the seed: replays stay bit-identical.
+        let again = ChaosCampaign::new(config).run();
+        assert_eq!(report, again);
+        // Any round abandoned by recovery had its pre-crash uploads billed
+        // as wasted energy.
+        let abandoned: u64 = report
+            .runs
+            .iter()
+            .map(|r| r.report.coordinator.aborts.coordinator_crash)
+            .sum();
+        let wasted: u64 = report
+            .runs
+            .iter()
+            .map(|r| r.report.coordinator.wasted_update_bytes)
+            .sum();
+        if wasted > 0 {
+            assert!(report.ledger.wasted_joules() > 0.0, "{report:?}");
+        }
+        assert!(
+            abandoned > 0 || wasted == 0,
+            "wasted bytes without an abandoned round: {report:?}"
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@ fn fleet(chaos: ChaosConfig) -> ClusterConfig {
         target_rounds: 8,
         max_ticks: 10_000,
         global_payload: vec![0xAB; 64],
+        crashes: Vec::new(),
     }
 }
 

@@ -79,10 +79,10 @@ pub mod prelude {
     pub use fei_fl::{
         aggregate, robust_aggregate, try_aggregate, Adversary, AdversarySpec, AggregateError,
         AggregationRule, AsyncConfig, AsyncFedAvg, AsyncHistory, AttackBehavior, DefenseConfig,
-        Encoding, FaultInjector, FaultSpec, FedAvg, FedAvgConfig, FlError, RetryPolicy, RobustRule,
-        RoundFaultStats, RoundOutcome, RoundRecord, ScreenPolicy, ScreenReason, ScreenReport,
-        StopCondition, ThreadedFedAvg, ToleranceConfig, TrainingHistory, TransportStats,
-        UpdateScreen, WireConfig,
+        Encoding, EngineCheckpoint, FaultInjector, FaultSpec, FedAvg, FedAvgConfig, FlError,
+        RetryPolicy, RobustRule, RoundFaultStats, RoundOutcome, RoundRecord, ScreenPolicy,
+        ScreenReason, ScreenReport, StopCondition, ThreadedFedAvg, ToleranceConfig,
+        TrainingHistory, TransportStats, UpdateScreen, WireConfig,
     };
     pub use fei_ml::{
         accuracy, Evaluation, GradReduction, GradScratch, LocalTrainer, LogisticRegression, Mlp,
@@ -90,9 +90,9 @@ pub mod prelude {
     };
     pub use fei_power::{PowerMeter, PowerProfile, PowerState, PowerTimeline};
     pub use fei_proto::{
-        ChaosConfig, ChaosLink, Cluster, ClusterConfig, ClusterReport, ControlFrame, Coordinator,
-        CoordinatorConfig, Effect, LivenessTracker, Participant, ParticipantConfig, Phase,
-        ProtoError, PROTO_VERSION,
+        AbortReason, ChaosConfig, ChaosLink, Cluster, ClusterConfig, ClusterReport, ControlFrame,
+        Coordinator, CoordinatorConfig, CoordinatorCrash, Effect, LivenessTracker, Participant,
+        ParticipantConfig, Phase, ProtoError, RoundJournal, PROTO_VERSION,
     };
     pub use fei_sim::{DetRng, SimDuration, SimTime};
     pub use fei_testbed::{

@@ -42,6 +42,7 @@ fn cluster_config(seed: u64, chaos: ChaosConfig) -> ClusterConfig {
         target_rounds: 6,
         max_ticks: 10_000,
         global_payload: vec![0x5A; 48],
+        crashes: Vec::new(),
     }
 }
 
