@@ -1,0 +1,10 @@
+//! Two identical narrowing casts; the directive must suppress only the
+//! annotated site, not every cast of the same shape.
+pub fn checksum_lo(sum: u64) -> u8 {
+    // fei-lint: allow(truncating-cast, reason = "low-byte extraction is the point here")
+    sum as u8
+}
+
+pub fn checksum_hi(sum: u64) -> u8 {
+    sum as u8
+}

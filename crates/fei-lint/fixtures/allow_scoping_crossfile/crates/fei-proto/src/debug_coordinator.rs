@@ -1,0 +1,16 @@
+//! Two unjournalled phase writes; the directive must suppress only the
+//! first — the second still violates write-ahead discipline.
+pub struct Coordinator {
+    phase: u64,
+}
+
+impl Coordinator {
+    pub fn force_idle(&mut self) {
+        // fei-lint: allow(journal-discipline, reason = "debug reset, never persisted")
+        self.phase = 0;
+    }
+
+    pub fn force_open(&mut self) {
+        self.phase = 1;
+    }
+}

@@ -1,0 +1,25 @@
+//! Two tags with encode and decode arms but no test naming either; the
+//! directive must suppress only `TAG_DBG`, leaving `TAG_TRACE` flagged.
+// fei-lint: allow(wire-schema, reason = "debug-only tag, deliberately untested")
+pub const TAG_DBG: u8 = 0x7e;
+pub const TAG_TRACE: u8 = 0x7f;
+
+pub enum Frame {
+    Dbg,
+    Trace,
+}
+
+pub fn encode(frame: &Frame) -> u8 {
+    match frame {
+        Frame::Dbg => TAG_DBG,
+        Frame::Trace => TAG_TRACE,
+    }
+}
+
+pub fn decode(tag: u8) -> Option<Frame> {
+    match tag {
+        TAG_DBG => Some(Frame::Dbg),
+        TAG_TRACE => Some(Frame::Trace),
+        _ => None,
+    }
+}

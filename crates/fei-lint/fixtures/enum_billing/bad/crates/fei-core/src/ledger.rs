@@ -1,0 +1,23 @@
+//! Known-bad: `Wasted` is never billed from outside this file, and
+//! `Phantom` falls through the wildcard arm — a bucket nothing bills
+//! into and a bucket nothing reports are both dead accounting.
+pub enum EnergyUse {
+    Useful,
+    Wasted,
+    Phantom,
+}
+
+pub struct Ledger {
+    useful_j: f64,
+    wasted_j: f64,
+}
+
+impl Ledger {
+    pub fn charge(&mut self, usage: EnergyUse, joules: f64) {
+        match usage {
+            EnergyUse::Useful => self.useful_j += joules,
+            EnergyUse::Wasted => self.wasted_j += joules,
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! Only `Useful` is ever billed; `Wasted` and `Phantom` are dead.
+pub fn settle_round(ledger: &mut Ledger, compute_j: f64) {
+    ledger.charge(EnergyUse::Useful, compute_j);
+}

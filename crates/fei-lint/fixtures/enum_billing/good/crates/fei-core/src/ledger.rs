@@ -1,0 +1,21 @@
+//! Known-good: both billing buckets are constructed from fei-fl and
+//! surfaced by the `charge` match below, so every joule lands somewhere
+//! a report can see it.
+pub enum EnergyUse {
+    Useful,
+    Wasted,
+}
+
+pub struct Ledger {
+    useful_j: f64,
+    wasted_j: f64,
+}
+
+impl Ledger {
+    pub fn charge(&mut self, usage: EnergyUse, joules: f64) {
+        match usage {
+            EnergyUse::Useful => self.useful_j += joules,
+            EnergyUse::Wasted => self.wasted_j += joules,
+        }
+    }
+}

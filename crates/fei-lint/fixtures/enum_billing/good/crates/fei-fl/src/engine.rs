@@ -1,0 +1,5 @@
+//! Bills both buckets from production code in a different crate.
+pub fn settle_round(ledger: &mut Ledger, compute_j: f64, overhead_j: f64) {
+    ledger.charge(EnergyUse::Useful, compute_j);
+    ledger.charge(EnergyUse::Wasted, overhead_j);
+}

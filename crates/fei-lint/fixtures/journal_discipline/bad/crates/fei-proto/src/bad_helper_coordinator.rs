@@ -1,0 +1,28 @@
+//! Known-bad under v2: a helper that never reaches the journal does not
+//! count as write-ahead, and neither does the real persist helper when it
+//! is only called *after* the phase assignment.
+pub struct Coordinator {
+    phase: u64,
+    journal: Vec<u8>,
+    metrics: Vec<u64>,
+}
+
+impl Coordinator {
+    fn persist(&mut self, round: u64) {
+        self.journal.extend_from_slice(&round.to_be_bytes());
+    }
+
+    fn bump_metrics(&mut self) {
+        self.metrics.push(1);
+    }
+
+    pub fn open_round(&mut self, round: u64) {
+        self.bump_metrics();
+        self.phase = round;
+    }
+
+    pub fn close_round(&mut self, round: u64) {
+        self.phase = 0;
+        self.persist(round);
+    }
+}

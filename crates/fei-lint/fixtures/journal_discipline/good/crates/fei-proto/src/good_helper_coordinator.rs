@@ -1,0 +1,27 @@
+//! Known-good under v2: the write-ahead append happens inside a helper
+//! called earlier in the same function — directly or two hops deep — so
+//! the rule must follow the call graph instead of a line window.
+pub struct Coordinator {
+    phase: u64,
+    journal: Vec<u8>,
+}
+
+impl Coordinator {
+    fn persist(&mut self, round: u64) {
+        self.journal.extend_from_slice(&round.to_be_bytes());
+    }
+
+    fn persist_outer(&mut self, round: u64) {
+        self.persist(round);
+    }
+
+    pub fn open_round(&mut self, round: u64) {
+        self.persist(round);
+        self.phase = 1;
+    }
+
+    pub fn close_round(&mut self, round: u64) {
+        self.persist_outer(round);
+        self.phase = 2;
+    }
+}

@@ -1,0 +1,7 @@
+//! Known-good companion: both ledger buckets are billed from outside the
+//! defining file, so the cross-file `enum-billing` rule sees live
+//! accounting (construction here, the surfacing match in fei-power).
+pub fn bill_round(ledger: &mut super::Ledger, useful_j: f64, wasted_j: f64) {
+    ledger.charge(EnergyUse::Useful, useful_j);
+    ledger.charge(EnergyUse::Wasted, wasted_j);
+}

@@ -1,0 +1,10 @@
+//! Known-bad: bare narrowing casts in the codec path truncate silently —
+//! the length field wraps once a payload crosses 4 GiB, and the client
+//! count wraps past 255.
+pub fn frame_len(payload: &[u8]) -> u32 {
+    payload.len() as u32
+}
+
+pub fn client_count(clients: usize) -> u8 {
+    clients as u8
+}

@@ -1,0 +1,14 @@
+//! Known-good: every narrowing at the wire boundary is checked, widening
+//! uses `From`, and pointer-width casts (which never narrow on our
+//! targets) stay out of scope.
+pub fn frame_len(payload: &[u8]) -> u32 {
+    u32::try_from(payload.len()).expect("invariant: frames are capped far below u32::MAX")
+}
+
+pub fn widen(byte: u8) -> u64 {
+    u64::from(byte)
+}
+
+pub fn index_of(offset: u32) -> usize {
+    offset as usize
+}

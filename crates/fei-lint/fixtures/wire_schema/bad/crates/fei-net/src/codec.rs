@@ -1,0 +1,20 @@
+//! The other half of the collision: `TAG_PING` reuses 0x10, which
+//! `TAG_DATA` already claimed in fei-proto.
+pub const TAG_PING: u8 = 0x10;
+
+pub enum Control {
+    Ping,
+}
+
+pub fn encode(control: &Control) -> u8 {
+    match control {
+        Control::Ping => TAG_PING,
+    }
+}
+
+pub fn is_ping(tag: u8) -> bool {
+    match tag {
+        TAG_PING => true,
+        _ => false,
+    }
+}

@@ -1,0 +1,5 @@
+//! `TAG_PING` is tested; its only problem is the value collision.
+#[test]
+fn ping_round_trips() {
+    assert!(is_ping(TAG_PING));
+}

@@ -1,0 +1,24 @@
+//! Known-bad: `TAG_DATA` collides with fei-net's `TAG_PING` (same 0x10),
+//! and `TAG_ACK` has no decode arm — the receiving side can never see an
+//! Ack, which is silent schema drift.
+pub const TAG_DATA: u8 = 0x10;
+pub const TAG_ACK: u8 = 0x11;
+
+pub enum Frame {
+    Data,
+    Ack,
+}
+
+pub fn encode(frame: &Frame) -> u8 {
+    match frame {
+        Frame::Data => TAG_DATA,
+        Frame::Ack => TAG_ACK,
+    }
+}
+
+pub fn decode(tag: u8) -> Option<Frame> {
+    match tag {
+        TAG_DATA => Some(Frame::Data),
+        _ => None,
+    }
+}

@@ -1,0 +1,7 @@
+//! Both fei-proto tags are named here, so the only findings left are the
+//! collision and the missing decode arm.
+#[test]
+fn tags_encode() {
+    assert!(encode(&Frame::Data) == TAG_DATA);
+    assert!(encode(&Frame::Ack) == TAG_ACK);
+}

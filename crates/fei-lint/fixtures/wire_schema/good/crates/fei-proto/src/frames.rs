@@ -1,0 +1,24 @@
+//! Known-good: two tags with unique values, each produced by the encode
+//! match, matched by the decode match, and named in the tests tree.
+pub const TAG_DATA: u8 = 0x10;
+pub const TAG_ACK: u8 = 0x11;
+
+pub enum Frame {
+    Data,
+    Ack,
+}
+
+pub fn encode(frame: &Frame) -> u8 {
+    match frame {
+        Frame::Data => TAG_DATA,
+        Frame::Ack => TAG_ACK,
+    }
+}
+
+pub fn decode(tag: u8) -> Option<Frame> {
+    match tag {
+        TAG_DATA => Some(Frame::Data),
+        TAG_ACK => Some(Frame::Ack),
+        _ => None,
+    }
+}

@@ -22,8 +22,23 @@ pub struct LintConfig {
     /// Crates whose public energy APIs must route joules through
     /// `EnergyUse` (the `ledger-discipline` rule).
     pub ledger_crates: Vec<String>,
+    /// Crates that own the wire schema. The cross-file `wire-schema` and
+    /// `truncating-cast` rules audit `TAG_*` constants and codec casts
+    /// here.
+    pub wire_crates: Vec<String>,
+    /// Enum names whose every variant must be billed and surfaced
+    /// somewhere (the `enum-billing` rule).
+    pub billed_enums: Vec<String>,
+    /// File-name stems that mark a file as a codec/journal path for the
+    /// `truncating-cast` rule (matched as substrings of the file name).
+    pub cast_file_stems: Vec<String>,
     /// Directory names never descended into.
     pub skip_dirs: Vec<String>,
+    /// Directory names whose files are test code: scanned for the
+    /// workspace model (pass 1) so cross-file rules can see test
+    /// references, but exempt from per-file rules and excluded from
+    /// `files_scanned`.
+    pub test_dirs: Vec<String>,
     /// When true, `no-panic` also covers `src/bin/` and `src/main.rs`
     /// entry points (off by default: binaries may abort on operational
     /// errors; the contract is about library code).
@@ -43,6 +58,14 @@ impl LintConfig {
                 "fei-sim".to_string(),
             ],
             ledger_crates: vec!["fei-core".to_string(), "fei-power".to_string()],
+            wire_crates: vec!["fei-proto".to_string(), "fei-net".to_string()],
+            billed_enums: vec!["EnergyUse".to_string(), "AbortReason".to_string()],
+            cast_file_stems: vec![
+                "codec".to_string(),
+                "wire".to_string(),
+                "frames".to_string(),
+                "journal".to_string(),
+            ],
             skip_dirs: vec![
                 ".git".to_string(),
                 "target".to_string(),
@@ -50,7 +73,11 @@ impl LintConfig {
                 "vendor".to_string(),
                 // The linter's own known-bad test corpus.
                 "fixtures".to_string(),
-                // Integration tests, examples, and benches are test code.
+            ],
+            // Integration tests, examples, and benches are test code: pass 1
+            // reads them (wire-schema's "named in a test" leg needs them),
+            // the per-file rules do not.
+            test_dirs: vec![
                 "tests".to_string(),
                 "examples".to_string(),
                 "benches".to_string(),

@@ -1,11 +1,23 @@
-//! The lint driver: walk the workspace, lex each file, run the rules.
+//! The lint driver: two passes over the workspace.
+//!
+//! Pass 1 walks every `.rs` file — library code *and* the `tests/`,
+//! `examples/`, and `benches/` trees — lexing each once and extracting
+//! its [`FileFacts`] into a [`WorkspaceModel`]. Pass 2 runs the per-file
+//! rules on library files (test trees stay exempt, as before) and the
+//! cross-file rules ([`crate::crossfile`]) over the whole model, which is
+//! how wire-schema can demand that every tag is named in at least one
+//! test. `files_scanned` keeps its historical meaning: library files
+//! checked by per-file rules.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::config::LintConfig;
+use crate::crossfile;
 use crate::lexer::LexedFile;
+use crate::model::{FileFacts, WorkspaceModel};
 use crate::report::{Report, Violation};
 use crate::rules::RuleId;
 
@@ -17,24 +29,44 @@ use crate::rules::RuleId;
 /// file deleted mid-scan); rule violations are reported, not errors.
 pub fn run(config: &LintConfig) -> io::Result<Report> {
     let mut files = Vec::new();
-    collect_rs_files(&config.root, &config.skip_dirs, &mut files)?;
+    collect_rs_files(&config.root, config, false, &mut files)?;
     // Deterministic scan order regardless of directory-entry order.
     files.sort();
 
     let mut report = Report::default();
-    for path in &files {
+    let mut model = WorkspaceModel::default();
+    let mut lexed_by_path: BTreeMap<String, LexedFile> = BTreeMap::new();
+    for (path, in_test_tree) in &files {
         let source = fs::read_to_string(path)?;
         let rel = relative_unix_path(&config.root, path);
-        report.violations.extend(lint_source(config, &rel, &source));
-        report.files_scanned += 1;
+        let lexed = LexedFile::lex(&source);
+        model.files.push(FileFacts::extract(
+            &rel,
+            LintConfig::crate_of(&rel),
+            *in_test_tree,
+            &lexed,
+        ));
+        if !*in_test_tree {
+            report.violations.extend(lint_lexed(config, &rel, &lexed));
+            report.files_scanned += 1;
+        }
+        lexed_by_path.insert(rel, lexed);
     }
+    report
+        .violations
+        .extend(crossfile::check(config, &model, &lexed_by_path));
     report.finish();
     Ok(report)
 }
 
-/// Lints one file's source text under `config`. Exposed for fixture tests.
+/// Lints one file's source text under `config` with the per-file rules.
+/// Exposed for fixture tests; cross-file rules need [`run`].
 pub fn lint_source(config: &LintConfig, rel_path: &str, source: &str) -> Vec<Violation> {
-    let lexed = LexedFile::lex(source);
+    lint_lexed(config, rel_path, &LexedFile::lex(source))
+}
+
+/// The per-file pass over one already-lexed file.
+fn lint_lexed(config: &LintConfig, rel_path: &str, lexed: &LexedFile) -> Vec<Violation> {
     let crate_name = LintConfig::crate_of(rel_path);
     let mut out = Vec::new();
 
@@ -68,26 +100,34 @@ pub fn lint_source(config: &LintConfig, rel_path: &str, source: &str) -> Vec<Vio
 
     for rule in &config.rules {
         if rule.applies(config, crate_name, rel_path) {
-            out.extend(rule.check(&lexed, rel_path));
+            out.extend(rule.check(lexed, rel_path));
         }
     }
     out
 }
 
-/// Recursively collects `.rs` files, skipping `skip_dirs` by name.
-fn collect_rs_files(dir: &Path, skip_dirs: &[String], out: &mut Vec<PathBuf>) -> io::Result<()> {
+/// Recursively collects `.rs` files with a test-tree flag, skipping
+/// `skip_dirs` by name. A file is test-tree once any ancestor directory
+/// name is in `test_dirs`.
+fn collect_rs_files(
+    dir: &Path,
+    config: &LintConfig,
+    in_test_tree: bool,
+    out: &mut Vec<(PathBuf, bool)>,
+) -> io::Result<()> {
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
         let path = entry.path();
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if path.is_dir() {
-            if skip_dirs.iter().any(|d| d.as_str() == name) {
+            if config.skip_dirs.iter().any(|d| d.as_str() == name) {
                 continue;
             }
-            collect_rs_files(&path, skip_dirs, out)?;
+            let test_here = in_test_tree || config.test_dirs.iter().any(|d| d.as_str() == name);
+            collect_rs_files(&path, config, test_here, out)?;
         } else if name.ends_with(".rs") {
-            out.push(path);
+            out.push((path, in_test_tree));
         }
     }
     Ok(())

@@ -116,6 +116,45 @@ struct Comment {
     text: String,
 }
 
+/// Byte offsets of `needle` in `hay` at identifier boundaries.
+pub(crate) fn find_idents(hay: &str, needle: &str) -> Vec<usize> {
+    let bytes = hay.as_bytes();
+    let mut hits = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + needle.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            hits.push(at);
+        }
+        from = at + needle.len();
+    }
+    hits
+}
+
+/// The contiguous identifier ending at byte `end` (exclusive), if any.
+pub(crate) fn ident_ending_at(bytes: &[u8], end: usize) -> &[u8] {
+    let mut start = end;
+    while start > 0 && is_ident_byte(bytes[start - 1]) {
+        start -= 1;
+    }
+    &bytes[start..end]
+}
+
+/// The contiguous identifier starting at or after `start`, skipping spaces.
+pub(crate) fn ident_starting_at(bytes: &[u8], mut start: usize) -> (usize, &[u8]) {
+    while start < bytes.len() && (bytes[start] == b' ' || bytes[start] == b'\n') {
+        start += 1;
+    }
+    let mut end = start;
+    while end < bytes.len() && is_ident_byte(bytes[end]) {
+        end += 1;
+    }
+    (start, &bytes[start..end])
+}
+
 /// Byte offsets at which each line begins (line 1 starts at 0).
 fn line_starts(src: &str) -> Vec<usize> {
     let mut starts = vec![0];
@@ -127,7 +166,8 @@ fn line_starts(src: &str) -> Vec<usize> {
     starts
 }
 
-fn is_ident_byte(b: u8) -> bool {
+/// Whether `b` can appear inside a Rust identifier.
+pub(crate) fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
@@ -166,7 +206,7 @@ fn mask(src: &str) -> (String, Vec<Comment>) {
             continue;
         }
 
-        // Block comment (nested).
+        // Block comment (nested: every `/*` needs its own `*/`).
         if b == b'/' && next == Some(b'*') {
             let start = i;
             let mut depth = 1usize;
@@ -182,9 +222,13 @@ fn mask(src: &str) -> (String, Vec<Comment>) {
                     j += 1;
                 }
             }
+            // `j - 2` is only a `*/` delimiter when the comment closed; an
+            // unterminated comment runs to EOF and keeps its full text.
+            let text_end = if depth == 0 { j - 2 } else { j };
             comments.push(Comment {
                 start,
-                text: src[(start + 2).min(j)..j.saturating_sub(2).max(start + 2)].to_string(),
+                text: src[(start + 2).min(text_end)..text_end.max(start + 2).min(src.len())]
+                    .to_string(),
             });
             blank(&mut out, bytes, i, j - i);
             i = j;
@@ -202,7 +246,9 @@ fn mask(src: &str) -> (String, Vec<Comment>) {
             }
             if bytes.get(j) == Some(&b'"') {
                 // Scan for the closing quote followed by `hashes` hashes.
+                // Backslash is NOT an escape inside raw strings.
                 let mut k = j + 1;
+                let mut closed = false;
                 'scan: while k < bytes.len() {
                     if bytes[k] == b'"' {
                         let mut h = 0;
@@ -211,16 +257,23 @@ fn mask(src: &str) -> (String, Vec<Comment>) {
                         }
                         if h == hashes {
                             k += 1 + hashes;
+                            closed = true;
                             break 'scan;
                         }
                     }
                     k += 1;
                 }
                 // Keep the opening/closing delimiters visible; blank the body.
+                // An unterminated raw string (EOF mid-literal) is blanked to
+                // the very end so no tail bytes leak into rule matching.
                 out.extend_from_slice(&bytes[i..=j]);
-                let close_start = k.saturating_sub(hashes + 1).max(j + 1);
-                blank(&mut out, bytes, j + 1, close_start - (j + 1));
-                out.extend_from_slice(&bytes[close_start..k]);
+                if closed {
+                    let close_start = k - (hashes + 1);
+                    blank(&mut out, bytes, j + 1, close_start - (j + 1));
+                    out.extend_from_slice(&bytes[close_start..k]);
+                } else {
+                    blank(&mut out, bytes, j + 1, k - (j + 1));
+                }
                 i = k;
                 continue;
             }
@@ -231,21 +284,28 @@ fn mask(src: &str) -> (String, Vec<Comment>) {
         if b == b'"' || (b == b'b' && next == Some(b'"') && !prev_ident) {
             let quote = if b == b'b' { i + 1 } else { i };
             let mut j = quote + 1;
+            let mut closed = false;
             while j < bytes.len() {
                 match bytes[j] {
                     b'\\' => j += 2,
                     b'"' => {
                         j += 1;
+                        closed = true;
                         break;
                     }
                     _ => j += 1,
                 }
             }
+            // `\` just before EOF can overshoot the buffer by one.
+            let j = j.min(bytes.len());
             out.extend_from_slice(&bytes[i..=quote]);
-            let body_end = j.saturating_sub(1).max(quote + 1);
-            blank(&mut out, bytes, quote + 1, body_end - (quote + 1));
-            if j > quote + 1 && bytes.get(j - 1) == Some(&b'"') {
+            if closed {
+                blank(&mut out, bytes, quote + 1, j - 1 - (quote + 1));
                 out.push(b'"');
+            } else {
+                // Unterminated at EOF: blank every remaining byte (dropping
+                // one would shift all downstream offsets off by one).
+                blank(&mut out, bytes, quote + 1, j - (quote + 1));
             }
             i = j;
             continue;
@@ -267,21 +327,25 @@ fn mask(src: &str) -> (String, Vec<Comment>) {
                 continue;
             }
             let mut j = quote + 1;
+            let mut closed = false;
             while j < bytes.len() {
                 match bytes[j] {
                     b'\\' => j += 2,
                     b'\'' => {
                         j += 1;
+                        closed = true;
                         break;
                     }
                     _ => j += 1,
                 }
             }
+            let j = j.min(bytes.len());
             out.extend_from_slice(&bytes[i..=quote]);
-            let body_end = j.saturating_sub(1).max(quote + 1);
-            blank(&mut out, bytes, quote + 1, body_end - (quote + 1));
-            if j > quote + 1 && bytes.get(j - 1) == Some(&b'\'') {
+            if closed {
+                blank(&mut out, bytes, quote + 1, j - 1 - (quote + 1));
                 out.push(b'\'');
+            } else {
+                blank(&mut out, bytes, quote + 1, j - (quote + 1));
             }
             i = j;
             continue;
@@ -463,6 +527,66 @@ mod tests {
         assert!(lexed.is_test(unwrap_at));
         assert!(!lexed.is_test(src.find("fn lib").map_or(0, |p| p)));
         assert!(!lexed.is_test(src.find("fn tail").map_or(0, |p| p)));
+    }
+
+    #[test]
+    fn masks_byte_strings_and_hashed_raw_strings() {
+        let src = r###"let a = b"thread_rng"; let b = br#"OsRng"#; let c = r##"panic! "#" inside"##; let tail = 1;"###;
+        let lexed = LexedFile::lex(src);
+        assert_eq!(lexed.masked.len(), src.len());
+        for leaked in ["thread_rng", "OsRng", "panic"] {
+            assert!(
+                !lexed.masked.contains(leaked),
+                "{leaked} leaked:\n{}",
+                lexed.masked
+            );
+        }
+        assert!(lexed.masked.contains("let tail = 1;"));
+    }
+
+    #[test]
+    fn nested_block_comments_mask_to_their_true_end() {
+        let src = "/* outer /* inner unwrap() */ still comment unwrap() */ let x = y.unwrap();";
+        let lexed = LexedFile::lex(src);
+        assert_eq!(lexed.masked.len(), src.len());
+        // Only the code unwrap survives the mask — a non-nesting lexer
+        // would end the comment at the first `*/` and leak the second.
+        assert_eq!(find_idents(&lexed.masked, "unwrap").len(), 1);
+        assert!(lexed.masked.contains("let x = y.unwrap();"));
+    }
+
+    #[test]
+    fn unterminated_literals_at_eof_preserve_length_and_leak_nothing() {
+        // Each input ends mid-literal; masking must neither panic, nor
+        // shorten the text, nor let the tail bytes reach rule matching.
+        for (src, leaked) in [
+            ("let s = \"panic! and on", "panic"),
+            ("let s = \"esc \\", "esc"),
+            ("let r = r#\"thread_rng() tail", "thread_rng"),
+            ("let b = b\"OsRng tail", "OsRng"),
+            ("let c = /* unwrap() never closes", "unwrap"),
+            ("let c = /* nested /* unwrap() */", "unwrap"),
+            ("let c = '\\", "x"),
+        ] {
+            let lexed = LexedFile::lex(src);
+            assert_eq!(lexed.masked.len(), src.len(), "length drift for {src:?}");
+            assert!(
+                find_idents(&lexed.masked, leaked).is_empty(),
+                "{leaked:?} leaked from {src:?}:\n{}",
+                lexed.masked
+            );
+        }
+    }
+
+    #[test]
+    fn raw_string_closing_guard_is_not_fooled_by_fewer_hashes() {
+        // `"#` inside an `r##"…"##` literal is content, not a terminator.
+        let src = r###"let x = r##"a "# b"##; let y = SystemTime;"###;
+        let lexed = LexedFile::lex(src);
+        assert_eq!(lexed.masked.len(), src.len());
+        // `y = SystemTime` is code: a lexer that closed the raw string at
+        // `"#` would have swallowed part of the code after it.
+        assert_eq!(find_idents(&lexed.masked, "SystemTime").len(), 1);
     }
 
     #[test]

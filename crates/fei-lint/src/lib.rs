@@ -21,6 +21,17 @@
 //!   APIs in `fei-core`/`fei-power` must carry an `EnergyUse`
 //!   classification.
 //!
+//! Since v2 the engine runs **two passes**: pass 1 builds a lightweight
+//! [`model::WorkspaceModel`] from every file (including test trees), and
+//! pass 2 adds cross-file rules over it ([`crossfile`]): `wire-schema`
+//! (tag uniqueness + encode/decode/test reachability), `enum-billing`
+//! (no dead `EnergyUse`/`AbortReason` variants), `truncating-cast` (no
+//! bare narrowing `as` in codec paths), and `journal-discipline`
+//! (write-ahead phase transitions, followed across helper functions).
+//! Pre-existing findings can be pinned in a shrink-only
+//! [`baseline::Baseline`] (`--baseline` / `--write-baseline`) so new
+//! rules gate new code immediately while the burn-down stays visible.
+//!
 //! Sites that deliberately break a rule carry an escape comment on the
 //! same line or the line above:
 //!
@@ -35,12 +46,16 @@
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
 pub mod config;
+pub mod crossfile;
 pub mod engine;
 pub mod lexer;
+pub mod model;
 pub mod report;
 pub mod rules;
 
+pub use baseline::{Baseline, BaselineOutcome};
 pub use config::LintConfig;
 pub use engine::{find_workspace_root, lint_source, run};
 pub use report::{Report, Violation};

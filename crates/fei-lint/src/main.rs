@@ -12,24 +12,27 @@
 #![forbid(unsafe_code)]
 
 use std::env;
+use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use fei_lint::{find_workspace_root, run, LintConfig, RuleId};
+use fei_lint::{find_workspace_root, run, Baseline, LintConfig, RuleId};
 
 const USAGE: &str = "\
-fei-lint: workspace invariant linter (determinism / no-panic / float-eq / ledger)
+fei-lint: workspace invariant linter (determinism / no-panic / float-eq / ledger / wire schema)
 
 USAGE: fei-lint [OPTIONS]
 
 OPTIONS:
-  --json            emit a JSON report instead of human-readable text
-  --root <PATH>     workspace root to scan (default: auto-discovered)
-  --only <RULE>     run only this rule (repeatable)
-  --skip <RULE>     disable this rule (repeatable)
-  --include-bins    apply no-panic to src/bin/ and src/main.rs too
-  --list-rules      print every rule with a one-line summary
-  -h, --help        this help
+  --json                  emit a JSON report instead of human-readable text
+  --root <PATH>           workspace root to scan (default: auto-discovered)
+  --only <RULE>           run only this rule (repeatable)
+  --skip <RULE>           disable this rule (repeatable)
+  --include-bins          apply no-panic to src/bin/ and src/main.rs too
+  --baseline <PATH>       suppress findings pinned in this baseline; fail only on new ones
+  --write-baseline <PATH> pin the current findings (ratchet: refuses to grow an existing file)
+  --list-rules            print every rule with a one-line summary
+  -h, --help              this help
 ";
 
 fn main() -> ExitCode {
@@ -48,6 +51,8 @@ fn cli() -> Result<ExitCode, String> {
     let mut only: Vec<RuleId> = Vec::new();
     let mut skip: Vec<RuleId> = Vec::new();
     let mut include_bins = false;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
 
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -57,6 +62,16 @@ fn cli() -> Result<ExitCode, String> {
             "--root" => {
                 let p = args.next().ok_or("--root needs a path argument")?;
                 root = Some(PathBuf::from(p));
+            }
+            "--baseline" => {
+                let p = args.next().ok_or("--baseline needs a path argument")?;
+                baseline_path = Some(PathBuf::from(p));
+            }
+            "--write-baseline" => {
+                let p = args
+                    .next()
+                    .ok_or("--write-baseline needs a path argument")?;
+                write_baseline = Some(PathBuf::from(p));
             }
             "--only" | "--skip" => {
                 let name = args
@@ -95,7 +110,55 @@ fn cli() -> Result<ExitCode, String> {
         config.rules.remove(&rule);
     }
 
-    let report = run(&config).map_err(|e| format!("scan failed: {e}"))?;
+    let mut report = run(&config).map_err(|e| format!("scan failed: {e}"))?;
+
+    if let Some(path) = write_baseline {
+        let new = Baseline::from_report(&report);
+        // The ratchet only turns one way: an existing baseline may shrink
+        // but never grow. Growing the debt requires fixing the finding or
+        // an allow directive at the site — both visible in review.
+        if let Ok(text) = fs::read_to_string(&path) {
+            let old = Baseline::parse(&text)
+                .map_err(|e| format!("cannot read existing baseline {}: {e}", path.display()))?;
+            let grown = new.grows_over(&old);
+            if !grown.is_empty() {
+                let mut msg = format!(
+                    "ratchet: refusing to grow the baseline ({} finding class(es) \
+                     exceed their pinned count):\n",
+                    grown.len()
+                );
+                for e in grown {
+                    msg.push_str(&format!(
+                        "  [{}] {} x{}: {}\n",
+                        e.key.rule, e.key.path, e.count, e.snippet
+                    ));
+                }
+                msg.push_str("fix the findings or justify them with allow directives");
+                return Err(msg);
+            }
+        }
+        fs::write(&path, new.to_json())
+            .map_err(|e| format!("cannot write baseline {}: {e}", path.display()))?;
+        eprintln!(
+            "fei-lint: baseline written to {} ({} finding(s) pinned)",
+            path.display(),
+            new.total()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if let Some(path) = baseline_path {
+        let text = fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+        let baseline = Baseline::parse(&text)
+            .map_err(|e| format!("cannot parse baseline {}: {e}", path.display()))?;
+        let outcome = baseline.filter(&report);
+        report.violations = outcome.new;
+        report.baselined = outcome.baselined;
+        report.stale_baseline = outcome.stale.len();
+        report.finish();
+    }
+
     if json {
         print!("{}", report.render_json());
     } else {

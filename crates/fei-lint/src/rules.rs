@@ -39,16 +39,33 @@ pub enum RuleId {
     /// (`tests/energy_accounting.rs`).
     LedgerDiscipline,
     /// Write-ahead logging in the coordinator: every `.phase =` state
-    /// transition in `fei-proto` coordinator code must sit within a few
-    /// lines of a round-journal append, so no transition can outrun its
-    /// durability point and crash recovery never loses acknowledged state
-    /// (`tests/recovery.rs`).
+    /// transition in `fei-proto` coordinator code must follow a
+    /// round-journal append — in the same function or via a helper called
+    /// earlier in it — so no transition can outrun its durability point
+    /// and crash recovery never loses acknowledged state
+    /// (`tests/recovery.rs`). Cross-file since v2: the check walks the
+    /// workspace model's call facts instead of a line window.
     JournalDiscipline,
+    /// Wire-schema conformance across `fei-proto`/`fei-net`: every
+    /// `TAG_*` value unique, every tag produced by an encode arm and
+    /// matched by a decode arm, every tag named in at least one test
+    /// (`tests/proto_wire.rs`). Cross-file.
+    WireSchema,
+    /// Every `EnergyUse`/`AbortReason` variant must be constructed
+    /// outside its defining file and surfaced in a match arm (stats or
+    /// report path) — dead-variant detection for the energy accounting
+    /// the paper's e_U/e_P results rest on. Cross-file.
+    EnumBilling,
+    /// No bare `as` casts to ≤32-bit integers in codec/wire/frames/
+    /// journal files of the wire crates: lengths and tags must go through
+    /// checked conversions so oversized payloads fail loudly instead of
+    /// truncating on the wire. Cross-file.
+    TruncatingCast,
 }
 
 impl RuleId {
     /// Every rule, in reporting order.
-    pub const ALL: [RuleId; 7] = [
+    pub const ALL: [RuleId; 10] = [
         RuleId::DetMapIter,
         RuleId::DetWallclock,
         RuleId::DetEntropy,
@@ -56,7 +73,22 @@ impl RuleId {
         RuleId::FloatEq,
         RuleId::LedgerDiscipline,
         RuleId::JournalDiscipline,
+        RuleId::WireSchema,
+        RuleId::EnumBilling,
+        RuleId::TruncatingCast,
     ];
+
+    /// Whether this rule runs over the pass-1 workspace model
+    /// ([`crate::crossfile`]) rather than per file.
+    pub fn is_cross_file(self) -> bool {
+        matches!(
+            self,
+            RuleId::JournalDiscipline
+                | RuleId::WireSchema
+                | RuleId::EnumBilling
+                | RuleId::TruncatingCast
+        )
+    }
 
     /// The kebab-case name used in reports and allow directives.
     pub fn name(self) -> &'static str {
@@ -68,6 +100,9 @@ impl RuleId {
             RuleId::FloatEq => "float-eq",
             RuleId::LedgerDiscipline => "ledger-discipline",
             RuleId::JournalDiscipline => "journal-discipline",
+            RuleId::WireSchema => "wire-schema",
+            RuleId::EnumBilling => "enum-billing",
+            RuleId::TruncatingCast => "truncating-cast",
         }
     }
 
@@ -95,6 +130,15 @@ impl RuleId {
             RuleId::JournalDiscipline => {
                 "coordinator phase transitions must follow a round-journal append (write-ahead logging)"
             }
+            RuleId::WireSchema => {
+                "TAG_* values unique across wire crates; every tag encoded, decoded, and named in a test"
+            }
+            RuleId::EnumBilling => {
+                "every EnergyUse/AbortReason variant constructed outside its file and surfaced in a match"
+            }
+            RuleId::TruncatingCast => {
+                "no bare `as` casts to <=32-bit ints in codec/journal files (use try_from/from)"
+            }
         }
     }
 
@@ -103,20 +147,19 @@ impl RuleId {
         RuleId::ALL.into_iter().find(|r| r.name() == name)
     }
 
-    /// Whether this rule applies to `crate_name` / `rel_path` at all.
+    /// Whether this rule applies to `crate_name` / `rel_path` in the
+    /// per-file pass. Cross-file rules scope themselves inside
+    /// [`crate::crossfile`] and never run here.
     pub fn applies(self, config: &LintConfig, crate_name: &str, rel_path: &str) -> bool {
         match self {
             RuleId::DetMapIter | RuleId::DetWallclock | RuleId::DetEntropy => {
                 config.det_crates.iter().any(|c| c == crate_name)
             }
             RuleId::LedgerDiscipline => config.ledger_crates.iter().any(|c| c == crate_name),
-            RuleId::JournalDiscipline => {
-                crate_name == "fei-proto"
-                    && rel_path
-                        .rsplit('/')
-                        .next()
-                        .is_some_and(|f| f.contains("coordinator"))
-            }
+            RuleId::JournalDiscipline
+            | RuleId::WireSchema
+            | RuleId::EnumBilling
+            | RuleId::TruncatingCast => false,
             RuleId::NoPanic => {
                 // Binary entry points (src/bin/, src/main.rs) may abort on
                 // operational errors; the contract covers library code.
@@ -127,9 +170,14 @@ impl RuleId {
         }
     }
 
-    /// Runs this rule over one lexed file.
+    /// Runs this rule over one lexed file. Cross-file rules return
+    /// nothing here — they run in [`crate::crossfile::check`].
     pub fn check(self, file: &LexedFile, path: &str) -> Vec<Violation> {
         match self {
+            RuleId::JournalDiscipline
+            | RuleId::WireSchema
+            | RuleId::EnumBilling
+            | RuleId::TruncatingCast => Vec::new(),
             RuleId::DetMapIter => check_idents(
                 self,
                 file,
@@ -155,7 +203,6 @@ impl RuleId {
             RuleId::NoPanic => check_no_panic(self, file, path),
             RuleId::FloatEq => check_float_eq(self, file, path),
             RuleId::LedgerDiscipline => check_ledger(self, file, path),
-            RuleId::JournalDiscipline => check_journal(self, file, path),
         }
     }
 }
@@ -499,50 +546,6 @@ fn check_ledger(rule: RuleId, file: &LexedFile, path: &str) -> Vec<Violation> {
     out
 }
 
-/// Lines of slack allowed between a round-journal append and the
-/// `.phase =` transition it makes durable. The append must come first —
-/// within this many lines above the assignment (or on the same line).
-const JOURNAL_WINDOW: usize = 6;
-
-fn check_journal(rule: RuleId, file: &LexedFile, path: &str) -> Vec<Violation> {
-    let mut out = Vec::new();
-    let masked = &file.masked;
-    let bytes = masked.as_bytes();
-    let masked_lines: Vec<&str> = masked.lines().collect();
-    for offset in find_idents(masked, "phase") {
-        // A field write: `<receiver>.phase = …` (not `==`).
-        if offset == 0 || bytes[offset - 1] != b'.' {
-            continue;
-        }
-        let rest = masked[offset + "phase".len()..].trim_start();
-        if !rest.starts_with('=') || rest.starts_with("==") || rest.starts_with("=>") {
-            continue;
-        }
-        let line = file.line_of(offset);
-        let from = line.saturating_sub(JOURNAL_WINDOW + 1);
-        let journaled = masked_lines[from..line.min(masked_lines.len())]
-            .iter()
-            .any(|l| !find_idents(l, "journal").is_empty());
-        if journaled {
-            continue;
-        }
-        emit(
-            rule,
-            file,
-            path,
-            offset,
-            format!(
-                "coordinator phase transition without a journal append in the \
-                 {JOURNAL_WINDOW} lines above it: append the transition's \
-                 JournalRecord first (write-ahead), or justify with an allow \
-                 directive"
-            ),
-            &mut out,
-        );
-    }
-    out
-}
-
 /// Whether a parameter list names a joule-carrying parameter
 /// (`joules: f64`, `capacity_j: f64`, …).
 fn has_joule_param(params: &str) -> bool {
@@ -619,20 +622,14 @@ mod tests {
     }
 
     #[test]
-    fn journal_rule_wants_an_append_before_every_phase_write() {
-        let src = "impl C {\n    fn ok(&mut self) {\n        self.journal.append(&record);\n        self.phase = Phase::Selected;\n    }\n    fn read_only(&self) -> bool {\n        self.phase == Phase::Idle\n    }\n    fn noise(&self) -> u64 {\n        self.round + 1\n    }\n    fn bad(&mut self) {\n        self.phase = Phase::Idle;\n    }\n}\n";
-        let v = RuleId::JournalDiscipline.check(&lex(src), "coordinator.rs");
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert_eq!(v[0].line, 13);
-    }
-
-    #[test]
-    fn journal_rule_scopes_to_proto_coordinator_files() {
+    fn cross_file_rules_never_run_in_the_per_file_pass() {
         let config = LintConfig::for_root(std::path::PathBuf::from("."));
-        let rule = RuleId::JournalDiscipline;
-        assert!(rule.applies(&config, "fei-proto", "crates/fei-proto/src/coordinator.rs"));
-        assert!(!rule.applies(&config, "fei-proto", "crates/fei-proto/src/participant.rs"));
-        assert!(!rule.applies(&config, "fei-fl", "crates/fei-fl/src/coordinator.rs"));
+        for rule in RuleId::ALL.into_iter().filter(|r| r.is_cross_file()) {
+            assert!(!rule.applies(&config, "fei-proto", "crates/fei-proto/src/coordinator.rs"));
+            assert!(rule
+                .check(&lex("fn f() { self.phase = Phase::Idle; }\n"), "c.rs")
+                .is_empty());
+        }
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! End-to-end proof that the baseline is a one-way ratchet. Against a
+//! scratch tree: pin today's findings, pass with the baseline, fail when
+//! a NEW violation appears, refuse to `--write-baseline` over it, and
+//! shrink cleanly once the findings are fixed.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const BAD_CODEC: &str = "\
+pub fn frame_len(payload: &[u8]) -> u32 {
+    payload.len() as u32
+}
+";
+
+const WORSE_CODEC: &str = "\
+pub fn frame_len(payload: &[u8]) -> u32 {
+    payload.len() as u32
+}
+
+pub fn client_count(clients: usize) -> u8 {
+    clients as u8
+}
+";
+
+const FIXED_CODEC: &str = "\
+pub fn frame_len(payload: &[u8]) -> u32 {
+    u32::try_from(payload.len()).expect(\"invariant: frames are capped below u32::MAX\")
+}
+";
+
+/// Builds a fresh scratch workspace holding one codec file.
+fn scratch_tree(name: &str, codec_source: &str) -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if root.exists() {
+        fs::remove_dir_all(&root).expect("invariant: scratch tree is removable");
+    }
+    let src = root.join("crates/fei-net/src");
+    fs::create_dir_all(&src).expect("invariant: scratch tree is creatable");
+    fs::write(src.join("codec.rs"), codec_source).expect("invariant: scratch tree is writable");
+    root
+}
+
+fn fei_lint(root: &Path, extra: &[&str]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fei-lint"));
+    cmd.arg("--root").arg(root).args(extra);
+    cmd.output()
+        .expect("invariant: the fei-lint binary was built alongside this test")
+}
+
+#[test]
+fn the_baseline_ratchet_fails_new_findings_and_only_shrinks() {
+    let root = scratch_tree("ratchet", BAD_CODEC);
+    let baseline = root.join("lint-baseline.json");
+    let baseline_str = baseline.to_str().expect("invariant: tmpdir path is UTF-8");
+
+    // Without a baseline the tree fails: one truncating cast.
+    let plain = fei_lint(&root, &[]);
+    assert_eq!(plain.status.code(), Some(1), "{plain:?}");
+
+    // Pin the finding; the run now passes and reports the suppression.
+    let write = fei_lint(&root, &["--write-baseline", baseline_str]);
+    assert_eq!(write.status.code(), Some(0), "{write:?}");
+    let pinned = fei_lint(&root, &["--baseline", baseline_str]);
+    assert_eq!(pinned.status.code(), Some(0), "{pinned:?}");
+    let stdout = String::from_utf8_lossy(&pinned.stdout);
+    assert!(stdout.contains("1 pinned finding(s)"), "{stdout}");
+
+    // A NEW violation beyond the baseline fails the run again.
+    fs::write(root.join("crates/fei-net/src/codec.rs"), WORSE_CODEC)
+        .expect("invariant: scratch tree is writable");
+    let regressed = fei_lint(&root, &["--baseline", baseline_str]);
+    assert_eq!(
+        regressed.status.code(),
+        Some(1),
+        "a new finding must fail even with the old one pinned: {regressed:?}"
+    );
+    let stdout = String::from_utf8_lossy(&regressed.stdout);
+    assert!(stdout.contains("clients as u8"), "{stdout}");
+
+    // The ratchet refuses to pave over the regression.
+    let grow = fei_lint(&root, &["--write-baseline", baseline_str]);
+    assert_eq!(grow.status.code(), Some(2), "{grow:?}");
+    let stderr = String::from_utf8_lossy(&grow.stderr);
+    assert!(stderr.contains("refusing to grow"), "{stderr}");
+
+    // Fixing everything lets the baseline shrink to empty…
+    fs::write(root.join("crates/fei-net/src/codec.rs"), FIXED_CODEC)
+        .expect("invariant: scratch tree is writable");
+    let shrink = fei_lint(&root, &["--write-baseline", baseline_str]);
+    assert_eq!(shrink.status.code(), Some(0), "{shrink:?}");
+    let text = fs::read_to_string(&baseline).expect("invariant: the baseline was just written");
+    assert!(text.contains("\"total\": 0"), "{text}");
+
+    // …and the clean tree passes against the shrunk baseline.
+    let clean = fei_lint(&root, &["--baseline", baseline_str]);
+    assert_eq!(clean.status.code(), Some(0), "{clean:?}");
+}

@@ -21,7 +21,7 @@ fn lint_fixture(rel: &str) -> Report {
 }
 
 /// (fixture dir, the one rule its bad tree violates)
-const CASES: [(&str, RuleId); 7] = [
+const CASES: [(&str, RuleId); 10] = [
     ("det_map_iter", RuleId::DetMapIter),
     ("det_wallclock", RuleId::DetWallclock),
     ("det_entropy", RuleId::DetEntropy),
@@ -29,6 +29,9 @@ const CASES: [(&str, RuleId); 7] = [
     ("float_eq", RuleId::FloatEq),
     ("ledger_discipline", RuleId::LedgerDiscipline),
     ("journal_discipline", RuleId::JournalDiscipline),
+    ("wire_schema", RuleId::WireSchema),
+    ("enum_billing", RuleId::EnumBilling),
+    ("truncating_cast", RuleId::TruncatingCast),
 ];
 
 #[test]
@@ -97,6 +100,55 @@ fn allow_directive_suppresses_exactly_its_rule() {
         report.violations.len(),
         2,
         "unexpected extra violations:\n{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn allow_directives_scope_cross_file_rules_to_the_site() {
+    let report = lint_fixture("allow_scoping_crossfile");
+    // Each file pairs an allowed site with an identical un-annotated one;
+    // exactly the un-annotated site must survive for each rule.
+    assert_eq!(
+        report.count_for(RuleId::TruncatingCast),
+        1,
+        "one of two identical casts is allowed:\n{}",
+        report.render_human()
+    );
+    assert_eq!(
+        report.count_for(RuleId::WireSchema),
+        1,
+        "one of two untested tags is allowed:\n{}",
+        report.render_human()
+    );
+    assert_eq!(
+        report.count_for(RuleId::JournalDiscipline),
+        1,
+        "one of two unjournalled phase writes is allowed:\n{}",
+        report.render_human()
+    );
+    assert_eq!(
+        report.violations.len(),
+        3,
+        "unexpected extra violations:\n{}",
+        report.render_human()
+    );
+    // The survivors are the sites without a directive, not the annotated
+    // twins.
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.rule == "wire-schema" && v.message.contains("TAG_TRACE")),
+        "wire-schema survivor should be TAG_TRACE:\n{}",
+        report.render_human()
+    );
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.rule == "journal-discipline" && v.message.contains("`force_open`")),
+        "journal survivor should be force_open:\n{}",
         report.render_human()
     );
 }

@@ -38,9 +38,9 @@ pub const FRAME_OVERHEAD: usize = 2 + 1 + 4 + 4;
 /// generated at compile time so the codec stays dependency-free.
 const CRC32_TABLE: [u32; 256] = {
     let mut table = [0u32; 256];
-    let mut n = 0;
+    let mut n: u32 = 0;
     while n < 256 {
-        let mut crc = n as u32;
+        let mut crc = n;
         let mut bit = 0;
         while bit < 8 {
             crc = if crc & 1 != 0 {
@@ -50,11 +50,22 @@ const CRC32_TABLE: [u32; 256] = {
             };
             bit += 1;
         }
-        table[n] = crc;
+        table[n as usize] = crc;
         n += 1;
     }
     table
 };
+
+/// Converts a payload length to the wire's big-endian `u32` length field.
+///
+/// Frames carry 32-bit lengths; a payload that does not fit is a
+/// programming error upstream (model payloads are megabytes, not
+/// gigabytes), and a truncated length field would desynchronize the
+/// stream for every later frame — so the conversion asserts the bound
+/// instead of wrapping.
+pub fn len_u32(len: usize) -> u32 {
+    u32::try_from(len).expect("invariant: wire payload lengths fit the u32 length field")
+}
 
 /// Streaming CRC32/IEEE over multiple byte regions.
 #[derive(Debug, Clone, Copy)]
@@ -68,7 +79,7 @@ impl Crc32 {
     fn update(&mut self, bytes: &[u8]) {
         let mut crc = self.0;
         for &b in bytes {
-            crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+            crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
         }
         self.0 = crc;
     }
@@ -162,7 +173,7 @@ impl Error for CodecError {}
 fn checksum(msg_type: u8, payload: &[u8]) -> u32 {
     let mut crc = Crc32::new();
     crc.update(&[msg_type]);
-    crc.update(&(payload.len() as u32).to_be_bytes());
+    crc.update(&len_u32(payload.len()).to_be_bytes());
     crc.update(payload);
     crc.finish()
 }
@@ -187,7 +198,7 @@ pub fn encode_frame(msg_type: u8, payload: &[u8]) -> Bytes {
     let mut buf = BytesMut::with_capacity(FRAME_OVERHEAD + payload.len());
     buf.put_slice(&MAGIC);
     buf.put_u8(msg_type);
-    buf.put_u32(payload.len() as u32);
+    buf.put_u32(len_u32(payload.len()));
     buf.put_slice(payload);
     buf.put_u32(checksum(msg_type, payload));
     buf.freeze()
@@ -200,7 +211,7 @@ pub fn encode_frame_into(msg_type: u8, payload: &[u8], out: &mut Vec<u8>) {
     out.reserve(FRAME_OVERHEAD + payload.len());
     out.extend_from_slice(&MAGIC);
     out.push(msg_type);
-    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&len_u32(payload.len()).to_be_bytes());
     out.extend_from_slice(payload);
     out.extend_from_slice(&checksum(msg_type, payload).to_be_bytes());
 }

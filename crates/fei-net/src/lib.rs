@@ -27,7 +27,7 @@ pub mod lossy;
 pub mod medium;
 pub mod wire;
 
-pub use codec::{decode_frame, encode_frame, CodecError, Frame};
+pub use codec::{decode_frame, encode_frame, len_u32, CodecError, Frame};
 pub use link::Link;
 pub use lossy::{LossyLink, TransferOutcome};
 pub use medium::SharedMedium;

@@ -219,7 +219,7 @@ impl WireScratch {
         out.push(WIRE_VERSION);
         out.push(config.encoding.tag());
         out.push(if config.delta { FLAG_DELTA } else { 0 });
-        out.extend_from_slice(&(params.len() as u32).to_be_bytes());
+        out.extend_from_slice(&crate::codec::len_u32(params.len()).to_be_bytes());
 
         let values: &[f64] = if config.delta {
             let base = global.expect("invariant: delta encoding requires the shared global base");
@@ -417,6 +417,7 @@ fn encode_q8_block(block: &[f64], out: &mut Vec<u8>) {
             let q = ((v - offset64) / scale64)
                 .round_ties_even()
                 .clamp(0.0, 255.0);
+            // fei-lint: allow(truncating-cast, reason = "q is clamped to 0.0..=255.0 two lines up; float->u8 has no checked From")
             out.push(q as u8);
         }
     } else {

@@ -1,16 +1,48 @@
 //! Control-plane frames.
 //!
 //! Every protocol message rides the same CRC32-protected frame format as
-//! the model payloads ([`fei_net::codec`]), under its own tag space
-//! (`0x10..`), so a single byte stream can interleave control and data
-//! frames. Every control payload leads with a one-byte protocol version
-//! that is checked *before* any body parsing — a peer speaking a different
-//! protocol gets a typed [`ProtoError::VersionMismatch`], not a confusing
-//! parse failure further in.
+//! the model payloads ([`fei_net::codec`]), so a single byte stream can
+//! interleave control and data frames. Every control payload leads with a
+//! one-byte protocol version that is checked *before* any body parsing —
+//! a peer speaking a different protocol gets a typed
+//! [`ProtoError::VersionMismatch`], not a confusing parse failure further
+//! in.
+//!
+//! ## The authoritative tag table
+//!
+//! Model payload frames use low tags (caller-defined, below 0x10). The
+//! protocol stack owns two disjoint ranges — `0x10..=0x19` for the
+//! control plane (this module) and `0x20..=0x26` for the durable round
+//! journal ([`crate::journal`]):
+//!
+//! | Tag  | Constant              | Range   | Meaning                                |
+//! |------|-----------------------|---------|----------------------------------------|
+//! | 0x10 | `TAG_JOIN_REQUEST`    | control | participant asks to join the roster    |
+//! | 0x11 | `TAG_JOIN_ACK`        | control | join accepted, heartbeat contract      |
+//! | 0x12 | `TAG_HEARTBEAT`       | control | periodic liveness beacon               |
+//! | 0x13 | `TAG_SELECT`          | control | round selection + global model         |
+//! | 0x14 | `TAG_UPDATE_SUBMIT`   | control | trained-update submission              |
+//! | 0x15 | `TAG_ROUND_ABORT`     | control | round closed without commit            |
+//! | 0x16 | `TAG_ROUND_COMMIT`    | control | round committed, aggregated clients    |
+//! | 0x17 | `TAG_EPOCH_NOTICE`    | control | recovered coordinator's new epoch      |
+//! | 0x18 | `TAG_RESUME`          | control | participant asks to resume a session   |
+//! | 0x19 | `TAG_RESUME_ACK`      | control | resume-vs-rejoin verdict               |
+//! | 0x20 | `TAG_EPOCH_STARTED`   | journal | incarnation began                      |
+//! | 0x21 | `TAG_CLIENT_JOINED`   | journal | roster admission became durable        |
+//! | 0x22 | `TAG_CLIENT_EXPIRED`  | journal | lease expiry became durable            |
+//! | 0x23 | `TAG_ROUND_OPENED`    | journal | round selection became durable         |
+//! | 0x24 | `TAG_UPDATE_ACCEPTED` | journal | accepted update became durable         |
+//! | 0x25 | `TAG_ROUND_COMMITTED` | journal | commit became durable                  |
+//! | 0x26 | `TAG_ROUND_ABORTED`   | journal | abort became durable                   |
+//!
+//! [`CONTROL_TAGS`] and [`crate::journal::JOURNAL_TAGS`] enumerate the
+//! two ranges in code; a unit test asserts they stay disjoint, and the
+//! `wire-schema` lint rule checks every tag is encoded, decoded, and
+//! exercised by a test.
 //!
 //! Integers are big-endian throughout, matching the frame and wire codecs.
 
-use fei_net::codec::{decode_frame, encode_frame, FRAME_OVERHEAD};
+use fei_net::codec::{decode_frame, encode_frame, len_u32, FRAME_OVERHEAD};
 
 use crate::error::ProtoError;
 
@@ -37,6 +69,22 @@ pub const TAG_EPOCH_NOTICE: u8 = 0x17;
 pub const TAG_RESUME: u8 = 0x18;
 /// Coordinator's resume-vs-rejoin verdict on a resume request.
 pub const TAG_RESUME_ACK: u8 = 0x19;
+
+/// Every control-plane tag, in value order — the code form of the tag
+/// table in the module docs. New control frames must be added here (the
+/// disjointness test in [`crate::journal`] walks this array).
+pub const CONTROL_TAGS: [u8; 10] = [
+    TAG_JOIN_REQUEST,
+    TAG_JOIN_ACK,
+    TAG_HEARTBEAT,
+    TAG_SELECT,
+    TAG_UPDATE_SUBMIT,
+    TAG_ROUND_ABORT,
+    TAG_ROUND_COMMIT,
+    TAG_EPOCH_NOTICE,
+    TAG_RESUME,
+    TAG_RESUME_ACK,
+];
 
 /// Why a coordinator aborted a round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -279,7 +327,7 @@ impl ControlFrame {
                 payload.extend_from_slice(&client.to_be_bytes());
                 payload.extend_from_slice(&epochs.to_be_bytes());
                 payload.extend_from_slice(&deadline_tick.to_be_bytes());
-                payload.extend_from_slice(&(global.len() as u32).to_be_bytes());
+                payload.extend_from_slice(&len_u32(global.len()).to_be_bytes());
                 payload.extend_from_slice(global);
             }
             ControlFrame::UpdateSubmit {
@@ -291,7 +339,7 @@ impl ControlFrame {
                 payload.extend_from_slice(&round.to_be_bytes());
                 payload.extend_from_slice(&client.to_be_bytes());
                 payload.extend_from_slice(&samples.to_be_bytes());
-                payload.extend_from_slice(&(update.len() as u32).to_be_bytes());
+                payload.extend_from_slice(&len_u32(update.len()).to_be_bytes());
                 payload.extend_from_slice(update);
             }
             ControlFrame::RoundAbort { round, reason } => {
@@ -300,7 +348,7 @@ impl ControlFrame {
             }
             ControlFrame::RoundCommit { round, accepted } => {
                 payload.extend_from_slice(&round.to_be_bytes());
-                payload.extend_from_slice(&(accepted.len() as u32).to_be_bytes());
+                payload.extend_from_slice(&len_u32(accepted.len()).to_be_bytes());
                 for client in accepted {
                     payload.extend_from_slice(&client.to_be_bytes());
                 }

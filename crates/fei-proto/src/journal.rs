@@ -18,7 +18,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use fei_net::codec::{decode_frame, encode_frame};
+use fei_net::codec::{decode_frame, encode_frame, len_u32};
 use fei_net::CodecError;
 
 use crate::error::ProtoError;
@@ -39,6 +39,20 @@ pub const TAG_UPDATE_ACCEPTED: u8 = 0x24;
 pub const TAG_ROUND_COMMITTED: u8 = 0x25;
 /// The open round aborted.
 pub const TAG_ROUND_ABORTED: u8 = 0x26;
+
+/// Every journal tag, in value order — the journal half of the tag table
+/// documented in [`crate::frames`]. New record kinds must be added here
+/// (the disjointness test below walks this array against
+/// [`crate::frames::CONTROL_TAGS`]).
+pub const JOURNAL_TAGS: [u8; 7] = [
+    TAG_EPOCH_STARTED,
+    TAG_CLIENT_JOINED,
+    TAG_CLIENT_EXPIRED,
+    TAG_ROUND_OPENED,
+    TAG_UPDATE_ACCEPTED,
+    TAG_ROUND_COMMITTED,
+    TAG_ROUND_ABORTED,
+];
 
 /// One durable state transition of the coordinator.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -159,7 +173,7 @@ impl JournalRecord {
                 payload.extend_from_slice(&round.to_be_bytes());
                 payload.extend_from_slice(&deadline_tick.to_be_bytes());
                 payload.extend_from_slice(&tick.to_be_bytes());
-                payload.extend_from_slice(&(selected.len() as u32).to_be_bytes());
+                payload.extend_from_slice(&len_u32(selected.len()).to_be_bytes());
                 for client in selected {
                     payload.extend_from_slice(&client.to_be_bytes());
                 }
@@ -175,7 +189,7 @@ impl JournalRecord {
                 payload.extend_from_slice(&client.to_be_bytes());
                 payload.extend_from_slice(&samples.to_be_bytes());
                 payload.extend_from_slice(&tick.to_be_bytes());
-                payload.extend_from_slice(&(update.len() as u32).to_be_bytes());
+                payload.extend_from_slice(&len_u32(update.len()).to_be_bytes());
                 payload.extend_from_slice(update);
             }
             JournalRecord::RoundCommitted {
@@ -185,7 +199,7 @@ impl JournalRecord {
             } => {
                 payload.extend_from_slice(&round.to_be_bytes());
                 payload.extend_from_slice(&tick.to_be_bytes());
-                payload.extend_from_slice(&(accepted.len() as u32).to_be_bytes());
+                payload.extend_from_slice(&len_u32(accepted.len()).to_be_bytes());
                 for client in accepted {
                     payload.extend_from_slice(&client.to_be_bytes());
                 }
@@ -554,6 +568,65 @@ impl JournalState {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn control_and_journal_tag_ranges_are_disjoint() {
+        use crate::frames::{
+            CONTROL_TAGS, TAG_EPOCH_NOTICE, TAG_HEARTBEAT, TAG_JOIN_ACK, TAG_JOIN_REQUEST,
+            TAG_RESUME, TAG_RESUME_ACK, TAG_ROUND_ABORT, TAG_ROUND_COMMIT, TAG_SELECT,
+            TAG_UPDATE_SUBMIT,
+        };
+        // Name every tag explicitly: this is the executable twin of the
+        // tag table in the frames.rs module docs, and the reference the
+        // wire-schema lint's "named in a test" leg checks for.
+        let control: [(u8, &str); 10] = [
+            (TAG_JOIN_REQUEST, "TAG_JOIN_REQUEST"),
+            (TAG_JOIN_ACK, "TAG_JOIN_ACK"),
+            (TAG_HEARTBEAT, "TAG_HEARTBEAT"),
+            (TAG_SELECT, "TAG_SELECT"),
+            (TAG_UPDATE_SUBMIT, "TAG_UPDATE_SUBMIT"),
+            (TAG_ROUND_ABORT, "TAG_ROUND_ABORT"),
+            (TAG_ROUND_COMMIT, "TAG_ROUND_COMMIT"),
+            (TAG_EPOCH_NOTICE, "TAG_EPOCH_NOTICE"),
+            (TAG_RESUME, "TAG_RESUME"),
+            (TAG_RESUME_ACK, "TAG_RESUME_ACK"),
+        ];
+        let journal: [(u8, &str); 7] = [
+            (TAG_EPOCH_STARTED, "TAG_EPOCH_STARTED"),
+            (TAG_CLIENT_JOINED, "TAG_CLIENT_JOINED"),
+            (TAG_CLIENT_EXPIRED, "TAG_CLIENT_EXPIRED"),
+            (TAG_ROUND_OPENED, "TAG_ROUND_OPENED"),
+            (TAG_UPDATE_ACCEPTED, "TAG_UPDATE_ACCEPTED"),
+            (TAG_ROUND_COMMITTED, "TAG_ROUND_COMMITTED"),
+            (TAG_ROUND_ABORTED, "TAG_ROUND_ABORTED"),
+        ];
+        let control_values: Vec<u8> = control.iter().map(|&(t, _)| t).collect();
+        let journal_values: Vec<u8> = journal.iter().map(|&(t, _)| t).collect();
+        assert_eq!(
+            control_values, CONTROL_TAGS,
+            "table drifted from CONTROL_TAGS"
+        );
+        assert_eq!(
+            journal_values, JOURNAL_TAGS,
+            "table drifted from JOURNAL_TAGS"
+        );
+        for (tag, name) in control {
+            assert!(
+                (0x10..=0x19).contains(&tag),
+                "{name} (0x{tag:02x}) outside the documented control range"
+            );
+        }
+        for (tag, name) in journal {
+            assert!(
+                (0x20..=0x26).contains(&tag),
+                "{name} (0x{tag:02x}) outside the documented journal range"
+            );
+        }
+        let mut all: Vec<u8> = control_values.into_iter().chain(journal_values).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 17, "control and journal tag values overlap");
+    }
 
     fn sample_records() -> Vec<JournalRecord> {
         vec![
