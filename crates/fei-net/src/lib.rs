@@ -17,7 +17,10 @@
 //!   runtime;
 //! * [`wire`] — the versioned payload format inside those frames: `F64`,
 //!   `F32`, and `Q8` encodings with an optional delta-vs-global mode, all
-//!   through zero-steady-state-allocation scratch buffers.
+//!   through zero-steady-state-allocation scratch buffers;
+//! * [`transport`] — blocking TCP transport for those frames: a streaming
+//!   reassembler tolerant of arbitrary read boundaries, and a non-blocking
+//!   framed connection used by the socket runtime in `fei-proto::node`.
 
 #![forbid(unsafe_code)]
 
@@ -25,10 +28,12 @@ pub mod codec;
 pub mod link;
 pub mod lossy;
 pub mod medium;
+pub mod transport;
 pub mod wire;
 
 pub use codec::{decode_frame, encode_frame, len_u32, CodecError, Frame};
 pub use link::Link;
 pub use lossy::{LossyLink, TransferOutcome};
 pub use medium::SharedMedium;
+pub use transport::{FrameBuffer, FrameConn, RawFrame, TransportError};
 pub use wire::{Encoding, WireConfig, WireScratch};

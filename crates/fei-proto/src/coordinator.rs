@@ -597,6 +597,7 @@ impl Coordinator {
                 update,
             } => self.on_update(round, client, samples, update, now),
             ControlFrame::Resume { client, epoch, .. } => self.on_resume(client, epoch, now),
+            ControlFrame::Shutdown => Ok(self.cancel_round(now)),
             // Downstream frames have no coordinator-side transition in any
             // state.
             other => Err(ProtoError::UnexpectedFrame {
@@ -637,6 +638,20 @@ impl Coordinator {
             }
         }
         effects
+    }
+
+    /// Cancels the open round for a graceful shutdown (the
+    /// [`ControlFrame::Shutdown`] path): the abort is journaled as
+    /// [`AbortReason::Cancelled`] and broadcast to every selected client
+    /// before the caller exits, so participants stop training instead of
+    /// burning energy on a round nobody will aggregate. With no round open
+    /// this is a no-op — the coordinator can exit without ceremony.
+    pub fn cancel_round(&mut self, now: u64) -> Vec<Effect> {
+        if matches!(self.phase, Phase::Selected | Phase::Training) {
+            self.close_round(now, Some(AbortReason::Cancelled))
+        } else {
+            Vec::new()
+        }
     }
 
     /// The round policy derived from the configuration. Deadline admission
@@ -939,6 +954,59 @@ mod tests {
         // First K = 2 arrivals win: clients 0 and 1.
         assert_eq!(committed, Some((0, vec![0, 1])));
         assert_eq!(c.round(), 1);
+    }
+
+    #[test]
+    fn shutdown_frame_cancels_open_round() {
+        let mut c = joined(3);
+        c.start_round(10).expect("quorum of 3");
+        c.handle_control(submit(0, 0), 12).expect("first update");
+        assert_eq!(c.phase(), Phase::Training);
+        let effects = c
+            .handle_control(ControlFrame::Shutdown, 15)
+            .expect("shutdown is always accepted");
+        assert_eq!(c.phase(), Phase::RoundClosed);
+        assert!(effects.iter().any(|e| matches!(
+            e,
+            Effect::RoundAborted {
+                round: 0,
+                reason: AbortReason::Cancelled,
+            }
+        )));
+        // The abort is broadcast to every selected client.
+        let aborts = effects
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Effect::Send {
+                        frame: ControlFrame::RoundAbort {
+                            reason: AbortReason::Cancelled,
+                            ..
+                        },
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(aborts, 3);
+        assert_eq!(c.stats().aborts.count(AbortReason::Cancelled), 1);
+        // Durable: the journaled verdict replays as a cancelled round.
+        let replay = c.journal().replay().expect("clean journal");
+        let state = crate::journal::JournalState::from_records(&replay.records);
+        assert!(state.open_round.is_none());
+    }
+
+    #[test]
+    fn shutdown_between_rounds_is_a_quiet_no_op() {
+        let mut c = joined(2);
+        assert_eq!(c.phase(), Phase::Rendezvous);
+        let effects = c
+            .handle_control(ControlFrame::Shutdown, 5)
+            .expect("shutdown accepted in rendezvous");
+        assert!(effects.is_empty());
+        assert_eq!(c.phase(), Phase::Rendezvous);
+        assert_eq!(c.stats().aborted_rounds, 0);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! ## The authoritative tag table
 //!
 //! Model payload frames use low tags (caller-defined, below 0x10). The
-//! protocol stack owns two disjoint ranges — `0x10..=0x19` for the
+//! protocol stack owns two disjoint ranges — `0x10..=0x1A` for the
 //! control plane (this module) and `0x20..=0x26` for the durable round
 //! journal ([`crate::journal`]):
 //!
@@ -27,6 +27,7 @@
 //! | 0x17 | `TAG_EPOCH_NOTICE`    | control | recovered coordinator's new epoch      |
 //! | 0x18 | `TAG_RESUME`          | control | participant asks to resume a session   |
 //! | 0x19 | `TAG_RESUME_ACK`      | control | resume-vs-rejoin verdict               |
+//! | 0x1A | `TAG_SHUTDOWN`        | control | supervisor-ordered graceful shutdown   |
 //! | 0x20 | `TAG_EPOCH_STARTED`   | journal | incarnation began                      |
 //! | 0x21 | `TAG_CLIENT_JOINED`   | journal | roster admission became durable        |
 //! | 0x22 | `TAG_CLIENT_EXPIRED`  | journal | lease expiry became durable            |
@@ -69,11 +70,13 @@ pub const TAG_EPOCH_NOTICE: u8 = 0x17;
 pub const TAG_RESUME: u8 = 0x18;
 /// Coordinator's resume-vs-rejoin verdict on a resume request.
 pub const TAG_RESUME_ACK: u8 = 0x19;
+/// Supervisor-ordered graceful shutdown of the coordinator process.
+pub const TAG_SHUTDOWN: u8 = 0x1A;
 
 /// Every control-plane tag, in value order — the code form of the tag
 /// table in the module docs. New control frames must be added here (the
 /// disjointness test in [`crate::journal`] walks this array).
-pub const CONTROL_TAGS: [u8; 10] = [
+pub const CONTROL_TAGS: [u8; 11] = [
     TAG_JOIN_REQUEST,
     TAG_JOIN_ACK,
     TAG_HEARTBEAT,
@@ -84,6 +87,7 @@ pub const CONTROL_TAGS: [u8; 10] = [
     TAG_EPOCH_NOTICE,
     TAG_RESUME,
     TAG_RESUME_ACK,
+    TAG_SHUTDOWN,
 ];
 
 /// Why a coordinator aborted a round.
@@ -239,6 +243,10 @@ pub enum ControlFrame {
         /// Whether the session resumes (vs. full rejoin).
         resume: bool,
     },
+    /// Supervisor → coordinator: shut down gracefully. An open round is
+    /// cancelled ([`AbortReason::Cancelled`] journaled and broadcast) before
+    /// the process exits; a coordinator between rounds just exits.
+    Shutdown,
 }
 
 impl ControlFrame {
@@ -255,6 +263,7 @@ impl ControlFrame {
             ControlFrame::EpochNotice { .. } => TAG_EPOCH_NOTICE,
             ControlFrame::Resume { .. } => TAG_RESUME,
             ControlFrame::ResumeAck { .. } => TAG_RESUME_ACK,
+            ControlFrame::Shutdown => TAG_SHUTDOWN,
         }
     }
 
@@ -271,6 +280,7 @@ impl ControlFrame {
             ControlFrame::EpochNotice { .. } => "EpochNotice",
             ControlFrame::Resume { .. } => "Resume",
             ControlFrame::ResumeAck { .. } => "ResumeAck",
+            ControlFrame::Shutdown => "Shutdown",
         }
     }
 
@@ -287,6 +297,7 @@ impl ControlFrame {
             ControlFrame::EpochNotice { .. } => 8 + 8,
             ControlFrame::Resume { .. } => 8 + 8 + 8,
             ControlFrame::ResumeAck { .. } => 8 + 8 + 1,
+            ControlFrame::Shutdown => 0,
         };
         FRAME_OVERHEAD + 1 + body
     }
@@ -375,6 +386,7 @@ impl ControlFrame {
                 payload.extend_from_slice(&epoch.to_be_bytes());
                 payload.push(u8::from(*resume));
             }
+            ControlFrame::Shutdown => {}
         }
         encode_frame(self.tag(), &payload).to_vec()
     }
@@ -479,6 +491,7 @@ impl ControlFrame {
                     resume,
                 }
             }
+            TAG_SHUTDOWN => ControlFrame::Shutdown,
             tag => return Err(ProtoError::UnknownFrameType { tag }),
         };
         Ok((message, consumed))
@@ -583,6 +596,11 @@ pub fn resume_ack_frame_len() -> usize {
     FRAME_OVERHEAD + 1 + 17
 }
 
+/// Encoded length of a shutdown order.
+pub fn shutdown_frame_len() -> usize {
+    FRAME_OVERHEAD + 1
+}
+
 /// Control-plane bytes one engine-driven round moves, for energy
 /// accounting: a selection notice down to every selected device, one
 /// heartbeat up from every device that was up (`heartbeats`), and the
@@ -664,6 +682,7 @@ mod tests {
                 epoch: 2,
                 resume: false,
             },
+            ControlFrame::Shutdown,
         ]
     }
 
@@ -761,6 +780,7 @@ mod tests {
             }
             .encoded_len()
         );
+        assert_eq!(shutdown_frame_len(), ControlFrame::Shutdown.encoded_len());
     }
 
     #[test]

@@ -574,12 +574,12 @@ mod tests {
         use crate::frames::{
             CONTROL_TAGS, TAG_EPOCH_NOTICE, TAG_HEARTBEAT, TAG_JOIN_ACK, TAG_JOIN_REQUEST,
             TAG_RESUME, TAG_RESUME_ACK, TAG_ROUND_ABORT, TAG_ROUND_COMMIT, TAG_SELECT,
-            TAG_UPDATE_SUBMIT,
+            TAG_SHUTDOWN, TAG_UPDATE_SUBMIT,
         };
         // Name every tag explicitly: this is the executable twin of the
         // tag table in the frames.rs module docs, and the reference the
         // wire-schema lint's "named in a test" leg checks for.
-        let control: [(u8, &str); 10] = [
+        let control: [(u8, &str); 11] = [
             (TAG_JOIN_REQUEST, "TAG_JOIN_REQUEST"),
             (TAG_JOIN_ACK, "TAG_JOIN_ACK"),
             (TAG_HEARTBEAT, "TAG_HEARTBEAT"),
@@ -590,6 +590,7 @@ mod tests {
             (TAG_EPOCH_NOTICE, "TAG_EPOCH_NOTICE"),
             (TAG_RESUME, "TAG_RESUME"),
             (TAG_RESUME_ACK, "TAG_RESUME_ACK"),
+            (TAG_SHUTDOWN, "TAG_SHUTDOWN"),
         ];
         let journal: [(u8, &str); 7] = [
             (TAG_EPOCH_STARTED, "TAG_EPOCH_STARTED"),
@@ -612,7 +613,7 @@ mod tests {
         );
         for (tag, name) in control {
             assert!(
-                (0x10..=0x19).contains(&tag),
+                (0x10..=0x1A).contains(&tag),
                 "{name} (0x{tag:02x}) outside the documented control range"
             );
         }
@@ -625,7 +626,7 @@ mod tests {
         let mut all: Vec<u8> = control_values.into_iter().chain(journal_values).collect();
         all.sort_unstable();
         all.dedup();
-        assert_eq!(all.len(), 17, "control and journal tag values overlap");
+        assert_eq!(all.len(), 18, "control and journal tag values overlap");
     }
 
     fn sample_records() -> Vec<JournalRecord> {

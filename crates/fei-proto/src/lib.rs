@@ -29,11 +29,25 @@
 //!   round commits or aborts — across coordinator restarts, within a
 //!   bounded recovery budget) and safety (no expired client's update is
 //!   ever aggregated, no update aggregated twice across a restart) under
-//!   seeded chaos, including seeded coordinator kill/restart events.
+//!   seeded chaos, including seeded coordinator kill/restart events;
+//! * [`DiskJournal`] — the journal pinned to disk with append+fsync before
+//!   every transition effect, torn-tail truncation on open, and a
+//!   lock-file single-writer guarantee;
+//! * [`node`] — `CoordinatorNode`/`ParticipantNode`, which drive the same
+//!   state machines from real localhost TCP sockets
+//!   ([`fei_net::transport`]) while persisting a frame trace whose
+//!   deterministic replay ([`replay_trace`]) must reproduce the live run's
+//!   decisions bit for bit;
+//! * [`Supervisor`] — spawns the coordinator as a real OS process, detects
+//!   death, breaks the stale journal lock, and respawns against the same
+//!   journal path.
 //!
-//! Everything is deterministic: no wall clock, no ambient randomness, no
-//! unordered iteration. Identical configurations and seeds replay
-//! identical protocol histories, byte for byte.
+//! The simulation core stays deterministic: no wall clock, no ambient
+//! randomness, no unordered iteration. Identical configurations and seeds
+//! replay identical protocol histories, byte for byte. The socket runtime
+//! in [`node`] is the one place scheduling nondeterminism enters — and the
+//! frame trace pins it down again: replaying the trace through the same
+//! decision core is required (and tested) to be bit-identical.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,8 +59,11 @@ pub mod error;
 pub mod frames;
 pub mod journal;
 pub mod liveness;
+pub mod node;
 pub mod participant;
 pub mod round;
+pub mod store;
+pub mod supervisor;
 
 pub use chaos::{ChaosConfig, ChaosLink, ChaosStats, Envelope, COORDINATOR_ADDR};
 pub use cluster::{Cluster, ClusterConfig, ClusterReport, CoordinatorCrash, RoundVerdict};
@@ -57,8 +74,16 @@ pub use error::ProtoError;
 pub use frames::{control_round_bytes, AbortReason, ControlFrame, PROTO_VERSION};
 pub use journal::{JournalRecord, JournalReplay, JournalState, OpenRound, RoundJournal};
 pub use liveness::LivenessTracker;
+pub use node::{
+    replay_trace, CoordinatorAddr, CoordinatorNode, CoordinatorNodeConfig, NodeAudit, NodeError,
+    NodeReport, ParticipantNode, ParticipantNodeConfig, ParticipantReport, TraceEvent,
+};
 pub use participant::{Participant, ParticipantConfig, ParticipantPhase, ParticipantStats};
 pub use round::{
     first_k_by_arrival, ClosedRound, DeviceFate, DeviceReport, RoundMachine, RoundPolicy,
     RoundTally,
+};
+pub use store::{DiskJournal, StoreError};
+pub use supervisor::{
+    ChildHandle, CommandFactory, ProcessFactory, ProcessHandle, Supervisor, SupervisorError,
 };

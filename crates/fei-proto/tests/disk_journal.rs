@@ -1,0 +1,196 @@
+//! Disk-journal fault injection: kill the writer at every byte offset.
+//!
+//! The write path appends whole journal records and fsyncs before any
+//! phase-transition effect leaves the coordinator, so a crash can only
+//! leave a *suffix* of the last append missing. This suite simulates that
+//! crash at **every byte offset** of a realistic phase-transition history
+//! and asserts the disk path ([`DiskJournal::open`]'s torn-tail cut +
+//! [`Coordinator::recover`]) reaches exactly the decision the in-memory
+//! journal reaches on the same surviving prefix — same phase, same
+//! resume/abort verdict, same stats, same effects, byte-identical
+//! re-journaled state.
+//!
+//! Lock discipline rides along: a second opener and a stale lock are
+//! typed errors, and only the supervisor's explicit `break_lock` clears
+//! the latter.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fei_proto::{Coordinator, CoordinatorConfig, DiskJournal, RoundJournal, StoreError};
+
+fn config() -> CoordinatorConfig {
+    CoordinatorConfig {
+        k: 2,
+        over_select: 1,
+        quorum: 2,
+        epochs: 5,
+        heartbeat_interval: 5,
+        heartbeat_timeout: 20,
+        round_deadline: 50,
+    }
+}
+
+static UNIQUE: AtomicU64 = AtomicU64::new(0);
+
+fn temp_journal(tag: &str) -> PathBuf {
+    let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "fei-disk-journal-{tag}-{}-{n}.journal",
+        std::process::id()
+    ))
+}
+
+/// A realistic history ending in an open, partially-filled round: epoch
+/// start, three joins, a round open (phase transition), one accepted
+/// update (phase transition into Training).
+fn history_bytes() -> Vec<u8> {
+    let mut c = Coordinator::new(config());
+    c.open_rendezvous().expect("rendezvous");
+    for client in 0..3u64 {
+        let join = fei_proto::ControlFrame::JoinRequest {
+            client,
+            wire_version: fei_net::wire::WIRE_VERSION,
+        };
+        c.handle_control(join, 0).expect("join");
+    }
+    c.start_round(1).expect("open round");
+    // Selection is deterministic: k=2 + over_select=1 from 3 joined
+    // clients selects all three, so client 0's update is accepted.
+    let update = fei_proto::ControlFrame::UpdateSubmit {
+        round: 0,
+        client: 0,
+        samples: 1,
+        update: vec![0xCD; 32],
+    };
+    c.handle_control(update, 2).expect("update accepted");
+    c.journal().bytes().to_vec()
+}
+
+/// The in-memory oracle: the longest valid record prefix of `bytes`.
+fn valid_prefix(bytes: &[u8]) -> Vec<u8> {
+    let journal = RoundJournal::from_bytes(bytes.to_vec());
+    let replay = journal.replay().expect("prefix of a valid journal");
+    bytes[..bytes.len() - replay.torn_bytes].to_vec()
+}
+
+#[test]
+fn every_byte_offset_crash_recovers_like_the_in_memory_journal() {
+    let full = history_bytes();
+    assert!(
+        full.len() > 100,
+        "history too small to be a meaningful sweep"
+    );
+    let path = temp_journal("sweep");
+    for offset in 0..=full.len() {
+        // Simulate the writer dying mid-append: only `offset` bytes hit
+        // the disk.
+        std::fs::write(&path, &full[..offset]).expect("plant torn journal");
+        let (store, disk_prefix) = DiskJournal::open(&path).expect("open survives any tear");
+
+        let memory_prefix = valid_prefix(&full[..offset]);
+        assert_eq!(
+            disk_prefix, memory_prefix,
+            "offset {offset}: disk torn-tail cut disagrees with in-memory replay"
+        );
+
+        // Both recoveries must reach the same decision on the same bytes.
+        let from_disk = Coordinator::recover(config(), &disk_prefix, 10);
+        let from_memory = Coordinator::recover(config(), &memory_prefix, 10);
+        match (from_disk, from_memory) {
+            (Ok((disk_c, disk_fx)), Ok((mem_c, mem_fx))) => {
+                assert_eq!(disk_c.phase(), mem_c.phase(), "offset {offset}");
+                assert_eq!(disk_c.epoch(), mem_c.epoch(), "offset {offset}");
+                assert_eq!(disk_c.round(), mem_c.round(), "offset {offset}");
+                assert_eq!(
+                    disk_c.recovered_round(),
+                    mem_c.recovered_round(),
+                    "offset {offset}"
+                );
+                assert_eq!(disk_c.stats(), mem_c.stats(), "offset {offset}");
+                assert_eq!(disk_fx, mem_fx, "offset {offset}: effects diverged");
+                assert_eq!(
+                    disk_c.journal().bytes(),
+                    mem_c.journal().bytes(),
+                    "offset {offset}: re-journaled state diverged"
+                );
+            }
+            (disk, memory) => panic!(
+                "offset {offset}: recovery verdicts diverged: disk={disk:?} memory={memory:?}"
+            ),
+        }
+
+        // The disk file itself was truncated to the valid prefix.
+        store.close().expect("close");
+        let on_disk = std::fs::read(&path).expect("reread");
+        assert_eq!(on_disk, memory_prefix, "offset {offset}: file not cut");
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+}
+
+#[test]
+fn resume_and_abort_sides_of_the_sweep_are_both_exercised() {
+    // Sanity on the sweep above: the full history recovered early resumes
+    // the round; recovered late (past the deadline) aborts and bills the
+    // stranded update. Both verdicts must be reachable from disk.
+    let full = history_bytes();
+    let path = temp_journal("verdicts");
+
+    std::fs::write(&path, &full).expect("write");
+    let (store, prefix) = DiskJournal::open(&path).expect("open");
+    store.close().expect("close");
+
+    let (resumed, _) = Coordinator::recover(config(), &prefix, 10).expect("early recover");
+    assert_eq!(resumed.stats().resumed_rounds, 1, "early recovery resumes");
+    assert_eq!(resumed.stats().wasted_update_bytes, 0);
+
+    let (aborted, _) = Coordinator::recover(config(), &prefix, 1_000).expect("late recover");
+    assert_eq!(aborted.stats().resumed_rounds, 0);
+    assert_eq!(
+        aborted.stats().aborts.coordinator_crash,
+        1,
+        "late recovery aborts"
+    );
+    assert!(
+        aborted.stats().wasted_update_bytes > 0,
+        "stranded update must be billed"
+    );
+    std::fs::remove_file(&path).expect("cleanup");
+}
+
+#[test]
+fn double_open_and_stale_lock_are_typed_errors() {
+    let path = temp_journal("locks");
+    let (store, _) = DiskJournal::open(&path).expect("first open");
+
+    // Second writer while the first is live: typed, not a panic or a
+    // silent corruption.
+    match DiskJournal::open(&path) {
+        Err(StoreError::Locked { path: lock }) => {
+            assert_eq!(lock.extension().and_then(|e| e.to_str()), Some("lock"));
+        }
+        other => panic!("double open must be Locked, got {other:?}"),
+    }
+    store.close().expect("close");
+
+    // A SIGKILLed writer leaves the lock behind (Drop never ran): the
+    // next open is refused until the supervisor breaks the lock.
+    let lock = {
+        let mut os = path.clone().into_os_string();
+        os.push(".lock");
+        PathBuf::from(os)
+    };
+    std::fs::write(&lock, b"31337\n").expect("plant stale lock");
+    assert!(matches!(
+        DiskJournal::open(&path),
+        Err(StoreError::Locked { .. })
+    ));
+    assert!(DiskJournal::break_lock(&path).expect("break"));
+    assert!(
+        !DiskJournal::break_lock(&path).expect("idempotent"),
+        "second break is a no-op"
+    );
+    let (store, _) = DiskJournal::open(&path).expect("open after break");
+    store.close().expect("close");
+    std::fs::remove_file(&path).expect("cleanup");
+}

@@ -19,8 +19,8 @@
 //! | [`data`] | synthetic MNIST, federated partitioning, IoT streams |
 //! | [`testbed`] | the simulated hardware prototype |
 //! | [`power`] | power states, timelines, meter simulation |
-//! | [`net`] | links, shared media, message codec |
-//! | [`proto`] | coordinator protocol: state machines, liveness, chaos |
+//! | [`net`] | links, shared media, message codec, TCP frame transport |
+//! | [`proto`] | coordinator protocol: state machines, liveness, chaos, disk journal, socket nodes, supervision |
 //! | [`sim`] | discrete-event kernel, deterministic RNG |
 //! | [`math`] | matrices, least squares, 1-D optimizers |
 //!
@@ -90,9 +90,11 @@ pub mod prelude {
     };
     pub use fei_power::{PowerMeter, PowerProfile, PowerState, PowerTimeline};
     pub use fei_proto::{
-        AbortReason, ChaosConfig, ChaosLink, Cluster, ClusterConfig, ClusterReport, ControlFrame,
-        Coordinator, CoordinatorConfig, CoordinatorCrash, Effect, LivenessTracker, Participant,
-        ParticipantConfig, Phase, ProtoError, RoundJournal, PROTO_VERSION,
+        replay_trace, AbortReason, ChaosConfig, ChaosLink, Cluster, ClusterConfig, ClusterReport,
+        ControlFrame, Coordinator, CoordinatorAddr, CoordinatorConfig, CoordinatorCrash,
+        CoordinatorNode, CoordinatorNodeConfig, DiskJournal, Effect, LivenessTracker, Participant,
+        ParticipantConfig, ParticipantNode, ParticipantNodeConfig, Phase, ProtoError, RoundJournal,
+        Supervisor, PROTO_VERSION,
     };
     pub use fei_sim::{DetRng, SimDuration, SimTime};
     pub use fei_testbed::{
