@@ -1,15 +1,29 @@
 //! Perf-regression harness: kernel microbenches + headline round timing.
 //!
-//! Times the deterministic fast-path kernels (striped dot, tiled matmul,
-//! `matmul_tn`, fused axpy+shrink, fused gradient) against the naive
-//! reference implementations they replaced, then times a full headline-config
-//! federated round under both gradient paths ([`GradReduction::Naive`] vs
-//! [`GradReduction::FusedSerial`]) with evaluation disabled so the numbers
-//! isolate training arithmetic. Every measurement is a median-of-N
-//! wall-clock; allocation counts come from the [`GradScratch`] event counter.
+//! Times the deterministic fast-path kernels (lane-unrolled dot, packed
+//! matmul / `matmul_tn`, fused axpy+shrink, fused gradient) against the
+//! naive reference implementations they replaced, then times a full
+//! headline-config federated round under both gradient paths
+//! ([`GradReduction::Naive`] vs [`GradReduction::FusedSerial`]) with
+//! evaluation disabled so the numbers isolate training arithmetic.
 //!
-//! Results are printed as a table and written to `BENCH_perf.json` (schema
-//! in EXPERIMENTS.md). The headline gate is `round.speedup_vs_naive >= 1.5`.
+//! Every measurement takes the *minimum* of N reps: on a shared core the
+//! minimum is the least-contended observation of a deterministic
+//! workload, while medians still carry scheduler noise. The two round
+//! engines are timed in alternation so a slow phase of the host cannot
+//! bill only one side of the ratio. Allocation counts come from the
+//! [`GradScratch`] / [`MatScratch`] event counters.
+//!
+//! Results are printed as a table and written to `BENCH_perf.json`
+//! (schema `BENCH_perf.v2`, documented in EXPERIMENTS.md). Gates:
+//! per-kernel speedup floors (matmul >= 2.0, matmul_tn >= 2.0,
+//! axpy_shrink >= 1.6) and zero steady-state scratch allocations are
+//! enforced in every mode; the headline `round.speedup_vs_naive >= 1.5`
+//! gate applies to the full configuration only (smoke rounds are too
+//! short to time reliably). EXPERIMENTS.md records why the kernel floors
+//! sit where they do — the bit-identity contract forbids FMA, which caps
+//! the reachable speedup well below what a contraction-free kernel could
+//! hit.
 //!
 //! Run: `cargo run --release -p fei-bench --bin perf`
 //! CI smoke: append `-- --smoke` for a seconds-scale configuration.
@@ -19,20 +33,24 @@ use std::time::Instant;
 
 use fei_bench::{banner, section};
 use fei_data::{Dataset, SyntheticMnist, SyntheticMnistConfig};
-use fei_fl::FedAvg;
+use fei_math::pack::MatScratch;
 use fei_math::{reduce, Matrix};
 use fei_ml::{GradReduction, GradScratch, LogisticRegression, Model, SgdConfig};
 use fei_testbed::{FlExperiment, FlExperimentConfig};
 
 /// Sizing knobs for one harness run.
 struct Sizes {
-    /// Vector length for `dot` / `axpy_shrink`.
+    /// Vector length for `dot`.
     vec_len: usize,
+    /// Vector length for `axpy_shrink`: one 10x784 weight block, the shape
+    /// the trainer actually updates. Small enough that heap placement and
+    /// per-call resets dominate unless the harness controls them.
+    axpy_len: usize,
     /// Square matrix side for `matmul` / `matmul_tn`.
     mat_dim: usize,
     /// Samples in the gradient-kernel dataset.
     grad_samples: usize,
-    /// Repetitions per kernel measurement (median taken).
+    /// Repetitions per kernel measurement (minimum taken).
     kernel_reps: usize,
     /// Devices in the end-to-end fleet.
     devices: usize,
@@ -42,13 +60,14 @@ struct Sizes {
     k: usize,
     /// Local epochs (`E`).
     e: usize,
-    /// Timed rounds per engine (median taken).
+    /// Timed rounds per engine (minimum taken, engines interleaved).
     rounds: usize,
 }
 
 /// Headline configuration: the paper-like campaign at `K = 10`, `E = 10`.
 const FULL: Sizes = Sizes {
     vec_len: 1 << 16,
+    axpy_len: 7840,
     mat_dim: 256,
     grad_samples: 2048,
     kernel_reps: 21,
@@ -59,12 +78,15 @@ const FULL: Sizes = Sizes {
     rounds: 5,
 };
 
-/// Seconds-scale configuration for the CI smoke step.
+/// Seconds-scale configuration for the CI smoke step. The axpy length is
+/// NOT scaled down: the kernel is microseconds-scale already and the gate
+/// is calibrated at the trainer's real update shape.
 const SMOKE: Sizes = Sizes {
     vec_len: 1 << 12,
+    axpy_len: 7840,
     mat_dim: 96,
     grad_samples: 256,
-    kernel_reps: 5,
+    kernel_reps: 11,
     devices: 5,
     scale: 0.01,
     k: 4,
@@ -76,8 +98,11 @@ const SMOKE: Sizes = Sizes {
 struct KernelRow {
     name: &'static str,
     size: String,
+    reps: usize,
     baseline_ns: f64,
     fast_ns: f64,
+    /// Minimum acceptable speedup; `None` for informational rows.
+    gate: Option<f64>,
     /// Work completed per second on the fast path.
     throughput: f64,
     throughput_unit: &'static str,
@@ -89,13 +114,18 @@ impl KernelRow {
     }
 }
 
+/// Warm + steady-state allocation counts for a reused scratch buffer.
+struct ScratchCounters {
+    warm: u64,
+    steady_delta: u64,
+}
+
 /// End-to-end round timing under both gradient paths.
 struct RoundResult {
     naive_ns: f64,
     fast_ns: f64,
     samples_per_round: usize,
-    scratch_allocations_warm: u64,
-    scratch_allocations_steady_delta: u64,
+    scratch: ScratchCounters,
 }
 
 impl RoundResult {
@@ -104,19 +134,19 @@ impl RoundResult {
     }
 }
 
-/// Median wall-clock of `reps` invocations of `f`, in nanoseconds, after one
-/// untimed warmup call.
-fn median_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+/// Minimum wall-clock of `reps` invocations of `f`, in nanoseconds, after
+/// one untimed warmup call. The minimum is the right statistic for a
+/// deterministic kernel on a shared core: every upward excursion is
+/// scheduler or cache interference, never the kernel.
+fn min_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     f();
-    let mut samples: Vec<f64> = (0..reps)
+    (0..reps)
         .map(|_| {
             let start = Instant::now();
             f();
             start.elapsed().as_secs_f64() * 1e9
         })
-        .collect();
-    samples.sort_by(|a, b| a.total_cmp(b));
-    samples[samples.len() / 2]
+        .fold(f64::INFINITY, f64::min)
 }
 
 /// Deterministic pseudo-random fill, so runs are comparable across hosts.
@@ -138,89 +168,138 @@ fn lcg_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
 fn bench_dot(sizes: &Sizes) -> KernelRow {
     let a = lcg_vec(sizes.vec_len, 0xD07);
     let b = lcg_vec(sizes.vec_len, 0xD08);
-    let baseline_ns = median_ns(sizes.kernel_reps, || {
+    let baseline_ns = min_ns(sizes.kernel_reps, || {
         black_box(reduce::dot_serial(black_box(&a), black_box(&b)));
     });
-    let fast_ns = median_ns(sizes.kernel_reps, || {
+    let fast_ns = min_ns(sizes.kernel_reps, || {
         black_box(reduce::dot(black_box(&a), black_box(&b)));
     });
     KernelRow {
         name: "dot",
         size: format!("{}", sizes.vec_len),
+        reps: sizes.kernel_reps,
         baseline_ns,
         fast_ns,
+        gate: None,
         throughput: sizes.vec_len as f64 / (fast_ns * 1e-9),
         throughput_unit: "elem/s",
     }
 }
 
 fn bench_axpy_shrink(sizes: &Sizes) -> KernelRow {
-    let x = lcg_vec(sizes.vec_len, 0xA11);
-    let y0 = lcg_vec(sizes.vec_len, 0xA12);
-    let mut y = y0.clone();
-    // Baseline: the pre-fast-path two-pass update (step, then decay).
-    let baseline_ns = median_ns(sizes.kernel_reps, || {
-        y.copy_from_slice(&y0);
-        for (yi, xi) in y.iter_mut().zip(&x) {
-            *yi += 0.01 * xi;
+    let n = sizes.axpy_len;
+    // The kernel is a few microseconds at this size, so the measurement
+    // must control everything that can vary run to run: `x` and `y` live
+    // in ONE backing vector at a fixed 48-element gap (heap placement of
+    // two separate Vecs varies per run and shifts cache-set aliasing),
+    // and there is no per-call reset — both loops are in-place updates
+    // whose cost is value-independent, and a reset inside the timed
+    // closure would bill an extra full-vector copy to both sides,
+    // compressing the measured ratio toward 1.
+    // The kernel is also short enough that timer overhead is visible, so
+    // each timing sample batches `INNER` calls and divides, and the two
+    // variants are sampled in alternation so slow phases of the shared
+    // core hit both equally.
+    const INNER: usize = 100;
+
+    /// The pre-fast-path two-pass update (step, then decay).
+    #[inline(never)]
+    fn two_pass(y: &mut [f64], alpha: f64, x: &[f64], shrink: f64) {
+        for (yi, &xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
         }
         for yi in y.iter_mut() {
-            *yi *= 1.0 - 1e-4;
+            *yi -= shrink * *yi;
         }
-        black_box(&y);
-    });
-    let fast_ns = median_ns(sizes.kernel_reps, || {
-        y.copy_from_slice(&y0);
-        reduce::fused_axpy_shrink(&mut y, 0.01, &x, 1e-4);
-        black_box(&y);
-    });
+    }
+
+    // The backing buffer sits below glibc's mmap threshold, so the heap
+    // hands back whatever 16-byte slot is free — skip ahead to the first
+    // 64-byte-aligned element so vector loads never split cache lines.
+    // `n` and the 48-element gap are both multiples of 8, so `x` and `y`
+    // start cache-line aligned together.
+    let mut raw = lcg_vec(2 * n + 48 + 8, 0xA11);
+    let align_skip = (64 - (raw.as_ptr() as usize & 63)) / 8 % 8;
+    let buf = &mut raw[align_skip..];
+    let (xs, rest) = buf.split_at_mut(n);
+    let x: &[f64] = xs;
+    let y: &mut [f64] = &mut rest[48..48 + n];
+    let reps = sizes.kernel_reps.max(31);
+    let mut baseline_ns = f64::INFINITY;
+    let mut fast_ns = f64::INFINITY;
+    for _ in 0..reps {
+        baseline_ns = baseline_ns.min(min_ns(3, || {
+            for _ in 0..INNER {
+                two_pass(black_box(&mut *y), 0.01, black_box(x), 1e-4);
+            }
+        }));
+        fast_ns = fast_ns.min(min_ns(3, || {
+            for _ in 0..INNER {
+                reduce::fused_axpy_shrink(black_box(&mut *y), 0.01, black_box(x), 1e-4);
+            }
+        }));
+    }
+    baseline_ns /= INNER as f64;
+    fast_ns /= INNER as f64;
     KernelRow {
         name: "axpy_shrink",
-        size: format!("{}", sizes.vec_len),
+        size: format!("{n}"),
+        reps,
         baseline_ns,
         fast_ns,
-        throughput: sizes.vec_len as f64 / (fast_ns * 1e-9),
+        // The two-pass baseline moves 5 cache-line streams per element
+        // block to the fused kernel's 3, and both saturate core-private
+        // bandwidth at this size, so the physical ceiling is 5/3 = 1.67x
+        // plus second-order effects (measured steady ratio 1.72x). The
+        // gate sits at 1.6x: tight enough to catch any regression to the
+        // pre-fix 1.34x reading, below the bandwidth asymptote.
+        gate: Some(1.6),
+        throughput: n as f64 / (fast_ns * 1e-9),
         throughput_unit: "elem/s",
     }
 }
 
-fn bench_matmul(sizes: &Sizes) -> KernelRow {
+fn bench_matmul(sizes: &Sizes, pack: &mut MatScratch) -> KernelRow {
     let n = sizes.mat_dim;
     let a = lcg_matrix(n, n, 0x3A7);
     let b = lcg_matrix(n, n, 0x3A8);
-    let baseline_ns = median_ns(sizes.kernel_reps, || {
+    let baseline_ns = min_ns(sizes.kernel_reps, || {
         black_box(black_box(&a).matmul_reference(black_box(&b)));
     });
-    let fast_ns = median_ns(sizes.kernel_reps, || {
-        black_box(black_box(&a).matmul(black_box(&b)));
+    let fast_ns = min_ns(sizes.kernel_reps, || {
+        black_box(black_box(&a).matmul_with(black_box(&b), pack));
     });
     KernelRow {
         name: "matmul",
         size: format!("{n}x{n}x{n}"),
+        reps: sizes.kernel_reps,
         baseline_ns,
         fast_ns,
+        gate: Some(2.0),
         throughput: (2 * n * n * n) as f64 / (fast_ns * 1e-9),
         throughput_unit: "flop/s",
     }
 }
 
-fn bench_matmul_tn(sizes: &Sizes) -> KernelRow {
+fn bench_matmul_tn(sizes: &Sizes, pack: &mut MatScratch) -> KernelRow {
     let n = sizes.mat_dim;
     let a = lcg_matrix(n, n, 0x7A7);
     let b = lcg_matrix(n, n, 0x7A8);
     // Baseline: materialize the transpose, then multiply (the pre-fast-path
     // normal-equations idiom).
-    let baseline_ns = median_ns(sizes.kernel_reps, || {
-        black_box(black_box(&a).transpose().matmul(black_box(&b)));
+    let baseline_ns = min_ns(sizes.kernel_reps, || {
+        black_box(black_box(&a).transpose().matmul_reference(black_box(&b)));
     });
-    let fast_ns = median_ns(sizes.kernel_reps, || {
-        black_box(black_box(&a).matmul_tn(black_box(&b)));
+    let fast_ns = min_ns(sizes.kernel_reps, || {
+        black_box(black_box(&a).matmul_tn_with(black_box(&b), pack));
     });
     KernelRow {
         name: "matmul_tn",
         size: format!("{n}x{n}x{n}"),
+        reps: sizes.kernel_reps,
         baseline_ns,
         fast_ns,
+        gate: Some(2.0),
         throughput: (2 * n * n * n) as f64 / (fast_ns * 1e-9),
         throughput_unit: "flop/s",
     }
@@ -228,16 +307,16 @@ fn bench_matmul_tn(sizes: &Sizes) -> KernelRow {
 
 /// Full-batch gradient step on a synthetic-MNIST batch: allocating reference
 /// kernel vs the fused scratch-backed kernel.
-fn bench_gradient(sizes: &Sizes) -> (KernelRow, u64) {
+fn bench_gradient(sizes: &Sizes) -> (KernelRow, ScratchCounters) {
     let data: Dataset =
         SyntheticMnist::new(SyntheticMnistConfig::default()).generate(sizes.grad_samples, 7);
     let model = LogisticRegression::zeros(data.dim(), data.num_classes());
     let indices: Vec<usize> = (0..data.len()).collect();
     let mut scratch = GradScratch::new();
-    let baseline_ns = median_ns(sizes.kernel_reps, || {
+    let baseline_ns = min_ns(sizes.kernel_reps, || {
         black_box(model.loss_and_gradient(black_box(&data), black_box(&indices)));
     });
-    let fast_ns = median_ns(sizes.kernel_reps, || {
+    let fast_ns = min_ns(sizes.kernel_reps, || {
         black_box(model.loss_and_gradient_into(
             black_box(&data),
             black_box(&indices),
@@ -246,20 +325,23 @@ fn bench_gradient(sizes: &Sizes) -> (KernelRow, u64) {
         ));
     });
     let warm = scratch.allocations();
-    // Steady state: further timed reps must not grow the workspace.
-    let _ = median_ns(sizes.kernel_reps, || {
+    // Steady state: further timed reps must not grow the workspace (this
+    // includes the pack buffers inside the gradient's GEMM phase).
+    let _ = min_ns(sizes.kernel_reps, || {
         black_box(model.loss_and_gradient_into(&data, &indices, &mut scratch, 1));
     });
     let steady_delta = scratch.allocations() - warm;
     let row = KernelRow {
         name: "grad_step",
         size: format!("{} samples", sizes.grad_samples),
+        reps: sizes.kernel_reps,
         baseline_ns,
         fast_ns,
+        gate: None,
         throughput: sizes.grad_samples as f64 / (fast_ns * 1e-9),
         throughput_unit: "sample/s",
     };
-    (row, steady_delta)
+    (row, ScratchCounters { warm, steady_delta })
 }
 
 /// Builds the end-to-end experiment with evaluation disabled and the given
@@ -276,49 +358,38 @@ fn round_experiment(sizes: &Sizes, grad: GradReduction) -> FlExperiment {
     })
 }
 
-/// Per-round wall-clock samples for a fresh engine under `grad`.
-fn time_rounds(sizes: &Sizes, grad: GradReduction) -> (Vec<f64>, FedAvg) {
-    let exp = round_experiment(sizes, grad);
-    let mut engine = exp.engine(sizes.k, sizes.e);
-    // Warmup round: touches every allocation path once.
-    engine.run_round();
-    let samples = (0..sizes.rounds)
-        .map(|_| {
-            let start = Instant::now();
-            engine.run_round();
-            start.elapsed().as_secs_f64() * 1e9
-        })
-        .collect();
-    (samples, engine)
-}
-
 fn bench_round(sizes: &Sizes) -> RoundResult {
-    let median = |mut v: Vec<f64>| {
-        v.sort_by(|a, b| a.total_cmp(b));
-        v[v.len() / 2]
-    };
-    let (naive_samples, _) = time_rounds(sizes, GradReduction::Naive);
-
-    let exp = round_experiment(sizes, GradReduction::FusedSerial);
-    let mut engine = exp.engine(sizes.k, sizes.e);
-    engine.run_round();
-    let warm = engine.scratch_allocations();
-    let fast_samples: Vec<f64> = (0..sizes.rounds)
-        .map(|_| {
-            let start = Instant::now();
-            engine.run_round();
-            start.elapsed().as_secs_f64() * 1e9
-        })
-        .collect();
-    let steady_delta = engine.scratch_allocations() - warm;
-    let samples_per_round = sizes.k * exp.samples_per_device() * sizes.e;
+    // Both engines are timed in alternation, one round of each per
+    // iteration, and the minimum is kept per engine: rounds run tens of
+    // milliseconds, long enough that a slow phase of the shared core
+    // lands inside one — interleaving keeps such a phase from billing
+    // only one side of the ratio.
+    let naive_exp = round_experiment(sizes, GradReduction::Naive);
+    let mut naive_engine = naive_exp.engine(sizes.k, sizes.e);
+    let fast_exp = round_experiment(sizes, GradReduction::FusedSerial);
+    let mut fast_engine = fast_exp.engine(sizes.k, sizes.e);
+    // Warmup rounds: touch every allocation path once.
+    naive_engine.run_round();
+    fast_engine.run_round();
+    let warm = fast_engine.scratch_allocations();
+    let mut naive_ns = f64::INFINITY;
+    let mut fast_ns = f64::INFINITY;
+    for _ in 0..sizes.rounds {
+        let start = Instant::now();
+        naive_engine.run_round();
+        naive_ns = naive_ns.min(start.elapsed().as_secs_f64() * 1e9);
+        let start = Instant::now();
+        fast_engine.run_round();
+        fast_ns = fast_ns.min(start.elapsed().as_secs_f64() * 1e9);
+    }
+    let steady_delta = fast_engine.scratch_allocations() - warm;
+    let samples_per_round = sizes.k * fast_exp.samples_per_device() * sizes.e;
 
     RoundResult {
-        naive_ns: median(naive_samples),
-        fast_ns: median(fast_samples),
+        naive_ns,
+        fast_ns,
         samples_per_round,
-        scratch_allocations_warm: warm,
-        scratch_allocations_steady_delta: steady_delta,
+        scratch: ScratchCounters { warm, steady_delta },
     }
 }
 
@@ -334,12 +405,13 @@ fn fmt_ns(ns: f64) -> String {
     }
 }
 
-fn json_kernel(row: &KernelRow, reps: usize) -> String {
+fn json_kernel(row: &KernelRow) -> String {
+    let gate = row.gate.map_or("null".to_string(), |g| format!("{g:.1}"));
     format!(
-        r#"{{"name":"{}","size":"{}","reps":{},"baseline_ns":{:.1},"fast_ns":{:.1},"speedup":{:.3},"throughput":{:.3e},"throughput_unit":"{}"}}"#,
+        r#"{{"name":"{}","size":"{}","reps":{},"baseline_ns":{:.1},"fast_ns":{:.1},"speedup":{:.3},"gate":{gate},"throughput":{:.3e},"throughput_unit":"{}"}}"#,
         row.name,
         row.size,
-        reps,
+        row.reps,
         row.baseline_ns,
         row.fast_ns,
         row.speedup(),
@@ -352,31 +424,34 @@ fn json_report(
     smoke: bool,
     sizes: &Sizes,
     kernels: &[KernelRow],
-    grad_steady_delta: u64,
+    pack: &ScratchCounters,
+    grad: &ScratchCounters,
     round: &RoundResult,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!(
-        "  \"schema\": \"BENCH_perf.v1\",\n  \"smoke\": {smoke},\n"
+        "  \"schema\": \"BENCH_perf.v2\",\n  \"smoke\": {smoke},\n"
     ));
     out.push_str("  \"kernels\": [\n");
     for (i, row) in kernels.iter().enumerate() {
         let comma = if i + 1 < kernels.len() { "," } else { "" };
-        out.push_str(&format!(
-            "    {}{comma}\n",
-            json_kernel(row, sizes.kernel_reps)
-        ));
+        out.push_str(&format!("    {}{comma}\n", json_kernel(row)));
     }
     out.push_str("  ],\n");
     out.push_str(&format!(
-        "  \"grad_scratch_steady_allocations\": {grad_steady_delta},\n"
+        "  \"pack_scratch\": {{\"warm_allocations\":{},\"steady_delta\":{}}},\n",
+        pack.warm, pack.steady_delta
+    ));
+    out.push_str(&format!(
+        "  \"grad_scratch\": {{\"warm_allocations\":{},\"steady_delta\":{}}},\n",
+        grad.warm, grad.steady_delta
     ));
     out.push_str(&format!(
         concat!(
             "  \"round\": {{\"devices\":{},\"k\":{},\"e\":{},\"rounds_timed\":{},",
-            "\"naive_ns_median\":{:.1},\"fast_ns_median\":{:.1},\"speedup_vs_naive\":{:.3},",
-            "\"samples_per_round\":{},\"throughput_samples_per_s\":{:.3e},",
+            "\"naive_ns_min\":{:.1},\"fast_ns_min\":{:.1},\"speedup_vs_naive\":{:.3},",
+            "\"gate\":1.5,\"samples_per_round\":{},\"throughput_samples_per_s\":{:.3e},",
             "\"scratch_allocations_warm\":{},\"scratch_allocations_steady_delta\":{}}}\n"
         ),
         sizes.devices,
@@ -388,8 +463,8 @@ fn json_report(
         round.speedup_vs_naive(),
         round.samples_per_round,
         round.samples_per_round as f64 / (round.fast_ns * 1e-9),
-        round.scratch_allocations_warm,
-        round.scratch_allocations_steady_delta,
+        round.scratch.warm,
+        round.scratch.steady_delta,
     ));
     out.push_str("}\n");
     out
@@ -402,42 +477,62 @@ fn main() {
     banner("Perf harness: fast-path kernels vs naive references");
 
     section(&format!(
-        "kernel microbenches (median of {} reps)",
+        "kernel microbenches (min of {} reps)",
         sizes.kernel_reps
     ));
     println!(
-        "{:>12} {:>16} {:>12} {:>12} {:>9} {:>16}",
-        "kernel", "size", "baseline", "fast", "speedup", "throughput"
+        "{:>12} {:>16} {:>12} {:>12} {:>9} {:>6} {:>16}",
+        "kernel", "size", "baseline", "fast", "speedup", "gate", "throughput"
     );
+    let mut pack = MatScratch::new();
     let mut kernels = vec![
         bench_dot(&sizes),
         bench_axpy_shrink(&sizes),
-        bench_matmul(&sizes),
-        bench_matmul_tn(&sizes),
+        bench_matmul(&sizes, &mut pack),
     ];
-    let (grad_row, grad_steady_delta) = bench_gradient(&sizes);
+    let pack_warm = pack.allocations();
+    kernels.push(bench_matmul_tn(&sizes, &mut pack));
+    // Steady state: the tn panels were sized during its own warmup call;
+    // one more timed pass of both shapes must not grow the pack buffers.
+    let warm_after_tn = pack.allocations();
+    {
+        let n = sizes.mat_dim;
+        let a = lcg_matrix(n, n, 0x3A7);
+        let b = lcg_matrix(n, n, 0x3A8);
+        black_box(a.matmul_with(&b, &mut pack));
+        black_box(a.matmul_tn_with(&b, &mut pack));
+    }
+    let pack_counters = ScratchCounters {
+        warm: pack_warm,
+        steady_delta: pack.allocations() - warm_after_tn,
+    };
+    let (grad_row, grad_counters) = bench_gradient(&sizes);
     kernels.push(grad_row);
     for row in &kernels {
         println!(
-            "{:>12} {:>16} {:>12} {:>12} {:>8.2}x {:>13.3e} {}",
+            "{:>12} {:>16} {:>12} {:>12} {:>8.2}x {:>6} {:>13.3e} {}",
             row.name,
             row.size,
             fmt_ns(row.baseline_ns),
             fmt_ns(row.fast_ns),
             row.speedup(),
+            row.gate.map_or("-".to_string(), |g| format!("{g:.1}x")),
             row.throughput,
             row.throughput_unit,
         );
     }
-    println!("\ngradient scratch allocations after warmup: {grad_steady_delta} (want 0)");
+    println!(
+        "pack scratch allocations: {} warm, +{} steady   gradient scratch: {} warm, +{} steady (want +0)",
+        pack_counters.warm, pack_counters.steady_delta, grad_counters.warm, grad_counters.steady_delta,
+    );
 
     section(&format!(
-        "end-to-end round: {} devices, K = {}, E = {}, median of {} rounds, eval off",
+        "end-to-end round: {} devices, K = {}, E = {}, min of {} interleaved rounds, eval off",
         sizes.devices, sizes.k, sizes.e, sizes.rounds
     ));
     let round = bench_round(&sizes);
     println!(
-        "naive round:  {:>12}\nfused round:  {:>12}\nspeedup_vs_naive: {:.2}x",
+        "naive round:  {:>12}\nfused round:  {:>12}\nspeedup_vs_naive: {:.2}x (gate 1.5x, full mode)",
         fmt_ns(round.naive_ns),
         fmt_ns(round.fast_ns),
         round.speedup_vs_naive(),
@@ -449,18 +544,69 @@ fn main() {
     );
     println!(
         "engine scratch allocations: {} warm, +{} across {} steady rounds",
-        round.scratch_allocations_warm, round.scratch_allocations_steady_delta, sizes.rounds,
+        round.scratch.warm, round.scratch.steady_delta, sizes.rounds,
     );
 
-    let report = json_report(smoke, &sizes, &kernels, grad_steady_delta, &round);
+    let report = json_report(
+        smoke,
+        &sizes,
+        &kernels,
+        &pack_counters,
+        &grad_counters,
+        &round,
+    );
     std::fs::write("BENCH_perf.json", &report).expect("failed to write BENCH_perf.json");
     println!("\nwrote BENCH_perf.json");
 
+    // Gates. Per-kernel speedups and zero steady-state allocations are
+    // enforced in every mode (the smoke lane runs them in CI); the
+    // headline round ratio is only meaningful at full size.
+    let mut failures: Vec<String> = Vec::new();
+    for row in &kernels {
+        if let Some(gate) = row.gate {
+            if row.speedup() < gate {
+                failures.push(format!(
+                    "{} speedup {:.2}x below the {gate:.1}x gate",
+                    row.name,
+                    row.speedup()
+                ));
+            }
+        }
+    }
+    if pack_counters.steady_delta != 0 {
+        failures.push(format!(
+            "pack scratch grew by {} allocations after warmup",
+            pack_counters.steady_delta
+        ));
+    }
+    if grad_counters.steady_delta != 0 {
+        failures.push(format!(
+            "gradient scratch grew by {} allocations after warmup",
+            grad_counters.steady_delta
+        ));
+    }
+    if round.scratch.steady_delta != 0 {
+        failures.push(format!(
+            "engine scratch grew by {} allocations across steady rounds",
+            round.scratch.steady_delta
+        ));
+    }
+    // The headline gate sits at 1.5x, not the 2.5x one might expect from
+    // the per-kernel numbers: the bit-identity contract forbids FMA
+    // contraction (one rounding vs two), which halves the FLOP ceiling of
+    // the gradient phases, and the single-core host nullifies the pool.
+    // Measured full-mode headline spread is 1.58x-1.82x; the analysis
+    // lives in EXPERIMENTS.md.
     if !smoke && round.speedup_vs_naive() < 1.5 {
-        eprintln!(
-            "WARNING: headline speedup_vs_naive {:.2} below the 1.5x gate",
+        failures.push(format!(
+            "headline speedup_vs_naive {:.2}x below the 1.5x gate",
             round.speedup_vs_naive()
-        );
+        ));
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("GATE FAILURE: {f}");
+        }
         std::process::exit(1);
     }
 }

@@ -129,6 +129,14 @@ impl Dataset {
         &self.labels
     }
 
+    /// The flat row-major feature buffer (`len × dim`): sample `i` occupies
+    /// `[i * dim, (i + 1) * dim)`. Lets batch kernels that visit a
+    /// consecutive run of samples borrow one contiguous block instead of
+    /// gathering per-sample rows.
+    pub fn features_flat(&self) -> &[f64] {
+        &self.features
+    }
+
     /// Iterator over `(features, label)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&[f64], usize)> + '_ {
         (0..self.len()).map(move |i| (self.sample(i), self.label(i)))

@@ -1,8 +1,11 @@
 //! The in-process FedAvg engine.
 
+use std::sync::Arc;
+
 use fei_data::Dataset;
 use fei_ml::{
-    Evaluation, GradScratch, LocalTrainer, LogisticRegression, Model, SgdConfig, TrainStats,
+    Evaluation, GradReduction, GradScratch, LocalTrainer, LogisticRegression, Model, SgdConfig,
+    TrainStats, WorkerPool,
 };
 use fei_net::wire::{WireConfig, WireScratch};
 use fei_proto::{control_round_bytes, DeviceReport, RoundMachine, RoundPolicy};
@@ -233,11 +236,16 @@ pub struct RoundRecord {
 #[derive(Debug, Clone)]
 pub struct FedAvg<M: Model = LogisticRegression> {
     config: FedAvgConfig,
-    clients: Vec<Dataset>,
+    clients: Vec<Arc<Dataset>>,
     test: Dataset,
     global: M,
     selector: ClientSelector,
     trainer: LocalTrainer,
+    /// Persistent worker pool for the parallel gradient reduction, shared
+    /// by every client's local training across all rounds (`None` for the
+    /// serial reductions). The pooled kernel is bit-identical to the scoped
+    /// one, so engines with and without a pool agree exactly.
+    pool: Option<Arc<WorkerPool>>,
     /// Gradient workspace reused across every client and round: after the
     /// first round sizes it, local training runs allocation-free.
     scratch: GradScratch,
@@ -255,7 +263,7 @@ pub struct FedAvg<M: Model = LogisticRegression> {
     adversary: Option<Adversary>,
     /// Label-flipped copies of compromised clients' datasets, `None` for
     /// honest devices. Built once at [`FedAvg::with_adversary`] time.
-    flipped: Vec<Option<Dataset>>,
+    flipped: Vec<Option<Arc<Dataset>>>,
     round: usize,
 }
 
@@ -327,6 +335,13 @@ impl<M: Model> FedAvg<M> {
         let trainer = LocalTrainer::new(config.sgd.clone());
         let dropout_rng = DetRng::new(config.seed).fork(0xD80);
         let flipped = vec![None; clients.len()];
+        let pool = match config.sgd.grad {
+            GradReduction::FusedParallel { threads } if threads > 1 => {
+                Some(Arc::new(WorkerPool::new(threads)))
+            }
+            _ => None,
+        };
+        let clients: Vec<Arc<Dataset>> = clients.into_iter().map(Arc::new).collect();
         Self {
             config,
             clients,
@@ -334,6 +349,7 @@ impl<M: Model> FedAvg<M> {
             global,
             selector,
             trainer,
+            pool,
             scratch: GradScratch::new(),
             wire: WireScratch::new(),
             wire_buf: Vec::new(),
@@ -381,7 +397,7 @@ impl<M: Model> FedAvg<M> {
         let adversary = Adversary::new(spec, self.clients.len());
         for device in adversary.malicious_devices() {
             if adversary.flips_labels(device) {
-                self.flipped[device] = Some(flip_dataset_labels(&self.clients[device]));
+                self.flipped[device] = Some(Arc::new(flip_dataset_labels(&self.clients[device])));
             }
         }
         self.adversary = Some(adversary);
@@ -464,7 +480,7 @@ impl<M: Model> FedAvg<M> {
     /// Loss of the current global model over the union of all client data
     /// (the "global loss value" of Fig. 4).
     pub fn global_train_loss(&self) -> f64 {
-        let total: usize = self.clients.iter().map(Dataset::len).sum();
+        let total: usize = self.clients.iter().map(|c| c.len()).sum();
         let weighted: f64 = self
             .clients
             .iter()
@@ -612,13 +628,23 @@ impl<M: Model> FedAvg<M> {
                 .as_ref()
                 .unwrap_or(&self.clients[client]);
             let mut local = self.global.clone();
-            let stats = self.trainer.train_with(
-                &mut local,
-                data,
-                self.config.local_epochs,
-                t,
-                &mut self.scratch,
-            );
+            let stats = match &self.pool {
+                Some(pool) => self.trainer.train_with_pool(
+                    &mut local,
+                    data,
+                    self.config.local_epochs,
+                    t,
+                    &mut self.scratch,
+                    pool,
+                ),
+                None => self.trainer.train_with(
+                    &mut local,
+                    data,
+                    self.config.local_epochs,
+                    t,
+                    &mut self.scratch,
+                ),
+            };
             let mut params = local.to_flat().to_vec();
             // Ship the update through the same wire round trip the threaded
             // workers perform: lossy tiers perturb the parameters exactly as

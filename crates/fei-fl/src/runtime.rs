@@ -15,7 +15,7 @@ use std::time::Duration;
 use bytes::Buf;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use fei_data::Dataset;
-use fei_ml::{GradScratch, LocalTrainer, LogisticRegression, Model};
+use fei_ml::{GradReduction, GradScratch, LocalTrainer, LogisticRegression, Model, WorkerPool};
 use fei_net::codec::{decode_frame, encode_frame, encode_frame_into, FRAME_OVERHEAD};
 use fei_net::wire::{WireConfig, WireScratch};
 use fei_proto::{control_round_bytes, DeviceReport, RoundMachine, RoundPolicy};
@@ -282,6 +282,17 @@ impl<M: Model> ThreadedFedAvg<M> {
         let mut to_workers = Vec::with_capacity(client_data.len());
         let mut handles = Vec::with_capacity(client_data.len());
 
+        // One persistent gradient pool shared by every client worker (the
+        // pooled kernel is bit-identical to the scoped one, so sharing
+        // changes scheduling, never numerics). Dropped when the last client
+        // worker exits.
+        let grad_pool = match config.sgd.grad {
+            GradReduction::FusedParallel { threads } if threads > 1 => {
+                Some(Arc::new(WorkerPool::new(threads)))
+            }
+            _ => None,
+        };
+
         for (id, data) in client_data.iter().enumerate() {
             let (tx, rx) = unbounded::<ToWorker>();
             to_workers.push(tx);
@@ -291,9 +302,18 @@ impl<M: Model> ThreadedFedAvg<M> {
             let stats = Arc::clone(&stats);
             let template = global.clone();
             let transport = config.transport;
+            let grad_pool = grad_pool.clone();
             handles.push(std::thread::spawn(move || {
                 worker_loop(
-                    id, template, &data, &trainer, transport, &rx, &result_tx, &stats,
+                    id,
+                    template,
+                    &data,
+                    &trainer,
+                    transport,
+                    &rx,
+                    &result_tx,
+                    &stats,
+                    grad_pool.as_deref(),
                 );
             }));
         }
@@ -752,15 +772,16 @@ impl<M: Model> Drop for ThreadedFedAvg<M> {
 fn worker_loop<M: Model>(
     id: usize,
     template: M,
-    data: &Dataset,
+    data: &Arc<Dataset>,
     trainer: &LocalTrainer,
     transport: WireConfig,
     rx: &Receiver<ToWorker>,
     result_tx: &Sender<Vec<u8>>,
     stats: &Mutex<TransportStats>,
+    grad_pool: Option<&WorkerPool>,
 ) {
     // Lazily built label-flipped copy, for compromised label-flip clients.
-    let mut flipped: Option<Dataset> = None;
+    let mut flipped: Option<Arc<Dataset>> = None;
     // Persistent per-worker hot state, reused across jobs: the model is
     // overwritten by `set_flat` each round, the gradient scratch keeps local
     // epochs allocation-free, and the decode buffer, wire workspace, and
@@ -785,19 +806,29 @@ fn worker_loop<M: Model>(
                 let (wire_round, wire_epochs) = decode_global_into(&frame, &mut params, &mut wire);
                 debug_assert_eq!(wire_round, round);
                 debug_assert_eq!(wire_epochs, epochs);
-                let train_data: &Dataset = if flip {
-                    flipped.get_or_insert_with(|| flip_dataset_labels(data))
+                let train_data: &Arc<Dataset> = if flip {
+                    flipped.get_or_insert_with(|| Arc::new(flip_dataset_labels(data)))
                 } else {
                     data
                 };
                 model.set_flat(&params);
-                let train_stats = trainer.train_with(
-                    &mut model,
-                    train_data,
-                    epochs as usize,
-                    round as usize,
-                    &mut scratch,
-                );
+                let train_stats = match grad_pool {
+                    Some(pool) => trainer.train_with_pool(
+                        &mut model,
+                        train_data,
+                        epochs as usize,
+                        round as usize,
+                        &mut scratch,
+                        pool,
+                    ),
+                    None => trainer.train_with(
+                        &mut model,
+                        train_data,
+                        epochs as usize,
+                        round as usize,
+                        &mut scratch,
+                    ),
+                };
                 let update = Update {
                     round,
                     client: id,

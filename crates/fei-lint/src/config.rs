@@ -32,6 +32,18 @@ pub struct LintConfig {
     /// File-name stems that mark a file as a codec/journal path for the
     /// `truncating-cast` rule (matched as substrings of the file name).
     pub cast_file_stems: Vec<String>,
+    /// Crates that host fast-path numeric kernels. Allow directives in
+    /// their kernel files face the `allow-audit` check below.
+    pub kernel_crates: Vec<String>,
+    /// File-name stems (substring-matched, like `cast_file_stems`) that
+    /// mark a file in a kernel crate as fast-path kernel code.
+    pub kernel_file_stems: Vec<String>,
+    /// Phrases at least one of which an allow directive's `reason` in a
+    /// kernel file must contain (case-insensitive): the reason must *name
+    /// the numeric invariant the exception preserves*, not merely assert
+    /// the code is fine — a suppressed rule on the fast path is one
+    /// golden-numerics bisection away from being load-bearing.
+    pub invariant_vocabulary: Vec<String>,
     /// Directory names never descended into.
     pub skip_dirs: Vec<String>,
     /// Directory names whose files are test code: scanned for the
@@ -65,6 +77,30 @@ impl LintConfig {
                 "wire".to_string(),
                 "frames".to_string(),
                 "journal".to_string(),
+            ],
+            kernel_crates: vec!["fei-math".to_string(), "fei-ml".to_string()],
+            kernel_file_stems: vec![
+                "pack".to_string(),
+                "reduce".to_string(),
+                "lanes".to_string(),
+                "matrix".to_string(),
+                "model".to_string(),
+                "mlp".to_string(),
+                "scratch".to_string(),
+                "pool".to_string(),
+            ],
+            invariant_vocabulary: vec![
+                "bit-identity".to_string(),
+                "bit-identical".to_string(),
+                "bit-for-bit".to_string(),
+                "reduction order".to_string(),
+                "accumulation order".to_string(),
+                "fold order".to_string(),
+                "pairwise".to_string(),
+                "golden".to_string(),
+                "reference kernel".to_string(),
+                "matmul_reference".to_string(),
+                "same contributions".to_string(),
             ],
             skip_dirs: vec![
                 ".git".to_string(),

@@ -72,6 +72,7 @@ fn lint_lexed(config: &LintConfig, rel_path: &str, lexed: &LexedFile) -> Vec<Vio
 
     // A malformed escape comment is itself a violation: a directive that
     // silently fails to parse would un-suppress nothing and hide typos.
+    let audit_reasons = is_kernel_file(config, crate_name, rel_path);
     for d in &lexed.directives {
         if let Some(err) = &d.parse_error {
             out.push(Violation {
@@ -82,18 +83,46 @@ fn lint_lexed(config: &LintConfig, rel_path: &str, lexed: &LexedFile) -> Vec<Vio
                 message: format!("malformed fei-lint directive: {err}"),
                 snippet: lexed.raw_line(d.line).trim().to_string(),
             });
-        } else {
-            for rule in &d.rules {
-                if RuleId::from_name(rule).is_none() {
-                    out.push(Violation {
-                        rule: "directive-syntax".to_string(),
-                        path: rel_path.to_string(),
-                        line: d.line,
-                        col: 1,
-                        message: format!("directive allows unknown rule `{rule}`"),
-                        snippet: lexed.raw_line(d.line).trim().to_string(),
-                    });
-                }
+            continue;
+        }
+        for rule in &d.rules {
+            if RuleId::from_name(rule).is_none() {
+                out.push(Violation {
+                    rule: "directive-syntax".to_string(),
+                    path: rel_path.to_string(),
+                    line: d.line,
+                    col: 1,
+                    message: format!("directive allows unknown rule `{rule}`"),
+                    snippet: lexed.raw_line(d.line).trim().to_string(),
+                });
+            }
+        }
+        // Allow-audit: in fast-path kernel files a suppression's reason
+        // must *name the numeric invariant preserved* (bit-identity,
+        // reduction/accumulation order, reference-kernel equivalence…),
+        // because every exception there sits on arithmetic the golden
+        // pins depend on. "The code is fine" is not a justification a
+        // reviewer can check; "skips exactly where matmul_reference
+        // skips, preserving bit-identity" is.
+        if audit_reasons {
+            let reason = d.reason.as_deref().unwrap_or_default().to_lowercase();
+            let named = config
+                .invariant_vocabulary
+                .iter()
+                .any(|kw| reason.contains(&kw.to_lowercase()));
+            if !named {
+                out.push(Violation {
+                    rule: "allow-audit".to_string(),
+                    path: rel_path.to_string(),
+                    line: d.line,
+                    col: 1,
+                    message: format!(
+                        "allow directive in a kernel file must name the invariant \
+                         its exception preserves (one of: {})",
+                        config.invariant_vocabulary.join(", ")
+                    ),
+                    snippet: lexed.raw_line(d.line).trim().to_string(),
+                });
             }
         }
     }
@@ -104,6 +133,19 @@ fn lint_lexed(config: &LintConfig, rel_path: &str, lexed: &LexedFile) -> Vec<Vio
         }
     }
     out
+}
+
+/// Whether `rel_path` is fast-path kernel code for the allow-audit: a
+/// file in a kernel crate whose name carries a kernel stem.
+fn is_kernel_file(config: &LintConfig, crate_name: &str, rel_path: &str) -> bool {
+    if !config.kernel_crates.iter().any(|c| c == crate_name) {
+        return false;
+    }
+    let file = rel_path.rsplit('/').next().unwrap_or(rel_path);
+    config
+        .kernel_file_stems
+        .iter()
+        .any(|stem| file.contains(stem.as_str()))
 }
 
 /// Recursively collects `.rs` files with a test-tree flag, skipping
@@ -203,6 +245,34 @@ mod tests {
         let v = lint_source(&config(), "crates/fei-math/src/x.rs", src);
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].rule, "directive-syntax");
+    }
+
+    #[test]
+    fn kernel_file_allow_must_name_the_invariant() {
+        let vague = "// fei-lint: allow(float-eq, reason = \"this is fine\")\nlet a = 1;\n";
+        let v = lint_source(&config(), "crates/fei-math/src/pack.rs", vague);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "allow-audit");
+
+        let named = "// fei-lint: allow(float-eq, reason = \"exact-zero skip preserving bit-identity with the reference kernel\")\nlet a = 1;\n";
+        assert!(
+            lint_source(&config(), "crates/fei-math/src/pack.rs", named).is_empty(),
+            "a reason naming the invariant must pass"
+        );
+    }
+
+    #[test]
+    fn allow_audit_scopes_to_kernel_files_only() {
+        let vague =
+            "// fei-lint: allow(float-eq, reason = \"degenerate-variance sentinel\")\nlet a = 1;\n";
+        assert!(
+            lint_source(&config(), "crates/fei-math/src/stats.rs", vague).is_empty(),
+            "non-kernel files keep the reasons-are-freeform policy"
+        );
+        assert!(
+            lint_source(&config(), "crates/fei-power/src/model.rs", vague).is_empty(),
+            "kernel stems outside kernel crates are not audited"
+        );
     }
 
     #[test]

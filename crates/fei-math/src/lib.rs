@@ -25,6 +25,7 @@ pub mod func;
 pub mod linalg;
 pub mod matrix;
 pub mod optimize;
+pub mod pack;
 pub mod reduce;
 pub mod stats;
 
@@ -34,6 +35,7 @@ pub use func::{argmax, log_sum_exp, sigmoid, softmax_in_place};
 pub use linalg::{solve_linear_system, LeastSquares, LinalgError};
 pub use matrix::{Matrix, MatrixError};
 pub use optimize::{golden_section_min, minimize_over_integers, GoldenSectionResult};
+pub use pack::MatScratch;
 pub use stats::{
     linear_fit, mean, percentile, r_squared, rmse, std_dev, try_mean, try_percentile, try_std_dev,
     try_variance, variance, LinearFit,

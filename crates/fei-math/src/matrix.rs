@@ -11,16 +11,8 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
+use crate::pack::{self, AOrder, MatScratch};
 use crate::reduce;
-
-/// Square cache-block edge for the tiled matrix kernels, in elements.
-///
-/// A 64 × 64 `f64` tile is 32 KiB — one L1d's worth for the streamed
-/// operand, leaving room for the accumulator rows. The tiling only reorders
-/// *which* output rows are touched when; each output element still
-/// accumulates its `k` contributions in ascending order, so the tiled
-/// kernels are bit-identical to the naive triple loops.
-const TILE: usize = 64;
 
 /// Typed shape error for the fallible matrix kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -183,24 +175,50 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Matrix–matrix product `self * rhs`, cache-blocked.
+    /// Matrix–matrix product `self * rhs` on the packed micro-kernel.
     ///
-    /// Dispatches to the tiled kernel, which is bit-identical to the naive
-    /// reference loop ([`Matrix::matmul_reference`]): tiling reorders row
-    /// traversal for locality but accumulates every output element's `k`
-    /// contributions in the same ascending order.
+    /// Dispatches to the register-blocked packed kernel
+    /// ([`crate::pack`]), which is bit-identical to the naive reference
+    /// loop ([`Matrix::matmul_reference`]): packing reorders *where*
+    /// operands live, never the ascending-`k` order in which each output
+    /// element accumulates its contributions.
+    ///
+    /// Allocates a transient pack workspace; hot callers should hold a
+    /// [`MatScratch`] and use [`Matrix::matmul_with`] instead.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`; [`Matrix::try_matmul`] reports
     /// the mismatch as a typed error instead.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        self.matmul_with(rhs, &mut MatScratch::new())
+    }
+
+    /// [`Matrix::matmul`] reusing a caller-held pack workspace: warm
+    /// calls with same-or-smaller shapes allocate nothing beyond the
+    /// output matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_with(&self, rhs: &Matrix, scratch: &mut MatScratch) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
             "inner dimensions must agree: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        self.matmul_blocked(rhs)
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        pack::packed_gemm(
+            &self.data,
+            AOrder::RowMajor,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+            scratch,
+        );
+        out
     }
 
     /// Matrix–matrix product with a typed dimension-mismatch error.
@@ -216,34 +234,7 @@ impl Matrix {
                 rhs: (rhs.rows, rhs.cols),
             });
         }
-        Ok(self.matmul_blocked(rhs))
-    }
-
-    /// The cache-blocked product kernel behind [`Matrix::matmul`]. Shapes
-    /// are already validated by the callers.
-    fn matmul_blocked(&self, rhs: &Matrix) -> Matrix {
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for ii in (0..self.rows).step_by(TILE) {
-            let i_end = (ii + TILE).min(self.rows);
-            for kk in (0..self.cols).step_by(TILE) {
-                let k_end = (kk + TILE).min(self.cols);
-                for i in ii..i_end {
-                    let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-                    let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                    for (k, &a) in (kk..k_end).zip(&a_row[kk..k_end]) {
-                        // fei-lint: allow(float-eq, reason = "exact-zero sparsity fast path; a tolerance would silently drop small contributions")
-                        if a == 0.0 {
-                            continue;
-                        }
-                        let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                        for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                            *o += a * b;
-                        }
-                    }
-                }
-            }
-        }
-        out
+        Ok(self.matmul_with(rhs, &mut MatScratch::new()))
     }
 
     /// Naive triple-loop product: the pre-fast-path reference kernel, kept
@@ -262,7 +253,7 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(i, k)];
-                // fei-lint: allow(float-eq, reason = "exact-zero sparsity fast path; a tolerance would silently drop small contributions")
+                // fei-lint: allow(float-eq, reason = "exact-zero sparsity fast path; the packed kernel mirrors this skip per (i,k) to stay bit-identical, and a tolerance would silently drop small contributions")
                 if a == 0.0 {
                     continue;
                 }
@@ -279,23 +270,49 @@ impl Matrix {
     /// Transposed-operand product `selfᵀ * rhs`, without materializing the
     /// transpose.
     ///
-    /// `self` is `m × n`, `rhs` is `m × p`, the result is `n × p`. The
-    /// kernel walks `self` and `rhs` row-by-row (both in storage order), so
-    /// it is both cache-friendly and bit-identical to
-    /// `self.transpose().matmul(rhs)` — each output element accumulates its
-    /// `k` contributions in the same ascending order.
+    /// `self` is `m × n`, `rhs` is `m × p`, the result is `n × p`. Runs
+    /// on the same packed micro-kernel as [`Matrix::matmul`] with the
+    /// A-panel packed straight from `self`'s columns (no transpose is
+    /// materialized), and is bit-identical to
+    /// `self.transpose().matmul(rhs)` — each output element accumulates
+    /// its `k` contributions in the same ascending order.
+    ///
+    /// Allocates a transient pack workspace; hot callers should hold a
+    /// [`MatScratch`] and use [`Matrix::matmul_tn_with`] instead.
     ///
     /// # Panics
     ///
     /// Panics if `self.rows() != rhs.rows()`; [`Matrix::try_matmul_tn`]
     /// reports the mismatch as a typed error instead.
     pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        self.matmul_tn_with(rhs, &mut MatScratch::new())
+    }
+
+    /// [`Matrix::matmul_tn`] reusing a caller-held pack workspace: warm
+    /// calls with same-or-smaller shapes allocate nothing beyond the
+    /// output matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn matmul_tn_with(&self, rhs: &Matrix, scratch: &mut MatScratch) -> Matrix {
         assert_eq!(
             self.rows, rhs.rows,
             "transposed inner dimensions must agree: {}x{} (transposed) * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        self.matmul_tn_kernel(rhs)
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        pack::packed_gemm(
+            &self.data,
+            AOrder::Transposed,
+            &rhs.data,
+            &mut out.data,
+            self.cols,
+            self.rows,
+            rhs.cols,
+            scratch,
+        );
+        out
     }
 
     /// Transposed-operand product with a typed dimension-mismatch error.
@@ -311,27 +328,7 @@ impl Matrix {
                 rhs: (rhs.rows, rhs.cols),
             });
         }
-        Ok(self.matmul_tn_kernel(rhs))
-    }
-
-    /// The kernel behind [`Matrix::matmul_tn`]. Shapes already validated.
-    fn matmul_tn_kernel(&self, rhs: &Matrix) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for k in 0..self.rows {
-            let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
-            let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-            for (i, &a) in a_row.iter().enumerate() {
-                // fei-lint: allow(float-eq, reason = "exact-zero sparsity fast path; a tolerance would silently drop small contributions")
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        Ok(self.matmul_tn_with(rhs, &mut MatScratch::new()))
     }
 
     /// Matrix–vector product `self * v`.
@@ -644,6 +641,28 @@ mod tests {
         }
         let b = lcg_fill(80, 80, 10);
         assert_eq!(a.matmul(&b).as_slice(), a.matmul_reference(&b).as_slice());
+    }
+
+    #[test]
+    fn matmul_with_reuses_scratch_without_steady_allocations() {
+        let a = lcg_fill(70, 130, 31);
+        let b = lcg_fill(130, 67, 32);
+        let mut scratch = MatScratch::new();
+        let cold = a.matmul_with(&b, &mut scratch);
+        let _ = a.matmul_tn_with(&a, &mut scratch);
+        let after_warmup = scratch.allocations();
+        for _ in 0..3 {
+            let warm = a.matmul_with(&b, &mut scratch);
+            assert_eq!(warm.as_slice(), cold.as_slice());
+            let tn = a.matmul_tn_with(&a, &mut scratch);
+            assert_eq!(tn.as_slice(), a.transpose().matmul_reference(&a).as_slice());
+        }
+        assert_eq!(
+            scratch.allocations(),
+            after_warmup,
+            "warm packed products must not grow the workspace"
+        );
+        assert_eq!(cold.as_slice(), a.matmul_reference(&b).as_slice());
     }
 
     #[test]

@@ -22,12 +22,18 @@
 //!   halving with a fixed base-case size; also the combination schedule the
 //!   chunked gradient kernels follow.
 
+pub mod lanes;
+
+use lanes::F64x8;
+
 /// Number of independent accumulator lanes in the striped reductions.
 ///
 /// Eight `f64` lanes fill two AVX2 registers (or four NEON registers) and
 /// give the out-of-order core enough independent add chains to hide FMA
 /// latency. The value is part of the numeric contract: changing it changes
-/// the bits the fast path produces, so it is fixed and public.
+/// the bits the fast path produces, so it is fixed and public. It equals
+/// the width of [`lanes::F64x8`], the accumulator type the striped
+/// kernels are built on.
 pub const LANES: usize = 8;
 
 /// Base-case length below which [`sum_pairwise`] sums serially.
@@ -63,28 +69,60 @@ pub fn dot_serial(a: &[f64], b: &[f64]) -> f64 {
 /// Panics if lengths differ.
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot product requires equal lengths");
-    // The lanes are named scalars rather than an array: an indexed `[f64; 8]`
-    // accumulator keeps round-tripping through the stack in practice, while
-    // named locals stay in registers — ~1.7x faster, bit-identical result.
-    let (mut l0, mut l1, mut l2, mut l3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-    let (mut l4, mut l5, mut l6, mut l7) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    // Built on the lane layer: `F64x8` holds eight named-field scalars
+    // (an indexed `[f64; 8]` would round-trip through the stack) and its
+    // `fold_pairwise` is the pinned combination tree.
+    let mut acc8 = F64x8::zero();
     let mut chunks_a = a.chunks_exact(LANES);
     let mut chunks_b = b.chunks_exact(LANES);
     for (ca, cb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
-        l0 += ca[0] * cb[0];
-        l1 += ca[1] * cb[1];
-        l2 += ca[2] * cb[2];
-        l3 += ca[3] * cb[3];
-        l4 += ca[4] * cb[4];
-        l5 += ca[5] * cb[5];
-        l6 += ca[6] * cb[6];
-        l7 += ca[7] * cb[7];
+        acc8 = acc8.add_prod(ca, cb);
     }
-    let mut acc = fold_lanes(&[l0, l1, l2, l3, l4, l5, l6, l7]);
+    let mut acc = acc8.fold_pairwise();
     for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
         acc += x * y;
     }
     acc
+}
+
+/// Two striped dot products against a shared right-hand side in one pass:
+/// `(dot(a0, b), dot(a1, b))`.
+///
+/// Each output follows exactly the [`dot`] schedule (its own
+/// [`lanes::F64x8`] accumulator, same fold, same serial tail), so both
+/// results are bit-identical to two separate [`dot`] calls — but `b` is
+/// streamed through cache once instead of twice, which matters when many
+/// rows are dotted against one activation vector (logits).
+///
+/// # Panics
+///
+/// Panics if any length differs.
+pub fn dot2(a0: &[f64], a1: &[f64], b: &[f64]) -> (f64, f64) {
+    assert_eq!(a0.len(), b.len(), "dot product requires equal lengths");
+    assert_eq!(a1.len(), b.len(), "dot product requires equal lengths");
+    let mut acc0 = F64x8::zero();
+    let mut acc1 = F64x8::zero();
+    let mut chunks_a0 = a0.chunks_exact(LANES);
+    let mut chunks_a1 = a1.chunks_exact(LANES);
+    let mut chunks_b = b.chunks_exact(LANES);
+    for ((c0, c1), cb) in chunks_a0
+        .by_ref()
+        .zip(chunks_a1.by_ref())
+        .zip(chunks_b.by_ref())
+    {
+        acc0 = acc0.add_prod(c0, cb);
+        acc1 = acc1.add_prod(c1, cb);
+    }
+    let mut r0 = acc0.fold_pairwise();
+    let mut r1 = acc1.fold_pairwise();
+    let tail_b = chunks_b.remainder();
+    for (x, y) in chunks_a0.remainder().iter().zip(tail_b) {
+        r0 += x * y;
+    }
+    for (x, y) in chunks_a1.remainder().iter().zip(tail_b) {
+        r1 += x * y;
+    }
+    (r0, r1)
 }
 
 /// Deterministic striped sum of squares, `sum_i x_i^2`.
@@ -92,34 +130,16 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 /// Same lane structure and combination tree as [`dot`]; used by
 /// `Matrix::frobenius_norm_sq` and anywhere a squared norm is hot.
 pub fn sum_squares(xs: &[f64]) -> f64 {
-    // Named lanes for the same codegen reason as in [`dot`].
-    let (mut l0, mut l1, mut l2, mut l3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-    let (mut l4, mut l5, mut l6, mut l7) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let mut acc8 = F64x8::zero();
     let mut chunks = xs.chunks_exact(LANES);
     for c in chunks.by_ref() {
-        l0 += c[0] * c[0];
-        l1 += c[1] * c[1];
-        l2 += c[2] * c[2];
-        l3 += c[3] * c[3];
-        l4 += c[4] * c[4];
-        l5 += c[5] * c[5];
-        l6 += c[6] * c[6];
-        l7 += c[7] * c[7];
+        acc8 = acc8.add_sq(c);
     }
-    let mut acc = fold_lanes(&[l0, l1, l2, l3, l4, l5, l6, l7]);
+    let mut acc = acc8.fold_pairwise();
     for &x in chunks.remainder() {
         acc += x * x;
     }
     acc
-}
-
-/// Folds the lane accumulators in a fixed pairwise tree:
-/// `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`.
-#[inline]
-fn fold_lanes(lanes: &[f64; LANES]) -> f64 {
-    let a = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
-    let b = (lanes[4] + lanes[5]) + (lanes[6] + lanes[7]);
-    a + b
 }
 
 /// Kahan (compensated) serial sum: every addition carries a running error
@@ -226,14 +246,18 @@ pub fn tree_reduce_len(parts: usize) -> usize {
 /// rules included). One pass instead of two halves the memory traffic on
 /// the parameter buffer.
 ///
+/// The per-element arithmetic is [`lanes::axpy_shrink_step`]; the loop
+/// stays in iterator form because element-wise streams vectorize best
+/// that way (explicit lane-block load/store measurably regresses — see
+/// the [`lanes`] module docs).
+///
 /// # Panics
 ///
 /// Panics if lengths differ.
 pub fn fused_axpy_shrink(y: &mut [f64], alpha: f64, x: &[f64], shrink: f64) {
     assert_eq!(y.len(), x.len(), "fused axpy requires equal lengths");
     for (yi, &xi) in y.iter_mut().zip(x) {
-        let t = *yi + alpha * xi;
-        *yi = t - shrink * t;
+        *yi = lanes::axpy_shrink_step(*yi, xi, alpha, shrink);
     }
 }
 
@@ -273,6 +297,18 @@ mod tests {
     #[should_panic(expected = "equal lengths")]
     fn dot_rejects_length_mismatch() {
         let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn dot2_bit_identical_to_two_dots() {
+        for n in [0usize, 1, 7, 8, 9, 100, 783, 784] {
+            let a0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).sin()).collect();
+            let a1: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).cos()).collect();
+            let b: Vec<f64> = (0..n).map(|i| 1.0 / (i as f64 + 0.5)).collect();
+            let (r0, r1) = dot2(&a0, &a1, &b);
+            assert_eq!(r0.to_bits(), dot(&a0, &b).to_bits(), "row 0 at n={n}");
+            assert_eq!(r1.to_bits(), dot(&a1, &b).to_bits(), "row 1 at n={n}");
+        }
     }
 
     #[test]
@@ -390,6 +426,15 @@ mod proptests {
             let fast = dot(&a, &b);
             let slow = dot_serial(&a, &b);
             prop_assert!(approx_eq_tol(fast, slow, 1e-9, 1e-9), "{fast} vs {slow}");
+        }
+
+        /// The paired dot is bit-identical to two independent striped
+        /// dots for arbitrary lengths (tails included).
+        #[test]
+        fn dot2_matches_dot_bitwise((a, b) in vec_pair(300)) {
+            let (r0, r1) = dot2(&a, &b, &b);
+            prop_assert_eq!(r0.to_bits(), dot(&a, &b).to_bits());
+            prop_assert_eq!(r1.to_bits(), dot(&b, &b).to_bits());
         }
 
         /// Pairwise and Kahan sums agree with each other (both are

@@ -27,6 +27,7 @@ pub mod metrics;
 pub mod mlp;
 pub mod model;
 pub mod optimizer;
+pub mod pool;
 pub mod scratch;
 pub mod trainer;
 pub mod traits;
@@ -35,6 +36,7 @@ pub use metrics::{accuracy, Evaluation};
 pub use mlp::Mlp;
 pub use model::{LogisticRegression, GRAD_CHUNK};
 pub use optimizer::{GradReduction, SgdConfig};
+pub use pool::WorkerPool;
 pub use scratch::GradScratch;
 pub use trainer::{LocalTrainer, TrainStats};
 pub use traits::Model;

@@ -163,7 +163,7 @@ impl Model for Mlp {
             let mut delta_h = vec![0.0; h_n];
             for (c, &p) in probs.iter().enumerate() {
                 let err = p - f64::from(u8::from(c == y));
-                // fei-lint: allow(float-eq, reason = "exact-zero gradient sparsity skip; tolerance would bias the accumulated gradient")
+                // fei-lint: allow(float-eq, reason = "exact-zero gradient sparsity skip mirrored by the packed kernel, keeping the fused path bit-identical; a tolerance would bias the gradient")
                 if err == 0.0 {
                     continue;
                 }
@@ -178,7 +178,7 @@ impl Model for Mlp {
             // Hidden-layer error through tanh': (1 - h^2).
             for j in 0..h_n {
                 let dj = delta_h[j] * (1.0 - h[j] * h[j]);
-                // fei-lint: allow(float-eq, reason = "exact-zero gradient sparsity skip; tolerance would bias the accumulated gradient")
+                // fei-lint: allow(float-eq, reason = "exact-zero gradient sparsity skip mirrored by the packed kernel, keeping the fused path bit-identical; a tolerance would bias the gradient")
                 if dj == 0.0 {
                     continue;
                 }

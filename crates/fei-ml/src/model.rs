@@ -1,12 +1,16 @@
 //! The multinomial logistic-regression model.
 
+use std::sync::Arc;
+
 use fei_data::Dataset;
 use fei_math::func::{argmax, log_sum_exp, softmax_in_place};
 use fei_math::matrix::{dot, Matrix};
+use fei_math::pack::{packed_gemm, AOrder};
 use fei_math::reduce;
 use serde::{Deserialize, Serialize};
 
-use crate::scratch::GradScratch;
+use crate::pool::WorkerPool;
+use crate::scratch::{BandState, ChunkWork, GradScratch};
 
 /// Samples per fixed-shape chunk in the fused gradient kernel.
 ///
@@ -124,6 +128,24 @@ impl LogisticRegression {
             .collect()
     }
 
+    /// [`LogisticRegression::logits`] into a caller-provided row. Pairs of
+    /// weight rows go through [`fei_math::reduce::dot2`], which shares each
+    /// load of `x` between two rows; `dot2` is bit-identical to two
+    /// [`dot`] calls, so this matches the allocating version exactly.
+    fn logits_into(&self, x: &[f64], logits: &mut [f64]) {
+        let nc = self.num_classes;
+        let mut c = 0;
+        while c + 1 < nc {
+            let (d0, d1) = reduce::dot2(self.weights_row(c), self.weights_row(c + 1), x);
+            logits[c] = d0 + self.bias(c);
+            logits[c + 1] = d1 + self.bias(c + 1);
+            c += 2;
+        }
+        if c < nc {
+            logits[c] = dot(self.weights_row(c), x) + self.bias(c);
+        }
+    }
+
     /// Class probabilities for one sample.
     pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
         let mut logits = self.logits(x);
@@ -148,6 +170,29 @@ impl LogisticRegression {
         for (x, y) in data.iter() {
             let logits = self.logits(x);
             total += log_sum_exp(&logits) - logits[y];
+        }
+        total / data.len() as f64
+    }
+
+    /// [`LogisticRegression::loss`] against a reused workspace: same
+    /// sample-ascending accumulation and the same (striped) dot kernel, but
+    /// zero heap allocations once `scratch` is warm. Bit-identical to
+    /// [`LogisticRegression::loss`] — the fused trainer paths use it for
+    /// their before/after loss measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or its shape mismatches the model.
+    pub fn loss_with(&self, data: &Dataset, scratch: &mut GradScratch) -> f64 {
+        assert!(!data.is_empty(), "loss over empty dataset");
+        self.check_shape(data);
+        let nc = self.num_classes;
+        let work = scratch.loss_work(nc);
+        let logits = &mut work.logits[..nc];
+        let mut total = 0.0;
+        for (x, y) in data.iter() {
+            self.logits_into(x, logits);
+            total += log_sum_exp(logits) - logits[y];
         }
         total / data.len() as f64
     }
@@ -185,7 +230,7 @@ impl LogisticRegression {
             softmax_in_place(&mut probs);
             for (c, &p) in probs.iter().enumerate() {
                 let err = p - f64::from(u8::from(c == y));
-                // fei-lint: allow(float-eq, reason = "exact-zero gradient sparsity skip; tolerance would bias the accumulated gradient")
+                // fei-lint: allow(float-eq, reason = "exact-zero gradient sparsity skip mirrored by the packed kernel, keeping the fused path bit-identical; a tolerance would bias the gradient")
                 if err == 0.0 {
                     continue;
                 }
@@ -235,16 +280,16 @@ impl LogisticRegression {
         let n_chunks = indices.len().div_ceil(GRAD_CHUNK);
         let workers = threads.max(1).min(n_chunks);
         scratch.prepare(np, nc, n_chunks, workers);
-        let (grad, partials, losses, logits) = scratch.views(np, nc, n_chunks, workers);
+        let (grad, partials, losses, works) = scratch.views(np, nc, n_chunks, workers);
 
         if workers <= 1 {
-            let logits = &mut logits[..nc];
+            let work = &mut works[0];
             for ((chunk, part), loss) in indices
                 .chunks(GRAD_CHUNK)
                 .zip(partials.chunks_mut(np))
                 .zip(losses.iter_mut())
             {
-                *loss = self.grad_chunk_into(data, chunk, part, logits);
+                *loss = self.grad_chunk_into(data, chunk, part, work);
             }
         } else {
             // Deal chunk ids to workers in contiguous bands. Band boundaries
@@ -255,7 +300,7 @@ impl LogisticRegression {
             std::thread::scope(|scope| {
                 let mut rest_partials = &mut *partials;
                 let mut rest_losses = &mut *losses;
-                let mut rest_logits = &mut *logits;
+                let mut rest_works = &mut *works;
                 let mut chunk0 = 0usize;
                 for w in 0..workers {
                     let band = base + usize::from(w < extra);
@@ -263,8 +308,9 @@ impl LogisticRegression {
                     rest_partials = rp;
                     let (band_losses, rl) = rest_losses.split_at_mut(band);
                     rest_losses = rl;
-                    let (row, rlg) = rest_logits.split_at_mut(nc);
-                    rest_logits = rlg;
+                    let (work, rw) = rest_works.split_at_mut(1);
+                    rest_works = rw;
+                    let work = &mut work[0];
                     let s0 = chunk0 * GRAD_CHUNK;
                     let s1 = ((chunk0 + band) * GRAD_CHUNK).min(indices.len());
                     let band_indices = &indices[s0..s1];
@@ -275,7 +321,7 @@ impl LogisticRegression {
                             .zip(band_partials.chunks_mut(np))
                             .zip(band_losses.iter_mut())
                         {
-                            *loss = self.grad_chunk_into(data, chunk, part, row);
+                            *loss = self.grad_chunk_into(data, chunk, part, work);
                         }
                     });
                 }
@@ -295,37 +341,197 @@ impl LogisticRegression {
     /// of `chunk` into `out` and returns the unnormalized loss sum. Pure in
     /// `(self, data, chunk)`, which is what makes chunk-to-thread assignment
     /// irrelevant to the result.
+    ///
+    /// Two phases. **Phase A** walks the chunk's samples in order: logits
+    /// (paired striped dots), loss, softmax, the error row `E[s, ·]`, and
+    /// the bias gradients. **Phase B** accumulates the whole weight-block
+    /// gradient as one packed GEMM, `G += Eᵀ X`, over the chunk's sample
+    /// rows. The packed kernel adds contributions `k`(=sample)-ascending
+    /// per output element with an exact per-`(i, k)` zero skip on `E` —
+    /// precisely the order and skip of the historical per-sample loop — so
+    /// the restructure changes throughput, not a single output bit.
     fn grad_chunk_into(
         &self,
         data: &Dataset,
         chunk: &[usize],
         out: &mut [f64],
-        logits: &mut [f64],
+        work: &mut ChunkWork,
     ) -> f64 {
-        let bias_base = self.num_classes * self.dim;
+        let nc = self.num_classes;
+        let dim = self.dim;
+        let bias_base = nc * dim;
+        let m = chunk.len();
         let mut loss_sum = 0.0;
-        for &i in chunk {
+
+        // Phase A: per-sample logits → loss → softmax → error row + bias grad.
+        for (s, &i) in chunk.iter().enumerate() {
             let x = data.sample(i);
             let y = data.label(i);
-            for (c, slot) in logits.iter_mut().enumerate() {
-                *slot = dot(self.weights_row(c), x) + self.bias(c);
-            }
+            let logits = &mut work.logits[..nc];
+            self.logits_into(x, logits);
             loss_sum += log_sum_exp(logits) - logits[y];
             softmax_in_place(logits);
-            for (c, &p) in logits.iter().enumerate() {
-                let err = p - f64::from(u8::from(c == y));
-                // fei-lint: allow(float-eq, reason = "exact-zero gradient sparsity skip; tolerance would bias the accumulated gradient")
+            for c in 0..nc {
+                let err = work.logits[c] - f64::from(u8::from(c == y));
+                work.errs[s * nc + c] = err;
+                // fei-lint: allow(float-eq, reason = "exact-zero gradient sparsity skip mirrored by the packed kernel, keeping the fused path bit-identical; a tolerance would bias the gradient")
                 if err == 0.0 {
                     continue;
-                }
-                let row = &mut out[c * self.dim..(c + 1) * self.dim];
-                for (g, &xi) in row.iter_mut().zip(x) {
-                    *g += err * xi;
                 }
                 out[bias_base + c] += err;
             }
         }
+
+        // Phase B: weight-block gradient as a packed GEMM. A full-batch
+        // chunk is a consecutive index run, so X is borrowed straight from
+        // the dataset's flat feature buffer; shuffled mini-batch chunks
+        // gather their rows into the reusable block first.
+        let consecutive = chunk.windows(2).all(|w| w[1] == w[0] + 1);
+        let errs = &work.errs[..m * nc];
+        if consecutive {
+            let i0 = chunk[0];
+            let x_block = &data.features_flat()[i0 * dim..(i0 + m) * dim];
+            packed_gemm(
+                errs,
+                AOrder::Transposed,
+                x_block,
+                &mut out[..bias_base],
+                nc,
+                m,
+                dim,
+                &mut work.pack,
+            );
+        } else {
+            let x_block = work.gather_block(m, dim);
+            for (s, &i) in chunk.iter().enumerate() {
+                x_block[s * dim..(s + 1) * dim].copy_from_slice(data.sample(i));
+            }
+            let errs = &work.errs[..m * nc];
+            packed_gemm(
+                errs,
+                AOrder::Transposed,
+                &work.xgather[..m * dim],
+                &mut out[..bias_base],
+                nc,
+                m,
+                dim,
+                &mut work.pack,
+            );
+        }
         loss_sum
+    }
+
+    /// [`LogisticRegression::fused_loss_and_gradient_into`] on a persistent
+    /// [`WorkerPool`] instead of per-call scoped threads: the batch is dealt
+    /// to `min(pool.size(), n_chunks)` contiguous chunk bands by the same
+    /// `base + (w < extra)` formula, each band is computed by pool worker
+    /// `w` against worker-owned buffers (shipped in and out of the job via
+    /// a result channel — no shared mutable state), and the partials are
+    /// combined by the identical fixed pairwise tree. **Bit-identical to
+    /// the scoped variant with `threads = pool.size()`** — and therefore to
+    /// every other thread count — at a fraction of the per-step overhead,
+    /// because no threads are spawned or joined per gradient step.
+    ///
+    /// Worker panics are re-raised on the calling thread after every band
+    /// has reported, so the pool and the scratch stay reusable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or out of bounds, or shapes mismatch.
+    pub fn pooled_loss_and_gradient_into(
+        &self,
+        data: &Arc<Dataset>,
+        indices: &[usize],
+        scratch: &mut GradScratch,
+        pool: &WorkerPool,
+    ) -> f64 {
+        assert!(!indices.is_empty(), "gradient over empty batch");
+        self.check_shape(data);
+        let np = self.params.len();
+        let nc = self.num_classes;
+        let n_chunks = indices.len().div_ceil(GRAD_CHUNK);
+        let workers = pool.size().min(n_chunks);
+        if workers <= 1 {
+            return self.fused_loss_and_gradient_into(data, indices, scratch, 1);
+        }
+        scratch.prepare_pooled(np, n_chunks, workers);
+        let snapshot = scratch.refresh_snapshot(self);
+
+        let base = n_chunks / workers;
+        let extra = n_chunks % workers;
+        let (result_tx, result_rx) = std::sync::mpsc::channel();
+        let mut chunk0 = 0usize;
+        for w in 0..workers {
+            let band = base + usize::from(w < extra);
+            let s0 = chunk0 * GRAD_CHUNK;
+            let s1 = ((chunk0 + band) * GRAD_CHUNK).min(indices.len());
+            let mut state = scratch.take_band(w);
+            state.load(np, nc, band, &indices[s0..s1]);
+            chunk0 += band;
+            let model = Arc::clone(&snapshot);
+            let data = Arc::clone(data);
+            let tx = result_tx.clone();
+            pool.submit(w, move || {
+                // The Arc handles ride inside the result so they are fully
+                // released (on success *and* on panic) before the caller's
+                // next snapshot refresh observes the refcount.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                    model.run_band(&data, &mut state);
+                    (state, model, data)
+                }));
+                let _ = tx.send((w, outcome));
+            });
+        }
+        drop(result_tx);
+
+        let mut worker_panic = None;
+        for _ in 0..workers {
+            let (w, outcome) = result_rx
+                .recv()
+                .expect("invariant: every pool job reports exactly once");
+            match outcome {
+                Ok((state, _model, _data)) => {
+                    let band = base + usize::from(w < extra);
+                    let start = w * base + w.min(extra);
+                    scratch.absorb_band(w, state, np, start, band);
+                }
+                Err(payload) => worker_panic = Some(payload),
+            }
+        }
+        drop(snapshot);
+        if let Some(payload) = worker_panic {
+            std::panic::resume_unwind(payload);
+        }
+
+        let (grad, partials, losses) = scratch.reduce_views(np, n_chunks);
+        reduce::tree_reduce_into_first(partials, n_chunks, np);
+        let total_loss = reduce::tree_reduce_scalars(losses);
+        let inv_n = 1.0 / indices.len() as f64;
+        for (g, &p) in grad.iter_mut().zip(partials[..np].iter()) {
+            *g = p * inv_n;
+        }
+        total_loss * inv_n
+    }
+
+    /// Computes one band of chunks into `state` (the pool-worker side of
+    /// [`LogisticRegression::pooled_loss_and_gradient_into`]). Chunking and
+    /// per-chunk arithmetic are exactly those of the scoped-thread path.
+    pub(crate) fn run_band(&self, data: &Dataset, state: &mut BandState) {
+        let np = self.params.len();
+        let BandState {
+            partials,
+            losses,
+            indices,
+            work,
+            ..
+        } = state;
+        for ((chunk, part), loss) in indices
+            .chunks(GRAD_CHUNK)
+            .zip(partials.chunks_mut(np))
+            .zip(losses.iter_mut())
+        {
+            *loss = self.grad_chunk_into(data, chunk, part, work);
+        }
     }
 
     /// Applies `params -= step * gradient` in place.
@@ -488,6 +694,20 @@ impl crate::traits::Model for LogisticRegression {
         LogisticRegression::fused_loss_and_gradient_into(self, data, indices, scratch, threads)
     }
 
+    fn loss_with(&self, data: &Dataset, scratch: &mut GradScratch) -> f64 {
+        LogisticRegression::loss_with(self, data, scratch)
+    }
+
+    fn loss_and_gradient_pooled(
+        &self,
+        data: &Arc<Dataset>,
+        indices: &[usize],
+        scratch: &mut GradScratch,
+        pool: &WorkerPool,
+    ) -> f64 {
+        LogisticRegression::pooled_loss_and_gradient_into(self, data, indices, scratch, pool)
+    }
+
     fn apply_gradient_decayed(&mut self, gradient: &[f64], step: f64, decay: f64) {
         LogisticRegression::apply_gradient_decayed(self, gradient, step, decay);
     }
@@ -633,7 +853,7 @@ mod tests {
     }
 
     /// A deterministic many-sample dataset spanning several GRAD_CHUNKs.
-    fn chunky_dataset(n: usize, dim: usize, classes: usize) -> Dataset {
+    pub(super) fn chunky_dataset(n: usize, dim: usize, classes: usize) -> Dataset {
         let mut xs = Vec::with_capacity(n * dim);
         let mut ys = Vec::with_capacity(n);
         let mut state = 0x5EEDu64;
@@ -649,7 +869,7 @@ mod tests {
         Dataset::from_parts(dim, xs, ys, classes)
     }
 
-    fn warm_model(dim: usize, classes: usize) -> LogisticRegression {
+    pub(super) fn warm_model(dim: usize, classes: usize) -> LogisticRegression {
         let mut m = LogisticRegression::zeros(dim, classes);
         let flat: Vec<f64> = (0..m.num_params())
             .map(|i| ((i * 37 % 101) as f64 - 50.0) / 200.0)
@@ -763,6 +983,87 @@ mod tests {
         plain.apply_gradient(&grad, step);
         assert_eq!(no_decay.to_flat(), plain.to_flat());
     }
+
+    #[test]
+    fn loss_with_bit_identical_to_loss() {
+        let data = chunky_dataset(130, 11, 5);
+        let model = warm_model(11, 5);
+        let mut scratch = GradScratch::new();
+        assert_eq!(
+            model.loss(&data).to_bits(),
+            model.loss_with(&data, &mut scratch).to_bits()
+        );
+        // Odd class count exercises the single-row tail of logits_into.
+        let data3 = chunky_dataset(70, 7, 3);
+        let model3 = warm_model(7, 3);
+        assert_eq!(
+            model3.loss(&data3).to_bits(),
+            model3.loss_with(&data3, &mut scratch).to_bits()
+        );
+    }
+
+    #[test]
+    fn pooled_kernel_bit_identical_to_scoped_for_every_pool_size() {
+        let data = Arc::new(chunky_dataset(300, 12, 4));
+        let model = warm_model(12, 4);
+        let indices: Vec<usize> = (0..data.len()).collect();
+
+        let mut serial = GradScratch::new();
+        let loss_serial = model.fused_loss_and_gradient_into(&data, &indices, &mut serial, 1);
+        for size in 1..=8 {
+            let pool = WorkerPool::new(size);
+            let mut pooled = GradScratch::new();
+            let loss_pooled =
+                model.pooled_loss_and_gradient_into(&data, &indices, &mut pooled, &pool);
+            assert_eq!(
+                loss_serial.to_bits(),
+                loss_pooled.to_bits(),
+                "loss differs at pool size {size}"
+            );
+            assert_eq!(
+                serial.grad(),
+                pooled.grad(),
+                "gradient differs at pool size {size}"
+            );
+        }
+    }
+
+    #[test]
+    fn pooled_kernel_handles_shuffled_indices_via_gather() {
+        // Non-consecutive indices force the mini-batch gather path in every
+        // chunk; the result must still match the scoped kernel bit for bit.
+        let data = Arc::new(chunky_dataset(260, 10, 3));
+        let model = warm_model(10, 3);
+        let mut indices: Vec<usize> = (0..data.len()).rev().collect();
+        indices.swap(5, 170);
+
+        let mut serial = GradScratch::new();
+        let loss_serial = model.fused_loss_and_gradient_into(&data, &indices, &mut serial, 1);
+        let pool = WorkerPool::new(3);
+        let mut pooled = GradScratch::new();
+        let loss_pooled = model.pooled_loss_and_gradient_into(&data, &indices, &mut pooled, &pool);
+        assert_eq!(loss_serial.to_bits(), loss_pooled.to_bits());
+        assert_eq!(serial.grad(), pooled.grad());
+    }
+
+    #[test]
+    fn pooled_kernel_is_allocation_free_when_warm() {
+        let data = Arc::new(chunky_dataset(300, 12, 4));
+        let model = warm_model(12, 4);
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let pool = WorkerPool::new(4);
+        let mut scratch = GradScratch::new();
+        model.pooled_loss_and_gradient_into(&data, &indices, &mut scratch, &pool);
+        let warm = scratch.allocations();
+        for _ in 0..20 {
+            model.pooled_loss_and_gradient_into(&data, &indices, &mut scratch, &pool);
+        }
+        assert_eq!(
+            scratch.allocations(),
+            warm,
+            "warm pooled kernel must not allocate"
+        );
+    }
 }
 
 #[cfg(test)]
@@ -801,6 +1102,30 @@ mod proptests {
             let (before, grad) = m.loss_and_gradient(&data, &[0, 1]);
             m.apply_gradient(&grad, 1e-3);
             prop_assert!(m.loss(&data) <= before + 1e-9);
+        }
+
+        /// Pool partitioning is a pure function of chunk count, never
+        /// worker count: for any batch size and any pool size 1..=8 the
+        /// pooled kernel lands on exactly the serial evaluation's bits.
+        #[test]
+        fn pooled_partitioning_matches_serial_for_any_pool_size(
+            n in 65usize..300,
+            size in 1usize..=8,
+        ) {
+            let data = std::sync::Arc::new(super::tests::chunky_dataset(n, 9, 3));
+            let model = super::tests::warm_model(9, 3);
+            let indices: Vec<usize> = (0..n).collect();
+
+            let mut serial = GradScratch::new();
+            let loss_serial =
+                model.fused_loss_and_gradient_into(&data, &indices, &mut serial, 1);
+
+            let pool = WorkerPool::new(size);
+            let mut pooled = GradScratch::new();
+            let loss_pooled =
+                model.pooled_loss_and_gradient_into(&data, &indices, &mut pooled, &pool);
+            prop_assert_eq!(loss_serial.to_bits(), loss_pooled.to_bits());
+            prop_assert_eq!(serial.grad(), pooled.grad());
         }
     }
 }

@@ -1,10 +1,13 @@
 //! Local training: `E` epochs of SGD on one edge server's dataset.
 
+use std::sync::Arc;
+
 use fei_data::Dataset;
 use fei_sim::DetRng;
 use serde::{Deserialize, Serialize};
 
 use crate::optimizer::{GradReduction, SgdConfig};
+use crate::pool::WorkerPool;
 use crate::scratch::GradScratch;
 use crate::traits::Model;
 
@@ -86,7 +89,7 @@ impl LocalTrainer {
     ) -> TrainStats {
         assert!(!data.is_empty(), "cannot train on an empty dataset");
         let lr = self.config.lr_for_round(round);
-        let initial_loss = model.loss(data);
+        let initial_loss = self.eval_loss(model, data, scratch);
         let all: Vec<usize> = (0..data.len()).collect();
         let mut gradient_steps = 0;
 
@@ -114,8 +117,77 @@ impl LocalTrainer {
             epochs_run: epochs,
             gradient_steps,
             initial_loss,
-            final_loss: model.loss(data),
+            final_loss: self.eval_loss(model, data, scratch),
             samples: data.len(),
+        }
+    }
+
+    /// [`LocalTrainer::train_with`] with gradient steps executed on a
+    /// persistent [`WorkerPool`] when the configuration asks for parallel
+    /// reduction. Bit-identical to `train_with` for every pool size (the
+    /// pooled kernel shares the scoped path's partitioning and reduction
+    /// schedule); with a pool of one or zero workers it simply *is*
+    /// `train_with`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or shapes mismatch.
+    pub fn train_with_pool<M: Model>(
+        &self,
+        model: &mut M,
+        data: &Arc<Dataset>,
+        epochs: usize,
+        round: usize,
+        scratch: &mut GradScratch,
+        pool: &WorkerPool,
+    ) -> TrainStats {
+        if pool.size() <= 1 {
+            return self.train_with(model, data, epochs, round, scratch);
+        }
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        let lr = self.config.lr_for_round(round);
+        let initial_loss = self.eval_loss(model, data, scratch);
+        let all: Vec<usize> = (0..data.len()).collect();
+        let mut gradient_steps = 0;
+
+        match self.config.batch_size {
+            None => {
+                for _ in 0..epochs {
+                    self.step_pooled(model, data, &all, lr, scratch, pool);
+                    gradient_steps += 1;
+                }
+            }
+            Some(batch) => {
+                let mut rng = DetRng::new(0xBA7C_0000 ^ round as u64).fork(data.len() as u64);
+                let mut order = all.clone();
+                for _ in 0..epochs {
+                    rng.shuffle(&mut order);
+                    for chunk in order.chunks(batch) {
+                        self.step_pooled(model, data, chunk, lr, scratch, pool);
+                        gradient_steps += 1;
+                    }
+                }
+            }
+        }
+
+        TrainStats {
+            epochs_run: epochs,
+            gradient_steps,
+            initial_loss,
+            final_loss: self.eval_loss(model, data, scratch),
+            samples: data.len(),
+        }
+    }
+
+    /// The before/after loss measurement for [`TrainStats`]: the naive
+    /// reduction keeps the historical allocating pass, the fused reductions
+    /// use the buffer-reusing (bit-identical) one.
+    fn eval_loss<M: Model>(&self, model: &M, data: &Dataset, scratch: &mut GradScratch) -> f64 {
+        match self.config.grad {
+            GradReduction::Naive => model.loss(data),
+            GradReduction::FusedSerial | GradReduction::FusedParallel { .. } => {
+                model.loss_with(data, scratch)
+            }
         }
     }
 
@@ -144,6 +216,28 @@ impl LocalTrainer {
             }
             GradReduction::FusedParallel { threads } => {
                 model.loss_and_gradient_into(data, batch, scratch, threads.max(1));
+                model.apply_gradient_decayed(scratch.grad(), lr, self.config.weight_decay);
+            }
+        }
+    }
+
+    /// [`LocalTrainer::step`] with the parallel reduction routed through the
+    /// pool; the serial reductions are untouched.
+    fn step_pooled<M: Model>(
+        &self,
+        model: &mut M,
+        data: &Arc<Dataset>,
+        batch: &[usize],
+        lr: f64,
+        scratch: &mut GradScratch,
+        pool: &WorkerPool,
+    ) {
+        match self.config.grad {
+            GradReduction::Naive | GradReduction::FusedSerial => {
+                self.step(model, data, batch, lr, scratch);
+            }
+            GradReduction::FusedParallel { .. } => {
+                model.loss_and_gradient_pooled(data, batch, scratch, pool);
                 model.apply_gradient_decayed(scratch.grad(), lr, self.config.weight_decay);
             }
         }

@@ -6,8 +6,11 @@
 //! the runtime in `fei-fl` trains [`crate::LogisticRegression`] and
 //! [`crate::Mlp`] (and any future model) through one code path.
 
+use std::sync::Arc;
+
 use fei_data::Dataset;
 
+use crate::pool::WorkerPool;
 use crate::scratch::GradScratch;
 
 /// A trainable classification model with flat-vector parameters.
@@ -90,6 +93,35 @@ pub trait Model: Clone + Send + 'static {
         let (loss, grad) = self.loss_and_gradient(data, indices);
         scratch.store_allocated_grad(grad);
         loss
+    }
+
+    /// Mean loss over a dataset against a reused workspace. Must be
+    /// **bit-identical** to [`Model::loss`]; implementations override it
+    /// only to avoid per-sample allocations on the fast path. The default
+    /// simply delegates.
+    fn loss_with(&self, data: &Dataset, _scratch: &mut GradScratch) -> f64 {
+        self.loss(data)
+    }
+
+    /// [`Model::loss_and_gradient_into`] executed on a persistent
+    /// [`WorkerPool`]. Must be bit-identical to `loss_and_gradient_into`
+    /// for every pool size; the default ignores the pool and runs the
+    /// scoped/fallback path with `threads = pool.size()`, which satisfies
+    /// the contract trivially. Models with a pool-aware kernel (the fused
+    /// logistic regression) override this to skip per-step thread
+    /// spawn/join.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or out of bounds, or shapes mismatch.
+    fn loss_and_gradient_pooled(
+        &self,
+        data: &Arc<Dataset>,
+        indices: &[usize],
+        scratch: &mut GradScratch,
+        pool: &WorkerPool,
+    ) -> f64 {
+        self.loss_and_gradient_into(data, indices, scratch, pool.size().max(1))
     }
 
     /// Gradient step fused with weight decay: equivalent to

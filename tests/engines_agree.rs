@@ -193,6 +193,35 @@ fn chunked_parallel_agrees_across_thread_counts() {
 }
 
 #[test]
+fn pooled_round_records_identical_for_any_pool_size() {
+    // FusedParallel now runs on a persistent worker pool owned by the
+    // engine and reused across every client and round. The pool deals
+    // chunk bands by the same static formula for every size, so the full
+    // RoundRecord stream — selections, evaluations, losses, fault stats —
+    // must be identical from one worker (inline fallback) through eight,
+    // and identical to the serial reduction.
+    let (clients, test) = federation(37);
+    let records_with = |reduction: GradReduction| {
+        let config = FedAvgConfig {
+            clients_per_round: 3,
+            local_epochs: 2,
+            sgd: SgdConfig::new(0.05, 0.99, None).with_grad_reduction(reduction),
+            ..Default::default()
+        };
+        let mut engine = FedAvg::new(config, clients.clone(), test.clone());
+        (0..3).map(|_| engine.run_round()).collect::<Vec<_>>()
+    };
+    let reference = records_with(GradReduction::FusedSerial);
+    for size in 1..=8 {
+        assert_eq!(
+            records_with(GradReduction::FusedParallel { threads: size }),
+            reference,
+            "pool size {size} changed a RoundRecord"
+        );
+    }
+}
+
+#[test]
 fn transport_volume_matches_model_size() {
     let (clients, test) = federation(13);
     let config = FedAvgConfig {
